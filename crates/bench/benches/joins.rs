@@ -1,0 +1,142 @@
+//! Criterion wall-clock benchmarks of the join algorithms on the simulator.
+//! (The paper's metric is the load, measured by the `repro` binary; these
+//! benches track the simulator's own throughput so regressions in the
+//! implementation are visible.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use aj_core::dist::distribute_db;
+use aj_mpc::Cluster;
+
+fn bench_binary_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binary_join");
+    for &n in &[1_000u64, 4_000] {
+        let q = aj_instancegen::line_query(2);
+        let mut db = aj_relation::database_from_rows(
+            &q,
+            &[
+                (0..n).map(|i| vec![i, i % 64]).collect(),
+                (0..n).map(|i| vec![i % 64, 1_000_000 + i]).collect(),
+            ],
+        );
+        for r in &mut db.relations {
+            r.dedup();
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| {
+                let p = 16;
+                let mut cluster = Cluster::new(p);
+                let mut net = cluster.net();
+                let dist = distribute_db(db, p);
+                let mut seed = 7;
+                let out = aj_core::binary::binary_join(
+                    &mut net,
+                    dist[0].clone(),
+                    dist[1].clone(),
+                    &mut seed,
+                );
+                black_box(out.total_len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_line3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line3_thm5");
+    for &factor in &[8u64, 32] {
+        let inst = aj_instancegen::fig3::two_sided(512, 512 * factor);
+        g.bench_with_input(BenchmarkId::from_parameter(factor), &inst, |b, inst| {
+            b.iter(|| {
+                let p = 16;
+                let mut cluster = Cluster::new(p);
+                let mut net = cluster.net();
+                let dist = distribute_db(&inst.db, p);
+                let mut seed = 7;
+                let out = aj_core::line3::solve(&mut net, &inst.query, dist, &mut seed);
+                black_box(out.total_len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_acyclic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acyclic_thm7");
+    g.sample_size(10);
+    let inst = aj_instancegen::fig3::two_sided(512, 512 * 16);
+    g.bench_function("two_sided_512x16", |b| {
+        b.iter(|| {
+            let p = 16;
+            let mut cluster = Cluster::new(p);
+            let mut net = cluster.net();
+            let dist = distribute_db(&inst.db, p);
+            let mut seed = 7;
+            let out = aj_core::acyclic::solve(&mut net, &inst.query, dist, &mut seed);
+            black_box(out.total_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchical_thm3");
+    g.sample_size(10);
+    let q = aj_instancegen::shapes::star_query(2);
+    let mut db = aj_relation::database_from_rows(
+        &q,
+        &[
+            (0..2000u64).map(|i| vec![i % 50, i]).collect(),
+            (0..2000u64).map(|i| vec![i % 50, 1_000_000 + i]).collect(),
+        ],
+    );
+    for r in &mut db.relations {
+        r.dedup();
+    }
+    g.bench_function("star_2000", |b| {
+        b.iter(|| {
+            let p = 16;
+            let mut cluster = Cluster::new(p);
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 7;
+            let out = aj_core::hierarchical::solve(&mut net, &q, dist, &mut seed);
+            black_box(out.total_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_output_size(c: &mut Criterion) {
+    let q = aj_instancegen::line_query(3);
+    let mut db = aj_relation::database_from_rows(
+        &q,
+        &[
+            (0..4000u64).map(|i| vec![i, i % 16]).collect(),
+            (0..4000u64).map(|i| vec![i % 16, i % 16]).collect(),
+            (0..4000u64).map(|i| vec![i % 16, i]).collect(),
+        ],
+    );
+    for r in &mut db.relations {
+        r.dedup();
+    }
+    c.bench_function("output_size_cor4", |b| {
+        b.iter(|| {
+            let p = 16;
+            let mut cluster = Cluster::new(p);
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 7;
+            black_box(aj_core::aggregate::output_size(&mut net, &q, &dist, &mut seed))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_binary_join, bench_line3, bench_acyclic, bench_hierarchical, bench_output_size
+}
+criterion_main!(benches);

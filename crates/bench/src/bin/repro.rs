@@ -1,0 +1,34 @@
+//! `repro` — regenerate the paper's tables and figures as measured
+//! experiments on the MPC simulator.
+//!
+//! ```text
+//! repro           # run everything
+//! repro list      # list experiment ids
+//! repro fig3 thm5 # run selected experiments
+//! ```
+
+use aj_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    println!("acyclic-joins reproduction — Hu & Yi, PODS 2019");
+    println!("load L = max tuples received by any server in any round\n");
+    for id in ids {
+        let start = std::time::Instant::now();
+        for table in run_experiment(id) {
+            println!("{table}");
+        }
+        eprintln!("[{id}: {:?}]", start.elapsed());
+    }
+}

@@ -1,0 +1,44 @@
+//! **Figure 2** — the attribute forests of the tall-flat query Q1 and the
+//! hierarchical query Q2 from Section 3.
+
+use aj_instancegen::shapes;
+use aj_relation::classify::AttributeForest;
+
+use crate::table::ExpTable;
+
+pub fn run() -> Vec<ExpTable> {
+    let mut out = Vec::new();
+    for (name, q) in [
+        ("Q1 = R1(x1)⋈R2(x1,x2)⋈…⋈R6(x1,x2,x3,x6) [tall-flat]", shapes::tall_flat_q1()),
+        ("Q2 = R1(x1,x2)⋈R2(x1,x3,x4)⋈R3(x1,x3,x5) [hierarchical]", shapes::hierarchical_q2()),
+    ] {
+        let forest = AttributeForest::build(&q).expect("hierarchical");
+        let mut t = ExpTable::new(
+            format!("Figure 2: attribute forest of {name}"),
+            &["depth", "attributes", "|E_x| (edges containing)"],
+        );
+        fn walk(
+            f: &AttributeForest,
+            q: &aj_relation::Query,
+            node: usize,
+            depth: usize,
+            t: &mut ExpTable,
+        ) {
+            let names: Vec<&str> = f.nodes[node].attrs.iter().map(|&a| q.attr_name(a)).collect();
+            t.row(vec![
+                format!("{}{}", "  ".repeat(depth), depth),
+                names.join(","),
+                f.nodes[node].edges.len().to_string(),
+            ]);
+            for &c in &f.nodes[node].children {
+                walk(f, q, c, depth + 1, t);
+            }
+        }
+        for &r in &forest.roots {
+            walk(&forest, &q, r, 0, &mut t);
+        }
+        t.note("x is a descendant of y iff E_x ⊆ E_y (Section 3).");
+        out.push(t);
+    }
+    out
+}

@@ -1,0 +1,91 @@
+//! One module per reproduced table/figure. Each `run()` returns the tables
+//! the `repro` binary prints; EXPERIMENTS.md records the expected shapes.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod sec13;
+pub mod table1;
+pub mod thm12;
+pub mod thm3;
+pub mod thm4;
+pub mod thm5;
+pub mod thm7;
+pub mod thm9;
+
+use aj_core::dist::distribute_db;
+use aj_mpc::Cluster;
+use aj_relation::{Database, Query};
+
+/// Run an algorithm body on a fresh cluster; returns (result size, load L).
+pub(crate) fn measure<R>(
+    p: usize,
+    f: impl FnOnce(&mut aj_mpc::Net) -> R,
+) -> (R, u64) {
+    let mut cluster = Cluster::new(p);
+    let out = {
+        let mut net = cluster.net();
+        f(&mut net)
+    };
+    (out, cluster.stats().max_load)
+}
+
+/// Measure Yannakakis with a given order.
+pub(crate) fn measure_yannakakis(
+    p: usize,
+    q: &Query,
+    db: &Database,
+    order: Option<Vec<usize>>,
+) -> (usize, u64) {
+    measure(p, |net| {
+        let dist = distribute_db(db, p);
+        let mut seed = 11;
+        aj_core::yannakakis::yannakakis(net, q, dist, order, &mut seed).total_len()
+    })
+}
+
+/// Measure the Theorem-7 acyclic algorithm.
+pub(crate) fn measure_acyclic(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+    measure(p, |net| {
+        let dist = distribute_db(db, p);
+        let mut seed = 11;
+        aj_core::acyclic::solve(net, q, dist, &mut seed).total_len()
+    })
+}
+
+/// Measure the Theorem-5 line-3 algorithm.
+pub(crate) fn measure_line3(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+    measure(p, |net| {
+        let dist = distribute_db(db, p);
+        let mut seed = 11;
+        aj_core::line3::solve(net, q, dist, &mut seed).total_len()
+    })
+}
+
+/// Measure the Theorem-3 r-hierarchical algorithm.
+pub(crate) fn measure_hierarchical(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+    measure(p, |net| {
+        let dist = distribute_db(db, p);
+        let mut seed = 11;
+        aj_core::hierarchical::solve(net, q, dist, &mut seed).total_len()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    /// Smoke-test every experiment end to end (small scales keep this fast
+    /// in release CI; in debug it is the slowest test of the workspace).
+    #[test]
+    fn all_experiments_produce_tables() {
+        for id in crate::ALL_EXPERIMENTS {
+            let tables = crate::run_experiment(id);
+            assert!(!tables.is_empty(), "experiment {id} produced no tables");
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "experiment {id}: empty table {}", t.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! **Table 1** — the paper's summary of results, regenerated as measured
+//! loads: for each join class, the relevant algorithm's measured load is
+//! compared against the bound the paper assigns to that row.
+
+use aj_core::bounds;
+use aj_instancegen::{fig3, shapes};
+use aj_relation::{database_from_rows, ram, Database, Query};
+
+use crate::experiments::{measure_acyclic, measure_hierarchical, measure_yannakakis};
+use crate::table::{fmt_f, ExpTable};
+
+fn tall_flat_instance(n: u64) -> (Query, Database) {
+    // Binary join = the simplest tall-flat query.
+    let q = aj_instancegen::line_query(2);
+    let mut db = database_from_rows(
+        &q,
+        &[
+            (0..n).map(|i| vec![i, i % 32]).collect(),
+            (0..n).map(|i| vec![i % 32, 3_000_000 + i]).collect(),
+        ],
+    );
+    for r in &mut db.relations {
+        r.dedup();
+    }
+    (q, db)
+}
+
+fn r_hierarchical_instance(n: u64) -> (Query, Database) {
+    let q = shapes::rh_example_query(); // R1(A) ⋈ R2(A,B) ⋈ R3(B)
+    let mut db = database_from_rows(
+        &q,
+        &[
+            (0..64).map(|i| vec![i]).collect(),
+            (0..n).map(|i| vec![i % 64, i % 128]).collect(),
+            (0..128).map(|i| vec![i]).collect(),
+        ],
+    );
+    for r in &mut db.relations {
+        r.dedup();
+    }
+    (q, db)
+}
+
+pub fn run() -> Vec<ExpTable> {
+    let p = 16;
+    let mut t = ExpTable::new(
+        format!("Table 1: summary of results, measured (p={p})"),
+        &[
+            "class",
+            "algorithm",
+            "IN",
+            "OUT",
+            "L measured",
+            "paper bound",
+            "bound value",
+            "ratio",
+        ],
+    );
+
+    // Tall-flat / r-hierarchical rows: Theorem 3 achieves Θ(IN/p + L_instance).
+    for (class, (q, db)) in [
+        ("tall-flat", tall_flat_instance(2048)),
+        ("r-hierarchical", r_hierarchical_instance(2048)),
+    ] {
+        let in_size = db.input_size() as u64;
+        let out = ram::count(&q, &db);
+        let l_inst = db.input_size() as f64 / p as f64 + bounds::l_instance(&q, &db, p);
+        let (cnt, load) = measure_hierarchical(p, &q, &db);
+        assert_eq!(cnt as u64, out);
+        t.row(vec![
+            class.into(),
+            "Thm 3 (instance-optimal)".into(),
+            in_size.to_string(),
+            out.to_string(),
+            load.to_string(),
+            "Θ(IN/p + L_instance)".into(),
+            fmt_f(l_inst),
+            fmt_f(load as f64 / l_inst),
+        ]);
+    }
+
+    // Acyclic row: Theorem 7 vs the Yannakakis baseline.
+    let inst = fig3::two_sided(1024, 32 * 1024);
+    let in_size = inst.db.input_size() as u64;
+    let bound = bounds::acyclic_bound(in_size, inst.out, p);
+    let (cnt, load) = measure_acyclic(p, &inst.query, &inst.db);
+    assert_eq!(cnt as u64, inst.out);
+    t.row(vec![
+        "acyclic".into(),
+        "Thm 7 (output-optimal)".into(),
+        in_size.to_string(),
+        inst.out.to_string(),
+        load.to_string(),
+        "Θ(IN/p + √(IN·OUT)/p)".into(),
+        fmt_f(bound),
+        fmt_f(load as f64 / bound),
+    ]);
+    let (_, yan_load) = measure_yannakakis(p, &inst.query, &inst.db, None);
+    let yan_bound = bounds::yannakakis_bound(in_size, inst.out, p);
+    t.row(vec![
+        "acyclic".into(),
+        "Yannakakis [2,25] (baseline)".into(),
+        in_size.to_string(),
+        inst.out.to_string(),
+        yan_load.to_string(),
+        "O(IN/p + OUT/p)".into(),
+        fmt_f(yan_bound),
+        fmt_f(yan_load as f64 / yan_bound),
+    ]);
+
+    // Triangle row: the lower-bound formula (measured in fig6).
+    t.row(vec![
+        "triangle".into(),
+        "lower bound (Thm 11)".into(),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+        "Ω̃(min{IN/p + OUT/p, IN/p^{2/3}})".into(),
+        "see fig6".into(),
+        "—".into(),
+    ]);
+    t.note("Every measured ratio is O(1) against its row's bound — the content of Table 1.");
+    t.note("One-round vs multi-round columns: our Thm-3/5/7 implementations are multi-round (constant rounds).");
+    vec![t]
+}

@@ -1,0 +1,89 @@
+//! **Theorems 1 & 2** — the BinHC load `L_BinHC` (Section 3.1) is
+//! `O(L_instance)` on tall-flat joins, and on r-hierarchical joins *without
+//! dangling tuples*; with dangling tuples the one-round bound collapses
+//! (the remark after Theorem 2, explaining the Koutris–Suciu one-round
+//! lower bound).
+
+use aj_core::bounds::{l_binhc, l_instance};
+use aj_instancegen::{random, shapes};
+use aj_relation::{database_from_rows, ram};
+
+use crate::table::{fmt_f, ExpTable};
+
+pub fn run() -> Vec<ExpTable> {
+    let p = 16;
+    let mut t = ExpTable::new(
+        format!("Theorems 1–2: L_BinHC vs L_instance (integral packings, p={p})"),
+        &["query", "dangling?", "L_instance", "L_BinHC", "ratio"],
+    );
+    // Tall-flat: binary join (Theorem 1).
+    {
+        let q = aj_instancegen::line_query(2);
+        let db = random::random_instance(&q, 400, 32, 3);
+        let li = l_instance(&q, &db, p).max(1.0);
+        let lb = l_binhc(&q, &db, p);
+        t.row(vec![
+            "binary join (tall-flat)".into(),
+            "no".into(),
+            fmt_f(li),
+            fmt_f(lb),
+            fmt_f(lb / li),
+        ]);
+    }
+    // Tall-flat: Q1 of Section 3.
+    {
+        let q = shapes::tall_flat_q1();
+        let db = ram::full_reduce(&q, &random::random_instance(&q, 200, 4, 5));
+        let li = l_instance(&q, &db, p).max(1.0);
+        let lb = l_binhc(&q, &db, p);
+        t.row(vec![
+            "Q1 (tall-flat)".into(),
+            "no (reduced)".into(),
+            fmt_f(li),
+            fmt_f(lb),
+            fmt_f(lb / li),
+        ]);
+    }
+    // r-hierarchical without dangling tuples (Theorem 2).
+    {
+        let q = shapes::rh_example_query();
+        let db = ram::full_reduce(&q, &random::random_instance(&q, 300, 24, 7));
+        let li = l_instance(&q, &db, p).max(1.0);
+        let lb = l_binhc(&q, &db, p);
+        t.row(vec![
+            "R1(A)⋈R2(A,B)⋈R3(B)".into(),
+            "no (reduced)".into(),
+            fmt_f(li),
+            fmt_f(lb),
+            fmt_f(lb / li),
+        ]);
+    }
+    // The dangling-tuple barrier: same query, R2 a dangling cross product.
+    {
+        let q = shapes::rh_example_query();
+        let n = 64u64;
+        let db = database_from_rows(
+            &q,
+            &[
+                vec![vec![0]],
+                (0..n)
+                    .flat_map(|a| (0..n).map(move |b| vec![1 + a, 1 + b]))
+                    .collect(),
+                vec![vec![0]],
+            ],
+        );
+        let li = l_instance(&q, &db, p).max(1.0);
+        let lb = l_binhc(&q, &db, p);
+        t.row(vec![
+            "same, dangling R2 (OUT=0)".into(),
+            "YES".into(),
+            fmt_f(li),
+            fmt_f(lb),
+            fmt_f(lb / li),
+        ]);
+    }
+    t.note("Rows 1–3: ratio O(1) — BinHC is instance-optimal up to polylog (Theorems 1–2).");
+    t.note("Row 4: with dangling tuples the ratio explodes — the one-round barrier; O(1) extra rounds");
+    t.note("of semi-joins remove the dangling tuples and restore instance-optimality (paper remark).");
+    vec![t]
+}

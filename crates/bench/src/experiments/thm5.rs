@@ -1,0 +1,46 @@
+//! **Theorem 5** — output-optimality of the line-3 algorithm: the measured
+//! load scales as `IN/p + √(IN·OUT)/p` across the OUT sweep, beating the
+//! Yannakakis baseline's `OUT/p` growth; the crossover with the worst-case
+//! bound lands near `OUT = p·IN` (Corollary 2 regime).
+
+use aj_core::bounds;
+
+use crate::experiments::{measure_line3, measure_yannakakis};
+use crate::table::{fmt_f, ExpTable};
+
+pub fn run() -> Vec<ExpTable> {
+    let p = 16;
+    let n = 1024u64;
+    let mut t = ExpTable::new(
+        format!("Theorem 5: line-3 load vs OUT (two-sided Fig-3 instances, IN≈{}, p={p})", 6 * n),
+        &[
+            "OUT",
+            "L line-3",
+            "Thm5 bound",
+            "ratio",
+            "L Yannakakis",
+            "Yan bound",
+            "IN/√p",
+        ],
+    );
+    for factor in [2u64, 8, 32, 128] {
+        let inst = aj_instancegen::fig3::two_sided(n, n * factor);
+        let in_size = inst.db.input_size() as u64;
+        let (cnt, load) = measure_line3(p, &inst.query, &inst.db);
+        assert_eq!(cnt as u64, inst.out);
+        let bound = bounds::acyclic_bound(in_size, inst.out, p);
+        let (_, yan) = measure_yannakakis(p, &inst.query, &inst.db, None);
+        t.row(vec![
+            inst.out.to_string(),
+            load.to_string(),
+            fmt_f(bound),
+            fmt_f(load as f64 / bound),
+            yan.to_string(),
+            fmt_f(bounds::yannakakis_bound(in_size, inst.out, p)),
+            fmt_f(bounds::line3_worst_case(in_size, p)),
+        ]);
+    }
+    t.note("Ratio column stays O(1): load tracks IN/p + √(IN·OUT)/p, an √(OUT/IN)-factor below Yannakakis.");
+    t.note("Output-optimal for OUT ≤ p·IN; beyond that the worst-case IN/√p algorithm takes over (Corollary 2).");
+    vec![t]
+}

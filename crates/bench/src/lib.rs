@@ -1,0 +1,35 @@
+//! The experiment harness: one module per table/figure of the paper, each
+//! regenerating the corresponding result as a measured experiment on the MPC
+//! simulator. The `repro` binary prints them.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::ExpTable;
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
+    "thm7", "thm9", "fig6",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str) -> Vec<ExpTable> {
+    match id {
+        "fig1" => experiments::fig1::run(),
+        "fig2" => experiments::fig2::run(),
+        "table1" => experiments::table1::run(),
+        "sec13" => experiments::sec13::run(),
+        "thm12" => experiments::thm12::run(),
+        "thm3" => experiments::thm3::run(),
+        "thm4" => experiments::thm4::run(),
+        "fig3" => experiments::fig3::run(),
+        "thm5" => experiments::thm5::run(),
+        "fig4" => experiments::fig4::run(),
+        "fig5" => experiments::fig5::run(),
+        "thm7" => experiments::thm7::run(),
+        "thm9" => experiments::thm9::run(),
+        "fig6" => experiments::fig6::run(),
+        other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
+    }
+}

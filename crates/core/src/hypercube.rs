@@ -1,0 +1,291 @@
+//! The **HyperCube** algorithm (Afrati–Ullman \[3\], analysed by \[8\]): a
+//! one-round algorithm that arranges the `p` servers into a grid with one
+//! dimension (share) per attribute; every tuple is replicated to all cells
+//! consistent with the hash of its attributes.
+//!
+//! * On Cartesian products it is instance-optimal up to polylog factors
+//!   (paper, Section 1.3 / Eq. (1)).
+//! * With worst-case-optimal shares it is the baseline for the triangle join
+//!   (Section 7).
+//! * On skewed instances its load degrades — exactly the gap the paper's
+//!   Theorem-3 algorithm closes; the experiments measure this.
+
+use aj_mpc::{Net, Partitioned, ServerId};
+use aj_relation::{Attr, Database, Query, Tuple};
+
+use crate::dist::{distribute_db, DistRelation};
+use crate::local::{multiway_join, normalize, LocalRel};
+use aj_primitives::Key;
+
+/// Integer shares, one per attribute; their product must be ≤ p.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shares(pub Vec<usize>);
+
+impl Shares {
+    /// Grid size = product of shares.
+    pub fn grid_size(&self) -> usize {
+        self.0.iter().product()
+    }
+}
+
+/// Run HyperCube with the given shares. One data round. The local joins are
+/// evaluated per grid cell; works for cyclic queries too.
+pub fn hypercube_join(
+    net: &mut Net,
+    q: &Query,
+    db: &Database,
+    shares: &Shares,
+    seed: u64,
+) -> DistRelation {
+    let p = net.p();
+    assert_eq!(shares.0.len(), q.n_attrs(), "one share per attribute");
+    let grid = shares.grid_size();
+    assert!(grid >= 1 && grid <= p, "share product {grid} must fit in p={p}");
+    let dist = distribute_db(db, p);
+
+    // Strides for mixed-radix cell coordinates.
+    let mut stride = vec![1usize; q.n_attrs()];
+    for a in 1..q.n_attrs() {
+        stride[a] = stride[a - 1] * shares.0[a - 1];
+    }
+    // Route: each tuple goes to every cell consistent with its attr hashes.
+    let mut outbox: Vec<Vec<(ServerId, (u8, Tuple))>> = (0..p).map(|_| Vec::new()).collect();
+    for (e, rel) in dist.iter().enumerate() {
+        let attrs = &rel.attrs;
+        let free: Vec<Attr> = (0..q.n_attrs())
+            .filter(|a| !attrs.contains(a) && shares.0[*a] > 1)
+            .collect();
+        for (s, part) in rel.parts.iter().enumerate() {
+            for t in part {
+                // Fixed coordinates from the tuple's own attributes.
+                let mut base = 0usize;
+                for (i, &a) in attrs.iter().enumerate() {
+                    let h = (t.get(i) ^ (a as u64 * 0x9e37_79b9)).owner(seed, shares.0[a]);
+                    base += h * stride[a];
+                }
+                // Enumerate free coordinates.
+                let mut cells = vec![base];
+                for &a in &free {
+                    let mut next = Vec::with_capacity(cells.len() * shares.0[a]);
+                    for c in &cells {
+                        for v in 0..shares.0[a] {
+                            next.push(c + v * stride[a]);
+                        }
+                    }
+                    cells = next;
+                }
+                for cell in cells {
+                    outbox[s].push((cell, (e as u8, t.clone())));
+                }
+            }
+        }
+    }
+    let received = net.exchange(outbox);
+    // Local join per cell.
+    let mut out_parts: Vec<Vec<Tuple>> = Vec::with_capacity(p);
+    let mut out_attrs: Vec<Attr> = (0..q.n_attrs())
+        .filter(|&a| !q.edges_containing(a).is_empty())
+        .collect();
+    out_attrs.sort_unstable();
+    for msgs in received {
+        let mut locals: Vec<LocalRel> = q
+            .edges()
+            .iter()
+            .map(|e| LocalRel {
+                attrs: e.attrs.clone(),
+                tuples: Vec::new(),
+            })
+            .collect();
+        for (e, t) in msgs {
+            locals[e as usize].tuples.push(t);
+        }
+        if locals.iter().any(|l| l.tuples.is_empty()) {
+            out_parts.push(Vec::new());
+            continue;
+        }
+        let (attrs, tuples) = multiway_join(&locals);
+        let (attrs, tuples) = normalize(&attrs, tuples);
+        debug_assert_eq!(attrs, out_attrs);
+        out_parts.push(tuples);
+    }
+    DistRelation {
+        attrs: out_attrs,
+        parts: Partitioned::from_parts(out_parts),
+    }
+}
+
+/// Optimal integer shares for a Cartesian product of the given sizes
+/// (Eq. (1) regime): exhaustive search over power-of-two share vectors
+/// minimizing the per-server load estimate `Σ_i N_i / s_i · (Π s)/p`… i.e.
+/// simply `Σ_i N_i / s_i` subject to `Π s_i ≤ p`.
+pub fn cartesian_shares(sizes: &[u64], p: usize) -> Shares {
+    best_shares(sizes.len(), p, |s| {
+        sizes
+            .iter()
+            .zip(s)
+            .map(|(&n, &si)| n as f64 / si as f64)
+            .sum()
+    })
+}
+
+/// Worst-case shares for a general query: minimize the estimated load
+/// `Σ_e N_e / Π_{x∈e} s_x` over power-of-two share vectors with `Π ≤ p`.
+pub fn worst_case_shares(q: &Query, sizes: &[u64], p: usize) -> Shares {
+    assert_eq!(sizes.len(), q.n_edges());
+    best_shares(q.n_attrs(), p, |s| {
+        q.edges()
+            .iter()
+            .zip(sizes)
+            .map(|(e, &n)| {
+                let denom: f64 = e.attrs.iter().map(|&a| s[a] as f64).product();
+                n as f64 / denom
+            })
+            .sum()
+    })
+}
+
+/// Exhaustive search over power-of-two share vectors (queries are constant
+/// size, so the search space is tiny).
+fn best_shares(n_attrs: usize, p: usize, cost: impl Fn(&[usize]) -> f64) -> Shares {
+    let budget = (p as f64).log2().floor() as u32;
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut current = vec![0u32; n_attrs];
+    fn rec(
+        i: usize,
+        left: u32,
+        current: &mut Vec<u32>,
+        best: &mut Option<(f64, Vec<usize>)>,
+        cost: &impl Fn(&[usize]) -> f64,
+    ) {
+        if i == current.len() {
+            let shares: Vec<usize> = current.iter().map(|&e| 1usize << e).collect();
+            let c = cost(&shares);
+            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                *best = Some((c, shares));
+            }
+            return;
+        }
+        for e in 0..=left {
+            current[i] = e;
+            rec(i + 1, left - e, current, best, cost);
+        }
+        current[i] = 0;
+    }
+    rec(0, budget, &mut current, &mut best, &cost);
+    Shares(best.expect("nonempty search").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_mpc::Cluster;
+    use aj_relation::{database_from_rows, ram, QueryBuilder};
+
+    #[test]
+    fn cartesian_shares_balance() {
+        // Equal sizes: shares split evenly.
+        let s = cartesian_shares(&[1000, 1000], 16);
+        assert_eq!(s.grid_size(), 16);
+        assert_eq!(s.0, vec![4, 4]);
+        // Skewed sizes: the big set gets the bigger share.
+        let s = cartesian_shares(&[16, 1 << 20], 16);
+        assert!(s.0[1] > s.0[0]);
+    }
+
+    #[test]
+    fn hypercube_computes_cartesian_product() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A"]);
+        b.relation("R2", &["B"]);
+        let q = b.build();
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..20).map(|i| vec![i]).collect(),
+                (0..30).map(|i| vec![100 + i]).collect(),
+            ],
+        );
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let shares = cartesian_shares(&[20, 30], p);
+            hypercube_join(&mut net, &q, &db, &shares, 3)
+        };
+        assert_eq!(out.total_len(), 600);
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 600, "duplicates emitted");
+    }
+
+    #[test]
+    fn hypercube_triangle_matches_bruteforce() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        // Small random-ish triangle instance.
+        let n = 12u64;
+        let edges1: Vec<Vec<u64>> = (0..n).flat_map(|b| (0..n).filter(move |c| (b * 7 + c) % 3 == 0).map(move |c| vec![b, c])).collect();
+        let edges2: Vec<Vec<u64>> = (0..n).flat_map(|a| (0..n).filter(move |c| (a * 5 + c) % 4 == 0).map(move |c| vec![a, c])).collect();
+        let edges3: Vec<Vec<u64>> = (0..n).flat_map(|a| (0..n).filter(move |b| (a + b * 3) % 5 == 0).map(move |b| vec![a, b])).collect();
+        let db = database_from_rows(&q, &[edges1, edges2, edges3]);
+        let want = ram::naive_join(&q, &db);
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let sizes: Vec<u64> = db.relations.iter().map(|r| r.len() as u64).collect();
+            let shares = worst_case_shares(&q, &sizes, p);
+            hypercube_join(&mut net, &q, &db, &shares, 17)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn worst_case_shares_for_triangle_are_cube_roots() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        let s = worst_case_shares(&q, &[1000, 1000, 1000], 64);
+        assert_eq!(s.0, vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn binary_join_via_hypercube_matches_oracle() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        let q = b.build();
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..40).map(|i| vec![i, i % 8]).collect(),
+                (0..40).map(|i| vec![i % 8, 100 + i]).collect(),
+            ],
+        );
+        let want = {
+            let (_, t) = ram::join(&q, &db);
+            t
+        };
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let sizes: Vec<u64> = db.relations.iter().map(|r| r.len() as u64).collect();
+            let shares = worst_case_shares(&q, &sizes, p);
+            hypercube_join(&mut net, &q, &db, &shares, 23)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        let mut want = want;
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's MPC join algorithms (Hu & Yi, PODS 2019).
+//!
+//! Layered on top of [`aj_mpc`] (the load-measuring MPC simulator),
+//! [`aj_relation`] (queries, classification, the RAM oracle) and
+//! [`aj_primitives`] (Section-2 primitives), this crate implements:
+//!
+//! | Module | Paper | Load |
+//! |---|---|---|
+//! | [`binary`] | output-optimal binary join \[8,18\] | `O(IN/p + √(OUT/p))` |
+//! | [`hypercube`] | HyperCube / one-round baseline \[3,8\] | `L_Cartesian · polylog` |
+//! | [`yannakakis`] | MPC Yannakakis \[2,25\] | `O(IN/p + OUT/p)` |
+//! | [`hierarchical`] | Theorem 3 (instance-optimal, r-hierarchical) | `O(IN/p + L_instance)` |
+//! | [`line3`] | Theorem 5 | `O(IN/p + √(IN·OUT)/p)` |
+//! | [`acyclic`] | Theorem 7 (any acyclic join) | `O(IN/p + √(IN·OUT)/p)` |
+//! | [`aggregate`] | Theorem 9 / Corollary 4 (free-connex join-aggregate) | `O(IN/p + √(IN·OUT)/p)` |
+//! | [`triangle`] | Section 7 comparison point | `O(IN/p^{2/3})` (worst-case opt.) |
+//! | [`bounds`] | Eq. (1), Eq. (2), Theorem 4, lower-bound formulas | — |
+//! | [`planner`] | classification-driven dispatch | — |
+
+pub mod acyclic;
+pub mod aggregate;
+pub mod binary;
+pub mod bounds;
+pub mod dist;
+pub mod hierarchical;
+pub mod hypercube;
+pub mod line3;
+pub mod local;
+pub mod planner;
+pub mod triangle;
+pub mod yannakakis;
+
+pub use dist::{DistDatabase, DistRelation};
+pub use planner::{execute_best, Plan};

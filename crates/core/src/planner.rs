@@ -1,0 +1,135 @@
+//! Classification-driven dispatch: pick the optimal algorithm for a query
+//! (Table 1's "which row are you in").
+
+use aj_mpc::Net;
+use aj_relation::classify::{classify, JoinClass};
+use aj_relation::{Database, Query};
+
+use crate::dist::{distribute_db, DistRelation};
+
+/// The chosen execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// r-hierarchical (incl. hierarchical / tall-flat): the instance-optimal
+    /// Theorem-3 algorithm, load `O(IN/p + L_instance)`.
+    InstanceOptimal,
+    /// Acyclic but not r-hierarchical: the Theorem-7 algorithm, load
+    /// `O(IN/p + √(IN·OUT)/p)`.
+    OutputOptimal,
+    /// Cyclic: worst-case-optimal HyperCube shares.
+    WorstCase,
+}
+
+/// Which plan the classification selects.
+pub fn plan_for(q: &Query) -> Plan {
+    match classify(q) {
+        JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
+            Plan::InstanceOptimal
+        }
+        JoinClass::Acyclic => Plan::OutputOptimal,
+        JoinClass::Cyclic => Plan::WorstCase,
+    }
+}
+
+/// Distribute `db` and run the best algorithm for `q`. Returns the chosen
+/// plan and the distributed result.
+pub fn execute_best(
+    net: &mut Net,
+    q: &Query,
+    db: &Database,
+    seed: &mut u64,
+) -> (Plan, DistRelation) {
+    let plan = plan_for(q);
+    let out = match plan {
+        Plan::InstanceOptimal => {
+            let dist = distribute_db(db, net.p());
+            crate::hierarchical::solve(net, q, dist, seed)
+        }
+        Plan::OutputOptimal => {
+            let dist = distribute_db(db, net.p());
+            crate::acyclic::solve(net, q, dist, seed)
+        }
+        Plan::WorstCase => {
+            let sizes: Vec<u64> = db.relations.iter().map(|r| r.len() as u64).collect();
+            let shares = crate::hypercube::worst_case_shares(q, &sizes, net.p());
+            crate::hypercube::hypercube_join(net, q, db, &shares, crate::dist::next_seed(seed))
+        }
+    };
+    (plan, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_instancegen::{line_query, shapes};
+    use aj_mpc::Cluster;
+    use aj_relation::{ram, Tuple};
+
+    #[test]
+    fn plans_follow_classification() {
+        assert_eq!(plan_for(&shapes::tall_flat_q1()), Plan::InstanceOptimal);
+        assert_eq!(plan_for(&shapes::rh_example_query()), Plan::InstanceOptimal);
+        assert_eq!(plan_for(&line_query(3)), Plan::OutputOptimal);
+        assert_eq!(plan_for(&shapes::triangle_query()), Plan::WorstCase);
+    }
+
+    #[test]
+    fn execute_best_on_each_class() {
+        let cases: Vec<(Query, Database)> = vec![
+            {
+                let q = shapes::rh_example_query();
+                let db = aj_relation::query::database_from_rows(
+                    &q,
+                    &[
+                        (0..8).map(|i| vec![i]).collect(),
+                        (0..30).map(|i| vec![i % 10, i % 6]).collect(),
+                        (0..5).map(|i| vec![i]).collect(),
+                    ],
+                );
+                (q, db)
+            },
+            {
+                let q = line_query(3);
+                let db = aj_relation::query::database_from_rows(
+                    &q,
+                    &[
+                        (0..24).map(|i| vec![i, i % 4]).collect(),
+                        (0..16).map(|i| vec![i % 4, i % 5]).collect(),
+                        (0..15).map(|i| vec![i % 5, i]).collect(),
+                    ],
+                );
+                (q, db)
+            },
+        ];
+        for (q, db) in cases {
+            let (_, mut want) = ram::join(&q, &db);
+            want.sort_unstable();
+            let mut cluster = Cluster::new(4);
+            let got = {
+                let mut net = cluster.net();
+                let mut seed = 3;
+                let (_, out) = execute_best(&mut net, &q, &db, &mut seed);
+                out
+            };
+            let mut got: Vec<Tuple> = got.gather_free().tuples;
+            got.sort_unstable();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn execute_best_on_triangle() {
+        let inst = aj_instancegen::fig6::generate(60, 120, 3);
+        let want = ram::naive_join(&inst.query, &inst.db);
+        let mut cluster = Cluster::new(8);
+        let (plan, out) = {
+            let mut net = cluster.net();
+            let mut seed = 3;
+            execute_best(&mut net, &inst.query, &inst.db, &mut seed)
+        };
+        assert_eq!(plan, Plan::WorstCase);
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,152 @@
+//! The MPC **Yannakakis algorithm** (baseline, \[2, 25\]): remove dangling
+//! tuples with semi-joins (linear load), then perform pairwise joins with
+//! the output-optimal binary join. Load `O(IN/p + OUT/p)` — the `OUT/p`
+//! term comes from intermediate results being as large as the output, which
+//! is exactly what Theorems 5/7 improve to `√(IN·OUT)/p`.
+//!
+//! Section 4.1 of the paper observes the join *order* matters in MPC (unlike
+//! RAM): this implementation therefore takes an explicit order so the
+//! experiments can reproduce Figure 3's good-vs-bad-order gap.
+
+use aj_relation::Query;
+
+use crate::binary::binary_join;
+use crate::dist::{dist_full_reduce, DistDatabase, DistRelation};
+
+/// Run Yannakakis with the given left-deep join order (edge indices; every
+/// prefix should be connected for sane intermediates, but any permutation is
+/// correct). `None` uses the join tree's top-down order.
+pub fn yannakakis(
+    net: &mut aj_mpc::Net,
+    q: &Query,
+    db: DistDatabase,
+    order: Option<Vec<usize>>,
+    seed: &mut u64,
+) -> DistRelation {
+    let tree = q.join_tree().expect("Yannakakis requires an acyclic query");
+    let order = order.unwrap_or_else(|| tree.top_down());
+    assert_eq!(order.len(), q.n_edges(), "order must cover every relation");
+    let reduced = dist_full_reduce(net, q, db, crate::dist::next_seed(seed));
+    let mut rels: Vec<Option<DistRelation>> = reduced.into_iter().map(Some).collect();
+    let mut acc = rels[order[0]].take().expect("valid order");
+    for &e in &order[1..] {
+        let right = rels[e].take().expect("order must not repeat edges");
+        acc = binary_join(net, acc, right, seed);
+    }
+    acc.normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::distribute_db;
+    use aj_mpc::Cluster;
+    use aj_relation::{database_from_rows, ram, QueryBuilder, Tuple};
+
+    fn line3() -> Query {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "D"]);
+        b.build()
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_oracle_default_order() {
+        let q = line3();
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..32).map(|i| vec![i, i % 4]).collect(),
+                (0..16).map(|i| vec![i % 4, i % 8]).collect(),
+                (0..24).map(|i| vec![i % 8, i]).collect(),
+            ],
+        );
+        let (_, want) = ram::join(&q, &db);
+        let p = 4;
+        let mut cluster = Cluster::new(p);
+        let got = {
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 5;
+            yannakakis(&mut net, &q, dist, None, &mut seed)
+        };
+        assert_eq!(sorted(got.gather_free().tuples), sorted(want));
+    }
+
+    #[test]
+    fn all_orders_agree() {
+        let q = line3();
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..20).map(|i| vec![i, i % 3]).collect(),
+                (0..12).map(|i| vec![i % 3, i % 5]).collect(),
+                (0..15).map(|i| vec![i % 5, i]).collect(),
+            ],
+        );
+        let (_, want) = ram::join(&q, &db);
+        let want = sorted(want);
+        for order in [vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2], vec![1, 2, 0]] {
+            let p = 4;
+            let mut cluster = Cluster::new(p);
+            let got = {
+                let mut net = cluster.net();
+                let dist = distribute_db(&db, p);
+                let mut seed = 5;
+                yannakakis(&mut net, &q, dist, Some(order.clone()), &mut seed)
+            };
+            assert_eq!(
+                sorted(got.gather_free().tuples),
+                want,
+                "order {order:?} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn star_join_matches_oracle() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["X", "A"]);
+        b.relation("R2", &["X", "B"]);
+        b.relation("R3", &["X", "C"]);
+        let q = b.build();
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..24).map(|i| vec![i % 6, i]).collect(),
+                (0..18).map(|i| vec![i % 6, 100 + i]).collect(),
+                (0..12).map(|i| vec![i % 6, 200 + i]).collect(),
+            ],
+        );
+        let (_, want) = ram::join(&q, &db);
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let got = {
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 11;
+            yannakakis(&mut net, &q, dist, None, &mut seed)
+        };
+        assert_eq!(sorted(got.gather_free().tuples), sorted(want));
+    }
+
+    #[test]
+    fn empty_result() {
+        let q = line3();
+        let db = database_from_rows(&q, &[vec![vec![1, 2]], vec![vec![3, 4]], vec![vec![5, 6]]]);
+        let mut cluster = Cluster::new(2);
+        let got = {
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, 2);
+            let mut seed = 3;
+            yannakakis(&mut net, &q, dist, None, &mut seed)
+        };
+        assert_eq!(got.total_len(), 0);
+    }
+}

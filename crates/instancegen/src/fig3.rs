@@ -1,0 +1,148 @@
+//! Figure 3: the hard instances for the Yannakakis algorithm on the line-3
+//! join (Section 4.1).
+//!
+//! The one-sided instance makes the join plan `(R1 ⋈ R2) ⋈ R3` produce an
+//! intermediate of size `OUT` while the alternative plan `R1 ⋈ (R2 ⋈ R3)`
+//! keeps every intermediate at `O(IN)`. The two-sided instance glues two
+//! copies in opposite directions so that *no* global join order is good —
+//! the motivation for the paper's heavy/light decomposition.
+
+use aj_relation::{Database, Query, Relation, Tuple};
+
+use crate::shapes::line_query;
+
+/// A generated instance plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub query: Query,
+    pub db: Database,
+    /// Exact output size.
+    pub out: u64,
+}
+
+/// The one-sided Figure-3 instance with `IN = Θ(n)` and the requested
+/// output size (clamped to `[n, n²/4]` and rounded to divisors).
+///
+/// Layout (top half of Figure 3): `|A| = OUT/n`, `|B| = n²/OUT`,
+/// `|C| = n`, `|D| = 1`; `R1 = A × B`, `R2` maps each `b` to `OUT/n`
+/// distinct `c`'s, `R3 = C × D`.
+pub fn one_sided(n: u64, out: u64) -> Instance {
+    let query = line_query(3);
+    // Round: pick |B| dividing n, fanout = n / |B|; out = |A| * n where
+    // |A| = fanout. Choose fanout f = max(1, out / n), |B| = n / f.
+    let f = (out / n).clamp(1, n);
+    let b_dom = (n / f).max(1);
+    let a_dom = f;
+    // Value namespaces: A: 1e9.., B: 2e9.., C: 3e9.., D: 4e9..
+    const A0: u64 = 1_000_000_000;
+    const B0: u64 = 2_000_000_000;
+    const C0: u64 = 3_000_000_000;
+    const D0: u64 = 4_000_000_000;
+    let mut r1 = Vec::with_capacity((a_dom * b_dom) as usize);
+    for a in 0..a_dom {
+        for b in 0..b_dom {
+            r1.push(Tuple::from([A0 + a, B0 + b]));
+        }
+    }
+    let mut r2 = Vec::with_capacity((b_dom * f) as usize);
+    let mut c = 0u64;
+    for b in 0..b_dom {
+        for _ in 0..f {
+            r2.push(Tuple::from([B0 + b, C0 + c]));
+            c += 1;
+        }
+    }
+    let n_c = c;
+    let r3 = (0..n_c).map(|c| Tuple::from([C0 + c, D0])).collect();
+    let db = Database::new(vec![
+        Relation::new(vec![0, 1], r1),
+        Relation::new(vec![1, 2], r2),
+        Relation::new(vec![2, 3], r3),
+    ]);
+    // OUT = |A| · |R2| · 1 = f · (b_dom · f).
+    let out = a_dom * b_dom * f;
+    Instance { query, db, out }
+}
+
+/// The two-sided Figure-3 instance: a one-sided copy plus a mirrored copy
+/// (the hard direction reversed), on disjoint value ranges. No single join
+/// order keeps all intermediates small.
+pub fn two_sided(n: u64, out: u64) -> Instance {
+    let fwd = one_sided(n, out);
+    // Mirror: build the one-sided instance, then reverse the chain
+    // (A,B,C,D) → (D,C,B,A), offsetting values to keep the halves disjoint.
+    let rev_src = one_sided(n, out);
+    const OFF: u64 = 5_000_000_000;
+    let flip = |t: &Tuple| Tuple::from([OFF + t.get(1), OFF + t.get(0)]);
+    let rev_r1: Vec<Tuple> = rev_src.db.relations[2].tuples.iter().map(&flip).collect();
+    let rev_r2: Vec<Tuple> = rev_src.db.relations[1].tuples.iter().map(&flip).collect();
+    let rev_r3: Vec<Tuple> = rev_src.db.relations[0].tuples.iter().map(&flip).collect();
+    let mut db = fwd.db.clone();
+    db.relations[0].tuples.extend(rev_r1);
+    db.relations[1].tuples.extend(rev_r2);
+    db.relations[2].tuples.extend(rev_r3);
+    Instance {
+        query: fwd.query,
+        db,
+        out: fwd.out + rev_src.out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_relation::ram;
+
+    #[test]
+    fn one_sided_ground_truth() {
+        for (n, out) in [(64, 64), (64, 256), (64, 1024), (100, 1000)] {
+            let inst = one_sided(n, out);
+            assert_eq!(
+                ram::count(&inst.query, &inst.db),
+                inst.out,
+                "n={n} out={out}"
+            );
+            // IN = Θ(n): r1 = n, r2 = ≈n, r3 ≈ n.
+            let in_size = inst.db.input_size() as u64;
+            assert!(in_size >= 2 * n && in_size <= 4 * n, "IN = {in_size}");
+            // Requested OUT honored within rounding.
+            assert!(inst.out >= out / 2 && inst.out <= out * 2);
+        }
+    }
+
+    #[test]
+    fn one_sided_intermediate_asymmetry() {
+        // |R1 ⋈ R2| = OUT but |R2 ⋈ R3| = |R2| = O(IN): the Figure-3 point.
+        let inst = one_sided(64, 1024);
+        let q12 = {
+            let (sub, kept) = inst.query.restrict(aj_relation::EdgeSet::from_iter([0, 1]));
+            let db = inst.db.restrict(&kept);
+            ram::count(&sub, &db)
+        };
+        let q23 = {
+            let (sub, kept) = inst.query.restrict(aj_relation::EdgeSet::from_iter([1, 2]));
+            let db = inst.db.restrict(&kept);
+            ram::count(&sub, &db)
+        };
+        assert_eq!(q12, inst.out);
+        assert!(q23 <= inst.db.input_size() as u64);
+    }
+
+    #[test]
+    fn two_sided_both_orders_bad() {
+        let inst = two_sided(64, 1024);
+        assert_eq!(ram::count(&inst.query, &inst.db), inst.out);
+        // Both pairwise intermediates are now Ω(OUT/2).
+        for pair in [[0usize, 1], [1, 2]] {
+            let (sub, kept) = inst
+                .query
+                .restrict(aj_relation::EdgeSet::from_iter(pair.iter().copied()));
+            let db = inst.db.restrict(&kept);
+            let size = ram::count(&sub, &db);
+            assert!(
+                size as u64 >= inst.out / 4,
+                "pair {pair:?} intermediate {size} not large"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 4: the randomized lower-bound instance for the line-3 join
+//! (Theorem 6).
+//!
+//! `N = IN/3`, `τ = √(OUT/N)`, `|dom(B)| = |dom(C)| = N/τ`. Each `B` value
+//! owns a group of `τ` tuples in `R1`, each `C` value a group of `τ` tuples
+//! in `R3`; each `(b,c)` pair joins independently with probability `τ²/N`.
+//! A server loading `L` tuples can report at most `O(δ·τ²L²/N)` results,
+//! which forces `L = Ω̃(√(IN·OUT/p))` for `OUT ≤ p·IN`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use aj_relation::{Database, Query, Relation, Tuple};
+
+use crate::shapes::line_query;
+
+/// The generated instance with its parameters.
+#[derive(Debug, Clone)]
+pub struct Fig4Instance {
+    pub query: Query,
+    pub db: Database,
+    /// Group fanout τ.
+    pub tau: u64,
+    /// Number of groups per side (`N/τ`).
+    pub groups: u64,
+    /// Exact output size of this sample.
+    pub out: u64,
+}
+
+/// Generate the Figure-4 instance for input scale `n = IN/3` and target
+/// output `out` (requires `n ≤ out ≤ n²`); deterministic given `seed`.
+pub fn generate(n: u64, out: u64, seed: u64) -> Fig4Instance {
+    assert!(out >= n, "Theorem 6 regime needs OUT ≥ IN");
+    let tau = ((out as f64 / n as f64).sqrt().round() as u64).clamp(1, n);
+    let groups = (n / tau).max(1);
+    const A0: u64 = 1_000_000_000;
+    const B0: u64 = 2_000_000_000;
+    const C0: u64 = 3_000_000_000;
+    const D0: u64 = 4_000_000_000;
+    let mut r1 = Vec::with_capacity((groups * tau) as usize);
+    let mut r3 = Vec::with_capacity((groups * tau) as usize);
+    for g in 0..groups {
+        for i in 0..tau {
+            r1.push(Tuple::from([A0 + g * tau + i, B0 + g]));
+            r3.push(Tuple::from([C0 + g, D0 + g * tau + i]));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prob = (tau * tau) as f64 / n as f64;
+    let mut r2 = Vec::new();
+    for b in 0..groups {
+        for c in 0..groups {
+            if rng.random_bool(prob.min(1.0)) {
+                r2.push(Tuple::from([B0 + b, C0 + c]));
+            }
+        }
+    }
+    let out = (r2.len() as u64) * tau * tau;
+    let query = line_query(3);
+    let db = Database::new(vec![
+        Relation::new(vec![0, 1], r1),
+        Relation::new(vec![1, 2], r2),
+        Relation::new(vec![2, 3], r3),
+    ]);
+    Fig4Instance {
+        query,
+        db,
+        tau,
+        groups,
+        out,
+    }
+}
+
+/// The paper's bound on the join results a single server can produce after
+/// loading `L` tuples from this instance: `δ · τ²L²/N` with
+/// `δ = max(c·N·log N /(τL), 2)` (Eq. (6)/(7)).
+pub fn max_results_per_server(inst: &Fig4Instance, l: u64) -> f64 {
+    let n = (inst.groups * inst.tau) as f64;
+    let tau = inst.tau as f64;
+    let lf = l as f64;
+    let delta = ((n * n.ln()) / (tau * lf)).max(2.0);
+    delta * tau * tau * lf * lf / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_relation::ram;
+
+    #[test]
+    fn sizes_match_expectation() {
+        let n = 300;
+        let inst = generate(n, 2700, 7);
+        assert_eq!(inst.tau, 3);
+        assert_eq!(inst.groups, 100);
+        assert_eq!(inst.db.relations[0].len() as u64, n);
+        assert_eq!(inst.db.relations[2].len() as u64, n);
+        // |R2| concentrates near N.
+        let r2 = inst.db.relations[1].len() as u64;
+        assert!(r2 > n / 2 && r2 < 2 * n, "|R2| = {r2}");
+        // Exact OUT matches the oracle.
+        assert_eq!(ram::count(&inst.query, &inst.db), inst.out);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(120, 480, 42);
+        let b = generate(120, 480, 42);
+        assert_eq!(a.db, b.db);
+        let c = generate(120, 480, 43);
+        assert_ne!(a.db, c.db);
+    }
+
+    #[test]
+    fn out_close_to_target() {
+        let inst = generate(600, 6 * 600, 11);
+        let target = 6 * 600;
+        assert!(
+            inst.out as f64 > 0.4 * target as f64 && (inst.out as f64) < 2.5 * target as f64,
+            "OUT {} vs target {target}",
+            inst.out
+        );
+    }
+
+    #[test]
+    fn per_server_bound_formula_sane() {
+        let inst = generate(300, 2700, 7);
+        // Loading everything produces everything.
+        let all = max_results_per_server(&inst, 3 * 300);
+        assert!(all >= inst.out as f64 / 4.0);
+        // Loading little produces little.
+        assert!(max_results_per_server(&inst, 10) < all);
+    }
+}

@@ -1,0 +1,13 @@
+//! Workload and hard-instance generators for the reproduction experiments.
+//!
+//! Every generator is deterministic given its seed and returns the query,
+//! the database, and the relevant ground-truth metadata (IN, OUT, τ, …).
+
+pub mod cartesian;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod random;
+pub mod shapes;
+
+pub use shapes::{line_query, star_query};

@@ -1,0 +1,166 @@
+//! Random acyclic queries and instances for property-based differential
+//! testing (MPC algorithms vs. the RAM oracle).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use aj_relation::{Database, Edge, Query, Relation, Tuple};
+
+/// Generate a random acyclic query with `m` relations by growing a random
+/// join tree: each new edge shares a random subset of a random existing
+/// edge's attributes and adds fresh ones.
+pub fn random_acyclic_query(m: usize, seed: u64) -> Query {
+    assert!((1..=10).contains(&m));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attr_names: Vec<String> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let fresh = |attr_names: &mut Vec<String>| -> usize {
+        attr_names.push(format!("x{}", attr_names.len()));
+        attr_names.len() - 1
+    };
+    // First edge: 1–3 fresh attrs.
+    let k0 = rng.random_range(1..=3);
+    let attrs: Vec<usize> = (0..k0).map(|_| fresh(&mut attr_names)).collect();
+    edges.push(Edge {
+        name: "R1".into(),
+        attrs,
+    });
+    for i in 1..m {
+        let parent = rng.random_range(0..edges.len());
+        let pattrs = edges[parent].attrs.clone();
+        // Shared subset (possibly empty → Cartesian component).
+        let mut attrs: Vec<usize> = pattrs
+            .iter()
+            .copied()
+            .filter(|_| rng.random_bool(0.6))
+            .collect();
+        let extra = rng.random_range(if attrs.is_empty() { 1 } else { 0 }..=2);
+        for _ in 0..extra {
+            attrs.push(fresh(&mut attr_names));
+        }
+        if attrs.is_empty() {
+            attrs.push(fresh(&mut attr_names));
+        }
+        edges.push(Edge {
+            name: format!("R{}", i + 1),
+            attrs,
+        });
+    }
+    Query::from_parts(attr_names, edges)
+}
+
+/// Generate a random instance: each relation gets `size` tuples with values
+/// drawn from `[0, domain)` per attribute (smaller domains ⇒ more joining,
+/// more skew). Duplicates are removed (set semantics).
+pub fn random_instance(q: &Query, size: usize, domain: u64, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = q
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut tuples: Vec<Tuple> = (0..size)
+                .map(|_| {
+                    Tuple::new(
+                        e.attrs
+                            .iter()
+                            .map(|_| rng.random_range(0..domain))
+                            .collect::<Vec<u64>>(),
+                    )
+                })
+                .collect();
+            tuples.sort_unstable();
+            tuples.dedup();
+            Relation::new(e.attrs.clone(), tuples)
+        })
+        .collect();
+    Database::new(rels)
+}
+
+/// A skewed binary-join instance: `heavy_frac` of the left tuples share one
+/// join key; the rest are uniform. Used by the skew experiments.
+pub fn skewed_binary(n: u64, heavy_frac: f64, domain: u64, seed: u64) -> (Query, Database) {
+    let mut b = aj_relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let q = b.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let heavy = (n as f64 * heavy_frac) as u64;
+    let mut r1 = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let key = if i < heavy {
+            0
+        } else {
+            rng.random_range(1..domain)
+        };
+        r1.push(Tuple::from([i, key]));
+    }
+    let mut r2 = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let key = if i < heavy {
+            0
+        } else {
+            rng.random_range(1..domain)
+        };
+        r2.push(Tuple::from([key, 1_000_000 + i]));
+    }
+    (
+        q.clone(),
+        Database::new(vec![
+            Relation::new(vec![0, 1], r1),
+            Relation::new(vec![1, 2], r2),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_relation::ram;
+
+    #[test]
+    fn random_queries_are_acyclic() {
+        for seed in 0..50 {
+            let m = 1 + (seed as usize % 6);
+            let q = random_acyclic_query(m, seed);
+            assert!(q.is_acyclic(), "seed {seed} produced cyclic {q}");
+            assert_eq!(q.n_edges(), m);
+        }
+    }
+
+    #[test]
+    fn random_instance_is_deduped_and_joinable() {
+        let q = random_acyclic_query(3, 7);
+        let db = random_instance(&q, 50, 8, 9);
+        for r in &db.relations {
+            let mut t = r.tuples.clone();
+            let n = t.len();
+            t.dedup();
+            assert_eq!(n, t.len());
+        }
+        // The oracle can evaluate it.
+        let _ = ram::count(&q, &db);
+    }
+
+    #[test]
+    fn skewed_binary_has_heavy_key() {
+        let (q, db) = skewed_binary(100, 0.3, 16, 3);
+        let heavy_left = db.relations[0]
+            .tuples
+            .iter()
+            .filter(|t| t.get(1) == 0)
+            .count();
+        assert_eq!(heavy_left, 30);
+        assert!(ram::count(&q, &db) >= 30 * 30);
+    }
+
+    #[test]
+    fn determinism() {
+        let q1 = random_acyclic_query(4, 5);
+        let q2 = random_acyclic_query(4, 5);
+        assert_eq!(q1, q2);
+        assert_eq!(
+            random_instance(&q1, 30, 6, 1),
+            random_instance(&q2, 30, 6, 1)
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! The cluster: server bookkeeping and the single communication entry point.
+
+use crate::stats::Stats;
+use crate::Partitioned;
+
+/// Identifier of a server. Within a [`Net`] view, server ids are *local*:
+/// `0..net.p()`. The cluster translates them to absolute ids for accounting.
+pub type ServerId = usize;
+
+/// A simulated MPC cluster of `p` servers with load accounting.
+///
+/// A `Cluster` is inert by itself; obtain a [`Net`] view with
+/// [`Cluster::net`] to communicate.
+#[derive(Debug)]
+pub struct Cluster {
+    p: usize,
+    stats: Stats,
+    /// Scratch buffer reused across exchanges (received counts per server).
+    scratch: Vec<u64>,
+}
+
+impl Cluster {
+    /// Create a cluster of `p >= 1` servers.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "a cluster needs at least one server");
+        Cluster {
+            p,
+            stats: Stats::new(p),
+            scratch: vec![0; p],
+        }
+    }
+
+    /// Number of servers.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The root view spanning all `p` servers.
+    pub fn net(&mut self) -> Net<'_> {
+        let p = self.p;
+        Net {
+            cluster: self,
+            lo: 0,
+            stride: 1,
+            len: p,
+        }
+    }
+
+    /// Measured statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset all measurements (the data the caller holds is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new(self.p);
+    }
+
+    /// Record one communication round: `counts[s]` units received by absolute
+    /// server `lo + s * stride`.
+    fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
+        self.stats.exchanges += 1;
+        let mut round_max = 0u64;
+        for (s, &c) in counts.iter().enumerate() {
+            let abs = lo + s * stride;
+            round_max = round_max.max(c);
+            self.stats.total_messages += c;
+            if c > self.stats.per_server_peak[abs] {
+                self.stats.per_server_peak[abs] = c;
+            }
+        }
+        if round_max > self.stats.max_load {
+            self.stats.max_load = round_max;
+        }
+    }
+}
+
+/// A view over a (possibly strided) arithmetic progression of servers of a
+/// [`Cluster`]: local server `i` is absolute server `lo + i·stride`.
+///
+/// All algorithms are written against `Net`, which lets a recursive algorithm
+/// carve out disjoint sub-groups of servers ([`Net::sub`], [`Net::sub_strided`])
+/// for parallel sub-problems — including the strided groups of a HyperCube
+/// grid — while a single tracker keeps absolute per-server accounting.
+#[derive(Debug)]
+pub struct Net<'a> {
+    cluster: &'a mut Cluster,
+    lo: usize,
+    stride: usize,
+    len: usize,
+}
+
+impl Net<'_> {
+    /// Number of servers visible through this view.
+    pub fn p(&self) -> usize {
+        self.len
+    }
+
+    /// Absolute id of the first server of this view (mostly for diagnostics).
+    pub fn base(&self) -> usize {
+        self.lo
+    }
+
+    /// A sub-view of `len` servers starting at local offset `lo`.
+    ///
+    /// # Panics
+    /// Panics if the requested range does not fit in this view or `len == 0`.
+    pub fn sub(&mut self, lo: usize, len: usize) -> Net<'_> {
+        assert!(len >= 1, "sub-view needs at least one server");
+        assert!(
+            lo + len <= self.len,
+            "sub-view [{lo}, {}) out of range (p = {})",
+            lo + len,
+            self.len
+        );
+        Net {
+            lo: self.lo + lo * self.stride,
+            stride: self.stride,
+            len,
+            cluster: self.cluster,
+        }
+    }
+
+    /// A strided sub-view: local server `i` of the result is local server
+    /// `lo + i·step` of `self`. Used for the per-dimension groups of a
+    /// HyperCube grid (Theorem 3, Case 2).
+    ///
+    /// # Panics
+    /// Panics if the progression leaves this view or `len == 0` / `step == 0`.
+    pub fn sub_strided(&mut self, lo: usize, step: usize, len: usize) -> Net<'_> {
+        assert!(len >= 1 && step >= 1, "invalid strided view");
+        assert!(
+            lo + (len - 1) * step < self.len,
+            "strided view lo={lo} step={step} len={len} leaves p={}",
+            self.len
+        );
+        Net {
+            lo: self.lo + lo * self.stride,
+            stride: self.stride * step,
+            len,
+            cluster: self.cluster,
+        }
+    }
+
+    /// One communication round.
+    ///
+    /// `outbox[s]` holds the messages *sent* by local server `s` as
+    /// `(destination, item)` pairs with `destination < self.p()`. Returns the
+    /// received messages, one `Vec` per local server, in deterministic order
+    /// (by sender, then send order). Each item counts as one load unit at the
+    /// receiver; senders are not charged (the MPC model only bounds incoming
+    /// traffic).
+    ///
+    /// # Panics
+    /// Panics if `outbox.len() != self.p()` or any destination is out of
+    /// range.
+    pub fn exchange<T>(&mut self, outbox: Vec<Vec<(ServerId, T)>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            outbox.len(),
+            self.len,
+            "outbox must have exactly one entry per server"
+        );
+        // Count first (so we can pre-size receive buffers), then route.
+        self.cluster.scratch[..self.len].fill(0);
+        for msgs in &outbox {
+            for (dest, _) in msgs {
+                assert!(
+                    *dest < self.len,
+                    "destination {dest} out of range (p = {})",
+                    self.len
+                );
+                self.cluster.scratch[*dest] += 1;
+            }
+        }
+        let mut inbox: Vec<Vec<T>> = (0..self.len)
+            .map(|s| Vec::with_capacity(self.cluster.scratch[s] as usize))
+            .collect();
+        for msgs in outbox {
+            for (dest, item) in msgs {
+                inbox[dest].push(item);
+            }
+        }
+        let counts_snapshot: Vec<u64> = self.cluster.scratch[..self.len].to_vec();
+        self.cluster
+            .record_round(self.lo, self.stride, &counts_snapshot);
+        inbox
+    }
+
+    /// Broadcast `items` from local server `src` to every server of the view
+    /// (including `src`). Each server receives `items.len()` units.
+    pub fn broadcast<T: Clone>(&mut self, src: ServerId, items: Vec<T>) -> Vec<Vec<T>> {
+        assert!(src < self.len);
+        let mut outbox: Vec<Vec<(ServerId, T)>> = vec![Vec::new(); self.len];
+        for dest in 0..self.len {
+            for item in &items {
+                outbox[src].push((dest, item.clone()));
+            }
+        }
+        self.exchange(outbox)
+    }
+
+    /// Gather one item from every server onto local server `dest`.
+    /// `items[s]` is the contribution of server `s`; the result (only
+    /// meaningful at `dest`) preserves server order.
+    pub fn gather_to<T>(&mut self, dest: ServerId, items: Vec<T>) -> Vec<T> {
+        assert_eq!(items.len(), self.len);
+        let mut outbox: Vec<Vec<(ServerId, T)>> = (0..self.len).map(|_| Vec::new()).collect();
+        for (s, item) in items.into_iter().enumerate() {
+            outbox[s].push((dest, item));
+        }
+        let mut inbox = self.exchange(outbox);
+        std::mem::take(&mut inbox[dest])
+    }
+
+    /// Repartition a distributed collection: `route(s, &item)` gives the
+    /// destination of each item currently on server `s`.
+    pub fn repartition<T>(
+        &mut self,
+        parts: Partitioned<T>,
+        mut route: impl FnMut(usize, &T) -> ServerId,
+    ) -> Partitioned<T> {
+        let outbox: Vec<Vec<(ServerId, T)>> = parts
+            .into_parts()
+            .into_iter()
+            .enumerate()
+            .map(|(s, items)| {
+                items
+                    .into_iter()
+                    .map(|item| (route(s, &item), item))
+                    .collect()
+            })
+            .collect();
+        Partitioned::from_parts(self.exchange(outbox))
+    }
+
+    /// Current statistics of the underlying cluster.
+    pub fn stats(&self) -> &Stats {
+        self.cluster.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_counts_received_units() {
+        let mut cluster = Cluster::new(3);
+        {
+            let mut net = cluster.net();
+            // server 0 sends 2 items to server 1; server 2 sends 1 item to server 1.
+            let inbox = net.exchange(vec![vec![(1, "a"), (1, "b")], vec![], vec![(1, "c")]]);
+            assert_eq!(inbox[1], vec!["a", "b", "c"]);
+            assert!(inbox[0].is_empty() && inbox[2].is_empty());
+        }
+        let s = cluster.stats();
+        assert_eq!(s.max_load, 3);
+        assert_eq!(s.total_messages, 3);
+        assert_eq!(s.per_server_peak, vec![0, 3, 0]);
+        assert_eq!(s.exchanges, 1);
+    }
+
+    #[test]
+    fn max_load_is_max_over_rounds_not_sum() {
+        let mut cluster = Cluster::new(2);
+        {
+            let mut net = cluster.net();
+            net.exchange(vec![vec![(0, 1u8), (0, 2)], vec![]]);
+            net.exchange(vec![vec![(0, 3u8)], vec![]]);
+        }
+        // Two rounds with loads 2 and 1: L = 2, not 3.
+        assert_eq!(cluster.stats().max_load, 2);
+        assert_eq!(cluster.stats().exchanges, 2);
+    }
+
+    #[test]
+    fn sub_view_accounts_to_absolute_servers() {
+        let mut cluster = Cluster::new(4);
+        {
+            let mut net = cluster.net();
+            let mut sub = net.sub(2, 2);
+            assert_eq!(sub.p(), 2);
+            // Local dest 1 is absolute server 3.
+            sub.exchange(vec![vec![(1, ())], vec![(1, ())]]);
+        }
+        assert_eq!(cluster.stats().per_server_peak, vec![0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn disjoint_groups_do_not_add_loads() {
+        // Two disjoint sub-groups each shipping 5 units to their own server:
+        // the load must be 5 (parallel semantics), not 10.
+        let mut cluster = Cluster::new(4);
+        {
+            let mut net = cluster.net();
+            {
+                let mut g0 = net.sub(0, 2);
+                g0.exchange(vec![vec![(0, ()); 5], vec![]]);
+            }
+            {
+                let mut g1 = net.sub(2, 2);
+                g1.exchange(vec![vec![(0, ()); 5], vec![]]);
+            }
+        }
+        assert_eq!(cluster.stats().max_load, 5);
+    }
+
+    #[test]
+    fn broadcast_and_gather() {
+        let mut cluster = Cluster::new(3);
+        {
+            let mut net = cluster.net();
+            let got = net.broadcast(1, vec![7u64, 8]);
+            for part in &got {
+                assert_eq!(part, &vec![7, 8]);
+            }
+            let gathered = net.gather_to(0, vec![10u64, 20, 30]);
+            assert_eq!(gathered, vec![10, 20, 30]);
+        }
+        // broadcast: every server received 2; gather: server 0 received 3.
+        assert_eq!(cluster.stats().max_load, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn bad_destination_panics() {
+        let mut cluster = Cluster::new(2);
+        let mut net = cluster.net();
+        net.exchange(vec![vec![(5, ())], vec![]]);
+    }
+
+    #[test]
+    fn repartition_moves_items() {
+        let mut cluster = Cluster::new(2);
+        let mut net = cluster.net();
+        let parts = Partitioned::from_parts(vec![vec![1u64, 2], vec![3, 4]]);
+        let out = net.repartition(parts, |_, &x| (x % 2) as usize);
+        let mut evens = out.parts()[0].clone();
+        evens.sort_unstable();
+        assert_eq!(evens, vec![2, 4]);
+        let mut odds = out.parts()[1].clone();
+        odds.sort_unstable();
+        assert_eq!(odds, vec![1, 3]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Load accounting: the cost model of the MPC framework.
+
+/// Cumulative measurements of a [`crate::Cluster`].
+///
+/// The central quantity is [`Stats::max_load`]: the paper's `L`, i.e. the
+/// maximum number of message units received by any server in any single
+/// communication round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of `exchange` calls performed. Note this over-counts the
+    /// paper's round complexity when disjoint parallel sub-problems are
+    /// simulated sequentially; see the crate docs.
+    pub exchanges: u64,
+    /// The load `L`: max over rounds and servers of units received.
+    pub max_load: u64,
+    /// Total units communicated over the whole run.
+    pub total_messages: u64,
+    /// Per absolute server: the maximum units received in one round.
+    pub per_server_peak: Vec<u64>,
+}
+
+impl Stats {
+    pub(crate) fn new(p: usize) -> Self {
+        Stats {
+            exchanges: 0,
+            max_load: 0,
+            total_messages: 0,
+            per_server_peak: vec![0; p],
+        }
+    }
+
+    /// Number of servers this cluster was created with.
+    pub fn p(&self) -> usize {
+        self.per_server_peak.len()
+    }
+
+    /// A compact report for experiment tables.
+    pub fn report(&self) -> LoadReport {
+        LoadReport {
+            p: self.p(),
+            exchanges: self.exchanges,
+            max_load: self.max_load,
+            total_messages: self.total_messages,
+        }
+    }
+
+    /// The difference between `self` (taken later) and an earlier snapshot:
+    /// loads measured strictly within the interval. Peaks are max'ed over the
+    /// interval only when they grew; for interval loads prefer
+    /// wrapping the phase in its own cluster or using `delta.max_load`.
+    pub fn delta_since(&self, earlier: &Stats) -> LoadReport {
+        LoadReport {
+            p: self.p(),
+            exchanges: self.exchanges - earlier.exchanges,
+            // max_load is monotone; if it didn't change, the interval's
+            // rounds were all below the previous max. We report the
+            // monotone value, which is what the experiments compare.
+            max_load: self.max_load,
+            total_messages: self.total_messages - earlier.total_messages,
+        }
+    }
+}
+
+/// A snapshot of the headline numbers, used in experiment output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    pub p: usize,
+    pub exchanges: u64,
+    pub max_load: u64,
+    pub total_messages: u64,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p={} L={} msgs={} rounds~{}",
+            self.p, self.max_load, self.total_messages, self.exchanges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_and_display() {
+        let mut s = Stats::new(2);
+        s.exchanges = 3;
+        s.max_load = 10;
+        s.total_messages = 25;
+        let r = s.report();
+        assert_eq!(r.p, 2);
+        assert_eq!(format!("{r}"), "p=2 L=10 msgs=25 rounds~3");
+    }
+
+    #[test]
+    fn delta_subtraction() {
+        let mut early = Stats::new(1);
+        early.exchanges = 1;
+        early.total_messages = 5;
+        let mut late = early.clone();
+        late.exchanges = 4;
+        late.total_messages = 30;
+        late.max_load = 9;
+        let d = late.delta_since(&early);
+        assert_eq!(d.exchanges, 3);
+        assert_eq!(d.total_messages, 25);
+        assert_eq!(d.max_load, 9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the simulator itself: message conservation, load
+//! accounting, and strided sub-view correctness — the foundations every
+//! load measurement in this repository relies on.
+
+use aj_mpc::{Cluster, Partitioned, ServerId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Messages are conserved and delivered to the right server; the load
+    /// equals the max in-degree.
+    #[test]
+    fn exchange_conserves_and_measures(
+        msgs in prop::collection::vec((0usize..8, 0usize..8, 0u64..1000), 0..200),
+    ) {
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let mut outbox: Vec<Vec<(ServerId, u64)>> = (0..p).map(|_| Vec::new()).collect();
+        let mut expect_counts = vec![0u64; p];
+        for &(src, dest, val) in &msgs {
+            outbox[src].push((dest, val));
+            expect_counts[dest] += 1;
+        }
+        let inbox = {
+            let mut net = cluster.net();
+            net.exchange(outbox)
+        };
+        // Conservation: every value arrives exactly once, at its destination.
+        let mut got: Vec<(usize, u64)> = inbox
+            .iter()
+            .enumerate()
+            .flat_map(|(d, v)| v.iter().map(move |&x| (d, x)))
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(usize, u64)> = msgs.iter().map(|&(_, d, v)| (d, v)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        // Load accounting.
+        let stats = cluster.stats();
+        prop_assert_eq!(stats.max_load, expect_counts.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(stats.total_messages, msgs.len() as u64);
+        for (s, &c) in expect_counts.iter().enumerate() {
+            prop_assert_eq!(stats.per_server_peak[s], c);
+        }
+    }
+
+    /// Load is the max over rounds, never the sum.
+    #[test]
+    fn load_is_max_over_rounds(rounds in prop::collection::vec(0u64..50, 1..8)) {
+        let mut cluster = Cluster::new(2);
+        for &k in &rounds {
+            let mut net = cluster.net();
+            let out = vec![(0..k).map(|_| (1usize, ())).collect::<Vec<_>>(), Vec::new()];
+            net.exchange(out);
+        }
+        prop_assert_eq!(cluster.stats().max_load, rounds.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Strided sub-views account to the correct absolute servers and nest.
+    #[test]
+    fn strided_views_account_correctly(
+        lo in 0usize..4,
+        step in 1usize..4,
+        hits in prop::collection::vec(0usize..4, 1..30),
+    ) {
+        let p = 16;
+        let len = 4;
+        prop_assume!(lo + (len - 1) * step < p);
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let mut sub = net.sub_strided(lo, step, len);
+            let mut outbox: Vec<Vec<(ServerId, ())>> = (0..len).map(|_| Vec::new()).collect();
+            for &h in &hits {
+                outbox[0].push((h, ()));
+            }
+            sub.exchange(outbox);
+        }
+        for s in 0..p {
+            let local = if s >= lo && (s - lo).is_multiple_of(step) && (s - lo) / step < len {
+                Some((s - lo) / step)
+            } else {
+                None
+            };
+            let want = local
+                .map(|l| hits.iter().filter(|&&h| h == l).count() as u64)
+                .unwrap_or(0);
+            prop_assert_eq!(cluster.stats().per_server_peak[s], want, "server {}", s);
+        }
+    }
+
+    /// Partitioned::distribute is even and order-preserving.
+    #[test]
+    fn distribute_even_and_ordered(n in 0usize..500, p in 1usize..20) {
+        let items: Vec<usize> = (0..n).collect();
+        let parts = Partitioned::distribute(items.clone(), p);
+        prop_assert_eq!(parts.p(), p);
+        prop_assert_eq!(parts.clone().gather_free(), items);
+        let max = parts.max_part_len();
+        let min_nonempty = parts
+            .iter()
+            .map(Vec::len)
+            .filter(|&l| l > 0)
+            .min()
+            .unwrap_or(0);
+        // Block distribution: sizes differ by at most one chunk.
+        prop_assert!(max <= n.div_ceil(p).max(1));
+        let _ = min_nonempty;
+    }
+}

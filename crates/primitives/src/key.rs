@@ -1,0 +1,75 @@
+//! Routing keys: hashable, comparable values used by the key-based
+//! primitives.
+
+use aj_mpc::hash_mix;
+use aj_relation::Tuple;
+
+/// A value usable as a grouping/routing key.
+pub trait Key: Eq + std::hash::Hash + Clone + Ord + std::fmt::Debug {
+    /// A well-mixed 64-bit hash under `seed`.
+    fn route_hash(&self, seed: u64) -> u64;
+
+    /// The server in `0..p` that owns this key under `seed`.
+    fn owner(&self, seed: u64, p: usize) -> usize {
+        ((self.route_hash(seed) as u128 * p as u128) >> 64) as usize
+    }
+}
+
+impl Key for u64 {
+    fn route_hash(&self, seed: u64) -> u64 {
+        hash_mix(*self ^ hash_mix(seed))
+    }
+}
+
+impl Key for (u64, u64) {
+    fn route_hash(&self, seed: u64) -> u64 {
+        hash_mix(self.1 ^ hash_mix(self.0 ^ hash_mix(seed)))
+    }
+}
+
+impl Key for Tuple {
+    fn route_hash(&self, seed: u64) -> u64 {
+        let mut h = hash_mix(seed ^ (self.arity() as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        for &v in self.values() {
+            h = hash_mix(h ^ v);
+        }
+        h
+    }
+}
+
+impl Key for Vec<u64> {
+    fn route_hash(&self, seed: u64) -> u64 {
+        let mut h = hash_mix(seed ^ (self.len() as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+        for &v in self {
+            h = hash_mix(h ^ v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_in_range() {
+        for p in [1usize, 2, 7, 64] {
+            for v in 0..100u64 {
+                assert!(v.owner(3, p) < p);
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_and_vec_agree() {
+        let t = Tuple::from([3, 4, 5]);
+        let v = vec![3u64, 4, 5];
+        assert_eq!(t.route_hash(9), v.route_hash(9));
+    }
+
+    #[test]
+    fn seed_changes_placement() {
+        let k = 12345u64;
+        assert_ne!(k.route_hash(1), k.route_hash(2));
+    }
+}

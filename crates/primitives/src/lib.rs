@@ -1,0 +1,42 @@
+//! The MPC primitives of Section 2 of the paper, each running in `O(1)`
+//! rounds with linear load `O(IN/p)` (in expectation over the routing hash
+//! for the key-based ones).
+//!
+//! The paper realizes these primitives with sorting-based techniques from
+//! Hu–Tao–Yi and Goodrich et al.; this crate uses hash-routing equivalents
+//! (a distributed hash-table "lookup" pattern) which achieve the same load
+//! bounds in expectation and are considerably simpler. Control values that
+//! must be globally aggregated (prefix sums, packing of leftover groups) use
+//! a two-level √p-fanout tree so no server ever receives more than `O(√p)`
+//! control units — below `IN/p` in every experiment regime (documented in
+//! DESIGN.md).
+//!
+//! Provided primitives:
+//!
+//! * [`sum_by_key`] — per-key aggregation;
+//! * [`own_by_key`] / [`lookup`] — build and query a distributed hash table
+//!   (the workhorse behind multi-search and semi-join);
+//! * [`multi_numbering`] — consecutive numbering `1,2,3,…` within each key;
+//! * [`semi_join`] — `R1 ⋉ R2` on a key extractor;
+//! * [`prefix_sum`] — exclusive per-server prefix sums;
+//! * [`parallel_packing`] — group weighted items into `O(total weight)` bins;
+//! * [`allocate_servers`] — the server-allocation primitive;
+//! * [`broadcast_value`] — one small value to every server.
+
+mod alloc;
+mod key;
+mod numbering;
+mod packing;
+mod prefix;
+mod table;
+
+pub use alloc::{allocate_servers, Allocation};
+pub use key::Key;
+pub use numbering::multi_numbering;
+pub use packing::{parallel_packing, Packing};
+pub use prefix::{broadcast_value, prefix_sum};
+pub use table::{lookup, own_by_key, semi_join, sum_by_key, OwnedTable};
+
+/// Routing seed namespace for this crate's primitives; callers that need
+/// uncorrelated placements pass their own seeds.
+pub const DEFAULT_SEED: u64 = 0x5eed_0001;

@@ -1,0 +1,134 @@
+//! The **multi-numbering** primitive (Section 2): given `(key, value)`
+//! pairs, assign consecutive numbers `0, 1, 2, …` to the pairs within each
+//! key (the paper numbers from 1; zero-based is more convenient in code).
+
+use std::collections::HashMap;
+
+use aj_mpc::{Net, Partitioned, ServerId};
+
+use crate::key::Key;
+
+/// Number items within each key. Three rounds, linear load: each server
+/// reports one `(key, count)` per *distinct local* key; owners assign
+/// disjoint offset ranges back; numbering finishes locally.
+pub fn multi_numbering<K: Key, T>(
+    net: &mut Net,
+    items: Partitioned<(K, T)>,
+    seed: u64,
+) -> Partitioned<(K, T, u64)> {
+    let p = net.p();
+    let parts = items.into_parts();
+    // Local counts per key.
+    let local_counts: Vec<HashMap<K, u64>> = parts
+        .iter()
+        .map(|part| {
+            let mut m: HashMap<K, u64> = HashMap::new();
+            for (k, _) in part {
+                *m.entry(k.clone()).or_insert(0) += 1;
+            }
+            m
+        })
+        .collect();
+    // Round 1: (key, server, count) → key owner.
+    let mut up: Vec<Vec<(ServerId, (K, ServerId, u64))>> = Vec::with_capacity(p);
+    for (s, counts) in local_counts.iter().enumerate() {
+        up.push(
+            counts
+                .iter()
+                .map(|(k, &c)| (k.owner(seed, p), (k.clone(), s, c)))
+                .collect(),
+        );
+    }
+    let at_owner = net.exchange(up);
+    // Round 2: owner prefix-sums per key over server order, replies offsets.
+    let mut down: Vec<Vec<(ServerId, (K, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (owner, mut entries) in at_owner.into_iter().enumerate() {
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut i = 0;
+        while i < entries.len() {
+            let mut j = i;
+            let mut running = 0u64;
+            while j < entries.len() && entries[j].0 == entries[i].0 {
+                down[owner].push((entries[j].1, (entries[j].0.clone(), running)));
+                running += entries[j].2;
+                j += 1;
+            }
+            i = j;
+        }
+    }
+    let offsets = net.exchange(down);
+    // Local numbering: offset + local running index per key.
+    let mut out: Vec<Vec<(K, T, u64)>> = Vec::with_capacity(p);
+    for (s, part) in parts.into_iter().enumerate() {
+        let mut base: HashMap<K, u64> = offsets[s].iter().cloned().collect();
+        let mut numbered = Vec::with_capacity(part.len());
+        for (k, t) in part {
+            let n = base.get_mut(&k).expect("owner answered every local key");
+            numbered.push((k, t, *n));
+            *n += 1;
+        }
+        out.push(numbered);
+    }
+    Partitioned::from_parts(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_mpc::Cluster;
+    use std::collections::HashSet;
+
+    #[test]
+    fn numbers_are_consecutive_per_key() {
+        let mut cluster = Cluster::new(4);
+        let mut net = cluster.net();
+        let items: Vec<(u64, u64)> = (0..40).map(|i| (i % 3, i)).collect();
+        let parts = Partitioned::distribute(items, 4);
+        let numbered = multi_numbering(&mut net, parts, 9).gather_free();
+        for key in 0..3u64 {
+            let mut nums: Vec<u64> = numbered
+                .iter()
+                .filter(|(k, _, _)| *k == key)
+                .map(|&(_, _, n)| n)
+                .collect();
+            nums.sort_unstable();
+            let expect: Vec<u64> = (0..nums.len() as u64).collect();
+            assert_eq!(nums, expect, "key {key}");
+        }
+    }
+
+    #[test]
+    fn single_key_all_servers() {
+        let mut cluster = Cluster::new(8);
+        let mut net = cluster.net();
+        let items: Vec<(u64, u64)> = (0..64).map(|i| (7, i)).collect();
+        let parts = Partitioned::distribute(items, 8);
+        let numbered = multi_numbering(&mut net, parts, 1).gather_free();
+        let nums: HashSet<u64> = numbered.iter().map(|&(_, _, n)| n).collect();
+        assert_eq!(nums.len(), 64);
+        assert_eq!(*nums.iter().max().unwrap(), 63);
+    }
+
+    #[test]
+    fn load_linear_under_skew() {
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let items: Vec<(u64, u64)> = (0..800).map(|i| (0, i)).collect();
+            let parts = Partitioned::distribute(items, p);
+            multi_numbering(&mut net, parts, 1);
+        }
+        // One count message per server, one reply: load ≤ p.
+        assert!(cluster.stats().max_load <= p as u64);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut cluster = Cluster::new(2);
+        let mut net = cluster.net();
+        let parts: Partitioned<(u64, u64)> = Partitioned::empty(2);
+        let numbered = multi_numbering(&mut net, parts, 1);
+        assert!(numbered.is_empty());
+    }
+}

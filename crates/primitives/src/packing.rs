@@ -1,0 +1,325 @@
+//! The **parallel-packing** primitive (Section 2): group weighted items
+//! (weights in `(0, 1]`) into bins such that every bin's weight is ≤ 1 and
+//! all bins but at most one have weight ≥ 1/2. The number of bins is then
+//! at most `1 + 2·Σ weights`.
+//!
+//! Implementation: greedy local packing, then the per-server leftover groups
+//! (each of weight < 1/2) are packed along a two-level √p tree, matching the
+//! paper's recursive scheme with `O(√p)` control load.
+
+use std::collections::HashMap;
+
+use aj_mpc::{Net, Partitioned, ServerId};
+
+use crate::prefix::prefix_sum;
+
+/// Result of [`parallel_packing`].
+#[derive(Debug, Clone)]
+pub struct Packing<T> {
+    /// Each item tagged with its bin id in `0..n_groups`, still on the
+    /// server where it started (the assignment is metadata; moving the items
+    /// is the caller's business).
+    pub items: Partitioned<(T, u64)>,
+    /// Total number of bins.
+    pub n_groups: u64,
+}
+
+/// Pack weighted items into bins of capacity 1 (see module docs).
+///
+/// # Panics
+/// Panics if any weight is outside `(0, 1]`.
+pub fn parallel_packing<T>(net: &mut Net, items: Partitioned<(T, f64)>) -> Packing<T> {
+    let p = net.p();
+    assert_eq!(items.p(), p);
+    // ---- Local greedy packing -------------------------------------------
+    // Heavy items (w ≥ 1/2) close a bin alone; light items first-fit into a
+    // running bin that closes once full. The (at most one) open bin per
+    // server with weight < 1/2 is that server's "partial".
+    struct Local<T> {
+        // item, local bin id; bin ids: 0..full_bins are full, full_bins = partial.
+        tagged: Vec<(T, usize)>,
+        full_bins: usize,
+        partial_weight: f64,
+        has_partial: bool,
+    }
+    let mut locals: Vec<Local<T>> = Vec::with_capacity(p);
+    for part in items.into_parts() {
+        let mut tagged = Vec::with_capacity(part.len());
+        let mut next_bin = 0usize;
+        let mut open_weight = 0.0f64;
+        let mut open_items: Vec<T> = Vec::new();
+        for (item, w) in part {
+            assert!(w > 0.0 && w <= 1.0, "packing weight {w} outside (0,1]");
+            if w >= 0.5 {
+                tagged.push((item, usize::MAX)); // placeholder, fixed below
+                continue;
+            }
+            if open_weight + w > 1.0 {
+                // Close the open bin (weight > 1/2 since w < 1/2).
+                for it in open_items.drain(..) {
+                    tagged.push((it, next_bin));
+                }
+                next_bin += 1;
+                open_weight = 0.0;
+            }
+            open_weight += w;
+            open_items.push(item);
+        }
+        // Assign heavy items their own bins.
+        let mut fixed = Vec::with_capacity(tagged.len());
+        for (item, b) in tagged {
+            if b == usize::MAX {
+                fixed.push((item, next_bin));
+                next_bin += 1;
+            } else {
+                fixed.push((item, b));
+            }
+        }
+        // Leftover open bin: partial iff weight < 1/2, else it's full.
+        let mut has_partial = false;
+        let mut partial_weight = 0.0;
+        if !open_items.is_empty() {
+            if open_weight >= 0.5 {
+                for it in open_items.drain(..) {
+                    fixed.push((it, next_bin));
+                }
+                next_bin += 1;
+            } else {
+                has_partial = true;
+                partial_weight = open_weight;
+                for it in open_items.drain(..) {
+                    fixed.push((it, next_bin)); // bin id == full_bins marker
+                }
+            }
+        }
+        locals.push(Local {
+            tagged: fixed,
+            // With a partial open bin, ids 0..next_bin are the full bins and
+            // the partial's items carry id == next_bin; without one, all ids
+            // 0..next_bin are full. Either way the count is next_bin.
+            full_bins: next_bin,
+            partial_weight,
+            has_partial,
+        });
+    }
+    // Note: for servers with a partial, items in it carry bin id == full_bins.
+    let full_counts: Vec<u64> = locals.iter().map(|l| l.full_bins as u64).collect();
+    let (full_prefix, total_full) = prefix_sum(net, &full_counts);
+
+    // ---- Pack the ≤ p partials (each < 1/2) along a √p tree -------------
+    let g = (p as f64).sqrt().ceil() as usize;
+    let leader = |s: usize| (s / g) * g;
+    // Up: member partial → leader.
+    let mut up: Vec<Vec<(ServerId, (usize, f64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (s, l) in locals.iter().enumerate() {
+        if l.has_partial {
+            up[s].push((leader(s), (s, l.partial_weight)));
+        }
+    }
+    let at_leaders = net.exchange(up);
+    // Leaders greedily pack member partials into leader bins.
+    struct LeaderState {
+        // member server -> local leader bin
+        member_bin: Vec<(usize, usize)>,
+        full_bins: usize,
+        partial_weight: f64,
+        has_partial: bool,
+    }
+    let mut leader_states: HashMap<usize, LeaderState> = HashMap::new();
+    let mut leader_full_counts = vec![0u64; p];
+    for (s, mut entries) in at_leaders.into_iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        let mut member_bin = Vec::with_capacity(entries.len());
+        let mut bin = 0usize;
+        let mut w_open = 0.0f64;
+        for (member, w) in entries {
+            if w_open + w > 1.0 {
+                bin += 1;
+                w_open = 0.0;
+            }
+            w_open += w;
+            member_bin.push((member, bin));
+        }
+        let has_partial = w_open > 0.0 && w_open < 0.5;
+        let full_bins = if has_partial { bin } else { bin + 1 };
+        leader_full_counts[s] = full_bins as u64;
+        leader_states.insert(
+            s,
+            LeaderState {
+                member_bin,
+                full_bins,
+                partial_weight: if has_partial { w_open } else { 0.0 },
+                has_partial,
+            },
+        );
+    }
+    let (leader_prefix, total_leader_full) = prefix_sum(net, &leader_full_counts);
+    // Up: leader partial → root (server 0).
+    let mut up2: Vec<Vec<(ServerId, (usize, f64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (&s, st) in &leader_states {
+        if st.has_partial {
+            up2[s].push((0, (s, st.partial_weight)));
+        }
+    }
+    let at_root = net.exchange(up2);
+    // Root packs leader partials into root bins.
+    let mut root_assign: HashMap<usize, usize> = HashMap::new();
+    let mut root_bins = 0usize;
+    {
+        let mut entries = at_root.into_iter().next().unwrap_or_default();
+        entries.sort_unstable_by_key(|e| e.0);
+        let mut w_open = 0.0f64;
+        for (leader_id, w) in entries {
+            if w_open + w > 1.0 {
+                root_bins += 1;
+                w_open = 0.0;
+            }
+            w_open += w;
+            root_assign.insert(leader_id, root_bins);
+        }
+        if w_open > 0.0 {
+            root_bins += 1;
+        }
+    }
+    // Down: root → leaders (their partial's root bin id, absolute).
+    let mut down1: Vec<Vec<(ServerId, u64)>> = (0..p).map(|_| Vec::new()).collect();
+    for (&leader_id, &bin) in &root_assign {
+        let abs = total_full + total_leader_full + bin as u64;
+        down1[0].push((leader_id, abs));
+    }
+    let leader_partial_ids = net.exchange(down1);
+    // Down: leaders → members with each member partial's absolute bin id.
+    let mut down2: Vec<Vec<(ServerId, u64)>> = (0..p).map(|_| Vec::new()).collect();
+    for (s, st) in &leader_states {
+        let own_partial_abs = leader_partial_ids[*s].first().copied();
+        for &(member, bin) in &st.member_bin {
+            let abs = if bin < st.full_bins {
+                total_full + leader_prefix[*s] + bin as u64
+            } else {
+                own_partial_abs.expect("leader with partial got a root id")
+            };
+            down2[*s].push((member, abs));
+        }
+    }
+    let member_partial_ids = net.exchange(down2);
+
+    // ---- Final local tagging --------------------------------------------
+    let mut out_parts: Vec<Vec<(T, u64)>> = Vec::with_capacity(p);
+    for (s, l) in locals.into_iter().enumerate() {
+        let partial_abs = member_partial_ids[s].first().copied();
+        let base = full_prefix[s];
+        let mut part = Vec::with_capacity(l.tagged.len());
+        for (item, bin) in l.tagged {
+            let abs = if l.has_partial && bin == l.full_bins {
+                partial_abs.expect("member partial got an id")
+            } else {
+                base + bin as u64
+            };
+            part.push((item, abs));
+        }
+        out_parts.push(part);
+    }
+    let n_groups = total_full + total_leader_full + root_bins as u64;
+    Packing {
+        items: Partitioned::from_parts(out_parts),
+        n_groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_mpc::Cluster;
+
+    fn check_invariants(weights: &[(u64, f64)], packing: &Packing<u64>) {
+        let items = packing.items.clone().gather_free();
+        assert_eq!(items.len(), weights.len());
+        let wmap: HashMap<u64, f64> = weights.iter().copied().collect();
+        let mut bin_weight: HashMap<u64, f64> = HashMap::new();
+        for (id, bin) in &items {
+            assert!(*bin < packing.n_groups, "bin id out of range");
+            *bin_weight.entry(*bin).or_insert(0.0) += wmap[id];
+        }
+        let mut under_half = 0;
+        for (_, w) in &bin_weight {
+            assert!(*w <= 1.0 + 1e-9, "bin overflows: {w}");
+            if *w < 0.5 {
+                under_half += 1;
+            }
+        }
+        assert!(under_half <= 1, "more than one bin below 1/2");
+        let total: f64 = weights.iter().map(|w| w.1).sum();
+        assert!(
+            packing.n_groups as f64 <= 1.0 + 2.0 * total,
+            "too many bins: {} for total weight {total}",
+            packing.n_groups
+        );
+    }
+
+    fn run_case(p: usize, weights: Vec<f64>) {
+        let tagged: Vec<(u64, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u64, w))
+            .collect();
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let parts = Partitioned::distribute(tagged.clone(), p);
+        let packing = parallel_packing(&mut net, parts);
+        check_invariants(&tagged, &packing);
+    }
+
+    #[test]
+    fn uniform_small_weights() {
+        run_case(4, vec![0.1; 100]);
+    }
+
+    #[test]
+    fn heavy_items_get_own_bins() {
+        run_case(3, vec![0.9, 0.8, 0.7, 0.6, 0.55]);
+    }
+
+    #[test]
+    fn mixed_weights() {
+        let w: Vec<f64> = (1..200).map(|i| ((i * 37) % 100) as f64 / 100.0 + 0.005).collect();
+        let w: Vec<f64> = w.into_iter().map(|x| x.min(1.0)).collect();
+        run_case(8, w);
+    }
+
+    #[test]
+    fn single_server() {
+        run_case(1, vec![0.3, 0.3, 0.3, 0.3, 0.2]);
+    }
+
+    #[test]
+    fn tiny_weights_many_servers() {
+        run_case(16, vec![0.01; 64]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut cluster = Cluster::new(4);
+        let mut net = cluster.net();
+        let parts: Partitioned<(u64, f64)> = Partitioned::empty(4);
+        let packing = parallel_packing(&mut net, parts);
+        assert_eq!(packing.n_groups, 0);
+        assert!(packing.items.is_empty());
+    }
+
+    #[test]
+    fn control_load_is_sublinear() {
+        let p = 64;
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let tagged: Vec<(u64, f64)> = (0..p as u64).map(|i| (i, 0.05)).collect();
+            let parts = Partitioned::distribute(tagged, p);
+            parallel_packing(&mut net, parts);
+        }
+        // Tree fanout √64 = 8 → loads stay O(√p).
+        assert!(cluster.stats().max_load <= 16, "load {}", cluster.stats().max_load);
+    }
+}

@@ -1,0 +1,133 @@
+//! Prefix sums and broadcast over per-server control values.
+//!
+//! Implemented with a two-level √p-fanout tree so no server receives more
+//! than `O(√p)` control units in a round (the BSP prefix-sums of Goodrich et
+//! al. cited by the paper achieve `O(1)` rounds similarly).
+
+use aj_mpc::{Net, ServerId};
+
+/// Exclusive prefix sums: server `s` contributed `values[s]`; the result at
+/// index `s` is `values\[0\] + … + values[s-1]`, available to server `s`.
+/// Also returns the grand total (available to every server).
+///
+/// Rounds: 4; load `O(√p)` control units.
+pub fn prefix_sum(net: &mut Net, values: &[u64]) -> (Vec<u64>, u64) {
+    let p = net.p();
+    assert_eq!(values.len(), p);
+    let g = (p as f64).sqrt().ceil() as usize; // group size
+    let leader = |s: usize| (s / g) * g;
+    // Up 1: members → group leader.
+    let mut up1: Vec<Vec<(ServerId, (usize, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    for s in 0..p {
+        up1[s].push((leader(s), (s, values[s])));
+    }
+    let at_leaders = net.exchange(up1);
+    // Leaders compute group totals; up 2: leaders → root (server 0).
+    let mut group_members: Vec<Vec<(usize, u64)>> = (0..p).map(|_| Vec::new()).collect();
+    let mut up2: Vec<Vec<(ServerId, (usize, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (s, mut entries) in at_leaders.into_iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        let total: u64 = entries.iter().map(|e| e.1).sum();
+        group_members[s] = entries;
+        up2[s].push((0, (s, total)));
+    }
+    let at_root = net.exchange(up2);
+    // Root computes exclusive prefixes of group totals; down 1: root → leaders.
+    let mut down1: Vec<Vec<(ServerId, (u64, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    {
+        let mut groups = at_root.into_iter().next().unwrap_or_default();
+        groups.sort_unstable_by_key(|e| e.0);
+        let grand_total: u64 = groups.iter().map(|e| e.1).sum();
+        let mut running = 0u64;
+        for (leader_id, total) in groups {
+            down1[0].push((leader_id, (running, grand_total)));
+            running += total;
+        }
+    }
+    let at_leaders2 = net.exchange(down1);
+    // Down 2: leaders → members with each member's exclusive prefix.
+    let mut down2: Vec<Vec<(ServerId, (u64, u64))>> = (0..p).map(|_| Vec::new()).collect();
+    for (s, base) in at_leaders2.into_iter().enumerate() {
+        let Some(&(group_base, grand_total)) = base.first() else {
+            continue;
+        };
+        let mut running = group_base;
+        for &(member, v) in &group_members[s] {
+            down2[s].push((member, (running, grand_total)));
+            running += v;
+        }
+    }
+    let finals = net.exchange(down2);
+    let mut prefixes = vec![0u64; p];
+    let mut grand = 0u64;
+    for (s, msgs) in finals.into_iter().enumerate() {
+        if let Some(&(pre, total)) = msgs.first() {
+            prefixes[s] = pre;
+            grand = total;
+        }
+    }
+    (prefixes, grand)
+}
+
+/// Broadcast one value from server `src` to all servers (1 unit received
+/// each). Returns the value for convenience.
+pub fn broadcast_value<T: Clone>(net: &mut Net, src: ServerId, value: T) -> T {
+    let got = net.broadcast(src, vec![value]);
+    got.into_iter()
+        .next()
+        .and_then(|mut v| v.pop())
+        .expect("broadcast delivers to server 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_mpc::Cluster;
+
+    #[test]
+    fn prefix_matches_sequential() {
+        for p in [1usize, 2, 3, 8, 17, 64] {
+            let mut cluster = Cluster::new(p);
+            let mut net = cluster.net();
+            let values: Vec<u64> = (0..p as u64).map(|i| i * i + 1).collect();
+            let (pre, total) = prefix_sum(&mut net, &values);
+            let mut expect = Vec::with_capacity(p);
+            let mut run = 0;
+            for &v in &values {
+                expect.push(run);
+                run += v;
+            }
+            assert_eq!(pre, expect, "p={p}");
+            assert_eq!(total, run);
+        }
+    }
+
+    #[test]
+    fn prefix_load_is_sqrt_p() {
+        let p = 64;
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let values = vec![1u64; p];
+            prefix_sum(&mut net, &values);
+        }
+        // √64 = 8 members per leader, 8 leaders at root.
+        assert!(
+            cluster.stats().max_load <= 2 * 8,
+            "load {} too high",
+            cluster.stats().max_load
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let mut cluster = Cluster::new(5);
+        let mut net = cluster.net();
+        let v = broadcast_value(&mut net, 2, 99u64);
+        assert_eq!(v, 99);
+        assert_eq!(net.stats().max_load, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! The distributed hash-table pattern: `own_by_key` builds a table whose
+//! entries live at the hash-owner of their key; `lookup` answers per-server
+//! key queries against it. Sum-by-key, semi-join and multi-search are thin
+//! layers on top.
+//!
+//! Loads: building is one exchange of the table (linear). A lookup costs two
+//! exchanges: requesters send each *distinct local* key once (≤ local input),
+//! owners reply once per request. Both directions are `O(IN/p)` as long as
+//! the querying collection is balanced — which the initial MPC placement
+//! guarantees.
+
+use std::collections::{HashMap, HashSet};
+
+use aj_mpc::{Net, Partitioned, ServerId};
+
+use crate::key::Key;
+
+/// A distributed key→value table: entry `(k, v)` lives on `k.owner(seed, p)`.
+/// Each key appears at most once globally.
+#[derive(Debug, Clone)]
+pub struct OwnedTable<K: Key, V> {
+    pub seed: u64,
+    pub parts: Partitioned<(K, V)>,
+}
+
+/// Aggregate `(key, value)` pairs per key with the associative `combine`,
+/// returning an [`OwnedTable`] holding one entry per distinct key.
+///
+/// This is the paper's **sum-by-key** primitive: local pre-aggregation, then
+/// one exchange to the key owner, then owner-side aggregation. One round.
+pub fn sum_by_key<K: Key, V: Clone>(
+    net: &mut Net,
+    pairs: Partitioned<(K, V)>,
+    seed: u64,
+    mut combine: impl FnMut(V, V) -> V,
+) -> OwnedTable<K, V> {
+    let p = net.p();
+    let mut outbox: Vec<Vec<(ServerId, (K, V))>> = Vec::with_capacity(p);
+    for part in pairs.into_parts() {
+        // Local pre-aggregation bounds traffic per key at one unit per server.
+        let mut local: HashMap<K, V> = HashMap::with_capacity(part.len());
+        for (k, v) in part {
+            match local.remove(&k) {
+                Some(old) => {
+                    let merged = combine(old, v);
+                    local.insert(k, merged);
+                }
+                None => {
+                    local.insert(k, v);
+                }
+            }
+        }
+        outbox.push(
+            local
+                .into_iter()
+                .map(|(k, v)| (k.owner(seed, p), (k, v)))
+                .collect(),
+        );
+    }
+    let received = net.exchange(outbox);
+    let parts = received
+        .into_iter()
+        .map(|entries| {
+            let mut m: HashMap<K, V> = HashMap::with_capacity(entries.len());
+            for (k, v) in entries {
+                match m.remove(&k) {
+                    Some(old) => {
+                        let merged = combine(old, v);
+                        m.insert(k, merged);
+                    }
+                    None => {
+                        m.insert(k, v);
+                    }
+                }
+            }
+            let mut v: Vec<(K, V)> = m.into_iter().collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
+            v
+        })
+        .collect();
+    OwnedTable {
+        seed,
+        parts: Partitioned::from_parts(parts),
+    }
+}
+
+/// Build an [`OwnedTable`] from `(key, value)` pairs assumed to have globally
+/// distinct keys (one exchange; panics in debug if duplicates collide).
+pub fn own_by_key<K: Key, V>(
+    net: &mut Net,
+    pairs: Partitioned<(K, V)>,
+    seed: u64,
+) -> OwnedTable<K, V> {
+    let p = net.p();
+    let outbox: Vec<Vec<(ServerId, (K, V))>> = pairs
+        .into_parts()
+        .into_iter()
+        .map(|part| {
+            part.into_iter()
+                .map(|(k, v)| (k.owner(seed, p), (k, v)))
+                .collect()
+        })
+        .collect();
+    let mut received = net.exchange(outbox);
+    for part in &mut received {
+        part.sort_by(|a, b| a.0.cmp(&b.0));
+        debug_assert!(
+            part.windows(2).all(|w| w[0].0 != w[1].0),
+            "own_by_key requires globally distinct keys"
+        );
+    }
+    OwnedTable {
+        seed,
+        parts: Partitioned::from_parts(received),
+    }
+}
+
+/// Query an [`OwnedTable`]: each server asks for its distinct local keys in
+/// `requests` and receives a local map answering them (keys absent from the
+/// table are absent from the map). Two rounds; the paper's **multi-search**
+/// specialised to equality lookups.
+pub fn lookup<K: Key, V: Clone>(
+    net: &mut Net,
+    table: &OwnedTable<K, V>,
+    requests: &Partitioned<K>,
+) -> Vec<HashMap<K, V>> {
+    let p = net.p();
+    assert_eq!(requests.p(), p, "requests must span the same servers");
+    // Phase 1: distinct local keys → owner, tagged with requester id.
+    let mut outbox: Vec<Vec<(ServerId, (K, ServerId))>> = Vec::with_capacity(p);
+    for (s, part) in requests.iter().enumerate() {
+        let distinct: HashSet<&K> = part.iter().collect();
+        outbox.push(
+            distinct
+                .into_iter()
+                .map(|k| (k.owner(table.seed, p), (k.clone(), s)))
+                .collect(),
+        );
+    }
+    let asks = net.exchange(outbox);
+    // Phase 2: owner answers (only hits; misses are implied).
+    let mut reply: Vec<Vec<(ServerId, (K, V))>> = Vec::with_capacity(p);
+    for (owner, asks) in asks.into_iter().enumerate() {
+        let local: HashMap<&K, &V> = table.parts[owner].iter().map(|(k, v)| (k, v)).collect();
+        reply.push(
+            asks.into_iter()
+                .filter_map(|(k, requester)| {
+                    local.get(&k).map(|v| (requester, (k.clone(), (*v).clone())))
+                })
+                .collect(),
+        );
+    }
+    let answers = net.exchange(reply);
+    answers
+        .into_iter()
+        .map(|entries| entries.into_iter().collect())
+        .collect()
+}
+
+/// The **semi-join** primitive: keep the items of `items` whose key occurs in
+/// `right_keys`. Three rounds total, linear load.
+pub fn semi_join<T, K: Key>(
+    net: &mut Net,
+    items: Partitioned<T>,
+    key_of: impl Fn(&T) -> K,
+    right_keys: Partitioned<K>,
+    seed: u64,
+) -> Partitioned<T> {
+    // Build the membership table (dedup at owner via sum_by_key on unit).
+    let keyed = right_keys.map(|_, k| (k, ()));
+    let table = sum_by_key(net, keyed, seed, |_, _| ());
+    let request_keys =
+        Partitioned::from_parts(items.iter().map(|part| part.iter().map(&key_of).collect()).collect());
+    let hits = lookup(net, &table, &request_keys);
+    Partitioned::from_parts(
+        items
+            .into_parts()
+            .into_iter()
+            .zip(hits)
+            .map(|(part, map)| {
+                part.into_iter()
+                    .filter(|t| map.contains_key(&key_of(t)))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_mpc::Cluster;
+
+    #[test]
+    fn sum_by_key_totals() {
+        let mut cluster = Cluster::new(4);
+        let mut net = cluster.net();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 1u64)).collect();
+        let parts = Partitioned::distribute(pairs, 4);
+        let table = sum_by_key(&mut net, parts, 7, |a, b| a + b);
+        let mut all: Vec<(u64, u64)> = table.parts.gather_free();
+        all.sort_unstable();
+        assert_eq!(all.len(), 10);
+        assert!(all.iter().all(|&(_, c)| c == 10));
+    }
+
+    #[test]
+    fn sum_by_key_load_is_linear_despite_skew() {
+        // One heavy key: naive hash-routing of raw pairs would load one
+        // server with everything; pre-aggregation caps it at p units.
+        let p = 8;
+        let n = 1000u64;
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let pairs: Vec<(u64, u64)> = (0..n).map(|_| (42u64, 1u64)).collect();
+            let parts = Partitioned::distribute(pairs, p);
+            let table = sum_by_key(&mut net, parts, 7, |a, b| a + b);
+            assert_eq!(table.parts.gather_free(), vec![(42, n)]);
+        }
+        assert!(
+            cluster.stats().max_load <= p as u64,
+            "skewed sum-by-key overloaded: {}",
+            cluster.stats().max_load
+        );
+    }
+
+    #[test]
+    fn lookup_answers_hits_and_misses() {
+        let mut cluster = Cluster::new(3);
+        let mut net = cluster.net();
+        let table = own_by_key(
+            &mut net,
+            Partitioned::distribute(vec![(1u64, "a"), (2, "b"), (3, "c")], 3),
+            11,
+        );
+        let requests = Partitioned::from_parts(vec![vec![1u64, 99], vec![2, 2, 2], vec![]]);
+        let ans = lookup(&mut net, &table, &requests);
+        assert_eq!(ans[0].get(&1), Some(&"a"));
+        assert_eq!(ans[0].get(&99), None);
+        assert_eq!(ans[1].get(&2), Some(&"b"));
+        assert!(ans[2].is_empty());
+    }
+
+    #[test]
+    fn lookup_duplicate_requests_cost_one_unit() {
+        // A server asking the same key 1000 times sends it once.
+        let p = 2;
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            let table = own_by_key(&mut net, Partitioned::distribute(vec![(5u64, 1u8)], p), 3);
+            let requests = Partitioned::from_parts(vec![vec![5u64; 1000], vec![]]);
+            let ans = lookup(&mut net, &table, &requests);
+            assert_eq!(ans[0].len(), 1);
+        }
+        // Build (1) + ask (1 per distinct) + answer (1): max load tiny.
+        assert!(cluster.stats().max_load <= 2);
+    }
+
+    #[test]
+    fn semi_join_filters_by_membership() {
+        let mut cluster = Cluster::new(4);
+        let mut net = cluster.net();
+        let items = Partitioned::distribute((0..20u64).collect::<Vec<_>>(), 4);
+        let keys = Partitioned::distribute(vec![0u64, 1], 4);
+        let kept = semi_join(&mut net, items, |&x| x % 3, keys, 5);
+        let mut got = kept.gather_free();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..20).filter(|x| x % 3 <= 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn semi_join_with_duplicate_right_keys() {
+        let mut cluster = Cluster::new(2);
+        let mut net = cluster.net();
+        let items = Partitioned::distribute(vec![1u64, 2, 3], 2);
+        let keys = Partitioned::distribute(vec![2u64, 2, 2, 2], 2);
+        let kept = semi_join(&mut net, items, |&x| x, keys, 5);
+        assert_eq!(kept.gather_free(), vec![2]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the Section-2 primitives: results must match a
+//! sequential reference on arbitrary inputs, and the key invariants
+//! (consecutive numbering, packing feasibility, allocation disjointness)
+//! must hold for all weights/keys/cluster sizes.
+
+use std::collections::HashMap;
+
+use aj_mpc::{Cluster, Partitioned};
+use aj_primitives::{
+    allocate_servers, lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sum_by_key_equals_sequential(
+        pairs in prop::collection::vec((0u64..40, 1u64..100), 0..300),
+        p in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut want: HashMap<u64, u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            *want.entry(k).or_insert(0) += v;
+        }
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let table = sum_by_key(&mut net, Partitioned::distribute(pairs, p), seed, |a, b| a + b);
+        let got: HashMap<u64, u64> = table.parts.gather_free().into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lookup_answers_exactly_the_table(
+        entries in prop::collection::vec((0u64..50, 0u64..1000), 0..100),
+        queries in prop::collection::vec(0u64..80, 0..200),
+        p in 1usize..10,
+    ) {
+        // Deduplicate keys (own_by_key requires distinct).
+        let mut dedup: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in entries {
+            dedup.insert(k, v);
+        }
+        let entries: Vec<(u64, u64)> = dedup.iter().map(|(&k, &v)| (k, v)).collect();
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let table = aj_primitives::own_by_key(&mut net, Partitioned::distribute(entries, p), 7);
+        let reqs = Partitioned::distribute(queries.clone(), p);
+        let answers = lookup(&mut net, &table, &reqs);
+        for (part, ans) in reqs.iter().zip(&answers) {
+            for k in part {
+                prop_assert_eq!(ans.get(k), dedup.get(k));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_numbering_is_a_bijection_per_key(
+        items in prop::collection::vec((0u64..10, 0u64..1000), 0..250),
+        p in 1usize..10,
+    ) {
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let numbered =
+            multi_numbering(&mut net, Partitioned::distribute(items.clone(), p), 5).gather_free();
+        prop_assert_eq!(numbered.len(), items.len());
+        let mut per_key: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (k, _, n) in numbered {
+            per_key.entry(k).or_default().push(n);
+        }
+        for (k, mut nums) in per_key {
+            nums.sort_unstable();
+            let want: Vec<u64> = (0..nums.len() as u64).collect();
+            prop_assert_eq!(&nums, &want, "key {} numbering broken", k);
+        }
+    }
+
+    #[test]
+    fn packing_invariants_hold(
+        weights in prop::collection::vec(1u32..=100, 0..200),
+        p in 1usize..12,
+    ) {
+        let items: Vec<(u64, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u64, w as f64 / 100.0))
+            .collect();
+        let total: f64 = items.iter().map(|x| x.1).sum();
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let packing = parallel_packing(&mut net, Partitioned::distribute(items.clone(), p));
+        let tagged = packing.items.gather_free();
+        prop_assert_eq!(tagged.len(), items.len());
+        let wmap: HashMap<u64, f64> = items.into_iter().collect();
+        let mut bins: HashMap<u64, f64> = HashMap::new();
+        for (id, bin) in tagged {
+            prop_assert!(bin < packing.n_groups);
+            *bins.entry(bin).or_insert(0.0) += wmap[&id];
+        }
+        let mut below_half = 0;
+        for w in bins.values() {
+            prop_assert!(*w <= 1.0 + 1e-9, "bin overflow {w}");
+            if *w < 0.5 {
+                below_half += 1;
+            }
+        }
+        prop_assert!(below_half <= 1, "more than one under-full bin");
+        prop_assert!(packing.n_groups as f64 <= 1.0 + 2.0 * total);
+    }
+
+    #[test]
+    fn prefix_sum_equals_sequential(values in prop::collection::vec(0u64..1000, 1..60)) {
+        let p = values.len();
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let (pre, total) = prefix_sum(&mut net, &values);
+        let mut run = 0;
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(pre[i], run);
+            run += v;
+        }
+        prop_assert_eq!(total, run);
+    }
+
+    #[test]
+    fn allocation_tiles_the_range(
+        demands in prop::collection::vec((0u64..100, 0u64..8), 0..40),
+        p in 1usize..10,
+    ) {
+        // Distinct subproblem ids.
+        let mut dedup: HashMap<u64, u64> = HashMap::new();
+        for (j, d) in demands {
+            dedup.insert(j, d);
+        }
+        let demands: Vec<(u64, u64)> = dedup.into_iter().collect();
+        let want_total: u64 = demands.iter().map(|d| d.1).sum();
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let (table, total) = allocate_servers(&mut net, Partitioned::distribute(demands, p), 13);
+        prop_assert_eq!(total, want_total);
+        let mut allocs: Vec<_> = table.parts.gather_free();
+        allocs.sort_by_key(|a| (a.1.start, a.1.len));
+        // Non-empty ranges tile [0, total) exactly; empty ranges may share a
+        // boundary with their neighbours but must stay inside the range.
+        let mut cursor = 0;
+        for (_, a) in allocs {
+            if a.len == 0 {
+                prop_assert!(a.start <= want_total);
+                continue;
+            }
+            prop_assert_eq!(a.start, cursor);
+            cursor = a.end();
+        }
+        prop_assert_eq!(cursor, want_total);
+    }
+}

@@ -1,0 +1,66 @@
+//! Relational substrate for the acyclic-join reproduction.
+//!
+//! This crate owns everything the join algorithms need *about* data and
+//! queries, independent of the MPC model:
+//!
+//! * [`Tuple`], [`Relation`], [`Database`] — the data model (set semantics,
+//!   `u64` values);
+//! * [`Query`] / [`QueryBuilder`] — natural-join hypergraphs `(V, E)`;
+//! * [`JoinTree`] and GYO-based acyclicity testing ([`Query::join_tree`]);
+//! * join classification per Section 1.4 of the paper — tall-flat ⊂
+//!   hierarchical ⊂ r-hierarchical ⊂ acyclic ([`classify`]);
+//! * the attribute forest of hierarchical joins ([`classify::AttributeForest`]);
+//! * Lemma 2's minimal-path-of-length-3 witness ([`minpath`]);
+//! * integral edge covers, Lemma 1 ([`cover`]);
+//! * semiring annotations for join-aggregate queries, Section 6
+//!   ([`semiring`]);
+//! * an in-memory (RAM-model) Yannakakis engine used as the correctness
+//!   oracle and for exact `OUT` / `|Q(R,S)|` computation ([`ram`]).
+
+pub mod classify;
+pub mod cover;
+pub mod ghd;
+pub mod minpath;
+pub mod query;
+pub mod ram;
+pub mod semiring;
+pub mod sets;
+pub mod tuple;
+
+pub use classify::JoinClass;
+pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
+pub use sets::{AttrSet, EdgeSet};
+pub use tuple::{Tuple, Value};
+
+/// A join tree of an acyclic query: node `i` is edge `i` of the query;
+/// `parent[i]` is its parent (`None` exactly for the root). `order` lists the
+/// edges in ear-removal order (leaves first, root last), which is a valid
+/// bottom-up evaluation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    pub parent: Vec<Option<usize>>,
+    pub order: Vec<usize>,
+}
+
+impl JoinTree {
+    /// The root edge index.
+    pub fn root(&self) -> usize {
+        *self.order.last().expect("join tree of empty query")
+    }
+
+    /// Children lists per edge.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (e, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                ch[*p].push(e);
+            }
+        }
+        ch
+    }
+
+    /// Top-down order (root first): the reverse of `order`.
+    pub fn top_down(&self) -> Vec<usize> {
+        self.order.iter().rev().copied().collect()
+    }
+}

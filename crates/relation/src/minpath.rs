@@ -1,0 +1,174 @@
+//! Lemma 2: an acyclic join is **not** r-hierarchical iff it has a *minimal
+//! path of length 3*.
+//!
+//! A path `(x1, x2, x3, x4)` is minimal iff consecutive attributes co-occur
+//! in some edge and no edge contains a non-consecutive pair. The lower-bound
+//! construction of Theorem 8 embeds the hard line-3 instance along such a
+//! path.
+
+use crate::query::{Attr, Query};
+
+/// A witness of a minimal path of length 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimalPath3 {
+    /// The four path attributes `x1, x2, x3, x4`.
+    pub attrs: [Attr; 4],
+    /// Edges with `{x1,x2} ⊆ e1`, `{x2,x3} ⊆ e2`, `{x3,x4} ⊆ e3`.
+    pub edges: [usize; 3],
+}
+
+/// Find a minimal path of length 3, if one exists.
+///
+/// Brute-force over attribute quadruples; queries have constant size so this
+/// is fine (`O(n^4 m)`).
+pub fn find_minimal_path3(q: &Query) -> Option<MinimalPath3> {
+    let n = q.n_attrs();
+    // adjacency[x][y] = Some(edge) if some edge contains both.
+    let mut adj: Vec<Vec<Option<usize>>> = vec![vec![None; n]; n];
+    for (ei, e) in q.edges().iter().enumerate() {
+        for (i, &x) in e.attrs.iter().enumerate() {
+            for &y in &e.attrs[i + 1..] {
+                adj[x][y] = adj[x][y].or(Some(ei));
+                adj[y][x] = adj[y][x].or(Some(ei));
+            }
+        }
+    }
+    for x1 in 0..n {
+        for x2 in 0..n {
+            if x2 == x1 || adj[x1][x2].is_none() {
+                continue;
+            }
+            for x3 in 0..n {
+                if x3 == x1 || x3 == x2 || adj[x2][x3].is_none() || adj[x1][x3].is_some() {
+                    continue;
+                }
+                for x4 in 0..n {
+                    if x4 == x1 || x4 == x2 || x4 == x3 {
+                        continue;
+                    }
+                    if adj[x3][x4].is_some() && adj[x2][x4].is_none() && adj[x1][x4].is_none() {
+                        return Some(MinimalPath3 {
+                            attrs: [x1, x2, x3, x4],
+                            edges: [
+                                adj[x1][x2].unwrap(),
+                                adj[x2][x3].unwrap(),
+                                adj[x3][x4].unwrap(),
+                            ],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::is_r_hierarchical;
+    use crate::query::QueryBuilder;
+
+    fn q(build: impl FnOnce(&mut QueryBuilder)) -> Query {
+        let mut b = QueryBuilder::new();
+        build(&mut b);
+        b.build()
+    }
+
+    #[test]
+    fn line3_has_minimal_path() {
+        let qq = q(|b| {
+            b.relation("R1", &["A", "B"]);
+            b.relation("R2", &["B", "C"]);
+            b.relation("R3", &["C", "D"]);
+        });
+        let w = find_minimal_path3(&qq).expect("line-3 has a minimal path");
+        let names: Vec<&str> = w.attrs.iter().map(|&a| qq.attr_name(a)).collect();
+        // A-B-C-D or D-C-B-A.
+        assert!(names == ["A", "B", "C", "D"] || names == ["D", "C", "B", "A"]);
+    }
+
+    #[test]
+    fn r_hierarchical_has_none() {
+        let qq = q(|b| {
+            b.relation("R1", &["A"]);
+            b.relation("R2", &["A", "B"]);
+            b.relation("R3", &["B"]);
+        });
+        assert!(find_minimal_path3(&qq).is_none());
+    }
+
+    #[test]
+    fn line4_has_minimal_path() {
+        let qq = q(|b| {
+            b.relation("R1", &["A", "B"]);
+            b.relation("R2", &["B", "C"]);
+            b.relation("R3", &["C", "D"]);
+            b.relation("R4", &["D", "E"]);
+        });
+        assert!(find_minimal_path3(&qq).is_some());
+    }
+
+    #[test]
+    fn star_query_has_none() {
+        // Star: all relations share the center attribute; reduced query is
+        // hierarchical.
+        let qq = q(|b| {
+            b.relation("R1", &["X", "A"]);
+            b.relation("R2", &["X", "B"]);
+            b.relation("R3", &["X", "C"]);
+        });
+        assert!(is_r_hierarchical(&qq));
+        assert!(find_minimal_path3(&qq).is_none());
+    }
+
+    /// Lemma 2 as a property: for a corpus of acyclic queries, a minimal
+    /// path of length 3 exists iff the query is not r-hierarchical.
+    #[test]
+    fn lemma2_on_query_corpus() {
+        let corpus: Vec<Query> = vec![
+            q(|b| {
+                b.relation("R1", &["A", "B"]);
+                b.relation("R2", &["B", "C"]);
+            }),
+            q(|b| {
+                b.relation("R1", &["A", "B"]);
+                b.relation("R2", &["B", "C"]);
+                b.relation("R3", &["C", "D"]);
+            }),
+            q(|b| {
+                b.relation("R1", &["A"]);
+                b.relation("R2", &["A", "B"]);
+                b.relation("R3", &["B"]);
+            }),
+            q(|b| {
+                b.relation("R1", &["A", "B", "C"]);
+                b.relation("R2", &["B", "C", "D"]);
+                b.relation("R3", &["C", "D", "E"]);
+            }),
+            q(|b| {
+                b.relation("R1", &["X", "A"]);
+                b.relation("R2", &["X", "B"]);
+                b.relation("R3", &["X", "B", "C"]);
+            }),
+            q(|b| {
+                b.relation("R0", &["A", "B", "D", "G"]);
+                b.relation("R1", &["A", "B", "C"]);
+                b.relation("R2", &["B", "D"]);
+                b.relation("R3", &["B"]);
+                b.relation("R4", &["A", "D", "E"]);
+                b.relation("R5", &["D", "F"]);
+                b.relation("R6", &["H"]);
+            }),
+        ];
+        for qq in &corpus {
+            assert!(qq.is_acyclic(), "corpus must be acyclic: {qq}");
+            let has_path = find_minimal_path3(qq).is_some();
+            let rh = is_r_hierarchical(qq);
+            assert_eq!(
+                has_path, !rh,
+                "Lemma 2 violated on {qq}: path={has_path}, r-hier={rh}"
+            );
+        }
+    }
+}

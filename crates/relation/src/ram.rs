@@ -1,0 +1,386 @@
+//! The RAM-model reference engine: the classical Yannakakis algorithm.
+//!
+//! Used as (a) the correctness oracle for every MPC algorithm, (b) the exact
+//! calculator of `OUT` and the per-instance quantities `|Q(R,S)|` that define
+//! the lower bound `L_instance` (Eq. (2) of the paper).
+//!
+//! All functions assume **set semantics**; [`count`] and friends deduplicate
+//! defensively.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::query::{Attr, Database, Query, Relation};
+use crate::sets::EdgeSet;
+use crate::tuple::Tuple;
+
+/// In-memory semi-join `r1 ⋉ r2` on their shared attributes.
+pub fn semi_join(r1: &Relation, r2: &Relation) -> Relation {
+    let shared: Vec<Attr> = r1
+        .attrs
+        .iter()
+        .copied()
+        .filter(|a| r2.attrs.contains(a))
+        .collect();
+    if shared.is_empty() {
+        // Degenerate semi-join: keep all of r1 iff r2 is non-empty.
+        return if r2.is_empty() {
+            Relation::empty(r1.attrs.clone())
+        } else {
+            r1.clone()
+        };
+    }
+    let pos2 = r2.positions_of(&shared);
+    let keys: HashSet<Tuple> = r2.tuples.iter().map(|t| t.project(&pos2)).collect();
+    let pos1 = r1.positions_of(&shared);
+    Relation::new(
+        r1.attrs.clone(),
+        r1.tuples
+            .iter()
+            .filter(|t| keys.contains(&t.project(&pos1)))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Remove all dangling tuples: the full reducer (two semi-join sweeps along
+/// a join tree). Every surviving tuple participates in at least one join
+/// result.
+///
+/// # Panics
+/// Panics if the query is cyclic.
+pub fn full_reduce(q: &Query, db: &Database) -> Database {
+    let tree = q.join_tree().expect("full_reduce requires an acyclic query");
+    let mut rels: Vec<Relation> = db.relations.clone();
+    // Upward sweep (leaves first): parent ⋉ child.
+    for &e in &tree.order {
+        if let Some(p) = tree.parent[e] {
+            rels[p] = semi_join(&rels[p], &rels[e]);
+        }
+    }
+    // Downward sweep (root first): child ⋉ parent.
+    for &e in tree.order.iter().rev() {
+        if let Some(p) = tree.parent[e] {
+            rels[e] = semi_join(&rels[e], &rels[p]);
+        }
+    }
+    Database::new(rels)
+}
+
+/// Compute the full join `Q(R)` with the Yannakakis algorithm.
+///
+/// Returns the output schema (all occurring attributes, ascending) and the
+/// result tuples in that layout. Intermediate results never exceed
+/// `O(IN + OUT)` thanks to the preliminary full reduction.
+pub fn join(q: &Query, db: &Database) -> (Vec<Attr>, Vec<Tuple>) {
+    let tree = q.join_tree().expect("join requires an acyclic query");
+    let db = full_reduce(q, db);
+    let mut acc_attrs: Vec<Attr> = Vec::new();
+    let mut acc: Vec<Tuple> = vec![Tuple::unit()];
+    for &e in tree.order.iter().rev() {
+        let rel = &db.relations[e];
+        let shared: Vec<Attr> = acc_attrs
+            .iter()
+            .copied()
+            .filter(|a| rel.attrs.contains(a))
+            .collect();
+        let extra_pos: Vec<usize> = rel
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !acc_attrs.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+        let rel_key_pos = rel.positions_of(&shared);
+        let acc_key_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| acc_attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        // Index the relation by the shared key.
+        let mut index: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        for t in &rel.tuples {
+            index
+                .entry(t.project(&rel_key_pos))
+                .or_default()
+                .push(t.project(&extra_pos));
+        }
+        let mut next: Vec<Tuple> = Vec::new();
+        for t in &acc {
+            if let Some(exts) = index.get(&t.project(&acc_key_pos)) {
+                for ext in exts {
+                    next.push(t.concat(ext));
+                }
+            }
+        }
+        acc = next;
+        for (i, &a) in rel.attrs.iter().enumerate() {
+            if extra_pos.contains(&i) {
+                acc_attrs.push(a);
+            }
+        }
+    }
+    // Normalize column order to ascending attribute index.
+    let mut order: Vec<usize> = (0..acc_attrs.len()).collect();
+    order.sort_by_key(|&i| acc_attrs[i]);
+    let sorted_attrs: Vec<Attr> = order.iter().map(|&i| acc_attrs[i]).collect();
+    let tuples = acc.iter().map(|t| t.project(&order)).collect();
+    (sorted_attrs, tuples)
+}
+
+/// `OUT = |Q(R)|` via Yannakakis counting (no enumeration): annotate every
+/// tuple with 1 and sum-product along the join tree. Linear time in `IN`.
+pub fn count(q: &Query, db: &Database) -> u64 {
+    let tree = q.join_tree().expect("count requires an acyclic query");
+    // weights[e]: tuple -> weight, deduplicated (set semantics).
+    let mut weights: Vec<HashMap<Tuple, u64>> = db
+        .relations
+        .iter()
+        .map(|r| {
+            let mut m = HashMap::with_capacity(r.len());
+            for t in &r.tuples {
+                m.insert(t.clone(), 1u64);
+            }
+            m
+        })
+        .collect();
+    for &e in &tree.order {
+        let Some(p) = tree.parent[e] else { continue };
+        let shared: Vec<Attr> = db.relations[e]
+            .attrs
+            .iter()
+            .copied()
+            .filter(|a| db.relations[p].attrs.contains(a))
+            .collect();
+        let pos_e = db.relations[e].positions_of(&shared);
+        let pos_p = db.relations[p].positions_of(&shared);
+        // Message: key -> Σ weights of child tuples.
+        let mut msg: HashMap<Tuple, u64> = HashMap::new();
+        for (t, w) in &weights[e] {
+            *msg.entry(t.project(&pos_e)).or_insert(0) =
+                msg.get(&t.project(&pos_e)).copied().unwrap_or(0).saturating_add(*w);
+        }
+        // Absorb into parent: multiply, dropping unmatched tuples.
+        let parent_map = std::mem::take(&mut weights[p]);
+        weights[p] = parent_map
+            .into_iter()
+            .filter_map(|(t, w)| {
+                msg.get(&t.project(&pos_p))
+                    .map(|&m| (t, w.saturating_mul(m)))
+            })
+            .collect();
+    }
+    weights[tree.root()].values().fold(0u64, |a, &b| a.saturating_add(b))
+}
+
+/// `|Q(R,S)|` (Section 1.5): the number of join results of the relations in
+/// `S` that extend to a full join result. Under set semantics this equals the
+/// number of distinct projections of `Q(R)` onto the attributes of `S`.
+///
+/// Cost: one full join enumeration — use at experiment scale only.
+pub fn q_r_s_sizes(q: &Query, db: &Database, subsets: &[EdgeSet]) -> Vec<u64> {
+    let (schema, results) = join(q, db);
+    subsets
+        .iter()
+        .map(|&s| {
+            if s.is_empty() {
+                return if results.is_empty() { 0 } else { 1 };
+            }
+            let attrs = q.attrs_of_edges(s);
+            let pos: Vec<usize> = schema
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| attrs.contains(**a))
+                .map(|(i, _)| i)
+                .collect();
+            let distinct: HashSet<Tuple> = results.iter().map(|t| t.project(&pos)).collect();
+            distinct.len() as u64
+        })
+        .collect()
+}
+
+/// Naive join by exhaustive combination — exponential; only for validating
+/// the oracle itself on tiny instances.
+pub fn naive_join(q: &Query, db: &Database) -> Vec<Tuple> {
+    let n = q.n_attrs();
+    let mut out = Vec::new();
+    fn rec(
+        q: &Query,
+        db: &Database,
+        e: usize,
+        assignment: &mut Vec<Option<u64>>,
+        out: &mut Vec<Tuple>,
+    ) {
+        if e == q.n_edges() {
+            let vals: Vec<u64> = assignment.iter().map(|v| v.unwrap_or(0)).collect();
+            // Only occurring attributes matter; unused stay 0.
+            out.push(Tuple::new(vals));
+            return;
+        }
+        'tuples: for t in &db.relations[e].tuples {
+            let mut touched = Vec::new();
+            for (i, &a) in db.relations[e].attrs.iter().enumerate() {
+                match assignment[a] {
+                    Some(v) if v != t.get(i) => {
+                        for &a2 in &touched {
+                            assignment[a2] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assignment[a] = Some(t.get(i));
+                        touched.push(a);
+                    }
+                }
+            }
+            rec(q, db, e + 1, assignment, out);
+            for &a2 in &touched {
+                assignment[a2] = None;
+            }
+        }
+    }
+    rec(q, db, 0, &mut vec![None; n], &mut out);
+    // Project to occurring attrs, ascending, to match `join`'s layout.
+    let occurring: Vec<usize> = (0..n)
+        .filter(|&a| !q.edges_containing(a).is_empty())
+        .collect();
+    let mut res: Vec<Tuple> = out.iter().map(|t| t.project(&occurring)).collect();
+    res.sort_unstable();
+    res.dedup();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{database_from_rows, QueryBuilder};
+
+    fn line3() -> Query {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "D"]);
+        b.build()
+    }
+
+    fn small_db(q: &Query) -> Database {
+        database_from_rows(
+            q,
+            &[
+                vec![vec![1, 10], vec![2, 10], vec![3, 11], vec![4, 99]],
+                vec![vec![10, 20], vec![10, 21], vec![11, 20]],
+                vec![vec![20, 7], vec![21, 7], vec![50, 1]],
+            ],
+        )
+    }
+
+    #[test]
+    fn semi_join_filters() {
+        let q = line3();
+        let db = small_db(&q);
+        let s = semi_join(&db.relations[0], &db.relations[1]);
+        // B=99 has no match in R2.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn semi_join_disjoint_schemas() {
+        let r1 = Relation::new(vec![0], vec![Tuple::from([1])]);
+        let r2 = Relation::new(vec![1], vec![Tuple::from([5])]);
+        assert_eq!(semi_join(&r1, &r2).len(), 1);
+        let empty = Relation::empty(vec![1]);
+        assert_eq!(semi_join(&r1, &empty).len(), 0);
+    }
+
+    #[test]
+    fn full_reduce_removes_dangling() {
+        let q = line3();
+        let db = small_db(&q);
+        let red = full_reduce(&q, &db);
+        // (4,99) in R1 dangles; (50,1) in R3 dangles.
+        assert_eq!(red.relations[0].len(), 3);
+        assert_eq!(red.relations[2].len(), 2);
+        // Every remaining tuple participates: re-reducing is a fixpoint.
+        assert_eq!(full_reduce(&q, &red), red);
+    }
+
+    #[test]
+    fn join_matches_naive() {
+        let q = line3();
+        let db = small_db(&q);
+        let (schema, mut tuples) = join(&q, &db);
+        assert_eq!(schema, vec![0, 1, 2, 3]);
+        tuples.sort_unstable();
+        let naive = naive_join(&q, &db);
+        assert_eq!(tuples, naive);
+        assert_eq!(tuples.len(), 5);
+    }
+
+    #[test]
+    fn count_matches_join() {
+        let q = line3();
+        let db = small_db(&q);
+        let (_, tuples) = join(&q, &db);
+        assert_eq!(count(&q, &db), tuples.len() as u64);
+    }
+
+    #[test]
+    fn count_empty_result() {
+        let q = line3();
+        let db = database_from_rows(
+            &q,
+            &[vec![vec![1, 2]], vec![vec![3, 4]], vec![vec![5, 6]]],
+        );
+        assert_eq!(count(&q, &db), 0);
+        let (_, tuples) = join(&q, &db);
+        assert!(tuples.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_count() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A"]);
+        b.relation("R2", &["B"]);
+        let q = b.build();
+        let db = database_from_rows(&q, &[vec![vec![1], vec![2]], vec![vec![7], vec![8], vec![9]]]);
+        assert_eq!(count(&q, &db), 6);
+        let (schema, tuples) = join(&q, &db);
+        assert_eq!(schema, vec![0, 1]);
+        assert_eq!(tuples.len(), 6);
+    }
+
+    #[test]
+    fn q_r_s_on_line3() {
+        let q = line3();
+        let db = small_db(&q);
+        let s_all = EdgeSet::all(3);
+        let s1 = EdgeSet::singleton(0);
+        let sizes = q_r_s_sizes(&q, &db, &[s_all, s1]);
+        // |Q(R, E)| = OUT = 5; |Q(R,{R1})| = non-dangling R1 tuples = 3.
+        assert_eq!(sizes, vec![5, 3]);
+    }
+
+    #[test]
+    fn star_join_correctness() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["X", "A"]);
+        b.relation("R2", &["X", "B"]);
+        b.relation("R3", &["X", "C"]);
+        let q = b.build();
+        let db = database_from_rows(
+            &q,
+            &[
+                vec![vec![1, 100], vec![1, 101], vec![2, 102]],
+                vec![vec![1, 200], vec![2, 201], vec![2, 202]],
+                vec![vec![1, 300], vec![3, 301]],
+            ],
+        );
+        let (_, tuples) = join(&q, &db);
+        let naive = naive_join(&q, &db);
+        let mut sorted = tuples.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, naive);
+        assert_eq!(count(&q, &db), naive.len() as u64);
+        // X=1: 2×1×1 = 2 results; X=2: no R3 match; X=3: no R1/R2.
+        assert_eq!(naive.len(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Small bitset types for attribute and edge sets.
+//!
+//! Queries have constantly many attributes and relations (data complexity),
+//! so 64-bit masks suffice; constructors enforce the limits.
+
+macro_rules! bitset {
+    ($name:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The empty set.
+            pub const EMPTY: $name = $name(0);
+
+            /// Singleton set `{i}`.
+            pub fn singleton(i: usize) -> Self {
+                assert!(i < 64, "index {i} out of bitset range");
+                $name(1 << i)
+            }
+
+            /// Set of all `0..n`.
+            pub fn all(n: usize) -> Self {
+                assert!(n <= 64);
+                if n == 64 {
+                    $name(u64::MAX)
+                } else {
+                    $name((1u64 << n) - 1)
+                }
+            }
+
+            /// From an iterator of indices (inherent, not the trait method).
+            #[allow(clippy::should_implement_trait)]
+            pub fn from_iter(it: impl IntoIterator<Item = usize>) -> Self {
+                let mut s = $name(0);
+                for i in it {
+                    s.insert(i);
+                }
+                s
+            }
+
+            pub fn insert(&mut self, i: usize) {
+                assert!(i < 64, "index {i} out of bitset range");
+                self.0 |= 1 << i;
+            }
+
+            pub fn remove(&mut self, i: usize) {
+                self.0 &= !(1u64 << i);
+            }
+
+            pub fn contains(&self, i: usize) -> bool {
+                i < 64 && (self.0 >> i) & 1 == 1
+            }
+
+            pub fn is_empty(&self) -> bool {
+                self.0 == 0
+            }
+
+            pub fn len(&self) -> usize {
+                self.0.count_ones() as usize
+            }
+
+            pub fn union(self, other: Self) -> Self {
+                $name(self.0 | other.0)
+            }
+
+            pub fn intersect(self, other: Self) -> Self {
+                $name(self.0 & other.0)
+            }
+
+            pub fn minus(self, other: Self) -> Self {
+                $name(self.0 & !other.0)
+            }
+
+            pub fn is_subset(self, other: Self) -> bool {
+                self.0 & !other.0 == 0
+            }
+
+            pub fn is_superset(self, other: Self) -> bool {
+                other.is_subset(self)
+            }
+
+            /// Iterate members in increasing order.
+            pub fn iter(self) -> impl Iterator<Item = usize> {
+                (0..64).filter(move |&i| (self.0 >> i) & 1 == 1)
+            }
+
+            /// Members as a `Vec`.
+            pub fn to_vec(self) -> Vec<usize> {
+                self.iter().collect()
+            }
+
+            /// Iterate all subsets of `self` (including empty and full),
+            /// 2^|self| of them.
+            pub fn subsets(self) -> impl Iterator<Item = Self> {
+                let full = self.0;
+                let mut cur: u64 = 0;
+                let mut done = false;
+                std::iter::from_fn(move || {
+                    if done {
+                        return None;
+                    }
+                    let out = $name(cur);
+                    if cur == full {
+                        done = true;
+                    } else {
+                        cur = (cur.wrapping_sub(full)) & full;
+                    }
+                    Some(out)
+                })
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{{")?;
+                for (k, i) in self.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{i}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    };
+}
+
+bitset!(AttrSet, "A set of attribute indices (bitset, ≤ 64 attributes).");
+bitset!(EdgeSet, "A set of edge (relation) indices (bitset, ≤ 64 edges).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = AttrSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(5);
+        assert!(s.contains(3) && s.contains(5) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert_eq!(s.to_vec(), vec![5]);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = AttrSet::from_iter([0, 1, 2]);
+        let b = AttrSet::from_iter([2, 3]);
+        assert_eq!(a.union(b), AttrSet::from_iter([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), AttrSet::from_iter([2]));
+        assert_eq!(a.minus(b), AttrSet::from_iter([0, 1]));
+        assert!(AttrSet::from_iter([1]).is_subset(a));
+        assert!(a.is_superset(AttrSet::from_iter([1])));
+        assert!(!b.is_subset(a));
+    }
+
+    #[test]
+    fn all_and_singleton() {
+        assert_eq!(EdgeSet::all(3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(EdgeSet::singleton(7).to_vec(), vec![7]);
+        assert_eq!(AttrSet::all(64).len(), 64);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = EdgeSet::from_iter([1, 4]);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&EdgeSet::EMPTY));
+        assert!(subs.contains(&EdgeSet::from_iter([1])));
+        assert!(subs.contains(&EdgeSet::from_iter([4])));
+        assert!(subs.contains(&s));
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<_> = AttrSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", AttrSet::from_iter([0, 2])), "{0,2}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Tuples: fixed-arity rows of `u64` values.
+
+/// A domain value. All attribute domains are modelled as `u64`; instance
+/// generators assign disjoint value ranges per attribute where needed.
+pub type Value = u64;
+
+/// An immutable fixed-arity tuple.
+///
+/// Tuples are *atomic* in the paper's tuple-based model: algorithms move and
+/// copy them whole. Cloning is a single `memcpy` of the boxed slice.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (0-ary) tuple.
+    pub fn unit() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// Borrow all values.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Project onto the given positions, in the given order.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Concatenate with another tuple.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// Append values at the end.
+    pub fn extend(&self, extra: &[Value]) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + extra.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(extra);
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl std::fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(v: [Value; N]) -> Self {
+        Tuple::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from([1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), 2);
+        assert_eq!(t.values(), &[1, 2, 3]);
+        assert_eq!(Tuple::unit().arity(), 0);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = Tuple::from([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([30, 10]));
+        assert_eq!(t.project(&[]), Tuple::unit());
+    }
+
+    #[test]
+    fn concat_extend() {
+        let a = Tuple::from([1]);
+        let b = Tuple::from([2, 3]);
+        assert_eq!(a.concat(&b), Tuple::from([1, 2, 3]));
+        assert_eq!(a.extend(&[9, 9]), Tuple::from([1, 9, 9]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Tuple::from([1, 2]) < Tuple::from([1, 3]));
+        assert!(Tuple::from([1]) < Tuple::from([1, 0]));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", Tuple::from([4, 5])), "(4,5)");
+    }
+}

@@ -1,0 +1,88 @@
+//! A feed-analytics scenario: the chain join
+//! `follows(fan, star) ⋈ posts(star, post) ⋈ tags(post, topic)`.
+//!
+//! Celebrity accounts ("stars" with many fans *and* many posts) make this a
+//! many-to-many chain — exactly the line-3 shape whose join order matters in
+//! MPC (Section 4.1): materializing `follows ⋈ posts` first costs Ω(OUT/p),
+//! while the paper's heavy/light decomposition (Theorem 5 / Theorem 7) stays
+//! at `IN/p + √(IN·OUT)/p`.
+//!
+//! ```sh
+//! cargo run --release --example retail_chain
+//! ```
+
+use acyclic_joins::core::dist::distribute_db;
+use acyclic_joins::core::{acyclic, bounds, yannakakis};
+use acyclic_joins::prelude::*;
+
+/// `n` fans and posts; each star has `fanout` fans and `fanout` posts, so
+/// OUT ≈ n·fanout.
+fn make_instance(n: u64, fanout: u64) -> (Query, Database) {
+    let mut b = QueryBuilder::new();
+    b.relation("follows", &["fan", "star"]);
+    b.relation("posts", &["star", "post"]);
+    b.relation("tags", &["post", "topic"]);
+    let q = b.build();
+    let stars = (n / fanout).max(1);
+    let db = acyclic_joins::relation::database_from_rows(
+        &q,
+        &[
+            (0..n).map(|i| vec![i, i % stars]).collect(),
+            (0..n).map(|i| vec![i % stars, i]).collect(),
+            (0..n).map(|i| vec![i, 9_000_000 + i % 64]).collect(),
+        ],
+    );
+    (q, db)
+}
+
+fn main() {
+    let p = 16;
+    println!("follows ⋈ posts ⋈ tags on p = {p} simulated servers\n");
+    println!(
+        "{:>7} {:>7} {:>9} {:>17} {:>17} {:>8} {:>11}",
+        "fanout", "IN", "OUT", "L yan (bad order)", "L yan (good ord)", "L thm7", "thm7 bound"
+    );
+    for fanout in [4u64, 16, 64] {
+        let (q, db) = make_instance(2048, fanout);
+        let in_size = db.input_size() as u64;
+        let out = acyclic_joins::relation::ram::count(&q, &db);
+
+        let run_yan = |order: Vec<usize>| {
+            let mut cluster = Cluster::new(p);
+            let cnt = {
+                let mut net = cluster.net();
+                let mut seed = 5;
+                yannakakis::yannakakis(&mut net, &q, distribute_db(&db, p), Some(order), &mut seed)
+                    .total_len()
+            };
+            assert_eq!(cnt as u64, out);
+            cluster.stats().max_load
+        };
+        let l_bad = run_yan(vec![0, 1, 2]); // (follows ⋈ posts) ⋈ tags
+        let l_good = run_yan(vec![2, 1, 0]); // follows ⋈ (posts ⋈ tags)
+
+        let mut cluster = Cluster::new(p);
+        let cnt = {
+            let mut net = cluster.net();
+            let mut seed = 5;
+            acyclic::solve(&mut net, &q, distribute_db(&db, p), &mut seed).total_len()
+        };
+        assert_eq!(cnt as u64, out);
+        let l_ours = cluster.stats().max_load;
+
+        println!(
+            "{:>7} {:>7} {:>9} {:>17} {:>17} {:>8} {:>11.0}",
+            fanout,
+            in_size,
+            out,
+            l_bad,
+            l_good,
+            l_ours,
+            bounds::acyclic_bound(in_size, out, p)
+        );
+    }
+    println!("\nThe bad order pays for the OUT-sized `follows ⋈ posts` intermediate; the");
+    println!("Theorem-7 algorithm needs no order hint — its heavy/light decomposition");
+    println!("rebuilds the good plan per star automatically (and handles mixed cases");
+    println!("where no single global order works — see `repro fig3`).");
+}

@@ -1,0 +1,45 @@
+//! Triangle counting in a social graph (Section 7): the simplest *cyclic*
+//! join, for which the paper proves the first output-sensitive lower bound
+//! and shows cyclic joins are inherently harder than acyclic ones.
+//!
+//! ```sh
+//! cargo run --release --example social_triangles
+//! ```
+
+use acyclic_joins::core::triangle;
+use acyclic_joins::instancegen::fig6;
+use acyclic_joins::prelude::*;
+
+fn main() {
+    let p = 27;
+    let n = 300u64;
+    println!("triangle join R1(B,C) ⋈ R2(A,C) ⋈ R3(A,B) on p = {p} servers\n");
+    println!(
+        "{:>8} {:>8} {:>10} {:>14} {:>14} {:>16}",
+        "OUT", "IN", "L measured", "IN/p^(2/3)", "Thm11 lower", "acyclic-equiv"
+    );
+    for tau in [1u64, 4, 16] {
+        let inst = fig6::generate(n, n * tau, 2024 + tau);
+        let in_size = inst.db.input_size() as u64;
+
+        let mut cluster = Cluster::new(p);
+        let found = {
+            let mut net = cluster.net();
+            triangle::solve(&mut net, &inst.query, &inst.db, 7).total_len()
+        };
+        assert_eq!(found as u64, inst.out, "triangle count mismatch");
+
+        println!(
+            "{:>8} {:>8} {:>10} {:>14.0} {:>14.0} {:>16.0}",
+            inst.out,
+            in_size,
+            cluster.stats().max_load,
+            triangle::worst_case_load(in_size, p),
+            triangle::lower_bound(in_size, inst.out, p),
+            triangle::acyclic_comparison_bound(in_size, inst.out, p),
+        );
+    }
+    println!("\nThe HyperCube load is flat in OUT — worst-case optimal, and by Theorem 11");
+    println!("also output-optimal once OUT ≥ IN·p^(1/3). For smaller OUT the acyclic-");
+    println!("equivalent bound is lower: triangles are provably harder than acyclic joins.");
+}
