@@ -1,17 +1,14 @@
-//! Criterion wall-clock benchmarks of the join algorithms on the simulator.
-//! (The paper's metric is the load, measured by the `repro` binary; these
-//! benches track the simulator's own throughput so regressions in the
-//! implementation are visible.)
+//! Wall-clock micro-benchmarks of the join algorithms on the simulator,
+//! on both executors. (The paper's metric is the load, measured by the
+//! `repro` binary; these benches track the simulator's own throughput so
+//! regressions in the implementation are visible.)
+//!
+//! Run with `cargo bench --bench joins`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use std::hint::black_box;
-
+use aj_bench::microbench::{bench, black_box, cluster, default_budget};
 use aj_core::dist::distribute_db;
-use aj_mpc::Cluster;
 
-fn bench_binary_join(c: &mut Criterion) {
-    let mut g = c.benchmark_group("binary_join");
+fn bench_binary_join(parallel: bool) {
     for &n in &[1_000u64, 4_000] {
         let q = aj_instancegen::line_query(2);
         let mut db = aj_relation::database_from_rows(
@@ -24,66 +21,61 @@ fn bench_binary_join(c: &mut Criterion) {
         for r in &mut db.relations {
             r.dedup();
         }
-        g.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| {
-                let p = 16;
-                let mut cluster = Cluster::new(p);
-                let mut net = cluster.net();
-                let dist = distribute_db(db, p);
-                let mut seed = 7;
-                let out = aj_core::binary::binary_join(
-                    &mut net,
-                    dist[0].clone(),
-                    dist[1].clone(),
-                    &mut seed,
-                );
-                black_box(out.total_len())
-            })
+        let tag = if parallel { "par" } else { "seq" };
+        bench(&format!("binary_join/{n}/{tag}"), default_budget(), 5, || {
+            let p = 16;
+            let mut cluster = cluster(p, parallel);
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 7;
+            let out =
+                aj_core::binary::binary_join(&mut net, dist[0].clone(), dist[1].clone(), &mut seed);
+            black_box(out.total_len())
         });
     }
-    g.finish();
 }
 
-fn bench_line3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("line3_thm5");
+fn bench_line3(parallel: bool) {
     for &factor in &[8u64, 32] {
         let inst = aj_instancegen::fig3::two_sided(512, 512 * factor);
-        g.bench_with_input(BenchmarkId::from_parameter(factor), &inst, |b, inst| {
-            b.iter(|| {
+        let tag = if parallel { "par" } else { "seq" };
+        bench(
+            &format!("line3_thm5/{factor}/{tag}"),
+            default_budget(),
+            5,
+            || {
                 let p = 16;
-                let mut cluster = Cluster::new(p);
+                let mut cluster = cluster(p, parallel);
                 let mut net = cluster.net();
                 let dist = distribute_db(&inst.db, p);
                 let mut seed = 7;
                 let out = aj_core::line3::solve(&mut net, &inst.query, dist, &mut seed);
                 black_box(out.total_len())
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_acyclic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("acyclic_thm7");
-    g.sample_size(10);
+fn bench_acyclic(parallel: bool) {
     let inst = aj_instancegen::fig3::two_sided(512, 512 * 16);
-    g.bench_function("two_sided_512x16", |b| {
-        b.iter(|| {
+    let tag = if parallel { "par" } else { "seq" };
+    bench(
+        &format!("acyclic_thm7/two_sided_512x16/{tag}"),
+        default_budget(),
+        3,
+        || {
             let p = 16;
-            let mut cluster = Cluster::new(p);
+            let mut cluster = cluster(p, parallel);
             let mut net = cluster.net();
             let dist = distribute_db(&inst.db, p);
             let mut seed = 7;
             let out = aj_core::acyclic::solve(&mut net, &inst.query, dist, &mut seed);
             black_box(out.total_len())
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_hierarchical(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchical_thm3");
-    g.sample_size(10);
+fn bench_hierarchical(parallel: bool) {
     let q = aj_instancegen::shapes::star_query(2);
     let mut db = aj_relation::database_from_rows(
         &q,
@@ -95,21 +87,24 @@ fn bench_hierarchical(c: &mut Criterion) {
     for r in &mut db.relations {
         r.dedup();
     }
-    g.bench_function("star_2000", |b| {
-        b.iter(|| {
+    let tag = if parallel { "par" } else { "seq" };
+    bench(
+        &format!("hierarchical_thm3/star_2000/{tag}"),
+        default_budget(),
+        3,
+        || {
             let p = 16;
-            let mut cluster = Cluster::new(p);
+            let mut cluster = cluster(p, parallel);
             let mut net = cluster.net();
             let dist = distribute_db(&db, p);
             let mut seed = 7;
             let out = aj_core::hierarchical::solve(&mut net, &q, dist, &mut seed);
             black_box(out.total_len())
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_output_size(c: &mut Criterion) {
+fn bench_output_size(parallel: bool) {
     let q = aj_instancegen::line_query(3);
     let mut db = aj_relation::database_from_rows(
         &q,
@@ -122,21 +117,24 @@ fn bench_output_size(c: &mut Criterion) {
     for r in &mut db.relations {
         r.dedup();
     }
-    c.bench_function("output_size_cor4", |b| {
-        b.iter(|| {
-            let p = 16;
-            let mut cluster = Cluster::new(p);
-            let mut net = cluster.net();
-            let dist = distribute_db(&db, p);
-            let mut seed = 7;
-            black_box(aj_core::aggregate::output_size(&mut net, &q, &dist, &mut seed))
-        })
+    let tag = if parallel { "par" } else { "seq" };
+    bench(&format!("output_size_cor4/{tag}"), default_budget(), 5, || {
+        let p = 16;
+        let mut cluster = cluster(p, parallel);
+        let mut net = cluster.net();
+        let dist = distribute_db(&db, p);
+        let mut seed = 7;
+        black_box(aj_core::aggregate::output_size(&mut net, &q, &dist, &mut seed))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_binary_join, bench_line3, bench_acyclic, bench_hierarchical, bench_output_size
+fn main() {
+    println!("join benchmarks (seq vs par executor)");
+    for parallel in [false, true] {
+        bench_binary_join(parallel);
+        bench_line3(parallel);
+        bench_acyclic(parallel);
+        bench_hierarchical(parallel);
+        bench_output_size(parallel);
+    }
 }
-criterion_main!(benches);

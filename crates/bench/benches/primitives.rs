@@ -1,87 +1,85 @@
-//! Criterion wall-clock benchmarks of the Section-2 MPC primitives.
+//! Wall-clock micro-benchmarks of the Section-2 MPC primitives, on both
+//! executors. Run with `cargo bench --bench primitives`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-use std::hint::black_box;
-
-use aj_mpc::{Cluster, Partitioned};
+use aj_bench::microbench::{bench, black_box, cluster, default_budget};
+use aj_mpc::Partitioned;
 use aj_primitives::{lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key};
 
-fn bench_sum_by_key(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sum_by_key");
+fn bench_sum_by_key(parallel: bool) {
+    let tag = if parallel { "par" } else { "seq" };
     for &n in &[10_000u64, 100_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i % 1024, 1)).collect();
-            b.iter(|| {
-                let p = 32;
-                let mut cluster = Cluster::new(p);
-                let mut net = cluster.net();
-                let parts = Partitioned::distribute(pairs.clone(), p);
-                let t = sum_by_key(&mut net, parts, 7, |a, b| a + b);
-                black_box(t.parts.total_len())
-            })
+        let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i % 1024, 1)).collect();
+        bench(&format!("sum_by_key/{n}/{tag}"), default_budget(), 5, || {
+            let p = 32;
+            let mut cluster = cluster(p, parallel);
+            let mut net = cluster.net();
+            let parts = Partitioned::distribute(pairs.clone(), p);
+            let t = sum_by_key(&mut net, parts, 7, |a, b| a + b);
+            black_box(t.parts.total_len())
         });
     }
-    g.finish();
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    c.bench_function("lookup_50k", |b| {
-        let table: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i * 2)).collect();
-        let queries: Vec<u64> = (0..50_000).map(|i| i % 20_000).collect();
-        b.iter(|| {
-            let p = 32;
-            let mut cluster = Cluster::new(p);
-            let mut net = cluster.net();
-            let owned = aj_primitives::own_by_key(&mut net, Partitioned::distribute(table.clone(), p), 3);
-            let reqs = Partitioned::distribute(queries.clone(), p);
-            let ans = lookup(&mut net, &owned, &reqs);
-            black_box(ans.len())
-        })
+fn bench_lookup(parallel: bool) {
+    let tag = if parallel { "par" } else { "seq" };
+    let table: Vec<(u64, u64)> = (0..10_000).map(|i| (i, i * 2)).collect();
+    let queries: Vec<u64> = (0..50_000).map(|i| i % 20_000).collect();
+    bench(&format!("lookup_50k/{tag}"), default_budget(), 5, || {
+        let p = 32;
+        let mut cluster = cluster(p, parallel);
+        let mut net = cluster.net();
+        let owned =
+            aj_primitives::own_by_key(&mut net, Partitioned::distribute(table.clone(), p), 3);
+        let reqs = Partitioned::distribute(queries.clone(), p);
+        let ans = lookup(&mut net, &owned, &reqs);
+        black_box(ans.len())
     });
 }
 
-fn bench_packing(c: &mut Criterion) {
-    c.bench_function("parallel_packing_20k", |b| {
-        let items: Vec<(u64, f64)> = (0..20_000u64).map(|i| (i, ((i % 97) + 1) as f64 / 100.0)).collect();
-        b.iter(|| {
-            let p = 32;
-            let mut cluster = Cluster::new(p);
-            let mut net = cluster.net();
-            let parts = Partitioned::distribute(items.clone(), p);
-            let packing = parallel_packing(&mut net, parts);
-            black_box(packing.n_groups)
-        })
+fn bench_packing(parallel: bool) {
+    let tag = if parallel { "par" } else { "seq" };
+    let items: Vec<(u64, f64)> = (0..20_000u64)
+        .map(|i| (i, ((i % 97) + 1) as f64 / 100.0))
+        .collect();
+    bench(&format!("parallel_packing_20k/{tag}"), default_budget(), 5, || {
+        let p = 32;
+        let mut cluster = cluster(p, parallel);
+        let mut net = cluster.net();
+        let parts = Partitioned::distribute(items.clone(), p);
+        let packing = parallel_packing(&mut net, parts);
+        black_box(packing.n_groups)
     });
 }
 
-fn bench_numbering(c: &mut Criterion) {
-    c.bench_function("multi_numbering_50k", |b| {
-        let items: Vec<(u64, u64)> = (0..50_000).map(|i| (i % 512, i)).collect();
-        b.iter(|| {
-            let p = 32;
-            let mut cluster = Cluster::new(p);
-            let mut net = cluster.net();
-            let parts = Partitioned::distribute(items.clone(), p);
-            black_box(multi_numbering(&mut net, parts, 9).total_len())
-        })
+fn bench_numbering(parallel: bool) {
+    let tag = if parallel { "par" } else { "seq" };
+    let items: Vec<(u64, u64)> = (0..50_000).map(|i| (i % 512, i)).collect();
+    bench(&format!("multi_numbering_50k/{tag}"), default_budget(), 5, || {
+        let p = 32;
+        let mut cluster = cluster(p, parallel);
+        let mut net = cluster.net();
+        let parts = Partitioned::distribute(items.clone(), p);
+        black_box(multi_numbering(&mut net, parts, 9).total_len())
     });
 }
 
-fn bench_prefix(c: &mut Criterion) {
-    c.bench_function("prefix_sum_p256", |b| {
-        let values: Vec<u64> = (0..256).collect();
-        b.iter(|| {
-            let mut cluster = Cluster::new(256);
-            let mut net = cluster.net();
-            black_box(prefix_sum(&mut net, &values))
-        })
+fn bench_prefix(parallel: bool) {
+    let tag = if parallel { "par" } else { "seq" };
+    let values: Vec<u64> = (0..256).collect();
+    bench(&format!("prefix_sum_p256/{tag}"), default_budget(), 5, || {
+        let mut cluster = cluster(256, parallel);
+        let mut net = cluster.net();
+        black_box(prefix_sum(&mut net, &values))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_sum_by_key, bench_lookup, bench_packing, bench_numbering, bench_prefix
+fn main() {
+    println!("primitive benchmarks (seq vs par executor)");
+    for parallel in [false, true] {
+        bench_sum_by_key(parallel);
+        bench_lookup(parallel);
+        bench_packing(parallel);
+        bench_numbering(parallel);
+        bench_prefix(parallel);
+    }
 }
-criterion_main!(benches);

@@ -2,28 +2,53 @@
 //! experiments on the MPC simulator.
 //!
 //! ```text
-//! repro           # run everything
-//! repro list      # list experiment ids
-//! repro fig3 thm5 # run selected experiments
+//! repro                      # run everything (sequential executor)
+//! repro --parallel           # also run every measurement on the parallel
+//!                            #   executor: assert equal loads, report speedup
+//! repro list                 # list experiment ids
+//! repro fig3 thm5            # run selected experiments
+//! repro --parallel fig3 thm5 # flags and ids combine
 //! ```
 
-use aj_bench::{run_experiment, ALL_EXPERIMENTS};
+use aj_bench::{run_experiment, set_parallel, ALL_EXPERIMENTS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("list") {
-        for id in ALL_EXPERIMENTS {
-            println!("{id}");
+    let mut parallel = false;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--parallel" | "-P" => parallel = true,
+            "list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--parallel] [list | EXPERIMENT...]");
+                println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
         }
-        return;
     }
-    let ids: Vec<&str> = if args.is_empty() {
+    set_parallel(parallel);
+    let ids: Vec<&str> = if ids.is_empty() {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
+    if let Some(bad) = ids.iter().find(|id| !ALL_EXPERIMENTS.contains(id)) {
+        eprintln!("error: unknown experiment '{bad}'");
+        eprintln!("known experiments: {}", ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
     println!("acyclic-joins reproduction — Hu & Yi, PODS 2019");
-    println!("load L = max tuples received by any server in any round\n");
+    println!("load L = max tuples received by any server in any round");
+    if parallel {
+        println!("parallel comparison ON: every measurement re-runs on ParExecutor (same L asserted)");
+    }
+    println!();
     for id in ids {
         let start = std::time::Instant::now();
         for table in run_experiment(id) {

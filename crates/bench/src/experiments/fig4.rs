@@ -6,7 +6,7 @@
 use aj_core::bounds;
 use aj_instancegen::fig4;
 
-use crate::experiments::measure_line3;
+use crate::experiments::{measure_line3, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 pub fn run() -> Vec<ExpTable> {
@@ -14,29 +14,31 @@ pub fn run() -> Vec<ExpTable> {
     let n = 768u64;
     let mut t = ExpTable::new(
         format!("Figure 4: line-3 lower-bound instance (N={n}, p={p})"),
-        &[
+        &with_wall(&[
             "τ",
             "OUT",
             "L measured",
             "lower bnd",
             "Thm5 bound",
             "IN/√p",
-        ],
+        ]),
     );
     for tau in [2u64, 4, 8] {
         let inst = fig4::generate(n, n * tau * tau, 42 + tau);
         let in_size = inst.db.input_size() as u64;
-        let (cnt, load) = measure_line3(p, &inst.query, &inst.db);
+        let (cnt, load, wall) = measure_line3(p, &inst.query, &inst.db);
         assert_eq!(cnt as u64, inst.out);
         let lower = bounds::line3_lower_bound(in_size, inst.out, p);
-        t.row(vec![
+        let mut row = vec![
             inst.tau.to_string(),
             inst.out.to_string(),
             load.to_string(),
             fmt_f(lower),
             fmt_f(bounds::acyclic_bound(in_size, inst.out, p)),
             fmt_f(bounds::line3_worst_case(in_size, p)),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     t.note("Measured load is sandwiched: lower bound ≤ L ≤ O(Thm5 bound).");
 

@@ -5,7 +5,7 @@
 use aj_instancegen::{random, shapes};
 use aj_relation::ram;
 
-use crate::experiments::measure_acyclic;
+use crate::experiments::{measure_acyclic, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 pub fn run() -> Vec<ExpTable> {
@@ -48,18 +48,20 @@ pub fn run() -> Vec<ExpTable> {
     let db = random::random_instance(&q, 400, 8, 99);
     let out = ram::count(&q, &db);
     let p = 16;
-    let (cnt, load) = measure_acyclic(p, &q, &db);
+    let (cnt, load, wall) = measure_acyclic(p, &q, &db);
     assert_eq!(cnt as u64, out);
     let mut m = ExpTable::new(
         "Figure 5 query: measured Theorem-7 run",
-        &["IN", "OUT", "p", "L measured", "Thm7 bound"],
+        &with_wall(&["IN", "OUT", "p", "L measured", "Thm7 bound"]),
     );
-    m.row(vec![
+    let mut row = vec![
         db.input_size().to_string(),
         out.to_string(),
         p.to_string(),
         load.to_string(),
         fmt_f(aj_core::bounds::acyclic_bound(db.input_size() as u64, out, p)),
-    ]);
+    ];
+    row.extend(wall.cells());
+    m.row(row);
     vec![t, m]
 }

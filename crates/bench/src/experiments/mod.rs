@@ -1,5 +1,13 @@
 //! One module per reproduced table/figure. Each `run()` returns the tables
-//! the `repro` binary prints; EXPERIMENTS.md records the expected shapes.
+//! the `repro` binary prints; ARCHITECTURE.md records the module ↔ paper
+//! mapping and each table's expected shape is stated in its module docs.
+//!
+//! Every measured experiment reports the simulated load `L` **and**
+//! wall-clock columns. By default only the sequential executor runs; with
+//! [`set_parallel`] enabled (the `repro --parallel` flag) each measurement
+//! additionally runs on the [`aj_mpc::ParExecutor`], asserts that both
+//! executors report the *same* load and result, and prints the parallel
+//! wall time plus the speedup.
 
 pub mod fig1;
 pub mod fig2;
@@ -7,6 +15,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod scaling;
 pub mod sec13;
 pub mod table1;
 pub mod thm12;
@@ -16,21 +25,106 @@ pub mod thm5;
 pub mod thm7;
 pub mod thm9;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
 use aj_core::dist::distribute_db;
 use aj_mpc::Cluster;
 use aj_relation::{Database, Query};
 
-/// Run an algorithm body on a fresh cluster; returns (result size, load L).
-pub(crate) fn measure<R>(
+use crate::table::fmt_f;
+
+static PARALLEL: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable the parallel-executor comparison in every measurement
+/// (the `repro --parallel` flag).
+pub fn set_parallel(enabled: bool) {
+    PARALLEL.store(enabled, Ordering::Relaxed);
+}
+
+/// Is the parallel-executor comparison enabled?
+pub fn parallel_enabled() -> bool {
+    PARALLEL.load(Ordering::Relaxed)
+}
+
+/// Wall-clock measurements of one experiment cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Wall {
+    /// Sequential-executor wall time, milliseconds.
+    pub seq_ms: f64,
+    /// Parallel-executor wall time (only with [`set_parallel`]).
+    pub par_ms: Option<f64>,
+}
+
+impl Wall {
+    /// Table headers for the wall-clock columns.
+    pub const HEADER: [&'static str; 3] = ["ms(seq)", "ms(par)", "speedup"];
+
+    /// Render the wall-clock columns of a row.
+    pub fn cells(&self) -> Vec<String> {
+        match self.par_ms {
+            Some(par) => vec![
+                fmt_f(self.seq_ms),
+                fmt_f(par),
+                format!("{:.2}x", self.seq_ms / par.max(1e-9)),
+            ],
+            None => {
+                let mut cells = Self::na_cells();
+                cells[0] = fmt_f(self.seq_ms);
+                cells
+            }
+        }
+    }
+
+    /// Placeholder cells for rows with no wall-clock measurement, always in
+    /// lockstep with [`Wall::HEADER`].
+    pub fn na_cells() -> Vec<String> {
+        Self::HEADER.iter().map(|_| "-".to_string()).collect()
+    }
+}
+
+/// Extend a base header with the wall-clock columns.
+pub(crate) fn with_wall(base: &[&'static str]) -> Vec<&'static str> {
+    base.iter().copied().chain(Wall::HEADER).collect()
+}
+
+/// Run an algorithm body on a fresh cluster; returns (result, load L, wall).
+///
+/// With [`set_parallel`] enabled, runs the body a second time on a
+/// [`aj_mpc::ParExecutor`]-backed cluster and asserts the result and the
+/// measured load are identical — the executor-equivalence guarantee, checked
+/// on every fig/table experiment.
+pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     p: usize,
-    f: impl FnOnce(&mut aj_mpc::Net) -> R,
-) -> (R, u64) {
+    f: impl Fn(&mut aj_mpc::Net) -> R,
+) -> (R, u64, Wall) {
+    let t0 = Instant::now();
     let mut cluster = Cluster::new(p);
     let out = {
         let mut net = cluster.net();
         f(&mut net)
     };
-    (out, cluster.stats().max_load)
+    let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let load = cluster.stats().max_load;
+    let par_ms = if parallel_enabled() {
+        let t1 = Instant::now();
+        let mut par_cluster = Cluster::new_parallel(p);
+        let par_out = {
+            let mut net = par_cluster.net();
+            f(&mut net)
+        };
+        let ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            par_cluster.stats().max_load,
+            load,
+            "SeqExecutor and ParExecutor disagree on the measured load"
+        );
+        assert_eq!(par_out, out, "SeqExecutor and ParExecutor disagree on the result");
+        Some(ms)
+    } else {
+        None
+    };
+    (out, load, Wall { seq_ms, par_ms })
 }
 
 /// Measure Yannakakis with a given order.
@@ -39,16 +133,16 @@ pub(crate) fn measure_yannakakis(
     q: &Query,
     db: &Database,
     order: Option<Vec<usize>>,
-) -> (usize, u64) {
+) -> (usize, u64, Wall) {
     measure(p, |net| {
         let dist = distribute_db(db, p);
         let mut seed = 11;
-        aj_core::yannakakis::yannakakis(net, q, dist, order, &mut seed).total_len()
+        aj_core::yannakakis::yannakakis(net, q, dist, order.clone(), &mut seed).total_len()
     })
 }
 
 /// Measure the Theorem-7 acyclic algorithm.
-pub(crate) fn measure_acyclic(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+pub(crate) fn measure_acyclic(p: usize, q: &Query, db: &Database) -> (usize, u64, Wall) {
     measure(p, |net| {
         let dist = distribute_db(db, p);
         let mut seed = 11;
@@ -57,7 +151,7 @@ pub(crate) fn measure_acyclic(p: usize, q: &Query, db: &Database) -> (usize, u64
 }
 
 /// Measure the Theorem-5 line-3 algorithm.
-pub(crate) fn measure_line3(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+pub(crate) fn measure_line3(p: usize, q: &Query, db: &Database) -> (usize, u64, Wall) {
     measure(p, |net| {
         let dist = distribute_db(db, p);
         let mut seed = 11;
@@ -66,7 +160,7 @@ pub(crate) fn measure_line3(p: usize, q: &Query, db: &Database) -> (usize, u64) 
 }
 
 /// Measure the Theorem-3 r-hierarchical algorithm.
-pub(crate) fn measure_hierarchical(p: usize, q: &Query, db: &Database) -> (usize, u64) {
+pub(crate) fn measure_hierarchical(p: usize, q: &Query, db: &Database) -> (usize, u64, Wall) {
     measure(p, |net| {
         let dist = distribute_db(db, p);
         let mut seed = 11;
@@ -87,5 +181,24 @@ mod tests {
                 assert!(!t.rows.is_empty(), "experiment {id}: empty table {}", t.title);
             }
         }
+    }
+
+    /// With the parallel comparison enabled, `measure` itself asserts
+    /// executor equivalence (same result, same load) — exercise that on a
+    /// real experiment. The global flag is restored by a drop guard even if
+    /// the experiment panics, so concurrently-running tests cannot observe a
+    /// leaked flag after this test finishes.
+    #[test]
+    fn parallel_comparison_agrees_on_fig3() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                super::set_parallel(false);
+            }
+        }
+        let _restore = Restore;
+        super::set_parallel(true);
+        let tables = crate::run_experiment("fig3");
+        assert!(!tables.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 use aj_core::hypercube::{cartesian_shares, hypercube_join};
 use aj_instancegen::cartesian;
 
-use crate::experiments::measure;
+use crate::experiments::{measure, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 pub fn run() -> Vec<ExpTable> {
@@ -19,32 +19,34 @@ pub fn run() -> Vec<ExpTable> {
     ];
     let mut t = ExpTable::new(
         format!("Section 1.3: Cartesian skew separation (IN={in_size}, p={p})"),
-        &[
+        &with_wall(&[
             "instance",
             "OUT",
             "L_Cartesian (Eq. 1)",
             "L measured (HyperCube)",
             "exponent of OUT",
-        ],
+        ]),
     );
     for (name, sizes) in &cases {
         let (q, db) = cartesian::instance(sizes);
         let out: u64 = sizes.iter().product();
         let lower = cartesian::cartesian_lower_bound(sizes, p);
-        let (cnt, load) = measure(p, |net| {
+        let (cnt, load, wall) = measure(p, |net| {
             let shares = cartesian_shares(sizes, p);
             hypercube_join(net, &q, &db, &shares, 3).total_len()
         });
         assert_eq!(cnt as u64, out);
         // Which (OUT/p)^(1/k) regime does the bound sit in?
         let exp = (lower.ln() / ((out as f64 / p as f64).ln())).recip();
-        t.row(vec![
+        let mut row = vec![
             name.to_string(),
             out.to_string(),
             fmt_f(lower),
             load.to_string(),
             format!("~1/{:.1}", exp),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     t.note("Same IN, comparable OUT — but the skewed instance's Eq.(1) bound is (OUT/p)^(1/2) vs (OUT/p)^(1/3).");
     t.note("HyperCube with per-instance shares tracks each instance's own bound: instance-optimality on products.");

@@ -6,7 +6,7 @@ use aj_core::bounds;
 use aj_instancegen::{fig3, shapes};
 use aj_relation::{database_from_rows, ram, Database, Query};
 
-use crate::experiments::{measure_acyclic, measure_hierarchical, measure_yannakakis};
+use crate::experiments::{measure_acyclic, measure_hierarchical, measure_yannakakis, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 fn tall_flat_instance(n: u64) -> (Query, Database) {
@@ -45,7 +45,7 @@ pub fn run() -> Vec<ExpTable> {
     let p = 16;
     let mut t = ExpTable::new(
         format!("Table 1: summary of results, measured (p={p})"),
-        &[
+        &with_wall(&[
             "class",
             "algorithm",
             "IN",
@@ -54,7 +54,7 @@ pub fn run() -> Vec<ExpTable> {
             "paper bound",
             "bound value",
             "ratio",
-        ],
+        ]),
     );
 
     // Tall-flat / r-hierarchical rows: Theorem 3 achieves Θ(IN/p + L_instance).
@@ -65,9 +65,9 @@ pub fn run() -> Vec<ExpTable> {
         let in_size = db.input_size() as u64;
         let out = ram::count(&q, &db);
         let l_inst = db.input_size() as f64 / p as f64 + bounds::l_instance(&q, &db, p);
-        let (cnt, load) = measure_hierarchical(p, &q, &db);
+        let (cnt, load, wall) = measure_hierarchical(p, &q, &db);
         assert_eq!(cnt as u64, out);
-        t.row(vec![
+        let mut row = vec![
             class.into(),
             "Thm 3 (instance-optimal)".into(),
             in_size.to_string(),
@@ -76,16 +76,18 @@ pub fn run() -> Vec<ExpTable> {
             "Θ(IN/p + L_instance)".into(),
             fmt_f(l_inst),
             fmt_f(load as f64 / l_inst),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
 
     // Acyclic row: Theorem 7 vs the Yannakakis baseline.
     let inst = fig3::two_sided(1024, 32 * 1024);
     let in_size = inst.db.input_size() as u64;
     let bound = bounds::acyclic_bound(in_size, inst.out, p);
-    let (cnt, load) = measure_acyclic(p, &inst.query, &inst.db);
+    let (cnt, load, wall) = measure_acyclic(p, &inst.query, &inst.db);
     assert_eq!(cnt as u64, inst.out);
-    t.row(vec![
+    let mut row = vec![
         "acyclic".into(),
         "Thm 7 (output-optimal)".into(),
         in_size.to_string(),
@@ -94,10 +96,12 @@ pub fn run() -> Vec<ExpTable> {
         "Θ(IN/p + √(IN·OUT)/p)".into(),
         fmt_f(bound),
         fmt_f(load as f64 / bound),
-    ]);
-    let (_, yan_load) = measure_yannakakis(p, &inst.query, &inst.db, None);
+    ];
+    row.extend(wall.cells());
+    t.row(row);
+    let (_, yan_load, yan_wall) = measure_yannakakis(p, &inst.query, &inst.db, None);
     let yan_bound = bounds::yannakakis_bound(in_size, inst.out, p);
-    t.row(vec![
+    let mut row = vec![
         "acyclic".into(),
         "Yannakakis [2,25] (baseline)".into(),
         in_size.to_string(),
@@ -106,10 +110,12 @@ pub fn run() -> Vec<ExpTable> {
         "O(IN/p + OUT/p)".into(),
         fmt_f(yan_bound),
         fmt_f(yan_load as f64 / yan_bound),
-    ]);
+    ];
+    row.extend(yan_wall.cells());
+    t.row(row);
 
     // Triangle row: the lower-bound formula (measured in fig6).
-    t.row(vec![
+    let mut row = vec![
         "triangle".into(),
         "lower bound (Thm 11)".into(),
         "—".into(),
@@ -118,7 +124,9 @@ pub fn run() -> Vec<ExpTable> {
         "Ω̃(min{IN/p + OUT/p, IN/p^{2/3}})".into(),
         "see fig6".into(),
         "—".into(),
-    ]);
+    ];
+    row.extend(crate::experiments::Wall::na_cells());
+    t.row(row);
     t.note("Every measured ratio is O(1) against its row's bound — the content of Table 1.");
     t.note("One-round vs multi-round columns: our Thm-3/5/7 implementations are multi-round (constant rounds).");
     vec![t]

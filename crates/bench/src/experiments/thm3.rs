@@ -8,7 +8,7 @@ use aj_core::hypercube::{hypercube_join, worst_case_shares};
 use aj_instancegen::shapes;
 use aj_relation::{Database, Relation, Tuple};
 
-use crate::experiments::{measure, measure_hierarchical};
+use crate::experiments::{measure, measure_hierarchical, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 /// A star-join instance R1(X,A) ⋈ R2(X,B) where a `frac` fraction of each
@@ -33,7 +33,7 @@ pub fn run() -> Vec<ExpTable> {
     let n = 1024u64;
     let mut t = ExpTable::new(
         format!("Theorem 3: instance-optimality ratio on skewed star joins (IN={}, p={p})", 2 * n),
-        &[
+        &with_wall(&[
             "skew",
             "OUT",
             "L_instance",
@@ -41,20 +41,20 @@ pub fn run() -> Vec<ExpTable> {
             "ratio",
             "L HyperCube",
             "HC ratio",
-        ],
+        ]),
     );
     for frac in [0.0, 0.05, 0.25, 0.5] {
         let (q, db) = star_instance(n, frac);
         let l_inst = bounds::l_instance(&q, &db, p) + db.input_size() as f64 / p as f64;
         let out = aj_relation::ram::count(&q, &db);
-        let (cnt, load) = measure_hierarchical(p, &q, &db);
+        let (cnt, load, wall) = measure_hierarchical(p, &q, &db);
         assert_eq!(cnt as u64, out);
-        let (_, hc_load) = measure(p, |net| {
+        let (_, hc_load, _) = measure(p, |net| {
             let sizes: Vec<u64> = db.relations.iter().map(|r| r.len() as u64).collect();
             let shares = worst_case_shares(&q, &sizes, p);
             hypercube_join(net, &q, &db, &shares, 9).total_len()
         });
-        t.row(vec![
+        let mut row = vec![
             format!("{frac:.2}"),
             out.to_string(),
             fmt_f(l_inst),
@@ -62,7 +62,9 @@ pub fn run() -> Vec<ExpTable> {
             fmt_f(load as f64 / l_inst),
             hc_load.to_string(),
             fmt_f(hc_load as f64 / l_inst),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     t.note("Thm3's ratio stays O(1) as skew grows; the skew-oblivious HyperCube ratio grows with the heavy value.");
     vec![t]

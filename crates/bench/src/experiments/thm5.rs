@@ -5,7 +5,7 @@
 
 use aj_core::bounds;
 
-use crate::experiments::{measure_line3, measure_yannakakis};
+use crate::experiments::{measure_line3, measure_yannakakis, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 pub fn run() -> Vec<ExpTable> {
@@ -13,7 +13,7 @@ pub fn run() -> Vec<ExpTable> {
     let n = 1024u64;
     let mut t = ExpTable::new(
         format!("Theorem 5: line-3 load vs OUT (two-sided Fig-3 instances, IN≈{}, p={p})", 6 * n),
-        &[
+        &with_wall(&[
             "OUT",
             "L line-3",
             "Thm5 bound",
@@ -21,16 +21,16 @@ pub fn run() -> Vec<ExpTable> {
             "L Yannakakis",
             "Yan bound",
             "IN/√p",
-        ],
+        ]),
     );
     for factor in [2u64, 8, 32, 128] {
         let inst = aj_instancegen::fig3::two_sided(n, n * factor);
         let in_size = inst.db.input_size() as u64;
-        let (cnt, load) = measure_line3(p, &inst.query, &inst.db);
+        let (cnt, load, wall) = measure_line3(p, &inst.query, &inst.db);
         assert_eq!(cnt as u64, inst.out);
         let bound = bounds::acyclic_bound(in_size, inst.out, p);
-        let (_, yan) = measure_yannakakis(p, &inst.query, &inst.db, None);
-        t.row(vec![
+        let (_, yan, _) = measure_yannakakis(p, &inst.query, &inst.db, None);
+        let mut row = vec![
             inst.out.to_string(),
             load.to_string(),
             fmt_f(bound),
@@ -38,7 +38,9 @@ pub fn run() -> Vec<ExpTable> {
             yan.to_string(),
             fmt_f(bounds::yannakakis_bound(in_size, inst.out, p)),
             fmt_f(bounds::line3_worst_case(in_size, p)),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     t.note("Ratio column stays O(1): load tracks IN/p + √(IN·OUT)/p, an √(OUT/IN)-factor below Yannakakis.");
     t.note("Output-optimal for OUT ≤ p·IN; beyond that the worst-case IN/√p algorithm takes over (Corollary 2).");

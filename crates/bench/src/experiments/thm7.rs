@@ -6,7 +6,7 @@ use aj_core::bounds;
 use aj_instancegen::{line_query, random};
 use aj_relation::{database_from_rows, ram, Database, Query};
 
-use crate::experiments::{measure_acyclic, measure_yannakakis};
+use crate::experiments::{measure_acyclic, measure_yannakakis, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 /// A line-4 instance whose middle joins fan out by `f`.
@@ -34,7 +34,7 @@ pub fn run() -> Vec<ExpTable> {
     let p = 16;
     let mut t = ExpTable::new(
         format!("Theorem 7: arbitrary acyclic joins (p={p})"),
-        &[
+        &with_wall(&[
             "query",
             "IN",
             "OUT",
@@ -42,18 +42,18 @@ pub fn run() -> Vec<ExpTable> {
             "Thm7 bound",
             "ratio",
             "L Yannakakis",
-        ],
+        ]),
     );
     // Line-4 with growing fanout.
     for f in [4u64, 16, 64] {
         let (q, db) = line4_instance(512, f);
         let in_size = db.input_size() as u64;
         let out = ram::count(&q, &db);
-        let (cnt, load) = measure_acyclic(p, &q, &db);
+        let (cnt, load, wall) = measure_acyclic(p, &q, &db);
         assert_eq!(cnt as u64, out);
         let bound = bounds::acyclic_bound(in_size, out, p);
-        let (_, yan) = measure_yannakakis(p, &q, &db, None);
-        t.row(vec![
+        let (_, yan, _) = measure_yannakakis(p, &q, &db, None);
+        let mut row = vec![
             format!("line-4 (fanout {f})"),
             in_size.to_string(),
             out.to_string(),
@@ -61,17 +61,19 @@ pub fn run() -> Vec<ExpTable> {
             fmt_f(bound),
             fmt_f(load as f64 / bound),
             yan.to_string(),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     // The Figure-5 query on random data.
     let q5 = aj_instancegen::shapes::figure5_query();
     let db5 = random::random_instance(&q5, 600, 8, 5);
     let in5 = db5.input_size() as u64;
     let out5 = ram::count(&q5, &db5);
-    let (cnt5, load5) = measure_acyclic(p, &q5, &db5);
+    let (cnt5, load5, wall5) = measure_acyclic(p, &q5, &db5);
     assert_eq!(cnt5 as u64, out5);
-    let (_, yan5) = measure_yannakakis(p, &q5, &db5, None);
-    t.row(vec![
+    let (_, yan5, _) = measure_yannakakis(p, &q5, &db5, None);
+    let mut row = vec![
         "Figure-5 query".into(),
         in5.to_string(),
         out5.to_string(),
@@ -79,7 +81,9 @@ pub fn run() -> Vec<ExpTable> {
         fmt_f(bounds::acyclic_bound(in5, out5, p)),
         fmt_f(load5 as f64 / bounds::acyclic_bound(in5, out5, p)),
         yan5.to_string(),
-    ]);
+    ];
+    row.extend(wall5.cells());
+    t.row(row);
     t.note("Ratio stays O(1) across shapes; the gap to Yannakakis widens as OUT/IN grows.");
     vec![t]
 }

@@ -8,7 +8,7 @@ use aj_core::dist::distribute_db;
 use aj_relation::semiring::{AnnRelation, CountRing};
 use aj_relation::{database_from_rows, Database, Query};
 
-use crate::experiments::measure;
+use crate::experiments::{measure, with_wall};
 use crate::table::{fmt_f, ExpTable};
 
 fn line3_fanout(n: u64, f: u64) -> (Query, Database) {
@@ -33,14 +33,14 @@ pub fn run() -> Vec<ExpTable> {
     let n = 1024u64;
     let mut t = ExpTable::new(
         format!("Theorem 9: COUNT(*) GROUP BY X0,X1 on line-3 (p={p})"),
-        &[
+        &with_wall(&[
             "fanout",
             "|join|",
             "OUT (groups)",
             "L measured",
             "Thm9 bound",
             "out-hier?",
-        ],
+        ]),
     );
     for f in [4u64, 16, 64] {
         let (q, db) = line3_fanout(n, f);
@@ -50,46 +50,47 @@ pub fn run() -> Vec<ExpTable> {
             q.attr_by_name("X0").unwrap(),
             q.attr_by_name("X1").unwrap(),
         ];
-        let ((groups, load), _) = (
-            measure(p, |net| {
-                let ann: Vec<AnnRelation<CountRing>> =
-                    db.relations.iter().map(AnnRelation::from_relation).collect();
-                let mut seed = 3;
-                let out = join_aggregate::<CountRing>(net, &q, &ann, &y, &mut seed).unwrap();
-                out.total_len()
-            }),
-            (),
-        );
-        t.row(vec![
+        let (groups, load, wall) = measure(p, |net| {
+            let ann: Vec<AnnRelation<CountRing>> =
+                db.relations.iter().map(AnnRelation::from_relation).collect();
+            let mut seed = 3;
+            let out = join_aggregate::<CountRing>(net, &q, &ann, &y, &mut seed).unwrap();
+            out.total_len()
+        });
+        let mut row = vec![
             f.to_string(),
             join_size.to_string(),
             groups.to_string(),
             load.to_string(),
             fmt_f(aj_core::bounds::acyclic_bound(in_size, groups as u64, p)),
             is_out_hierarchical(&q, &y).to_string(),
-        ]);
+        ];
+        row.extend(wall.cells());
+        t.row(row);
     }
     t.note("The load depends on the aggregated OUT (number of groups), not the raw join size.");
 
     // Corollary 4: |Q(R)| at linear load even when OUT explodes.
     let mut c = ExpTable::new(
         format!("Corollary 4: output-size computation at linear load (p={p})"),
-        &["fanout", "OUT = |Q(R)|", "L measured", "IN/p"],
+        &with_wall(&["fanout", "OUT = |Q(R)|", "L measured", "IN/p"]),
     );
     for f in [4u64, 64, 256] {
         let (q, db) = line3_fanout(n, f);
         let in_size = db.input_size() as u64;
-        let (out, load) = measure(p, |net| {
+        let (out, load, wall) = measure(p, |net| {
             let dist = distribute_db(&db, p);
             let mut seed = 3;
             output_size(net, &q, &dist, &mut seed)
         });
-        c.row(vec![
+        let mut row = vec![
             f.to_string(),
             out.to_string(),
             load.to_string(),
             fmt_f(in_size as f64 / p as f64),
-        ]);
+        ];
+        row.extend(wall.cells());
+        c.row(row);
     }
     c.note("L stays Θ(IN/p) while OUT grows by orders of magnitude: counting is free, enumeration is not.");
     vec![t, c]

@@ -1,19 +1,31 @@
 //! The experiment harness: one module per table/figure of the paper, each
 //! regenerating the corresponding result as a measured experiment on the MPC
 //! simulator. The `repro` binary prints them.
+//!
+//! Every measured experiment reports the simulated load `L` and wall-clock
+//! columns; with [`set_parallel`] enabled (the `repro --parallel` flag) each
+//! measurement also runs on the parallel executor, asserts load/result
+//! equivalence with the sequential one, and reports the real speedup. The
+//! extra `scaling` experiment (not a paper figure) compares the two
+//! executors head-to-head across `p`.
 
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 
+pub use experiments::{parallel_enabled, set_parallel, Wall};
 pub use table::ExpTable;
 
-/// All experiment ids, in paper order.
+/// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6",
+    "thm7", "thm9", "fig6", "scaling",
 ];
 
 /// Run one experiment by id.
+///
+/// # Panics
+/// Panics on an unknown id (the known ids are [`ALL_EXPERIMENTS`]).
 pub fn run_experiment(id: &str) -> Vec<ExpTable> {
     match id {
         "fig1" => experiments::fig1::run(),
@@ -30,6 +42,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "thm7" => experiments::thm7::run(),
         "thm9" => experiments::thm9::run(),
         "fig6" => experiments::fig6::run(),
+        "scaling" => experiments::scaling::run(),
         other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -191,30 +191,28 @@ fn step3(
     seed: &mut u64,
 ) -> DistRelation {
     let k = leaves.len();
-    // Degree products for R(e0) tuples.
-    let mut product: Vec<Vec<u64>> = db[e0]
-        .parts
-        .iter()
-        .map(|part| vec![1u64; part.len()])
-        .collect();
+    // Degree products for R(e0) tuples (per-server closures each pass).
+    let mut product: Vec<Vec<u64>> =
+        net.run_each(|s| vec![1u64; db[e0].parts[s].len()]);
     for i in 0..k {
         let maps = degrees_of(net, &light_leaf[i], &s_i[i], &db[e0], &s_i[i], next_seed(seed));
         let pos = db[e0].positions_of(&s_i[i]);
-        for ((part, prod), map) in db[e0].parts.iter().zip(product.iter_mut()).zip(maps) {
-            for (t, pr) in part.iter().zip(prod.iter_mut()) {
-                let d = map.get(&t.project(&pos)).copied().unwrap_or(0);
-                *pr = pr.saturating_mul(d);
-            }
-        }
+        product = net.run_local(
+            product.into_iter().zip(maps).collect(),
+            |s, (mut prod, map): (Vec<u64>, std::collections::HashMap<Tuple, u64>)| {
+                for (t, pr) in db[e0].parts[s].iter().zip(prod.iter_mut()) {
+                    let d = map.get(&t.project(&pos)).copied().unwrap_or(0);
+                    *pr = pr.saturating_mul(d);
+                }
+                prod
+            },
+        );
     }
-    let (h_parts, l_parts): (Vec<Vec<Tuple>>, Vec<Vec<Tuple>>) = db[e0]
-        .parts
-        .iter()
-        .zip(&product)
-        .map(|(part, prod)| {
+    let (h_parts, l_parts): (Vec<Vec<Tuple>>, Vec<Vec<Tuple>>) = net
+        .run_local(product, |s, prod: Vec<u64>| {
             let mut h = Vec::new();
             let mut l = Vec::new();
-            for (t, &pr) in part.iter().zip(prod) {
+            for (t, &pr) in db[e0].parts[s].iter().zip(&prod) {
                 if pr >= tau {
                     h.push(t.clone());
                 } else {
@@ -223,6 +221,7 @@ fn step3(
             }
             (h, l)
         })
+        .into_iter()
         .unzip();
     let rh0 = DistRelation {
         attrs: db[e0].attrs.clone(),

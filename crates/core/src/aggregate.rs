@@ -120,10 +120,12 @@ pub fn output_size(net: &mut Net, q: &Query, db: &DistDatabase, seed: &mut u64) 
     let mut weights: Vec<Vec<Vec<(Tuple, u64)>>> = db
         .iter()
         .map(|rel| {
-            rel.parts
-                .iter()
-                .map(|part| part.iter().map(|t| (t.clone(), 1u64)).collect())
-                .collect()
+            net.run_each(|s| {
+                rel.parts[s]
+                    .iter()
+                    .map(|t| (t.clone(), 1u64))
+                    .collect::<Vec<_>>()
+            })
         })
         .collect();
     for &e in &tree.order {
@@ -131,33 +133,38 @@ pub fn output_size(net: &mut Net, q: &Query, db: &DistDatabase, seed: &mut u64) 
         let shared: Vec<Attr> = db[e].shared_attrs(&db[pr]);
         let epos = db[e].positions_of(&shared);
         let ppos = db[pr].positions_of(&shared);
-        let msg_pairs = Partitioned::from_parts(
-            std::mem::take(&mut weights[e])
-                .into_iter()
-                .map(|part| {
-                    part.into_iter()
-                        .map(|(t, w)| (t.project(&epos), w))
-                        .collect()
-                })
-                .collect(),
-        );
+        let msg_pairs = Partitioned::from_parts(net.run_local(
+            std::mem::take(&mut weights[e]),
+            |_, part: Vec<(Tuple, u64)>| {
+                part.into_iter()
+                    .map(|(t, w)| (t.project(&epos), w))
+                    .collect::<Vec<_>>()
+            },
+        ));
         let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| a.saturating_add(b));
-        let requests = Partitioned::from_parts(
-            weights[pr]
+        let requests = Partitioned::from_parts(net.run_each(|s| {
+            weights[pr][s]
                 .iter()
-                .map(|part| part.iter().map(|(t, _)| t.project(&ppos)).collect())
-                .collect(),
-        );
+                .map(|(t, _)| t.project(&ppos))
+                .collect::<Vec<_>>()
+        }));
         let answers = lookup(net, &table, &requests);
-        for (part, ans) in weights[pr].iter_mut().zip(answers) {
-            part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
-                Some(&m) => {
-                    *w = w.saturating_mul(m);
-                    true
-                }
-                None => false,
-            });
-        }
+        weights[pr] = net.run_local(
+            std::mem::take(&mut weights[pr])
+                .into_iter()
+                .zip(answers)
+                .collect(),
+            |_, (mut part, ans): (Vec<(Tuple, u64)>, HashMap<Tuple, u64>)| {
+                part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
+                    Some(&m) => {
+                        *w = w.saturating_mul(m);
+                        true
+                    }
+                    None => false,
+                });
+                part
+            },
+        );
     }
     let partials: Vec<u64> = weights[tree.root()]
         .iter()
@@ -193,10 +200,12 @@ pub fn count_by_group(
     let mut weights: Vec<Vec<Vec<(Tuple, u64)>>> = db
         .iter()
         .map(|rel| {
-            rel.parts
-                .iter()
-                .map(|part| part.iter().map(|t| (t.clone(), 1u64)).collect())
-                .collect()
+            net.run_each(|s| {
+                rel.parts[s]
+                    .iter()
+                    .map(|t| (t.clone(), 1u64))
+                    .collect::<Vec<_>>()
+            })
         })
         .collect();
     for &e in &tree.order {
@@ -204,45 +213,48 @@ pub fn count_by_group(
         let shared: Vec<Attr> = db[e].shared_attrs(&db[pr]);
         let epos = db[e].positions_of(&shared);
         let ppos = db[pr].positions_of(&shared);
-        let msg_pairs = Partitioned::from_parts(
-            std::mem::take(&mut weights[e])
-                .into_iter()
-                .map(|part| {
-                    part.into_iter()
-                        .map(|(t, w)| (t.project(&epos), w))
-                        .collect()
-                })
-                .collect(),
-        );
+        let msg_pairs = Partitioned::from_parts(net.run_local(
+            std::mem::take(&mut weights[e]),
+            |_, part: Vec<(Tuple, u64)>| {
+                part.into_iter()
+                    .map(|(t, w)| (t.project(&epos), w))
+                    .collect::<Vec<_>>()
+            },
+        ));
         let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| a.saturating_add(b));
-        let requests = Partitioned::from_parts(
-            weights[pr]
+        let requests = Partitioned::from_parts(net.run_each(|s| {
+            weights[pr][s]
                 .iter()
-                .map(|part| part.iter().map(|(t, _)| t.project(&ppos)).collect())
-                .collect(),
-        );
+                .map(|(t, _)| t.project(&ppos))
+                .collect::<Vec<_>>()
+        }));
         let answers = lookup(net, &table, &requests);
-        for (part, ans) in weights[pr].iter_mut().zip(answers) {
-            part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
-                Some(&m) => {
-                    *w = w.saturating_mul(m);
-                    true
-                }
-                None => false,
-            });
-        }
+        weights[pr] = net.run_local(
+            std::mem::take(&mut weights[pr])
+                .into_iter()
+                .zip(answers)
+                .collect(),
+            |_, (mut part, ans): (Vec<(Tuple, u64)>, HashMap<Tuple, u64>)| {
+                part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
+                    Some(&m) => {
+                        *w = w.saturating_mul(m);
+                        true
+                    }
+                    None => false,
+                });
+                part
+            },
+        );
     }
     let gpos = db[root].positions_of(group_attrs);
-    let grouped = Partitioned::from_parts(
-        std::mem::take(&mut weights[root])
-            .into_iter()
-            .map(|part| {
-                part.into_iter()
-                    .map(|(t, w)| (t.project(&gpos), w))
-                    .collect()
-            })
-            .collect(),
-    );
+    let grouped = Partitioned::from_parts(net.run_local(
+        std::mem::take(&mut weights[root]),
+        |_, part: Vec<(Tuple, u64)>| {
+            part.into_iter()
+                .map(|(t, w)| (t.project(&gpos), w))
+                .collect::<Vec<_>>()
+        },
+    ));
     sum_by_key(net, grouped, final_seed, |a: u64, b| a.saturating_add(b))
 }
 
@@ -459,8 +471,8 @@ fn ann_reduce<S: Semiring>(
             if !alive[e] {
                 continue;
             }
-            for o in 0..q.n_edges() {
-                if o == e || !alive[o] {
+            for (o, &o_alive) in alive.iter().enumerate() {
+                if o == e || !o_alive {
                     continue;
                 }
                 let se = q.edge(e).attr_set();

@@ -21,6 +21,10 @@
 //! Tuples may carry extra trailing columns (annotations); they are carried
 //! through and the output layout is `[left attrs][right new attrs][left
 //! extras][right extras]`.
+//!
+//! All per-server phases (degree counting, directive lookup, grid routing,
+//! the final local hash join) are expressed through the round API of
+//! [`aj_mpc`], so they run concurrently under a parallel executor.
 
 use std::collections::HashMap;
 
@@ -68,28 +72,24 @@ pub fn binary_join(
     let kd = next_seed(seed);
     let d1 = sum_by_key(
         net,
-        keyed_units(&left.parts, &lkey),
+        keyed_units(net, &left.parts, &lkey),
         kd,
         |a: u64, b| a + b,
     );
     let d2 = sum_by_key(
         net,
-        keyed_units(&right.parts, &rkey),
+        keyed_units(net, &right.parts, &rkey),
         kd,
         |a: u64, b| a + b,
     );
     // Per owner: joinable keys with both degrees.
-    let joinable: Vec<Vec<(Tuple, u64, u64)>> = d1
-        .parts
-        .iter()
-        .zip(d2.parts.iter())
-        .map(|(p1, p2)| {
-            let m2: HashMap<&Tuple, u64> = p2.iter().map(|(k, c)| (k, *c)).collect();
-            p1.iter()
-                .filter_map(|(k, c1)| m2.get(k).map(|&c2| (k.clone(), *c1, c2)))
-                .collect()
-        })
-        .collect();
+    let joinable: Vec<Vec<(Tuple, u64, u64)>> = net.run_each(|s| {
+        let m2: HashMap<&Tuple, u64> = d2.parts[s].iter().map(|(k, c)| (k, *c)).collect();
+        d1.parts[s]
+            .iter()
+            .filter_map(|(k, c1)| m2.get(k).map(|&c2| (k.clone(), *c1, c2)))
+            .collect()
+    });
 
     // --- OUT and the target load L ----------------------------------------
     let partial_out: Vec<u64> = joinable
@@ -186,9 +186,9 @@ pub fn binary_join(
 
     // --- Number tuples within keys (for grid slicing) ---------------------
     let n1 = next_seed(seed);
-    let left_nb = multi_numbering(net, pair_with_key(left.parts, &lkey), n1);
+    let left_nb = multi_numbering(net, pair_with_key(net, left.parts, &lkey), n1);
     let n2 = next_seed(seed);
-    let right_nb = multi_numbering(net, pair_with_key(right.parts, &rkey), n2);
+    let right_nb = multi_numbering(net, pair_with_key(net, right.parts, &rkey), n2);
 
     // --- Route both sides --------------------------------------------------
     let left_routed = route_side(net, &directives, left_nb, n_groups, p, Side::Left);
@@ -215,8 +215,12 @@ pub fn binary_join(
             .chain(ra_extra)
             .collect()
     };
-    let mut out_parts: Vec<Vec<Tuple>> = Vec::with_capacity(p);
-    for (lpart, rpart) in left_routed.into_parts().into_iter().zip(right_routed.into_parts()) {
+    let sides: Vec<_> = left_routed
+        .into_parts()
+        .into_iter()
+        .zip(right_routed.into_parts())
+        .collect();
+    let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lpart, rpart)| {
         // Index left by (vcell, key).
         let mut index: HashMap<(VCell, Tuple), Vec<&Tuple>> = HashMap::with_capacity(lpart.len());
         for (cell, t) in &lpart {
@@ -231,8 +235,8 @@ pub fn binary_join(
                 }
             }
         }
-        out_parts.push(out);
-    }
+        out
+    });
     DistRelation {
         attrs: out_attrs,
         parts: Partitioned::from_parts(out_parts),
@@ -252,27 +256,23 @@ enum Side {
     Right,
 }
 
-fn keyed_units(parts: &Partitioned<Tuple>, key_pos: &[usize]) -> Partitioned<(Tuple, u64)> {
-    Partitioned::from_parts(
-        parts
+fn keyed_units(net: &Net, parts: &Partitioned<Tuple>, key_pos: &[usize]) -> Partitioned<(Tuple, u64)> {
+    Partitioned::from_parts(net.run_each(|s| {
+        parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| (t.project(key_pos), 1u64)).collect())
-            .collect(),
-    )
+            .map(|t| (t.project(key_pos), 1u64))
+            .collect()
+    }))
 }
 
-fn pair_with_key(parts: Partitioned<Tuple>, key_pos: &[usize]) -> Partitioned<(Tuple, Tuple)> {
-    Partitioned::from_parts(
-        parts
-            .into_parts()
-            .into_iter()
-            .map(|part| {
-                part.into_iter()
-                    .map(|t| (t.project(key_pos), t))
-                    .collect()
-            })
-            .collect(),
-    )
+fn pair_with_key(
+    net: &Net,
+    parts: Partitioned<Tuple>,
+    key_pos: &[usize],
+) -> Partitioned<(Tuple, Tuple)> {
+    Partitioned::from_parts(net.run_local(parts.into_parts(), |_, part: Vec<Tuple>| {
+        part.into_iter().map(|t| (t.project(key_pos), t)).collect()
+    }))
 }
 
 /// Look up directives and ship tuples to their (virtual-cell-tagged)
@@ -286,16 +286,16 @@ fn route_side(
     p: usize,
     side: Side,
 ) -> Partitioned<(VCell, Tuple)> {
-    let requests = Partitioned::from_parts(
-        numbered
+    let requests = Partitioned::from_parts(net.run_each(|s| {
+        numbered[s]
             .iter()
-            .map(|part| part.iter().map(|(k, _, _)| k.clone()).collect())
-            .collect(),
-    );
+            .map(|(k, _, _)| k.clone())
+            .collect::<Vec<Tuple>>()
+    }));
     let answers = lookup(net, directives, &requests);
-    let mut outbox: Vec<Vec<(ServerId, (VCell, Tuple))>> = Vec::with_capacity(p);
-    for (part, ans) in numbered.into_parts().into_iter().zip(answers) {
-        let mut msgs = Vec::new();
+    let inputs: Vec<_> = numbered.into_parts().into_iter().zip(answers).collect();
+    let received = net.round_map(inputs, |_, (part, ans)| {
+        let mut msgs: Vec<(ServerId, (VCell, Tuple))> = Vec::new();
         for (k, t, idx) in part {
             match ans.get(&k) {
                 None => {} // dangling for this join: drop
@@ -321,9 +321,9 @@ fn route_side(
                 },
             }
         }
-        outbox.push(msgs);
-    }
-    Partitioned::from_parts(net.exchange(outbox))
+        msgs
+    });
+    Partitioned::from_parts(received)
 }
 
 fn output_schema(left: &DistRelation, right: &DistRelation, shared: &[Attr]) -> Vec<Attr> {

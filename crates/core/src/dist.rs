@@ -130,13 +130,12 @@ pub fn dist_semi_join(
     }
     let lpos = left.positions_of(&shared);
     let rpos = right.positions_of(&shared);
-    let keys = Partitioned::from_parts(
-        right
-            .parts
+    let keys = Partitioned::from_parts(net.run_each(|s| {
+        right.parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| t.project(&rpos)).collect())
-            .collect(),
-    );
+            .map(|t| t.project(&rpos))
+            .collect::<Vec<Tuple>>()
+    }));
     let attrs = left.attrs.clone();
     let kept = prim_semi_join(net, left.parts, |t: &Tuple| t.project(&lpos), keys, seed);
     DistRelation { attrs, parts: kept }
@@ -184,30 +183,29 @@ pub fn split_by_degree(
     seed: u64,
 ) -> (DistRelation, DistRelation) {
     let pos = rel.positions_of(key_attrs);
-    let keyed = Partitioned::from_parts(
-        rel.parts
+    let keyed = Partitioned::from_parts(net.run_each(|s| {
+        rel.parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| (t.project(&pos), 1u64)).collect())
-            .collect(),
-    );
+            .map(|t| (t.project(&pos), 1u64))
+            .collect::<Vec<_>>()
+    }));
     let degrees = sum_by_key(net, keyed, seed, |a, b| a + b);
-    let requests = Partitioned::from_parts(
-        rel.parts
+    let requests = Partitioned::from_parts(net.run_each(|s| {
+        rel.parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| t.project(&pos)).collect())
-            .collect(),
-    );
+            .map(|t| t.project(&pos))
+            .collect::<Vec<Tuple>>()
+    }));
     let answers = lookup(net, &degrees, &requests);
     let attrs = rel.attrs.clone();
-    let mut heavy: Vec<Vec<Tuple>> = Vec::with_capacity(rel.parts.p());
-    let mut light: Vec<Vec<Tuple>> = Vec::with_capacity(rel.parts.p());
-    for (part, ans) in rel.parts.into_parts().into_iter().zip(answers) {
-        let (h, l): (Vec<Tuple>, Vec<Tuple>) = part
-            .into_iter()
-            .partition(|t| ans.get(&t.project(&pos)).copied().unwrap_or(0) > threshold);
-        heavy.push(h);
-        light.push(l);
-    }
+    let split: Vec<(Vec<Tuple>, Vec<Tuple>)> = net.run_local(
+        rel.parts.into_parts().into_iter().zip(answers).collect(),
+        |_, (part, ans): (Vec<Tuple>, std::collections::HashMap<Tuple, u64>)| {
+            part.into_iter()
+                .partition(|t| ans.get(&t.project(&pos)).copied().unwrap_or(0) > threshold)
+        },
+    );
+    let (heavy, light): (Vec<Vec<Tuple>>, Vec<Vec<Tuple>>) = split.into_iter().unzip();
     (
         DistRelation {
             attrs: attrs.clone(),
@@ -233,20 +231,20 @@ pub fn degrees_of(
     seed: u64,
 ) -> Vec<std::collections::HashMap<Tuple, u64>> {
     let rpos = rel.positions_of(rel_key_attrs);
-    let keyed = Partitioned::from_parts(
-        rel.parts
+    let keyed = Partitioned::from_parts(net.run_each(|s| {
+        rel.parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| (t.project(&rpos), 1u64)).collect())
-            .collect(),
-    );
+            .map(|t| (t.project(&rpos), 1u64))
+            .collect::<Vec<_>>()
+    }));
     let degrees = sum_by_key(net, keyed, seed, |a, b| a + b);
     let opos = of.positions_of(of_key_attrs);
-    let requests = Partitioned::from_parts(
-        of.parts
+    let requests = Partitioned::from_parts(net.run_each(|s| {
+        of.parts[s]
             .iter()
-            .map(|part| part.iter().map(|t| t.project(&opos)).collect())
-            .collect(),
-    );
+            .map(|t| t.project(&opos))
+            .collect::<Vec<Tuple>>()
+    }));
     lookup(net, &degrees, &requests)
 }
 

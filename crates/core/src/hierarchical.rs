@@ -16,7 +16,7 @@
 //!   ever materialized, which is precisely how the algorithm beats the
 //!   two-step approach (see the `|Q_1|=1, |Q_2|=p·IN` example in the paper).
 //!
-//! Simulation notes (see DESIGN.md): parallel sub-problems execute
+//! Simulation notes (see ARCHITECTURE.md): parallel sub-problems execute
 //! sequentially, so overlapping server ranges after demand-scaling are
 //! load-neutral (the load is a max over rounds, and distinct sub-problems
 //! occupy distinct rounds); driver-level control decisions (which groups are
@@ -262,21 +262,23 @@ fn case1(
     }
 
     // ---- Light sub-instances: one exchange, local multiway joins ---------
-    let mut outbox: Vec<Vec<(ServerId, (u64, u8, Tuple))>> = (0..p).map(|_| Vec::new()).collect();
-    for (e, rel) in db.iter().enumerate() {
-        let pos = rel.positions_of(&root_attrs);
-        for (s, part) in rel.parts.iter().enumerate() {
-            for t in part {
-                if let Some(Directive::Light { group }) = answers[e][s].get(&t.project(&pos)) {
-                    outbox[s].push(((*group % p as u64) as usize, (*group, e as u8, t.clone())));
+    // Per-server routing closures (one round), then per-server local joins —
+    // both run concurrently under a parallel executor.
+    let positions: Vec<Vec<usize>> = db.iter().map(|rel| rel.positions_of(&root_attrs)).collect();
+    let received = net.round(|s| {
+        let mut msgs: Vec<(ServerId, (u64, u8, Tuple))> = Vec::new();
+        for (e, rel) in db.iter().enumerate() {
+            let pos = &positions[e];
+            for t in &rel.parts[s] {
+                if let Some(Directive::Light { group }) = answers[e][s].get(&t.project(pos)) {
+                    msgs.push(((*group % p as u64) as usize, (*group, e as u8, t.clone())));
                 }
             }
         }
-    }
-    let received = net.exchange(outbox);
+        msgs
+    });
     let out_attrs = occurring_attrs(q);
-    let mut out_parts: Vec<Vec<Tuple>> = Vec::with_capacity(p);
-    for msgs in received {
+    let mut out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, msgs: Vec<(u64, u8, Tuple)>| {
         let mut by_group: HashMap<u64, Vec<Vec<Tuple>>> = HashMap::new();
         for (g, e, t) in msgs {
             by_group.entry(g).or_insert_with(|| vec![Vec::new(); m])[e as usize].push(t);
@@ -303,8 +305,8 @@ fn case1(
             debug_assert_eq!(attrs, out_attrs);
             out.extend(tuples);
         }
-        out_parts.push(out);
-    }
+        out
+    });
 
     // ---- Heavy sub-instances: recurse on the residual query --------------
     // Driver-level introspection of the heavy directives (control metadata).

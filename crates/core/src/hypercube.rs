@@ -48,14 +48,31 @@ pub fn hypercube_join(
     for a in 1..q.n_attrs() {
         stride[a] = stride[a - 1] * shares.0[a - 1];
     }
+    // Per-relation layouts and free coordinates (attributes a relation does
+    // not fix), captured before the shards move into the routing closure.
+    let rel_attrs: Vec<Vec<Attr>> = dist.iter().map(|rel| rel.attrs.clone()).collect();
+    let free: Vec<Vec<Attr>> = dist
+        .iter()
+        .map(|rel| {
+            (0..q.n_attrs())
+                .filter(|a| !rel.attrs.contains(a) && shares.0[*a] > 1)
+                .collect()
+        })
+        .collect();
+    // Transpose the database to per-server slices so the whole placement is
+    // ONE round (one exchange), with every server's routing work a closure
+    // the executor can run concurrently.
+    let mut per_server: Vec<Vec<(usize, Vec<Tuple>)>> = (0..p).map(|_| Vec::new()).collect();
+    for (e, rel) in dist.into_iter().enumerate() {
+        for (s, part) in rel.parts.into_parts().into_iter().enumerate() {
+            per_server[s].push((e, part));
+        }
+    }
     // Route: each tuple goes to every cell consistent with its attr hashes.
-    let mut outbox: Vec<Vec<(ServerId, (u8, Tuple))>> = (0..p).map(|_| Vec::new()).collect();
-    for (e, rel) in dist.iter().enumerate() {
-        let attrs = &rel.attrs;
-        let free: Vec<Attr> = (0..q.n_attrs())
-            .filter(|a| !attrs.contains(a) && shares.0[*a] > 1)
-            .collect();
-        for (s, part) in rel.parts.iter().enumerate() {
+    let received = net.round_map(per_server, |_, rels| {
+        let mut msgs: Vec<(ServerId, (u8, Tuple))> = Vec::new();
+        for (e, part) in rels {
+            let attrs = &rel_attrs[e];
             for t in part {
                 // Fixed coordinates from the tuple's own attributes.
                 let mut base = 0usize;
@@ -65,7 +82,7 @@ pub fn hypercube_join(
                 }
                 // Enumerate free coordinates.
                 let mut cells = vec![base];
-                for &a in &free {
+                for &a in &free[e] {
                     let mut next = Vec::with_capacity(cells.len() * shares.0[a]);
                     for c in &cells {
                         for v in 0..shares.0[a] {
@@ -74,20 +91,23 @@ pub fn hypercube_join(
                     }
                     cells = next;
                 }
-                for cell in cells {
-                    outbox[s].push((cell, (e as u8, t.clone())));
+                for (n, cell) in cells.iter().enumerate() {
+                    if n + 1 == cells.len() {
+                        msgs.push((*cell, (e as u8, t)));
+                        break;
+                    }
+                    msgs.push((*cell, (e as u8, t.clone())));
                 }
             }
         }
-    }
-    let received = net.exchange(outbox);
-    // Local join per cell.
-    let mut out_parts: Vec<Vec<Tuple>> = Vec::with_capacity(p);
+        msgs
+    });
+    // Local join per cell, one closure per server.
     let mut out_attrs: Vec<Attr> = (0..q.n_attrs())
         .filter(|&a| !q.edges_containing(a).is_empty())
         .collect();
     out_attrs.sort_unstable();
-    for msgs in received {
+    let out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, msgs: Vec<(u8, Tuple)>| {
         let mut locals: Vec<LocalRel> = q
             .edges()
             .iter()
@@ -100,14 +120,13 @@ pub fn hypercube_join(
             locals[e as usize].tuples.push(t);
         }
         if locals.iter().any(|l| l.tuples.is_empty()) {
-            out_parts.push(Vec::new());
-            continue;
+            return Vec::new();
         }
         let (attrs, tuples) = multiway_join(&locals);
         let (attrs, tuples) = normalize(&attrs, tuples);
         debug_assert_eq!(attrs, out_attrs);
-        out_parts.push(tuples);
-    }
+        tuples
+    });
     DistRelation {
         attrs: out_attrs,
         parts: Partitioned::from_parts(out_parts),

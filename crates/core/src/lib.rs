@@ -16,6 +16,16 @@
 //! | [`triangle`] | Section 7 comparison point | `O(IN/p^{2/3})` (worst-case opt.) |
 //! | [`bounds`] | Eq. (1), Eq. (2), Theorem 4, lower-bound formulas | — |
 //! | [`planner`] | classification-driven dispatch | — |
+//!
+//! # Execution
+//!
+//! The algorithms express per-server work through the round API of
+//! [`aj_mpc`] ([`aj_mpc::Net::round`], [`aj_mpc::Net::round_map`],
+//! [`aj_mpc::Net::run_local`]): routing closures and local join phases run
+//! once per simulated server, sequentially under [`aj_mpc::SeqExecutor`] or
+//! concurrently under [`aj_mpc::ParExecutor`]. Both executors produce
+//! identical outputs and bit-identical load measurements (asserted by the
+//! `executor_equivalence` test suite); only wall-clock time differs.
 
 pub mod acyclic;
 pub mod aggregate;

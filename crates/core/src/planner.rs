@@ -21,6 +21,24 @@ pub enum Plan {
 }
 
 /// Which plan the classification selects.
+///
+/// ```
+/// use aj_core::planner::{plan_for, Plan};
+/// use aj_relation::QueryBuilder;
+///
+/// // A star join is r-hierarchical → the Theorem-3 algorithm.
+/// let mut b = QueryBuilder::new();
+/// b.relation("R1", &["X", "A"]);
+/// b.relation("R2", &["X", "B"]);
+/// assert_eq!(plan_for(&b.build()), Plan::InstanceOptimal);
+///
+/// // A line-3 join is acyclic but not r-hierarchical → Theorem 7.
+/// let mut b = QueryBuilder::new();
+/// b.relation("R1", &["A", "B"]);
+/// b.relation("R2", &["B", "C"]);
+/// b.relation("R3", &["C", "D"]);
+/// assert_eq!(plan_for(&b.build()), Plan::OutputOptimal);
+/// ```
 pub fn plan_for(q: &Query) -> Plan {
     match classify(q) {
         JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
@@ -33,6 +51,33 @@ pub fn plan_for(q: &Query) -> Plan {
 
 /// Distribute `db` and run the best algorithm for `q`. Returns the chosen
 /// plan and the distributed result.
+///
+/// ```
+/// use aj_core::planner::{execute_best, Plan};
+/// use aj_mpc::Cluster;
+/// use aj_relation::{database_from_rows, QueryBuilder};
+///
+/// let mut b = QueryBuilder::new();
+/// b.relation("R1", &["A", "B"]);
+/// b.relation("R2", &["B", "C"]);
+/// let q = b.build();
+/// let db = database_from_rows(
+///     &q,
+///     &[vec![vec![1, 10], vec![2, 10]], vec![vec![10, 7]]],
+/// );
+///
+/// // Simulate 4 servers; use `Cluster::new_parallel` for a thread pool —
+/// // the result and the measured load are identical either way.
+/// let mut cluster = Cluster::new(4);
+/// let (plan, out) = {
+///     let mut net = cluster.net();
+///     let mut seed = 42;
+///     execute_best(&mut net, &q, &db, &mut seed)
+/// };
+/// assert_eq!(plan, Plan::InstanceOptimal); // binary joins are tall-flat
+/// assert_eq!(out.total_len(), 2);
+/// assert!(cluster.stats().max_load > 0);
+/// ```
 pub fn execute_best(
     net: &mut Net,
     q: &Query,

@@ -1,7 +1,28 @@
 //! Workload and hard-instance generators for the reproduction experiments.
 //!
 //! Every generator is deterministic given its seed and returns the query,
-//! the database, and the relevant ground-truth metadata (IN, OUT, τ, …).
+//! the database, and the relevant ground-truth metadata (IN, OUT, τ, …) —
+//! instances are seed-addressable artifacts, so every number in the
+//! experiment tables can be regenerated bit-identically.
+//!
+//! | Module | What it generates | Paper reference |
+//! |---|---|---|
+//! | [`shapes`] | the query catalogue: lines, stars, Q1/Q2, Figure-5, triangle | Sections 1.4, 3, 5.1 |
+//! | [`fig3`] | one/two-sided hard instances for Yannakakis join orders | Figure 3, Section 4.1 |
+//! | [`fig4`] | the randomized line-3 lower-bound instance | Figure 4, Theorem 6 |
+//! | [`fig6`] | the randomized triangle lower-bound instance | Figure 6, Theorem 11 |
+//! | [`cartesian`] | Cartesian-product instances for the Eq. (1) bound | Section 1.3 |
+//! | [`random`] | random acyclic queries + instances for differential tests | — |
+//!
+//! ```
+//! use aj_instancegen::{line_query, random};
+//!
+//! let q = random::random_acyclic_query(4, 7);
+//! assert!(q.is_acyclic());
+//! let db = random::random_instance(&q, 50, 8, 9);
+//! assert_eq!(db.relations.len(), q.n_edges());
+//! assert_eq!(line_query(3).n_edges(), 3);
+//! ```
 
 pub mod cartesian;
 pub mod fig3;

@@ -1,5 +1,7 @@
-//! The cluster: server bookkeeping and the single communication entry point.
+//! The cluster: server bookkeeping, the communication entry point, and the
+//! round API the executors drive.
 
+use crate::executor::{run_consuming, run_indexed, Execute, ParExecutor, SeqExecutor};
 use crate::stats::Stats;
 use crate::Partitioned;
 
@@ -10,32 +12,57 @@ pub type ServerId = usize;
 /// A simulated MPC cluster of `p` servers with load accounting.
 ///
 /// A `Cluster` is inert by itself; obtain a [`Net`] view with
-/// [`Cluster::net`] to communicate.
+/// [`Cluster::net`] to communicate. The cluster owns an [`Execute`] backend
+/// deciding whether per-server work (round closures, exchange routing) runs
+/// sequentially ([`SeqExecutor`], the default) or on a thread pool
+/// ([`ParExecutor`], via [`Cluster::new_parallel`]). Both backends produce
+/// identical results and identical [`Stats`]; only wall-clock time differs.
 #[derive(Debug)]
 pub struct Cluster {
     p: usize,
     stats: Stats,
-    /// Scratch buffer reused across exchanges (received counts per server).
-    scratch: Vec<u64>,
+    executor: Box<dyn Execute>,
 }
 
 impl Cluster {
-    /// Create a cluster of `p >= 1` servers.
+    /// Create a cluster of `p >= 1` servers simulated sequentially.
     ///
     /// # Panics
     /// Panics if `p == 0`.
     pub fn new(p: usize) -> Self {
+        Cluster::with_executor(p, Box::new(SeqExecutor))
+    }
+
+    /// Create a cluster of `p >= 1` servers whose per-server work runs on a
+    /// thread pool sized to the machine.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new_parallel(p: usize) -> Self {
+        Cluster::with_executor(p, Box::new(ParExecutor::new()))
+    }
+
+    /// Create a cluster with an explicit execution backend.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn with_executor(p: usize, executor: Box<dyn Execute>) -> Self {
         assert!(p >= 1, "a cluster needs at least one server");
         Cluster {
             p,
             stats: Stats::new(p),
-            scratch: vec![0; p],
+            executor,
         }
     }
 
     /// Number of servers.
     pub fn p(&self) -> usize {
         self.p
+    }
+
+    /// The execution backend.
+    pub fn executor(&self) -> &dyn Execute {
+        self.executor.as_ref()
     }
 
     /// The root view spanning all `p` servers.
@@ -60,7 +87,9 @@ impl Cluster {
     }
 
     /// Record one communication round: `counts[s]` units received by absolute
-    /// server `lo + s * stride`.
+    /// server `lo + s * stride`. Runs on the coordinating thread at the round
+    /// barrier; the per-receiver counts themselves are computed (possibly
+    /// concurrently) by whichever thread assembled each inbox.
     fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
         self.stats.exchanges += 1;
         let mut round_max = 0u64;
@@ -102,6 +131,11 @@ impl Net<'_> {
     /// Absolute id of the first server of this view (mostly for diagnostics).
     pub fn base(&self) -> usize {
         self.lo
+    }
+
+    /// The execution backend driving per-server work in this view.
+    pub fn executor(&self) -> &dyn Execute {
+        self.cluster.executor.as_ref()
     }
 
     /// A sub-view of `len` servers starting at local offset `lo`.
@@ -150,21 +184,44 @@ impl Net<'_> {
     /// `outbox[s]` holds the messages *sent* by local server `s` as
     /// `(destination, item)` pairs with `destination < self.p()`. Returns the
     /// received messages, one `Vec` per local server, in deterministic order
-    /// (by sender, then send order). Each item counts as one load unit at the
-    /// receiver; senders are not charged (the MPC model only bounds incoming
-    /// traffic).
+    /// (by sender, then send order) regardless of the executor. Each item
+    /// counts as one load unit at the receiver; senders are not charged (the
+    /// MPC model only bounds incoming traffic).
+    ///
+    /// Under a parallel executor, routing is two concurrent passes with a
+    /// barrier between them: every sender buckets its outbox by destination
+    /// (per-server staging), then every receiver concatenates its buckets in
+    /// sender order, counting its own received units; the sharded counts are
+    /// merged into [`Stats`] at the barrier.
     ///
     /// # Panics
     /// Panics if `outbox.len() != self.p()` or any destination is out of
     /// range.
-    pub fn exchange<T>(&mut self, outbox: Vec<Vec<(ServerId, T)>>) -> Vec<Vec<T>> {
+    pub fn exchange<T: Send>(&mut self, outbox: Vec<Vec<(ServerId, T)>>) -> Vec<Vec<T>> {
         assert_eq!(
             outbox.len(),
             self.len,
             "outbox must have exactly one entry per server"
         );
-        // Count first (so we can pre-size receive buffers), then route.
-        self.cluster.scratch[..self.len].fill(0);
+        // Parallel routing stages O(p²) buckets; for control rounds carrying
+        // only a handful of units (prefix sums, packing trees) the sequential
+        // path is strictly cheaper. The routing result is identical either
+        // way, so this is a pure wall-clock decision.
+        let total_messages: usize = outbox.iter().map(Vec::len).sum();
+        let parallel_worthwhile = total_messages >= 4 * self.len.max(64);
+        let (inbox, counts) = if self.cluster.executor.is_parallel() && self.len > 1 && parallel_worthwhile {
+            self.route_parallel(outbox)
+        } else {
+            self.route_sequential(outbox)
+        };
+        self.cluster.record_round(self.lo, self.stride, &counts);
+        inbox
+    }
+
+    /// Sequential routing: count first (to pre-size receive buffers), then
+    /// deliver in sender order.
+    fn route_sequential<T>(&self, outbox: Vec<Vec<(ServerId, T)>>) -> (Vec<Vec<T>>, Vec<u64>) {
+        let mut counts = vec![0u64; self.len];
         for msgs in &outbox {
             for (dest, _) in msgs {
                 assert!(
@@ -172,26 +229,107 @@ impl Net<'_> {
                     "destination {dest} out of range (p = {})",
                     self.len
                 );
-                self.cluster.scratch[*dest] += 1;
+                counts[*dest] += 1;
             }
         }
-        let mut inbox: Vec<Vec<T>> = (0..self.len)
-            .map(|s| Vec::with_capacity(self.cluster.scratch[s] as usize))
+        let mut inbox: Vec<Vec<T>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
             .collect();
         for msgs in outbox {
             for (dest, item) in msgs {
                 inbox[dest].push(item);
             }
         }
-        let counts_snapshot: Vec<u64> = self.cluster.scratch[..self.len].to_vec();
-        self.cluster
-            .record_round(self.lo, self.stride, &counts_snapshot);
-        inbox
+        (inbox, counts)
+    }
+
+    /// Parallel routing via per-server staging (see [`Net::exchange`]).
+    fn route_parallel<T: Send>(
+        &self,
+        outbox: Vec<Vec<(ServerId, T)>>,
+    ) -> (Vec<Vec<T>>, Vec<u64>) {
+        use std::sync::Mutex;
+        let p = self.len;
+        let exec = self.cluster.executor.as_ref();
+        // Pass 1 (parallel over senders): bucket each outbox by destination.
+        let staged: Vec<Vec<Mutex<Vec<T>>>> = run_consuming(exec, outbox, |_, msgs| {
+            let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+            for (dest, item) in msgs {
+                assert!(dest < p, "destination {dest} out of range (p = {p})");
+                buckets[dest].push(item);
+            }
+            buckets.into_iter().map(Mutex::new).collect()
+        });
+        // Pass 2 (parallel over receivers): concatenate in sender order and
+        // count received units into this receiver's shard of the counters.
+        let mut delivered: Vec<(Vec<T>, u64)> = run_indexed(exec, p, |dest| {
+            let mut inbox = Vec::new();
+            for sender in staged.iter() {
+                let mut bucket = std::mem::take(&mut *sender[dest].lock().unwrap());
+                inbox.append(&mut bucket);
+            }
+            let count = inbox.len() as u64;
+            (inbox, count)
+        });
+        let counts = delivered.iter().map(|(_, c)| *c).collect();
+        (delivered.drain(..).map(|(v, _)| v).collect(), counts)
+    }
+
+    /// One **computation + communication round**: for each local server `s`,
+    /// run `work(s)` — concurrently under a [`ParExecutor`] — producing that
+    /// server's outbox, then route everything with [`Net::exchange`].
+    ///
+    /// This is the per-server-closure form of a round: `work` must only read
+    /// shared state (it runs once per server, possibly on different threads)
+    /// and emit `(destination, item)` messages with `destination < self.p()`.
+    pub fn round<T: Send>(
+        &mut self,
+        work: impl Fn(ServerId) -> Vec<(ServerId, T)> + Sync,
+    ) -> Vec<Vec<T>> {
+        let outbox = run_indexed(self.cluster.executor.as_ref(), self.len, work);
+        self.exchange(outbox)
+    }
+
+    /// Like [`Net::round`], but each server's closure consumes an owned
+    /// per-server input (typically the shards of a [`Partitioned`]).
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != self.p()`.
+    pub fn round_map<S: Send, T: Send>(
+        &mut self,
+        inputs: Vec<S>,
+        work: impl Fn(ServerId, S) -> Vec<(ServerId, T)> + Sync,
+    ) -> Vec<Vec<T>> {
+        assert_eq!(inputs.len(), self.len, "one input per server");
+        let outbox = run_consuming(self.cluster.executor.as_ref(), inputs, work);
+        self.exchange(outbox)
+    }
+
+    /// Run free local computation on every server (no communication, no load
+    /// charge): `work(s)` runs once per local server — concurrently under a
+    /// [`ParExecutor`] — and the results are returned in server order.
+    pub fn run_each<T: Send>(&self, work: impl Fn(ServerId) -> T + Sync) -> Vec<T> {
+        run_indexed(self.cluster.executor.as_ref(), self.len, work)
+    }
+
+    /// Like [`Net::run_each`], but each server's closure consumes an owned
+    /// per-server input.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != self.p()`.
+    pub fn run_local<S: Send, T: Send>(
+        &self,
+        inputs: Vec<S>,
+        work: impl Fn(ServerId, S) -> T + Sync,
+    ) -> Vec<T> {
+        assert_eq!(inputs.len(), self.len, "one input per server");
+        run_consuming(self.cluster.executor.as_ref(), inputs, work)
     }
 
     /// Broadcast `items` from local server `src` to every server of the view
     /// (including `src`). Each server receives `items.len()` units.
-    pub fn broadcast<T: Clone>(&mut self, src: ServerId, items: Vec<T>) -> Vec<Vec<T>> {
+    pub fn broadcast<T: Clone + Send>(&mut self, src: ServerId, items: Vec<T>) -> Vec<Vec<T>> {
         assert!(src < self.len);
         let mut outbox: Vec<Vec<(ServerId, T)>> = vec![Vec::new(); self.len];
         for dest in 0..self.len {
@@ -205,7 +343,7 @@ impl Net<'_> {
     /// Gather one item from every server onto local server `dest`.
     /// `items[s]` is the contribution of server `s`; the result (only
     /// meaningful at `dest`) preserves server order.
-    pub fn gather_to<T>(&mut self, dest: ServerId, items: Vec<T>) -> Vec<T> {
+    pub fn gather_to<T: Send>(&mut self, dest: ServerId, items: Vec<T>) -> Vec<T> {
         assert_eq!(items.len(), self.len);
         let mut outbox: Vec<Vec<(ServerId, T)>> = (0..self.len).map(|_| Vec::new()).collect();
         for (s, item) in items.into_iter().enumerate() {
@@ -217,23 +355,18 @@ impl Net<'_> {
 
     /// Repartition a distributed collection: `route(s, &item)` gives the
     /// destination of each item currently on server `s`.
-    pub fn repartition<T>(
+    pub fn repartition<T: Send>(
         &mut self,
         parts: Partitioned<T>,
-        mut route: impl FnMut(usize, &T) -> ServerId,
+        route: impl Fn(usize, &T) -> ServerId + Sync,
     ) -> Partitioned<T> {
-        let outbox: Vec<Vec<(ServerId, T)>> = parts
-            .into_parts()
-            .into_iter()
-            .enumerate()
-            .map(|(s, items)| {
-                items
-                    .into_iter()
-                    .map(|item| (route(s, &item), item))
-                    .collect()
-            })
-            .collect();
-        Partitioned::from_parts(self.exchange(outbox))
+        let received = self.round_map(parts.into_parts(), |s, items| {
+            items
+                .into_iter()
+                .map(|item| (route(s, &item), item))
+                .collect()
+        });
+        Partitioned::from_parts(received)
     }
 
     /// Current statistics of the underlying cluster.
@@ -344,5 +477,73 @@ mod tests {
         let mut odds = out.parts()[1].clone();
         odds.sort_unstable();
         assert_eq!(odds, vec![1, 3]);
+    }
+
+    /// The same exchange, on both executors: identical inboxes (order
+    /// included) and identical stats.
+    #[test]
+    fn executors_agree_on_exchange() {
+        let build_outbox = || -> Vec<Vec<(ServerId, u64)>> {
+            (0..8)
+                .map(|s: usize| {
+                    (0..50u64)
+                        .map(|i| ((((s as u64) * 31 + i * 7) % 8) as usize, s as u64 * 1000 + i))
+                        .collect()
+                })
+                .collect()
+        };
+        let mut seq = Cluster::new(8);
+        let seq_inbox = seq.net().exchange(build_outbox());
+        let mut par = Cluster::new_parallel(8);
+        let par_inbox = par.net().exchange(build_outbox());
+        assert_eq!(seq_inbox, par_inbox);
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    /// round/round_map produce identical results and stats on both executors.
+    #[test]
+    fn executors_agree_on_rounds() {
+        let run = |mut cluster: Cluster| -> (Vec<Vec<u64>>, Stats) {
+            let inbox = {
+                let mut net = cluster.net();
+                let data: Vec<Vec<u64>> = (0..6).map(|s| (0..40).map(|i| s * 100 + i).collect()).collect();
+                net.round(|s| {
+                    data[s]
+                        .iter()
+                        .map(|&x| ((x % 6) as usize, x * 2))
+                        .collect()
+                })
+            };
+            (inbox, cluster.stats().clone())
+        };
+        let (a, sa) = run(Cluster::new(6));
+        let (b, sb) = run(Cluster::new_parallel(6));
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn run_local_is_free_and_ordered() {
+        let mut cluster = Cluster::new_parallel(5);
+        {
+            let net = cluster.net();
+            let inputs: Vec<u64> = (0..5).collect();
+            let out = net.run_local(inputs, |s, v| v + s as u64);
+            assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        }
+        assert_eq!(cluster.stats().exchanges, 0);
+        assert_eq!(cluster.stats().max_load, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn bad_destination_panics_in_parallel() {
+        let mut cluster = Cluster::with_executor(2, Box::new(crate::ParExecutor::with_threads(2)));
+        let mut net = cluster.net();
+        // Enough messages to clear the small-round fallback so the bad
+        // destination is detected on the parallel routing path.
+        let mut msgs = vec![(0usize, ()); 300];
+        msgs.push((5, ()));
+        net.exchange(vec![msgs, vec![]]);
     }
 }

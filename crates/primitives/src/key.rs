@@ -5,7 +5,10 @@ use aj_mpc::hash_mix;
 use aj_relation::Tuple;
 
 /// A value usable as a grouping/routing key.
-pub trait Key: Eq + std::hash::Hash + Clone + Ord + std::fmt::Debug {
+///
+/// `Send + Sync` are supertraits so keys can cross the round barrier of a
+/// parallel executor ([`aj_mpc::ParExecutor`]).
+pub trait Key: Eq + std::hash::Hash + Clone + Ord + std::fmt::Debug + Send + Sync {
     /// A well-mixed 64-bit hash under `seed`.
     fn route_hash(&self, seed: u64) -> u64;
 

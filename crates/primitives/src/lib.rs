@@ -8,8 +8,8 @@
 //! bounds in expectation and are considerably simpler. Control values that
 //! must be globally aggregated (prefix sums, packing of leftover groups) use
 //! a two-level √p-fanout tree so no server ever receives more than `O(√p)`
-//! control units — below `IN/p` in every experiment regime (documented in
-//! DESIGN.md).
+//! control units — below `IN/p` in every experiment regime (see
+//! ARCHITECTURE.md).
 //!
 //! Provided primitives:
 //!
@@ -22,6 +22,22 @@
 //! * [`parallel_packing`] — group weighted items into `O(total weight)` bins;
 //! * [`allocate_servers`] — the server-allocation primitive;
 //! * [`broadcast_value`] — one small value to every server.
+//!
+//! All per-server work inside the data-heavy primitives (pre-aggregation,
+//! owner-side merging, answer assembly) goes through the round API of
+//! [`aj_mpc`], so it runs concurrently under [`aj_mpc::ParExecutor`] with
+//! loads bit-identical to the sequential executor.
+//!
+//! ```
+//! use aj_mpc::{Cluster, Partitioned};
+//! use aj_primitives::sum_by_key;
+//!
+//! let mut cluster = Cluster::new(4); // or Cluster::new_parallel(4)
+//! let mut net = cluster.net();
+//! let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 1)).collect();
+//! let table = sum_by_key(&mut net, Partitioned::distribute(pairs, 4), 7, |a, b| a + b);
+//! assert_eq!(table.parts.total_len(), 10); // one entry per distinct key
+//! ```
 
 mod alloc;
 mod key;

@@ -10,65 +10,59 @@ use crate::key::Key;
 
 /// Number items within each key. Three rounds, linear load: each server
 /// reports one `(key, count)` per *distinct local* key; owners assign
-/// disjoint offset ranges back; numbering finishes locally.
-pub fn multi_numbering<K: Key, T>(
+/// disjoint offset ranges back; numbering finishes locally. All per-server
+/// phases run through the round API, so a parallel executor overlaps them
+/// across servers.
+pub fn multi_numbering<K: Key, T: Send + Sync>(
     net: &mut Net,
     items: Partitioned<(K, T)>,
     seed: u64,
 ) -> Partitioned<(K, T, u64)> {
     let p = net.p();
     let parts = items.into_parts();
-    // Local counts per key.
-    let local_counts: Vec<HashMap<K, u64>> = parts
-        .iter()
-        .map(|part| {
-            let mut m: HashMap<K, u64> = HashMap::new();
-            for (k, _) in part {
-                *m.entry(k.clone()).or_insert(0) += 1;
-            }
-            m
-        })
-        .collect();
     // Round 1: (key, server, count) → key owner.
-    let mut up: Vec<Vec<(ServerId, (K, ServerId, u64))>> = Vec::with_capacity(p);
-    for (s, counts) in local_counts.iter().enumerate() {
-        up.push(
-            counts
-                .iter()
-                .map(|(k, &c)| (k.owner(seed, p), (k.clone(), s, c)))
-                .collect(),
-        );
-    }
-    let at_owner = net.exchange(up);
+    let at_owner = net.round(|s| {
+        let mut m: HashMap<&K, u64> = HashMap::new();
+        for (k, _) in &parts[s] {
+            *m.entry(k).or_insert(0) += 1;
+        }
+        m.into_iter()
+            .map(|(k, c)| (k.owner(seed, p), (k.clone(), s, c)))
+            .collect()
+    });
     // Round 2: owner prefix-sums per key over server order, replies offsets.
-    let mut down: Vec<Vec<(ServerId, (K, u64))>> = (0..p).map(|_| Vec::new()).collect();
-    for (owner, mut entries) in at_owner.into_iter().enumerate() {
+    let offsets = net.round_map(at_owner, |_, mut entries: Vec<(K, ServerId, u64)>| {
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut replies = Vec::with_capacity(entries.len());
         let mut i = 0;
         while i < entries.len() {
             let mut j = i;
             let mut running = 0u64;
             while j < entries.len() && entries[j].0 == entries[i].0 {
-                down[owner].push((entries[j].1, (entries[j].0.clone(), running)));
+                replies.push((entries[j].1, (entries[j].0.clone(), running)));
                 running += entries[j].2;
                 j += 1;
             }
             i = j;
         }
-    }
-    let offsets = net.exchange(down);
+        replies
+    });
     // Local numbering: offset + local running index per key.
-    let mut out: Vec<Vec<(K, T, u64)>> = Vec::with_capacity(p);
-    for (s, part) in parts.into_iter().enumerate() {
-        let mut base: HashMap<K, u64> = offsets[s].iter().cloned().collect();
-        let mut numbered = Vec::with_capacity(part.len());
-        for (k, t) in part {
-            let n = base.get_mut(&k).expect("owner answered every local key");
-            numbered.push((k, t, *n));
-            *n += 1;
-        }
-        out.push(numbered);
-    }
+    let out = net.run_local(
+        parts.into_iter().zip(offsets).collect::<Vec<_>>(),
+        |_, (part, offs)| {
+            let offs: Vec<(K, u64)> = offs;
+            let part: Vec<(K, T)> = part;
+            let mut base: HashMap<K, u64> = offs.into_iter().collect();
+            let mut numbered = Vec::with_capacity(part.len());
+            for (k, t) in part {
+                let n = base.get_mut(&k).expect("owner answered every local key");
+                numbered.push((k, t, *n));
+                *n += 1;
+            }
+            numbered
+        },
+    );
     Partitioned::from_parts(out)
 }
 

@@ -244,7 +244,7 @@ mod tests {
             *bin_weight.entry(*bin).or_insert(0.0) += wmap[id];
         }
         let mut under_half = 0;
-        for (_, w) in &bin_weight {
+        for w in bin_weight.values() {
             assert!(*w <= 1.0 + 1e-9, "bin overflows: {w}");
             if *w < 0.5 {
                 under_half += 1;

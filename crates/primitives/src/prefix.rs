@@ -74,7 +74,7 @@ pub fn prefix_sum(net: &mut Net, values: &[u64]) -> (Vec<u64>, u64) {
 
 /// Broadcast one value from server `src` to all servers (1 unit received
 /// each). Returns the value for convenience.
-pub fn broadcast_value<T: Clone>(net: &mut Net, src: ServerId, value: T) -> T {
+pub fn broadcast_value<T: Clone + Send>(net: &mut Net, src: ServerId, value: T) -> T {
     let got = net.broadcast(src, vec![value]);
     got.into_iter()
         .next()

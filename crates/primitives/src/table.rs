@@ -8,6 +8,12 @@
 //! owners reply once per request. Both directions are `O(IN/p)` as long as
 //! the querying collection is balanced — which the initial MPC placement
 //! guarantees.
+//!
+//! All per-server phases (local pre-aggregation, owner-side aggregation,
+//! answer assembly) run through the round API ([`Net::round_map`],
+//! [`Net::run_local`]), so a parallel executor runs them concurrently across
+//! servers while the measured loads stay bit-identical to the sequential
+//! executor.
 
 use std::collections::{HashMap, HashSet};
 
@@ -28,16 +34,15 @@ pub struct OwnedTable<K: Key, V> {
 ///
 /// This is the paper's **sum-by-key** primitive: local pre-aggregation, then
 /// one exchange to the key owner, then owner-side aggregation. One round.
-pub fn sum_by_key<K: Key, V: Clone>(
+pub fn sum_by_key<K: Key, V: Clone + Send>(
     net: &mut Net,
     pairs: Partitioned<(K, V)>,
     seed: u64,
-    mut combine: impl FnMut(V, V) -> V,
+    combine: impl Fn(V, V) -> V + Sync,
 ) -> OwnedTable<K, V> {
     let p = net.p();
-    let mut outbox: Vec<Vec<(ServerId, (K, V))>> = Vec::with_capacity(p);
-    for part in pairs.into_parts() {
-        // Local pre-aggregation bounds traffic per key at one unit per server.
+    // Local pre-aggregation bounds traffic per key at one unit per server.
+    let received = net.round_map(pairs.into_parts(), |_, part: Vec<(K, V)>| {
         let mut local: HashMap<K, V> = HashMap::with_capacity(part.len());
         for (k, v) in part {
             match local.remove(&k) {
@@ -50,34 +55,28 @@ pub fn sum_by_key<K: Key, V: Clone>(
                 }
             }
         }
-        outbox.push(
-            local
-                .into_iter()
-                .map(|(k, v)| (k.owner(seed, p), (k, v)))
-                .collect(),
-        );
-    }
-    let received = net.exchange(outbox);
-    let parts = received
-        .into_iter()
-        .map(|entries| {
-            let mut m: HashMap<K, V> = HashMap::with_capacity(entries.len());
-            for (k, v) in entries {
-                match m.remove(&k) {
-                    Some(old) => {
-                        let merged = combine(old, v);
-                        m.insert(k, merged);
-                    }
-                    None => {
-                        m.insert(k, v);
-                    }
+        local
+            .into_iter()
+            .map(|(k, v)| (k.owner(seed, p), (k, v)))
+            .collect()
+    });
+    let parts = net.run_local(received, |_, entries: Vec<(K, V)>| {
+        let mut m: HashMap<K, V> = HashMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            match m.remove(&k) {
+                Some(old) => {
+                    let merged = combine(old, v);
+                    m.insert(k, merged);
+                }
+                None => {
+                    m.insert(k, v);
                 }
             }
-            let mut v: Vec<(K, V)> = m.into_iter().collect();
-            v.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
-            v
-        })
-        .collect();
+        }
+        let mut v: Vec<(K, V)> = m.into_iter().collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0)); // determinism
+        v
+    });
     OwnedTable {
         seed,
         parts: Partitioned::from_parts(parts),
@@ -86,32 +85,28 @@ pub fn sum_by_key<K: Key, V: Clone>(
 
 /// Build an [`OwnedTable`] from `(key, value)` pairs assumed to have globally
 /// distinct keys (one exchange; panics in debug if duplicates collide).
-pub fn own_by_key<K: Key, V>(
+pub fn own_by_key<K: Key, V: Send>(
     net: &mut Net,
     pairs: Partitioned<(K, V)>,
     seed: u64,
 ) -> OwnedTable<K, V> {
     let p = net.p();
-    let outbox: Vec<Vec<(ServerId, (K, V))>> = pairs
-        .into_parts()
-        .into_iter()
-        .map(|part| {
-            part.into_iter()
-                .map(|(k, v)| (k.owner(seed, p), (k, v)))
-                .collect()
-        })
-        .collect();
-    let mut received = net.exchange(outbox);
-    for part in &mut received {
+    let received = net.round_map(pairs.into_parts(), |_, part: Vec<(K, V)>| {
+        part.into_iter()
+            .map(|(k, v)| (k.owner(seed, p), (k, v)))
+            .collect()
+    });
+    let parts = net.run_local(received, |_, mut part: Vec<(K, V)>| {
         part.sort_by(|a, b| a.0.cmp(&b.0));
         debug_assert!(
             part.windows(2).all(|w| w[0].0 != w[1].0),
             "own_by_key requires globally distinct keys"
         );
-    }
+        part
+    });
     OwnedTable {
         seed,
-        parts: Partitioned::from_parts(received),
+        parts: Partitioned::from_parts(parts),
     }
 }
 
@@ -119,7 +114,7 @@ pub fn own_by_key<K: Key, V>(
 /// `requests` and receives a local map answering them (keys absent from the
 /// table are absent from the map). Two rounds; the paper's **multi-search**
 /// specialised to equality lookups.
-pub fn lookup<K: Key, V: Clone>(
+pub fn lookup<K: Key, V: Clone + Send + Sync>(
     net: &mut Net,
     table: &OwnedTable<K, V>,
     requests: &Partitioned<K>,
@@ -127,63 +122,52 @@ pub fn lookup<K: Key, V: Clone>(
     let p = net.p();
     assert_eq!(requests.p(), p, "requests must span the same servers");
     // Phase 1: distinct local keys → owner, tagged with requester id.
-    let mut outbox: Vec<Vec<(ServerId, (K, ServerId))>> = Vec::with_capacity(p);
-    for (s, part) in requests.iter().enumerate() {
-        let distinct: HashSet<&K> = part.iter().collect();
-        outbox.push(
-            distinct
-                .into_iter()
-                .map(|k| (k.owner(table.seed, p), (k.clone(), s)))
-                .collect(),
-        );
-    }
-    let asks = net.exchange(outbox);
+    let asks = net.round(|s| {
+        let distinct: HashSet<&K> = requests[s].iter().collect();
+        distinct
+            .into_iter()
+            .map(|k| (k.owner(table.seed, p), (k.clone(), s)))
+            .collect()
+    });
     // Phase 2: owner answers (only hits; misses are implied).
-    let mut reply: Vec<Vec<(ServerId, (K, V))>> = Vec::with_capacity(p);
-    for (owner, asks) in asks.into_iter().enumerate() {
+    let answers = net.round_map(asks, |owner, asks: Vec<(K, ServerId)>| {
         let local: HashMap<&K, &V> = table.parts[owner].iter().map(|(k, v)| (k, v)).collect();
-        reply.push(
-            asks.into_iter()
-                .filter_map(|(k, requester)| {
-                    local.get(&k).map(|v| (requester, (k.clone(), (*v).clone())))
-                })
-                .collect(),
-        );
-    }
-    let answers = net.exchange(reply);
-    answers
-        .into_iter()
-        .map(|entries| entries.into_iter().collect())
-        .collect()
+        asks.into_iter()
+            .filter_map(|(k, requester)| {
+                local.get(&k).map(|v| (requester, (k.clone(), (*v).clone())))
+            })
+            .collect()
+    });
+    net.run_local(answers, |_, entries: Vec<(K, V)>| {
+        entries.into_iter().collect()
+    })
 }
 
 /// The **semi-join** primitive: keep the items of `items` whose key occurs in
 /// `right_keys`. Three rounds total, linear load.
-pub fn semi_join<T, K: Key>(
+pub fn semi_join<T: Send + Sync, K: Key>(
     net: &mut Net,
     items: Partitioned<T>,
-    key_of: impl Fn(&T) -> K,
+    key_of: impl Fn(&T) -> K + Sync,
     right_keys: Partitioned<K>,
     seed: u64,
 ) -> Partitioned<T> {
     // Build the membership table (dedup at owner via sum_by_key on unit).
     let keyed = right_keys.map(|_, k| (k, ()));
     let table = sum_by_key(net, keyed, seed, |_, _| ());
-    let request_keys =
-        Partitioned::from_parts(items.iter().map(|part| part.iter().map(&key_of).collect()).collect());
+    let request_keys = Partitioned::from_parts(
+        net.run_each(|s| items[s].iter().map(&key_of).collect::<Vec<K>>()),
+    );
     let hits = lookup(net, &table, &request_keys);
-    Partitioned::from_parts(
-        items
-            .into_parts()
-            .into_iter()
-            .zip(hits)
-            .map(|(part, map)| {
-                part.into_iter()
-                    .filter(|t| map.contains_key(&key_of(t)))
-                    .collect()
-            })
-            .collect(),
-    )
+    let kept = net.run_local(
+        items.into_parts().into_iter().zip(hits).collect::<Vec<_>>(),
+        |_, (part, map): (Vec<T>, HashMap<K, ()>)| {
+            part.into_iter()
+                .filter(|t| map.contains_key(&key_of(t)))
+                .collect::<Vec<T>>()
+        },
+    );
+    Partitioned::from_parts(kept)
 }
 
 #[cfg(test)]
@@ -279,5 +263,26 @@ mod tests {
         let keys = Partitioned::distribute(vec![2u64, 2, 2, 2], 2);
         let kept = semi_join(&mut net, items, |&x| x, keys, 5);
         assert_eq!(kept.gather_free(), vec![2]);
+    }
+
+    /// Primitives must behave identically on both executors.
+    #[test]
+    fn primitives_agree_across_executors() {
+        let body = |net: &mut Net| {
+            let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i % 37, i)).collect();
+            let table = sum_by_key(net, Partitioned::distribute(pairs, net.p()), 9, |a, b| a + b);
+            let requests = Partitioned::distribute((0..60u64).collect::<Vec<_>>(), net.p());
+            let ans = lookup(net, &table, &requests);
+            let mut flat: Vec<(u64, u64)> = ans
+                .into_iter()
+                .flat_map(|m| m.into_iter().collect::<Vec<_>>())
+                .collect();
+            flat.sort_unstable();
+            flat
+        };
+        let (a, sa) = aj_mpc::run(6, body);
+        let (b, sb) = aj_mpc::run_parallel(6, body);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
     }
 }

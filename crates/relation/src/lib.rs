@@ -16,6 +16,21 @@
 //!   ([`semiring`]);
 //! * an in-memory (RAM-model) Yannakakis engine used as the correctness
 //!   oracle and for exact `OUT` / `|Q(R,S)|` computation ([`ram`]).
+//!
+//! ```
+//! use aj_relation::{classify::classify, database_from_rows, ram, JoinClass, QueryBuilder};
+//!
+//! // R1(A,B) ⋈ R2(B,C): build, classify, evaluate with the RAM oracle.
+//! let mut b = QueryBuilder::new();
+//! b.relation("R1", &["A", "B"]);
+//! b.relation("R2", &["B", "C"]);
+//! let q = b.build();
+//! assert!(q.is_acyclic());
+//! assert_eq!(classify(&q), JoinClass::TallFlat);
+//!
+//! let db = database_from_rows(&q, &[vec![vec![1, 10], vec![2, 10]], vec![vec![10, 7]]]);
+//! assert_eq!(ram::count(&q, &db), 2);
+//! ```
 
 pub mod classify;
 pub mod cover;

@@ -191,8 +191,8 @@ impl Query {
                 }
                 // Attributes of e shared with any other alive edge.
                 let mut shared = AttrSet::EMPTY;
-                for o in 0..m {
-                    if o != e && alive[o] {
+                for (o, &o_alive) in alive.iter().enumerate() {
+                    if o != e && o_alive {
                         shared = shared.union(self.edges[e].attr_set().intersect(self.edges[o].attr_set()));
                     }
                 }
@@ -274,6 +274,7 @@ impl Query {
             comp[start] = Some(id);
             while let Some(e) = stack.pop() {
                 members.insert(e);
+                #[allow(clippy::needless_range_loop)] // comp is mutated inside
                 for o in 0..m {
                     if comp[o].is_none()
                         && !self.edges[e]

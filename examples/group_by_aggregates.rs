@@ -22,7 +22,7 @@ fn main() {
     let q = b.build();
 
     let n = 600u64;
-    let db = acyclic_joins::relation::database_from_rows(
+    let mut db = acyclic_joins::relation::database_from_rows(
         &q,
         &[
             (0..60u64).map(|s| vec![s, s % 6]).collect(),
@@ -30,6 +30,11 @@ fn main() {
             (0..50u64).map(|t| vec![t, t % 4]).collect(),
         ],
     );
+    // Set semantics: the counting primitives (Corollary 4) assume
+    // deduplicated input.
+    for r in &mut db.relations {
+        r.dedup();
+    }
     let room = q.attr_by_name("room").unwrap();
     let y = vec![room];
     println!("query: {q}");

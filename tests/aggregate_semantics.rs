@@ -88,7 +88,7 @@ fn free_connex_y(q: &Query, seed: u64) -> Vec<usize> {
         if !y.contains(&a) {
             let mut cand = y.clone();
             cand.push(a);
-            if is_free_connex(q, &cand) && seed.wrapping_mul(a as u64 + 3) % 3 == 0 {
+            if is_free_connex(q, &cand) && seed.wrapping_mul(a as u64 + 3).is_multiple_of(3) {
                 y = cand;
             }
         }
