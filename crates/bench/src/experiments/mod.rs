@@ -9,6 +9,7 @@
 //! executors report the *same* load and result, and prints the parallel
 //! wall time plus the speedup.
 
+pub mod engine;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

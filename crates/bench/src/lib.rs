@@ -19,7 +19,7 @@ pub use table::ExpTable;
 /// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6", "scaling",
+    "thm7", "thm9", "fig6", "scaling", "engine",
 ];
 
 /// Run one experiment by id.
@@ -43,6 +43,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "thm9" => experiments::thm9::run(),
         "fig6" => experiments::fig6::run(),
         "scaling" => experiments::scaling::run(),
+        "engine" => experiments::engine::run(),
         other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
     }
 }

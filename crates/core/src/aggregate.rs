@@ -115,6 +115,17 @@ fn with_output_edge(q: &Query, y: &[Attr]) -> Query {
 /// (Corollary 4; assumes set semantics).
 pub fn output_size(net: &mut Net, q: &Query, db: &DistDatabase, seed: &mut u64) -> u64 {
     let tree = q.join_tree().expect("output_size requires an acyclic query");
+    output_size_with_tree(net, &tree, db, seed)
+}
+
+/// [`output_size`] with a precomputed join tree (e.g. from the engine's
+/// per-shape plan cache).
+pub fn output_size_with_tree(
+    net: &mut Net,
+    tree: &aj_relation::JoinTree,
+    db: &DistDatabase,
+    seed: &mut u64,
+) -> u64 {
     let p = net.p();
     // weights[e]: (tuple, weight) per server.
     let mut weights: Vec<Vec<Vec<(Tuple, u64)>>> = db

@@ -1,0 +1,497 @@
+//! The **query engine**: a long-lived serving layer that owns one
+//! [`Cluster`] and answers a stream of `(Query, Database)` requests.
+//!
+//! Where the one-shot [`crate::planner::execute_best`] spins up a throwaway
+//! cluster per call and dispatches purely by Table-1 class, the engine is
+//! built for sustained traffic:
+//!
+//! * **Plan cache** — structural planning artifacts (classification, join
+//!   tree, attribute forest) are computed once per *query shape* and cached
+//!   under the canonical [`QuerySignature`]. Repeated shapes skip
+//!   re-planning: dispatch reads the cached class and the Corollary-4
+//!   counting pass folds along the cached join tree. (The solvers
+//!   themselves stay self-contained and derive their own structure —
+//!   queries are constant-size, so that is local and free.)
+//! * **Cost-based planning** — for acyclic queries the engine runs the
+//!   Corollary-4 counting pass first, obtaining the exact `OUT` at load
+//!   `O(IN/p)`, then compares the paper's closed-form bounds (Corollary 1,
+//!   Theorem 7, the Yannakakis baseline) and picks the cheapest applicable
+//!   algorithm; ties fall back to the class answer. Yannakakis wins when
+//!   `OUT < IN` — a regime class-only dispatch cannot see.
+//! * **Per-query load attribution** — every phase runs inside its own stats
+//!   **epoch** ([`Cluster::epoch`]), so each [`QueryOutcome`] carries the
+//!   true interval loads (planning and execution separately) and the epochs
+//!   sum back to the cluster's cumulative [`aj_mpc::Stats`].
+//!
+//! Determinism: each query runs on a seed stream derived from the engine's
+//! base seed and the query's signature fingerprint, so a repeated shape —
+//! cache hit or not — reproduces its run bit-for-bit, on either executor.
+
+use std::collections::HashMap;
+
+use aj_mpc::{Cluster, EpochStats, Stats};
+use aj_relation::classify::{classify, AttributeForest, JoinClass};
+use aj_relation::signature::QuerySignature;
+use aj_relation::{Database, JoinTree, Query};
+
+use crate::aggregate::output_size_with_tree;
+use crate::dist::distribute_db;
+use crate::planner::{choose_plan, estimated_load, execute_plan_dist, Plan};
+use crate::DistRelation;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Run the Corollary-4 counting pass and pick the cheapest applicable
+    /// algorithm by bound comparison. When `false`, dispatch by join class
+    /// only (the [`crate::planner::plan_for`] behaviour).
+    pub cost_based: bool,
+    /// Base seed of the per-query seed streams.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cost_based: true,
+            seed: 0x5eed_ba5e,
+        }
+    }
+}
+
+/// Structural planning artifacts of one query *shape*, cached under its
+/// [`QuerySignature`]. Everything here is a pure function of the signature.
+#[derive(Debug, Clone)]
+pub struct PlanArtifacts {
+    /// Table-1 class of the shape.
+    pub class: JoinClass,
+    /// Join tree (acyclic shapes only).
+    pub join_tree: Option<JoinTree>,
+    /// Attribute forest (hierarchical shapes only).
+    pub forest: Option<AttributeForest>,
+    /// Seed-stream fingerprint of the shape.
+    pub fingerprint: u64,
+}
+
+impl PlanArtifacts {
+    fn build(q: &Query, sig: &QuerySignature) -> PlanArtifacts {
+        PlanArtifacts {
+            class: classify(q),
+            join_tree: q.join_tree(),
+            forest: AttributeForest::build(q),
+            fingerprint: sig.fingerprint(),
+        }
+    }
+}
+
+/// The answer to one engine request.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The plan that was executed.
+    pub plan: Plan,
+    /// Table-1 class of the query.
+    pub class: JoinClass,
+    /// Whether planning artifacts came from the shape cache.
+    pub cache_hit: bool,
+    /// `IN` of this instance.
+    pub in_size: u64,
+    /// `OUT` from the Corollary-4 counting pass (cost-based engines on
+    /// acyclic queries only). Exact under set semantics — duplicate input
+    /// tuples inflate the count multiplicatively (see [`QueryEngine::run`]).
+    pub out_size: Option<u64>,
+    /// The cost model's load estimate for the chosen plan, if it ran.
+    pub estimated_load: Option<f64>,
+    /// The distributed join result.
+    pub output: DistRelation,
+    /// Loads of the planning phase (counting pass; empty epoch when
+    /// class-only or cyclic).
+    pub planning: EpochStats,
+    /// Loads of the execution phase.
+    pub execution: EpochStats,
+}
+
+/// A long-lived query engine over one owned [`Cluster`].
+///
+/// ```
+/// use aj_core::engine::QueryEngine;
+/// use aj_relation::{database_from_rows, QueryBuilder};
+///
+/// let mut b = QueryBuilder::new();
+/// b.relation("R1", &["A", "B"]);
+/// b.relation("R2", &["B", "C"]);
+/// let q = b.build();
+/// let db = database_from_rows(
+///     &q,
+///     &[vec![vec![1, 10], vec![2, 10]], vec![vec![10, 7]]],
+/// );
+///
+/// let mut engine = QueryEngine::new(4); // or QueryEngine::new_parallel(4)
+/// let first = engine.run(&q, &db);
+/// let again = engine.run(&q, &db);
+/// assert!(!first.cache_hit && again.cache_hit);
+/// assert_eq!(first.output.total_len(), 2);
+/// // Per-query load attribution via stats epochs:
+/// assert_eq!(first.execution.max_load, again.execution.max_load);
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    cluster: Cluster,
+    config: EngineConfig,
+    cache: HashMap<QuerySignature, PlanArtifacts>,
+    served: u64,
+    cache_hits: u64,
+}
+
+impl QueryEngine {
+    /// An engine over a fresh sequentially-simulated cluster of `p` servers.
+    pub fn new(p: usize) -> Self {
+        QueryEngine::with_cluster(Cluster::new(p), EngineConfig::default())
+    }
+
+    /// An engine whose per-server work runs on a thread pool. Results and
+    /// per-query loads are bit-identical to [`QueryEngine::new`].
+    pub fn new_parallel(p: usize) -> Self {
+        QueryEngine::with_cluster(Cluster::new_parallel(p), EngineConfig::default())
+    }
+
+    /// An engine over an explicit cluster and configuration. The cluster's
+    /// measurements are reset: from here on the cumulative stats cover
+    /// exactly the queries this engine serves, so per-query epochs always
+    /// reconcile with [`QueryEngine::stats`] (see [`epochs_reconcile`]).
+    pub fn with_cluster(mut cluster: Cluster, config: EngineConfig) -> Self {
+        // Anything measured before the engine took over belongs to no query.
+        cluster.reset_stats();
+        QueryEngine {
+            cluster,
+            config,
+            cache: HashMap::new(),
+            served: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn p(&self) -> usize {
+        self.cluster.p()
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative cluster statistics across all queries served.
+    pub fn stats(&self) -> &Stats {
+        self.cluster.stats()
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Requests whose planning artifacts came from the shape cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Distinct query shapes planned so far.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cached artifacts for a query's shape, if it has been planned.
+    pub fn artifacts(&self, q: &Query) -> Option<&PlanArtifacts> {
+        self.cache.get(&QuerySignature::of(q))
+    }
+
+    /// Serve one request.
+    ///
+    /// Like the whole workspace, the engine assumes **set semantics**:
+    /// relations should not contain duplicate tuples (normalize with
+    /// [`Database::dedup_all`] if unsure). Duplicates inflate the
+    /// Corollary-4 count ([`QueryOutcome::out_size`]) multiplicatively,
+    /// which can steer the cost model toward the wrong plan; results remain
+    /// correct up to duplicate output tuples.
+    ///
+    /// # Panics
+    /// Panics if `db` does not match `q`'s layout.
+    pub fn run(&mut self, q: &Query, db: &Database) -> QueryOutcome {
+        assert!(db.matches(q), "database layout does not match the query");
+        let sig = QuerySignature::of(q);
+        // One hash lookup; the borrow of `self.cache` stays live so the
+        // cached join tree is used by reference below (no per-request clone).
+        let (cache_hit, artifacts) = match self.cache.entry(sig) {
+            std::collections::hash_map::Entry::Occupied(e) => (true, &*e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let built = PlanArtifacts::build(q, e.key());
+                (false, &*e.insert(built))
+            }
+        };
+        if cache_hit {
+            self.cache_hits += 1;
+        }
+        let class = artifacts.class;
+        let fingerprint = artifacts.fingerprint;
+        self.served += 1;
+
+        let p = self.cluster.p();
+        let in_size = db.input_size() as u64;
+        // The initial MPC placement is free and deterministic; distribute
+        // once and share it between the counting pass and the execution.
+        let dist = distribute_db(db, p);
+
+        // Planning phase, in its own epoch. Cyclic queries have exactly one
+        // applicable algorithm, so the counting pass (which also requires a
+        // join tree) is skipped for them.
+        self.cluster.begin_epoch();
+        let (plan, out_size, est) = if self.config.cost_based && class != JoinClass::Cyclic {
+            let tree = artifacts
+                .join_tree
+                .as_ref()
+                .expect("acyclic shapes have a cached join tree");
+            let mut plan_seed = mix(self.config.seed ^ PLANNING_SALT, fingerprint);
+            let out = {
+                let mut net = self.cluster.net();
+                output_size_with_tree(&mut net, tree, &dist, &mut plan_seed)
+            };
+            let plan = choose_plan(class, in_size, out, p);
+            let est = estimated_load(plan, in_size, out, p);
+            (plan, Some(out), Some(est))
+        } else {
+            (Plan::for_class(class), None, None)
+        };
+        let planning = self.cluster.epoch();
+
+        // Execution phase: a per-shape seed stream independent of the
+        // planner, so the run is identical to a class-only engine whenever
+        // both choose the same plan.
+        let mut exec_seed = mix(self.config.seed, fingerprint);
+        let output = {
+            let mut net = self.cluster.net();
+            execute_plan_dist(&mut net, plan, q, dist, &mut exec_seed)
+        };
+        let execution = self.cluster.epoch();
+        // Per-query attribution runs on epochs, not the round log; trimming
+        // it keeps a sustained-traffic engine's memory bounded.
+        self.cluster.trim_round_log();
+
+        QueryOutcome {
+            plan,
+            class,
+            cache_hit,
+            in_size,
+            out_size,
+            estimated_load: est,
+            output,
+            planning,
+            execution,
+        }
+    }
+
+    /// Serve a batch of requests in order.
+    pub fn run_batch(&mut self, batch: &[(Query, Database)]) -> Vec<QueryOutcome> {
+        batch.iter().map(|(q, db)| self.run(q, db)).collect()
+    }
+}
+
+/// Do per-query epochs reconcile with cumulative `stats`? Messages and
+/// rounds must sum exactly to the global counters, and the max over epoch
+/// maxima must equal the global `L`. Holds for an engine's complete outcome
+/// history (the engine resets its cluster's measurements at construction,
+/// and every round it performs lies inside some outcome's epoch).
+pub fn epochs_reconcile(outcomes: &[QueryOutcome], stats: &Stats) -> bool {
+    let (mut msgs, mut rounds, mut max) = (0u64, 0u64, 0u64);
+    for o in outcomes {
+        msgs += o.planning.total_messages + o.execution.total_messages;
+        rounds += o.planning.exchanges + o.execution.exchanges;
+        max = max.max(o.planning.max_load).max(o.execution.max_load);
+    }
+    msgs == stats.total_messages && rounds == stats.exchanges && max == stats.max_load
+}
+
+const PLANNING_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64-style combine of the base seed and a shape fingerprint.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aj_instancegen::{line_query, shapes};
+    use aj_relation::{database_from_rows, ram, Tuple};
+
+    fn line3_db(q: &Query) -> Database {
+        database_from_rows(
+            q,
+            &[
+                (0..24).map(|i| vec![i, i % 4]).collect(),
+                (0..16).map(|i| vec![i % 4, i % 5]).collect(),
+                (0..15).map(|i| vec![i % 5, i]).collect(),
+            ],
+        )
+    }
+
+    fn sorted(rel: &DistRelation) -> Vec<Tuple> {
+        let mut t = rel.gather_free().tuples;
+        t.sort_unstable();
+        t
+    }
+
+    #[test]
+    fn engine_matches_oracle_and_counts_out_exactly() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let (_, mut want) = ram::join(&q, &db);
+        want.sort_unstable();
+        let mut engine = QueryEngine::new(4);
+        let outcome = engine.run(&q, &db);
+        assert_eq!(sorted(&outcome.output), want);
+        assert_eq!(outcome.out_size, Some(want.len() as u64));
+        assert_eq!(outcome.in_size, db.input_size() as u64);
+        assert!(!outcome.cache_hit);
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_cold_run() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let mut engine = QueryEngine::new(4);
+        let cold = engine.run(&q, &db);
+        let hot = engine.run(&q, &db);
+        assert!(!cold.cache_hit && hot.cache_hit);
+        assert_eq!(sorted(&cold.output), sorted(&hot.output));
+        assert_eq!(cold.planning, hot.planning);
+        assert_eq!(cold.execution, hot.execution);
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(engine.cache_len(), 1);
+        assert_eq!(engine.served(), 2);
+    }
+
+    #[test]
+    fn epochs_sum_to_global_stats() {
+        let q1 = line_query(3);
+        let db1 = line3_db(&q1);
+        let q2 = shapes::star_query(3);
+        let db2 = database_from_rows(
+            &q2,
+            &[
+                (0..12).map(|i| vec![i % 3, i]).collect(),
+                (0..9).map(|i| vec![i % 3, 100 + i]).collect(),
+                (0..6).map(|i| vec![i % 3, 200 + i]).collect(),
+            ],
+        );
+        let mut engine = QueryEngine::new(4);
+        let outcomes = vec![engine.run(&q1, &db1), engine.run(&q2, &db2), engine.run(&q1, &db1)];
+        assert!(epochs_reconcile(&outcomes, engine.stats()));
+    }
+
+    /// `with_cluster` resets a pre-used cluster's measurements so the
+    /// documented epoch reconciliation holds regardless of prior traffic.
+    #[test]
+    fn with_cluster_resets_prior_traffic() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let mut cluster = Cluster::new(4);
+        {
+            // Warm the cluster outside the engine.
+            let mut net = cluster.net();
+            let mut seed = 1;
+            crate::planner::execute_best(&mut net, &q, &db, &mut seed);
+        }
+        let mut engine = QueryEngine::with_cluster(cluster, EngineConfig::default());
+        let outcomes = vec![engine.run(&q, &db)];
+        assert!(epochs_reconcile(&outcomes, engine.stats()));
+    }
+
+    #[test]
+    fn cyclic_queries_skip_the_counting_pass() {
+        let inst = aj_instancegen::fig6::generate(40, 60, 3);
+        let mut engine = QueryEngine::new(8);
+        let outcome = engine.run(&inst.query, &inst.db);
+        assert_eq!(outcome.plan, Plan::WorstCase);
+        assert_eq!(outcome.out_size, None);
+        assert_eq!(outcome.planning.exchanges, 0);
+        let mut got = outcome.output.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, ram::naive_join(&inst.query, &inst.db));
+    }
+
+    #[test]
+    fn small_out_picks_yannakakis() {
+        // OUT < IN on a line-3: cost-based dispatch must pick Yannakakis.
+        let q = line_query(3);
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..64).map(|i| vec![i, i]).collect(),
+                (0..64).map(|i| vec![i, i]).collect(),
+                (0..64).map(|i| vec![i, i]).collect(),
+            ],
+        );
+        let mut engine = QueryEngine::new(8);
+        let outcome = engine.run(&q, &db);
+        assert_eq!(outcome.out_size, Some(64));
+        assert!(outcome.out_size.unwrap() < outcome.in_size);
+        assert_eq!(outcome.plan, Plan::Yannakakis);
+        let (_, mut want) = ram::join(&q, &db);
+        want.sort_unstable();
+        assert_eq!(sorted(&outcome.output), want);
+    }
+
+    #[test]
+    fn class_only_engine_follows_plan_for() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let cfg = EngineConfig {
+            cost_based: false,
+            ..EngineConfig::default()
+        };
+        let mut engine = QueryEngine::with_cluster(Cluster::new(4), cfg);
+        let outcome = engine.run(&q, &db);
+        assert_eq!(outcome.plan, crate::planner::plan_for(&q));
+        assert_eq!(outcome.out_size, None);
+        assert_eq!(outcome.planning.exchanges, 0);
+    }
+
+    #[test]
+    fn executors_agree_per_query() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let mut seq = QueryEngine::new(4);
+        let mut par = QueryEngine::new_parallel(4);
+        let a = seq.run(&q, &db);
+        let b = par.run(&q, &db);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.planning, b.planning);
+        assert_eq!(a.execution, b.execution);
+        assert_eq!(sorted(&a.output), sorted(&b.output));
+    }
+
+    #[test]
+    fn artifacts_are_cached_per_shape() {
+        let q = shapes::star_query(2);
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..6).map(|i| vec![i % 2, i]).collect(),
+                (0..4).map(|i| vec![i % 2, 10 + i]).collect(),
+            ],
+        );
+        let mut engine = QueryEngine::new(2);
+        assert!(engine.artifacts(&q).is_none());
+        engine.run(&q, &db);
+        let art = engine.artifacts(&q).expect("planned");
+        // Star joins are in the r-hierarchical family (Theorem-3 territory).
+        assert_eq!(Plan::for_class(art.class), Plan::InstanceOptimal);
+        assert!(art.join_tree.is_some());
+        assert!(art.forest.is_some(), "stars are hierarchical: forest exists");
+    }
+}

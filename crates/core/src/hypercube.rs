@@ -37,11 +37,23 @@ pub fn hypercube_join(
     shares: &Shares,
     seed: u64,
 ) -> DistRelation {
+    let dist = distribute_db(db, net.p());
+    hypercube_join_dist(net, q, dist, shares, seed)
+}
+
+/// [`hypercube_join`] on an already-distributed database (the initial MPC
+/// placement is free, so rounds and loads are identical either way).
+pub fn hypercube_join_dist(
+    net: &mut Net,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    shares: &Shares,
+    seed: u64,
+) -> DistRelation {
     let p = net.p();
     assert_eq!(shares.0.len(), q.n_attrs(), "one share per attribute");
     let grid = shares.grid_size();
     assert!(grid >= 1 && grid <= p, "share product {grid} must fit in p={p}");
-    let dist = distribute_db(db, p);
 
     // Strides for mixed-radix cell coordinates.
     let mut stride = vec![1usize; q.n_attrs()];
@@ -165,7 +177,16 @@ pub fn worst_case_shares(q: &Query, sizes: &[u64], p: usize) -> Shares {
 
 /// Exhaustive search over power-of-two share vectors (queries are constant
 /// size, so the search space is tiny).
+///
+/// **Rounding:** the search budgets `⌊log₂ p⌋` doubling levels, so the grid
+/// holds at most `2^⌊log₂ p⌋ ≤ p` cells. For non-power-of-two `p` the
+/// remaining `p − 2^⌊log₂ p⌋` servers receive no grid cell and stay idle —
+/// a deliberate (at most 2×) rounding loss, standard for HyperCube share
+/// optimization, in exchange for an exact integral grid. In particular
+/// `p = 1` yields the all-ones share vector (everything on one server) and
+/// `p = 7` a grid of at most 4 cells.
 fn best_shares(n_attrs: usize, p: usize, cost: impl Fn(&[usize]) -> f64) -> Shares {
+    assert!(p >= 1, "need at least one server");
     let budget = (p as f64).log2().floor() as u32;
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut current = vec![0u32; n_attrs];
@@ -191,7 +212,13 @@ fn best_shares(n_attrs: usize, p: usize, cost: impl Fn(&[usize]) -> f64) -> Shar
         current[i] = 0;
     }
     rec(0, budget, &mut current, &mut best, &cost);
-    Shares(best.expect("nonempty search").1)
+    let shares = Shares(best.expect("nonempty search").1);
+    assert!(
+        shares.grid_size() <= p,
+        "share search must fit the grid in p (grid {} > p {p})",
+        shares.grid_size()
+    );
+    shares
 }
 
 #[cfg(test)]
@@ -263,6 +290,73 @@ mod tests {
         let mut got = out.gather_free().tuples;
         got.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    /// `p = 1`: the budget is zero levels, so every share is 1 and the whole
+    /// join runs on the single server.
+    #[test]
+    fn single_server_edge_case() {
+        let q = {
+            let mut b = QueryBuilder::new();
+            b.relation("R1", &["A", "B"]);
+            b.relation("R2", &["B", "C"]);
+            b.build()
+        };
+        let s = worst_case_shares(&q, &[10, 10], 1);
+        assert_eq!(s.0, vec![1, 1, 1]);
+        assert_eq!(s.grid_size(), 1);
+        let db = database_from_rows(
+            &q,
+            &[
+                (0..10).map(|i| vec![i, i % 3]).collect(),
+                (0..10).map(|i| vec![i % 3, 100 + i]).collect(),
+            ],
+        );
+        let want = {
+            let (_, mut t) = ram::join(&q, &db);
+            t.sort_unstable();
+            t
+        };
+        let mut cluster = Cluster::new(1);
+        let out = {
+            let mut net = cluster.net();
+            hypercube_join(&mut net, &q, &db, &s, 7)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    /// Non-power-of-two `p = 7`: the grid uses at most `2^⌊log₂ 7⌋ = 4`
+    /// cells; the stranded servers stay idle but the join is still correct.
+    #[test]
+    fn non_power_of_two_p_edge_case() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        let s = worst_case_shares(&q, &[200, 200, 200], 7);
+        assert!(s.grid_size() <= 4, "budget ⌊log₂ 7⌋ = 2 levels");
+        let n = 10u64;
+        let edges: Vec<Vec<u64>> = (0..n)
+            .flat_map(|a| (0..n).filter(move |b| (a + b) % 3 != 0).map(move |b| vec![a, b]))
+            .collect();
+        let db = database_from_rows(&q, &[edges.clone(), edges.clone(), edges]);
+        let want = ram::naive_join(&q, &db);
+        let mut cluster = Cluster::new(7);
+        let out = {
+            let mut net = cluster.net();
+            hypercube_join(&mut net, &q, &db, &s, 21)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+        // Servers beyond the grid received nothing.
+        let peaks = &cluster.stats().per_server_peak;
+        for (srv, &peak) in peaks.iter().enumerate().skip(s.grid_size()) {
+            assert_eq!(peak, 0, "server {srv} is outside the grid but got data");
+        }
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! | [`aggregate`] | Theorem 9 / Corollary 4 (free-connex join-aggregate) | `O(IN/p + √(IN·OUT)/p)` |
 //! | [`triangle`] | Section 7 comparison point | `O(IN/p^{2/3})` (worst-case opt.) |
 //! | [`bounds`] | Eq. (1), Eq. (2), Theorem 4, lower-bound formulas | — |
-//! | [`planner`] | classification-driven dispatch | — |
+//! | [`planner`] | class dispatch + cost-based plan choice | — |
+//! | [`engine`] | long-lived serving layer: plan cache, cost-based planning, per-query stats epochs | — |
 //!
 //! # Execution
 //!
@@ -32,6 +33,7 @@ pub mod aggregate;
 pub mod binary;
 pub mod bounds;
 pub mod dist;
+pub mod engine;
 pub mod hierarchical;
 pub mod hypercube;
 pub mod line3;
@@ -41,4 +43,5 @@ pub mod triangle;
 pub mod yannakakis;
 
 pub use dist::{DistDatabase, DistRelation};
-pub use planner::{execute_best, Plan};
+pub use engine::{EngineConfig, QueryEngine, QueryOutcome};
+pub use planner::{choose_plan, execute_best, execute_plan, execute_plan_dist, plan_for, Plan};

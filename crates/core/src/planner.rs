@@ -1,11 +1,13 @@
-//! Classification-driven dispatch: pick the optimal algorithm for a query
-//! (Table 1's "which row are you in").
+//! Plan selection: class-driven dispatch (Table 1's "which row are you in")
+//! and the cost-based refinement used by [`crate::engine::QueryEngine`],
+//! which compares the paper's closed-form load bounds at a known `OUT`.
 
 use aj_mpc::Net;
 use aj_relation::classify::{classify, JoinClass};
 use aj_relation::{Database, Query};
 
-use crate::dist::{distribute_db, DistRelation};
+use crate::bounds;
+use crate::dist::{distribute_db, next_seed, DistRelation};
 
 /// The chosen execution strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,8 +18,36 @@ pub enum Plan {
     /// Acyclic but not r-hierarchical: the Theorem-7 algorithm, load
     /// `O(IN/p + √(IN·OUT)/p)`.
     OutputOptimal,
+    /// The MPC Yannakakis baseline, load `O(IN/p + OUT/p)` — the cost-based
+    /// winner when `OUT < IN` (never chosen by class-only dispatch).
+    Yannakakis,
     /// Cyclic: worst-case-optimal HyperCube shares.
     WorstCase,
+}
+
+impl Plan {
+    /// The plan class-only dispatch picks for a join class (Table 1).
+    pub fn for_class(class: JoinClass) -> Plan {
+        match class {
+            JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
+                Plan::InstanceOptimal
+            }
+            JoinClass::Acyclic => Plan::OutputOptimal,
+            JoinClass::Cyclic => Plan::WorstCase,
+        }
+    }
+}
+
+impl std::fmt::Display for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Plan::InstanceOptimal => "thm3",
+            Plan::OutputOptimal => "thm7",
+            Plan::Yannakakis => "yann",
+            Plan::WorstCase => "hcube",
+        };
+        f.write_str(s)
+    }
 }
 
 /// Which plan the classification selects.
@@ -40,17 +70,112 @@ pub enum Plan {
 /// assert_eq!(plan_for(&b.build()), Plan::OutputOptimal);
 /// ```
 pub fn plan_for(q: &Query) -> Plan {
-    match classify(q) {
-        JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
-            Plan::InstanceOptimal
+    Plan::for_class(classify(q))
+}
+
+/// The closed-form load bound a plan promises on an instance with the given
+/// statistics (the cost model of the cost-based planner): Corollary 1 for
+/// Theorem 3, Theorem 7's `IN/p + √(IN·OUT)/p`, and the Yannakakis baseline
+/// `IN/p + OUT/p`.
+///
+/// # Panics
+/// Panics on [`Plan::WorstCase`]: cyclic queries have exactly one applicable
+/// algorithm, so [`choose_plan`] never costs HyperCube, and its load depends
+/// on the chosen shares rather than a closed form in `(IN, OUT)`.
+pub fn estimated_load(plan: Plan, in_size: u64, out_size: u64, p: usize) -> f64 {
+    match plan {
+        Plan::InstanceOptimal => bounds::r_hierarchical_bound(in_size, out_size, p),
+        Plan::OutputOptimal => bounds::acyclic_bound(in_size, out_size, p),
+        Plan::Yannakakis => bounds::yannakakis_bound(in_size, out_size, p),
+        Plan::WorstCase => {
+            panic!("HyperCube has no (IN, OUT) closed form; it is the only cyclic candidate")
         }
-        JoinClass::Acyclic => Plan::OutputOptimal,
-        JoinClass::Cyclic => Plan::WorstCase,
     }
 }
 
-/// Distribute `db` and run the best algorithm for `q`. Returns the chosen
-/// plan and the distributed result.
+/// Cost-based plan choice: given the query's class and the exact `OUT`
+/// (from the Corollary-4 counting pass, load `O(IN/p)`), compare the
+/// closed-form bounds of every *applicable* algorithm and pick the
+/// cheapest. Ties fall back to [`plan_for`]'s class answer — the cost model
+/// refines class dispatch, it never contradicts it without evidence.
+pub fn choose_plan(class: JoinClass, in_size: u64, out_size: u64, p: usize) -> Plan {
+    let candidates: &[Plan] = match class {
+        JoinClass::Cyclic => &[Plan::WorstCase],
+        JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
+            &[Plan::InstanceOptimal, Plan::OutputOptimal, Plan::Yannakakis]
+        }
+        JoinClass::Acyclic => &[Plan::OutputOptimal, Plan::Yannakakis],
+    };
+    if let [only] = candidates {
+        return *only; // cyclic: no bound comparison to run
+    }
+    let class_plan = Plan::for_class(class);
+    let costs: Vec<f64> = candidates
+        .iter()
+        .map(|&plan| estimated_load(plan, in_size, out_size, p))
+        .collect();
+    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    // Relative tolerance: bounds computed from the same IN/OUT/p differ only
+    // meaningfully; hair-width gaps are ties.
+    let tied = |c: f64| c <= best * (1.0 + 1e-9) + 1e-9;
+    if candidates
+        .iter()
+        .zip(&costs)
+        .any(|(&plan, &c)| plan == class_plan && tied(c))
+    {
+        return class_plan;
+    }
+    candidates
+        .iter()
+        .zip(&costs)
+        .find(|(_, &c)| tied(c))
+        .map(|(&plan, _)| plan)
+        .expect("nonempty candidate set")
+}
+
+/// Distribute `db` and run the given plan for `q`.
+///
+/// Seed discipline: every arm draws **exactly one** value from the caller's
+/// seed stream and runs on its own derived stream, so replaying a seed
+/// yields the identical run and the caller's stream advances the same way
+/// regardless of which plan was chosen.
+pub fn execute_plan(
+    net: &mut Net,
+    plan: Plan,
+    q: &Query,
+    db: &Database,
+    seed: &mut u64,
+) -> DistRelation {
+    let dist = distribute_db(db, net.p());
+    execute_plan_dist(net, plan, q, dist, seed)
+}
+
+/// [`execute_plan`] on an already-distributed database (e.g. the engine's,
+/// which distributes once and shares the placement between the counting
+/// pass and the execution). Same seed discipline; distribution is free and
+/// deterministic, so this produces rounds identical to [`execute_plan`].
+pub fn execute_plan_dist(
+    net: &mut Net,
+    plan: Plan,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    seed: &mut u64,
+) -> DistRelation {
+    let mut local = next_seed(seed);
+    match plan {
+        Plan::InstanceOptimal => crate::hierarchical::solve(net, q, dist, &mut local),
+        Plan::OutputOptimal => crate::acyclic::solve(net, q, dist, &mut local),
+        Plan::Yannakakis => crate::yannakakis::yannakakis(net, q, dist, None, &mut local),
+        Plan::WorstCase => {
+            let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
+            let shares = crate::hypercube::worst_case_shares(q, &sizes, net.p());
+            crate::hypercube::hypercube_join_dist(net, q, dist, &shares, local)
+        }
+    }
+}
+
+/// Distribute `db` and run the best algorithm for `q` by class. Returns the
+/// chosen plan and the distributed result.
 ///
 /// ```
 /// use aj_core::planner::{execute_best, Plan};
@@ -85,21 +210,7 @@ pub fn execute_best(
     seed: &mut u64,
 ) -> (Plan, DistRelation) {
     let plan = plan_for(q);
-    let out = match plan {
-        Plan::InstanceOptimal => {
-            let dist = distribute_db(db, net.p());
-            crate::hierarchical::solve(net, q, dist, seed)
-        }
-        Plan::OutputOptimal => {
-            let dist = distribute_db(db, net.p());
-            crate::acyclic::solve(net, q, dist, seed)
-        }
-        Plan::WorstCase => {
-            let sizes: Vec<u64> = db.relations.iter().map(|r| r.len() as u64).collect();
-            let shares = crate::hypercube::worst_case_shares(q, &sizes, net.p());
-            crate::hypercube::hypercube_join(net, q, db, &shares, crate::dist::next_seed(seed))
-        }
-    };
+    let out = execute_plan(net, plan, q, db, seed);
     (plan, out)
 }
 
@@ -176,5 +287,82 @@ mod tests {
         let mut got = out.gather_free().tuples;
         got.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    /// Every plan arm advances the caller's seed stream by exactly one draw.
+    #[test]
+    fn seed_stream_advances_uniformly() {
+        let q_line = line_query(3);
+        let db_line = aj_relation::query::database_from_rows(
+            &q_line,
+            &[
+                (0..12).map(|i| vec![i, i % 3]).collect(),
+                (0..9).map(|i| vec![i % 3, i % 4]).collect(),
+                (0..8).map(|i| vec![i % 4, i]).collect(),
+            ],
+        );
+        let tri = aj_instancegen::fig6::generate(40, 60, 5);
+        let run = |plan: Plan, q: &Query, db: &Database| -> u64 {
+            let mut cluster = Cluster::new(4);
+            let mut net = cluster.net();
+            let mut seed = 1234;
+            execute_plan(&mut net, plan, q, db, &mut seed);
+            seed
+        };
+        let after_thm7 = run(Plan::OutputOptimal, &q_line, &db_line);
+        let after_yann = run(Plan::Yannakakis, &q_line, &db_line);
+        let after_hcube = run(Plan::WorstCase, &tri.query, &tri.db);
+        assert_eq!(after_thm7, after_yann);
+        assert_eq!(after_yann, after_hcube);
+    }
+
+    /// Replaying the same seed yields the identical run (result and loads).
+    #[test]
+    fn replayed_seed_is_identical() {
+        let q = line_query(3);
+        let db = aj_relation::query::database_from_rows(
+            &q,
+            &[
+                (0..24).map(|i| vec![i, i % 4]).collect(),
+                (0..16).map(|i| vec![i % 4, i % 5]).collect(),
+                (0..15).map(|i| vec![i % 5, i]).collect(),
+            ],
+        );
+        let run = || {
+            let mut cluster = Cluster::new(4);
+            let out = {
+                let mut net = cluster.net();
+                let mut seed = 77;
+                execute_plan(&mut net, Plan::OutputOptimal, &q, &db, &mut seed)
+            };
+            (out.gather_free().tuples, cluster.stats().clone())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn cost_model_prefers_yannakakis_for_small_out() {
+        // OUT < IN: the O(IN/p + OUT/p) baseline wins over √(IN·OUT)/p.
+        let plan = choose_plan(JoinClass::Acyclic, 10_000, 64, 16);
+        assert_eq!(plan, Plan::Yannakakis);
+        // OUT ≥ IN: Theorem 7 wins.
+        let plan = choose_plan(JoinClass::Acyclic, 10_000, 1_000_000, 16);
+        assert_eq!(plan, Plan::OutputOptimal);
+    }
+
+    #[test]
+    fn cost_model_ties_fall_back_to_class() {
+        // OUT == IN on an r-hierarchical query: Thm-3's IN/p + √(OUT/p)
+        // strictly beats the others, and is also the class answer.
+        let plan = choose_plan(JoinClass::RHierarchical, 4096, 4096, 16);
+        assert_eq!(plan, Plan::InstanceOptimal);
+        // Cyclic queries only have one candidate.
+        assert_eq!(
+            choose_plan(JoinClass::Cyclic, 1000, 1000, 8),
+            Plan::WorstCase
+        );
     }
 }

@@ -88,6 +88,28 @@ pub fn two_sided(n: u64, out: u64) -> Instance {
     }
 }
 
+/// A sparse small-`OUT` line-3 instance (`OUT ≪ IN`, most tuples dangle):
+/// the regime where the MPC Yannakakis bound `O(IN/p + OUT/p)` beats
+/// Theorem 7's `√(IN·OUT)/p` term — the plan switch a cost-based planner
+/// exploits (not a paper figure). `variant` perturbs the key pattern;
+/// deterministic.
+pub fn sparse_small_out(n: u64, variant: u64) -> Instance {
+    assert!((2..=1 << 40).contains(&n), "keep n in a sane range");
+    let query = line_query(3);
+    // Bound the perturbation so the key arithmetic below cannot overflow.
+    let v = variant % 1024;
+    let db = aj_relation::database_from_rows(
+        &query,
+        &[
+            (0..n).map(|x| vec![x, (x * 7 + v) % (4 * n)]).collect(),
+            (0..n).map(|x| vec![(x * 3 + v) % (4 * n), x]).collect(),
+            (0..n).map(|x| vec![(x * (2 + v)) % n, 4 * n + x]).collect(),
+        ],
+    );
+    let out = aj_relation::ram::count(&query, &db);
+    Instance { query, db, out }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +129,20 @@ mod tests {
             assert!(in_size >= 2 * n && in_size <= 4 * n, "IN = {in_size}");
             // Requested OUT honored within rounding.
             assert!(inst.out >= out / 2 && inst.out <= out * 2);
+        }
+    }
+
+    #[test]
+    fn sparse_small_out_is_small_out() {
+        for v in 0..3 {
+            let inst = sparse_small_out(96, v);
+            assert_eq!(ram::count(&inst.query, &inst.db), inst.out);
+            assert!(
+                inst.out < inst.db.input_size() as u64 / 2,
+                "OUT {} must stay well below IN {}",
+                inst.out,
+                inst.db.input_size()
+            );
         }
     }
 

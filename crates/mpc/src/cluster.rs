@@ -2,7 +2,7 @@
 //! round API the executors drive.
 
 use crate::executor::{run_consuming, run_indexed, Execute, ParExecutor, SeqExecutor};
-use crate::stats::Stats;
+use crate::stats::{EpochStats, Stats};
 use crate::Partitioned;
 
 /// Identifier of a server. Within a [`Net`] view, server ids are *local*:
@@ -82,8 +82,37 @@ impl Cluster {
     }
 
     /// Reset all measurements (the data the caller holds is untouched).
+    /// Also clears the round log and discards the current epoch.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::new(self.p);
+    }
+
+    /// Close the current stats **epoch** and open a new one, returning the
+    /// interval's measurements: true per-interval max load, per-server
+    /// peaks, messages and exchanges since the previous [`Cluster::epoch`]
+    /// (or since creation / [`Cluster::reset_stats`] /
+    /// [`Cluster::begin_epoch`]).
+    ///
+    /// Epochs are how a long-lived cluster attributes load to individual
+    /// phases or queries: the cumulative [`Stats::max_load`] is monotone, so
+    /// only an epoch can tell how much a *specific* interval contributed.
+    pub fn epoch(&mut self) -> EpochStats {
+        self.stats.roll_epoch()
+    }
+
+    /// Discard the current epoch accumulators and start a fresh epoch.
+    /// Cumulative [`Stats`] are unaffected.
+    pub fn begin_epoch(&mut self) {
+        let _ = self.stats.roll_epoch();
+    }
+
+    /// Discard the per-round log backing [`Stats::delta_since`] up to the
+    /// current exchange, keeping a long-lived cluster's memory bounded.
+    /// Cumulative counters and the current epoch are unaffected; deltas
+    /// against snapshots older than the trim point degrade to the
+    /// conservative cumulative max (see [`Stats::delta_since`]).
+    pub fn trim_round_log(&mut self) {
+        self.stats.trim_round_log();
     }
 
     /// Record one communication round: `counts[s]` units received by absolute
@@ -91,19 +120,7 @@ impl Cluster {
     /// barrier; the per-receiver counts themselves are computed (possibly
     /// concurrently) by whichever thread assembled each inbox.
     fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
-        self.stats.exchanges += 1;
-        let mut round_max = 0u64;
-        for (s, &c) in counts.iter().enumerate() {
-            let abs = lo + s * stride;
-            round_max = round_max.max(c);
-            self.stats.total_messages += c;
-            if c > self.stats.per_server_peak[abs] {
-                self.stats.per_server_peak[abs] = c;
-            }
-        }
-        if round_max > self.stats.max_load {
-            self.stats.max_load = round_max;
-        }
+        self.stats.record_round(lo, stride, counts);
     }
 }
 
@@ -455,6 +472,50 @@ mod tests {
         }
         // broadcast: every server received 2; gather: server 0 received 3.
         assert_eq!(cluster.stats().max_load, 3);
+    }
+
+    #[test]
+    fn epochs_attribute_load_per_interval() {
+        let mut cluster = Cluster::new(2);
+        {
+            let mut net = cluster.net();
+            net.exchange(vec![vec![(0, ()); 7], vec![]]);
+        }
+        let e1 = cluster.epoch();
+        {
+            let mut net = cluster.net();
+            net.exchange(vec![vec![(1, ()); 3], vec![]]);
+        }
+        let e2 = cluster.epoch();
+        // Each epoch reports only its own interval...
+        assert_eq!(e1.max_load, 7);
+        assert_eq!(e1.per_server_peak, vec![7, 0]);
+        assert_eq!(e2.max_load, 3);
+        assert_eq!(e2.per_server_peak, vec![0, 3]);
+        // ...and the epochs sum/max back to the cumulative stats.
+        let s = cluster.stats();
+        assert_eq!(e1.total_messages + e2.total_messages, s.total_messages);
+        assert_eq!(e1.exchanges + e2.exchanges, s.exchanges);
+        assert_eq!(e1.max_load.max(e2.max_load), s.max_load);
+        assert_eq!(s.per_server_peak, vec![7, 3]);
+    }
+
+    #[test]
+    fn delta_since_reports_interval_max() {
+        let mut cluster = Cluster::new(2);
+        {
+            let mut net = cluster.net();
+            net.exchange(vec![vec![(0, ()); 9], vec![]]);
+        }
+        let early = cluster.stats().clone();
+        {
+            let mut net = cluster.net();
+            net.exchange(vec![vec![(1, ()); 4], vec![]]);
+        }
+        let d = cluster.stats().delta_since(&early);
+        assert_eq!(d.max_load, 4, "interval max, not the global monotone max");
+        assert_eq!(d.total_messages, 4);
+        assert_eq!(d.exchanges, 1);
     }
 
     #[test]

@@ -24,7 +24,9 @@
 //!   [`executor`]); both report bit-identical loads, only wall-clock differs.
 //! * [`Partitioned`] — a distributed collection: one `Vec` of items per
 //!   server of a `Net`.
-//! * [`Stats`] / [`LoadReport`] — snapshots of the measured load.
+//! * [`Stats`] / [`LoadReport`] — snapshots of the measured load;
+//!   [`EpochStats`] — per-interval measurements ([`Cluster::epoch`]), used
+//!   to attribute load to individual queries on a long-lived cluster.
 //!
 //! # Fidelity notes
 //!
@@ -50,7 +52,7 @@ pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
 pub use partitioned::Partitioned;
-pub use stats::{LoadReport, Stats};
+pub use stats::{EpochStats, LoadReport, Stats};
 
 /// Convenience: run `f` against a fresh sequentially-simulated cluster of
 /// `p` servers and return the result together with the measured load

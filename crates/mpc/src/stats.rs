@@ -5,6 +5,20 @@
 /// The central quantity is [`Stats::max_load`]: the paper's `L`, i.e. the
 /// maximum number of message units received by any server in any single
 /// communication round.
+///
+/// Besides the monotone cumulative counters, a `Stats` keeps two pieces of
+/// interval bookkeeping:
+///
+/// * a per-round log of round maxima ([`Stats::round_maxima`]), which makes
+///   [`Stats::delta_since`] exact for any earlier snapshot of the same run
+///   taken since the last trim (one `u64` per exchange; bounded by calling
+///   `Cluster::trim_round_log` periodically, cleared by
+///   `Cluster::reset_stats`);
+/// * the current **epoch** accumulators ([`Stats::epoch`]): true
+///   per-interval max load, per-server peaks, messages and exchanges since
+///   the last epoch boundary. `Cluster::epoch` rolls the epoch, which is how
+///   a long-lived cluster (e.g. `aj_core`'s `QueryEngine`) attributes load
+///   to individual queries or phases.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stats {
     /// Number of `exchange` calls performed. Note this over-counts the
@@ -17,6 +31,15 @@ pub struct Stats {
     pub total_messages: u64,
     /// Per absolute server: the maximum units received in one round.
     pub per_server_peak: Vec<u64>,
+    /// Max units received by any server, per retained round. Entry `i`
+    /// covers exchange `log_start + i`. Backs exact interval deltas;
+    /// trimmable ([`Stats::trim_round_log`]) so long-lived clusters stay
+    /// bounded.
+    round_maxima: Vec<u64>,
+    /// Exchange index of the first retained `round_maxima` entry.
+    log_start: u64,
+    /// Accumulators since the last epoch boundary.
+    epoch: EpochStats,
 }
 
 impl Stats {
@@ -26,12 +49,76 @@ impl Stats {
             max_load: 0,
             total_messages: 0,
             per_server_peak: vec![0; p],
+            round_maxima: Vec::new(),
+            log_start: 0,
+            epoch: EpochStats::new(p),
         }
+    }
+
+    /// Record one communication round: `counts[s]` units received by absolute
+    /// server `lo + s * stride`. Updates the cumulative counters, the round
+    /// log, and the current epoch.
+    pub(crate) fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
+        self.exchanges += 1;
+        self.epoch.exchanges += 1;
+        let mut round_max = 0u64;
+        for (s, &c) in counts.iter().enumerate() {
+            let abs = lo + s * stride;
+            round_max = round_max.max(c);
+            self.total_messages += c;
+            self.epoch.total_messages += c;
+            if c > self.per_server_peak[abs] {
+                self.per_server_peak[abs] = c;
+            }
+            if c > self.epoch.per_server_peak[abs] {
+                self.epoch.per_server_peak[abs] = c;
+            }
+        }
+        self.round_maxima.push(round_max);
+        if round_max > self.max_load {
+            self.max_load = round_max;
+        }
+        if round_max > self.epoch.max_load {
+            self.epoch.max_load = round_max;
+        }
+    }
+
+    /// Close the current epoch and start a new one, returning the interval's
+    /// measurements.
+    pub(crate) fn roll_epoch(&mut self) -> EpochStats {
+        let fresh = EpochStats::new(self.p());
+        std::mem::replace(&mut self.epoch, fresh)
     }
 
     /// Number of servers this cluster was created with.
     pub fn p(&self) -> usize {
         self.per_server_peak.len()
+    }
+
+    /// The measurements accumulated in the current (still-open) epoch.
+    pub fn epoch(&self) -> &EpochStats {
+        &self.epoch
+    }
+
+    /// Max units received by any server, per retained round (entry `i`
+    /// covers exchange [`Stats::round_log_start`]` + i`).
+    pub fn round_maxima(&self) -> &[u64] {
+        &self.round_maxima
+    }
+
+    /// Exchange index of the first retained round-log entry.
+    pub fn round_log_start(&self) -> u64 {
+        self.log_start
+    }
+
+    /// Discard the round log up to the current exchange. Long-lived callers
+    /// (e.g. a serving engine rolling per-query epochs) call this
+    /// periodically to keep memory bounded; afterwards,
+    /// [`Stats::delta_since`] is exact only for snapshots taken at or after
+    /// the trim point (older snapshots get the conservative cumulative max).
+    pub(crate) fn trim_round_log(&mut self) {
+        self.log_start = self.exchanges;
+        self.round_maxima.clear();
     }
 
     /// A compact report for experiment tables.
@@ -44,19 +131,74 @@ impl Stats {
         }
     }
 
-    /// The difference between `self` (taken later) and an earlier snapshot:
-    /// loads measured strictly within the interval. Peaks are max'ed over the
-    /// interval only when they grew; for interval loads prefer
-    /// wrapping the phase in its own cluster or using `delta.max_load`.
+    /// The difference between `self` (taken later) and an earlier snapshot of
+    /// the *same run*: loads measured strictly within the interval. The
+    /// interval's `max_load` is computed exactly from the per-round log, so
+    /// rounds before the snapshot never leak into the reported value.
+    ///
+    /// If the snapshot predates a [`Cluster::trim_round_log`][trim] call,
+    /// the interval max for the trimmed prefix is no longer known and the
+    /// conservative cumulative `max_load` is reported instead.
+    ///
+    /// [trim]: crate::Cluster::trim_round_log
     pub fn delta_since(&self, earlier: &Stats) -> LoadReport {
+        let max_load = if earlier.exchanges < self.log_start {
+            // Part of the interval fell off the retained log.
+            self.max_load
+        } else {
+            let lo = ((earlier.exchanges - self.log_start) as usize).min(self.round_maxima.len());
+            let hi = ((self.exchanges - self.log_start) as usize).min(self.round_maxima.len());
+            self.round_maxima[lo..hi].iter().copied().max().unwrap_or(0)
+        };
         LoadReport {
             p: self.p(),
             exchanges: self.exchanges - earlier.exchanges,
-            // max_load is monotone; if it didn't change, the interval's
-            // rounds were all below the previous max. We report the
-            // monotone value, which is what the experiments compare.
-            max_load: self.max_load,
+            max_load,
             total_messages: self.total_messages - earlier.total_messages,
+        }
+    }
+}
+
+/// Measurements of one stats **epoch**: the interval between two epoch
+/// boundaries of a [`crate::Cluster`] (see `Cluster::epoch`).
+///
+/// Unlike the monotone [`Stats`] counters, every field here is local to the
+/// interval: `max_load` is the max over the epoch's rounds only, and
+/// `per_server_peak` holds per-server peaks reached within the epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Rounds performed within the epoch.
+    pub exchanges: u64,
+    /// Max units received by any server in any round *of this epoch*.
+    pub max_load: u64,
+    /// Units communicated within the epoch.
+    pub total_messages: u64,
+    /// Per absolute server: max units received in one round of this epoch.
+    pub per_server_peak: Vec<u64>,
+}
+
+impl EpochStats {
+    pub(crate) fn new(p: usize) -> Self {
+        EpochStats {
+            exchanges: 0,
+            max_load: 0,
+            total_messages: 0,
+            per_server_peak: vec![0; p],
+        }
+    }
+
+    /// Number of servers of the underlying cluster.
+    pub fn p(&self) -> usize {
+        self.per_server_peak.len()
+    }
+
+    /// A compact report for experiment tables.
+    pub fn report(&self) -> LoadReport {
+        LoadReport {
+            p: self.p(),
+            exchanges: self.exchanges,
+            max_load: self.max_load,
+            total_messages: self.total_messages,
         }
     }
 }
@@ -87,26 +229,84 @@ mod tests {
     #[test]
     fn report_and_display() {
         let mut s = Stats::new(2);
-        s.exchanges = 3;
-        s.max_load = 10;
-        s.total_messages = 25;
+        s.record_round(0, 1, &[10, 0]);
+        s.record_round(0, 1, &[7, 8]);
         let r = s.report();
         assert_eq!(r.p, 2);
-        assert_eq!(format!("{r}"), "p=2 L=10 msgs=25 rounds~3");
+        assert_eq!(format!("{r}"), "p=2 L=10 msgs=25 rounds~2");
     }
 
     #[test]
-    fn delta_subtraction() {
-        let mut early = Stats::new(1);
-        early.exchanges = 1;
-        early.total_messages = 5;
-        let mut late = early.clone();
-        late.exchanges = 4;
-        late.total_messages = 30;
-        late.max_load = 9;
-        let d = late.delta_since(&early);
-        assert_eq!(d.exchanges, 3);
-        assert_eq!(d.total_messages, 25);
-        assert_eq!(d.max_load, 9);
+    fn delta_is_interval_local() {
+        let mut s = Stats::new(1);
+        // Round 1: load 9. Snapshot. Rounds 2-3: loads 2 and 5.
+        s.record_round(0, 1, &[9]);
+        let early = s.clone();
+        s.record_round(0, 1, &[2]);
+        s.record_round(0, 1, &[5]);
+        let d = s.delta_since(&early);
+        assert_eq!(d.exchanges, 2);
+        assert_eq!(d.total_messages, 7);
+        // The interval never saw the pre-snapshot load 9.
+        assert_eq!(d.max_load, 5);
+        // The cumulative max is still monotone.
+        assert_eq!(s.max_load, 9);
+    }
+
+    #[test]
+    fn empty_delta_is_zero() {
+        let mut s = Stats::new(1);
+        s.record_round(0, 1, &[4]);
+        let d = s.delta_since(&s.clone());
+        assert_eq!(d.max_load, 0);
+        assert_eq!(d.exchanges, 0);
+        assert_eq!(d.total_messages, 0);
+    }
+
+    #[test]
+    fn trimmed_log_falls_back_conservatively() {
+        let mut s = Stats::new(1);
+        let at_start = s.clone();
+        s.record_round(0, 1, &[9]);
+        let at_trim = s.clone();
+        s.trim_round_log();
+        s.record_round(0, 1, &[3]);
+        // Snapshots at/after the trim point: still exact.
+        assert_eq!(s.delta_since(&at_trim).max_load, 3);
+        // Snapshot covering trimmed rounds: conservative cumulative max.
+        assert_eq!(s.delta_since(&at_start).max_load, 9);
+        // Counters are unaffected by trimming.
+        assert_eq!(s.total_messages, 12);
+        assert_eq!(s.exchanges, 2);
+        assert_eq!(s.max_load, 9);
+    }
+
+    #[test]
+    fn epochs_track_interval_peaks() {
+        let mut s = Stats::new(2);
+        s.record_round(0, 1, &[9, 1]);
+        let e1 = s.roll_epoch();
+        assert_eq!(e1.max_load, 9);
+        assert_eq!(e1.per_server_peak, vec![9, 1]);
+        assert_eq!(e1.exchanges, 1);
+        assert_eq!(e1.total_messages, 10);
+        // Second epoch only sees its own rounds.
+        s.record_round(0, 1, &[2, 3]);
+        let e2 = s.roll_epoch();
+        assert_eq!(e2.max_load, 3);
+        assert_eq!(e2.per_server_peak, vec![2, 3]);
+        // Epoch totals add up to the cumulative stats.
+        assert_eq!(e1.total_messages + e2.total_messages, s.total_messages);
+        assert_eq!(e1.exchanges + e2.exchanges, s.exchanges);
+        assert_eq!(e1.max_load.max(e2.max_load), s.max_load);
+    }
+
+    #[test]
+    fn strided_rounds_account_epoch_peaks_to_absolute_servers() {
+        let mut s = Stats::new(4);
+        // A strided group {1, 3}: local server 1 is absolute server 3.
+        s.record_round(1, 2, &[0, 6]);
+        let e = s.roll_epoch();
+        assert_eq!(e.per_server_peak, vec![0, 0, 0, 6]);
     }
 }

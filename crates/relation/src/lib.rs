@@ -10,6 +10,8 @@
 //! * join classification per Section 1.4 of the paper — tall-flat ⊂
 //!   hierarchical ⊂ r-hierarchical ⊂ acyclic ([`classify`]);
 //! * the attribute forest of hierarchical joins ([`classify::AttributeForest`]);
+//! * canonical query signatures — structural cache keys for per-shape
+//!   planning artifacts ([`signature`]);
 //! * Lemma 2's minimal-path-of-length-3 witness ([`minpath`]);
 //! * integral edge covers, Lemma 1 ([`cover`]);
 //! * semiring annotations for join-aggregate queries, Section 6
@@ -40,10 +42,12 @@ pub mod query;
 pub mod ram;
 pub mod semiring;
 pub mod sets;
+pub mod signature;
 pub mod tuple;
 
 pub use classify::JoinClass;
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
+pub use signature::QuerySignature;
 pub use sets::{AttrSet, EdgeSet};
 pub use tuple::{Tuple, Value};
 

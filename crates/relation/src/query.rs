@@ -407,6 +407,13 @@ impl Database {
         }
     }
 
+    /// Normalize every relation to set semantics (sort + dedup in place).
+    pub fn dedup_all(&mut self) {
+        for r in &mut self.relations {
+            r.dedup();
+        }
+    }
+
     /// Check layout compatibility with a query.
     pub fn matches(&self, q: &Query) -> bool {
         self.relations.len() == q.n_edges()

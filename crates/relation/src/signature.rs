@@ -1,0 +1,133 @@
+//! Canonical query signatures: cache keys for per-shape planning artifacts.
+//!
+//! Two queries with equal signatures have identical hypergraph structure
+//! over identical attribute indices — same attribute count, same edges in
+//! the same order, same per-edge attribute layout. Relation and attribute
+//! *names* are ignored (they are diagnostics only). Every structural
+//! planning artifact — classification, join tree, attribute forest — is a
+//! pure function of the signature, which is what lets a long-lived engine
+//! (`aj_core::engine`) plan a query shape once and reuse the artifacts for
+//! every later query of the same shape.
+//!
+//! Queries built through [`crate::QueryBuilder`] intern attributes in order
+//! of first use, so two independently-built copies of the same shape get the
+//! same indices and therefore the same signature.
+
+use crate::query::{Attr, Query};
+
+/// The structural identity of a [`Query`]: attribute count plus the per-edge
+/// attribute layouts, in edge order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuerySignature {
+    n_attrs: usize,
+    edges: Vec<Vec<Attr>>,
+}
+
+impl QuerySignature {
+    /// The signature of a query.
+    pub fn of(q: &Query) -> QuerySignature {
+        QuerySignature {
+            n_attrs: q.n_attrs(),
+            edges: q.edges().iter().map(|e| e.attrs.clone()).collect(),
+        }
+    }
+
+    /// Number of attributes of the signed query.
+    pub fn n_attrs(&self) -> usize {
+        self.n_attrs
+    }
+
+    /// Number of edges of the signed query.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A stable 64-bit digest of the structure (FNV-1a). Deterministic
+    /// across runs and platforms; used to derive per-shape seed streams so
+    /// a replayed query reproduces its run bit-for-bit.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.n_attrs as u64);
+        eat(self.edges.len() as u64);
+        for e in &self.edges {
+            eat(e.len() as u64);
+            for &a in e {
+                eat(a as u64);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryBuilder;
+
+    fn star() -> Query {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["X", "A"]);
+        b.relation("R2", &["X", "B"]);
+        b.build()
+    }
+
+    #[test]
+    fn same_shape_same_signature() {
+        let q1 = star();
+        // Same shape, different names: identical signature.
+        let mut b = QueryBuilder::new();
+        b.relation("Users", &["uid", "name"]);
+        b.relation("Orders", &["uid", "item"]);
+        let q2 = b.build();
+        assert_eq!(QuerySignature::of(&q1), QuerySignature::of(&q2));
+        assert_eq!(
+            QuerySignature::of(&q1).fingerprint(),
+            QuerySignature::of(&q2).fingerprint()
+        );
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let star_sig = QuerySignature::of(&star());
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        let line_sig = QuerySignature::of(&b.build());
+        assert_ne!(star_sig, line_sig);
+        assert_ne!(star_sig.fingerprint(), line_sig.fingerprint());
+    }
+
+    #[test]
+    fn layout_order_matters() {
+        // R(A,B) and R(B,A) are different layouts (tuple columns differ).
+        let mut b = QueryBuilder::new();
+        b.relation("R", &["A", "B"]);
+        let ab = QuerySignature::of(&b.build());
+        let mut b = QueryBuilder::new();
+        b.relation("R", &["B", "A"]);
+        let ba = QuerySignature::of(&b.build());
+        assert_eq!(ab, ba, "builder interns by first use: both are [0, 1]");
+        // But an explicitly re-ordered layout differs.
+        let mut b = QueryBuilder::new();
+        b.relation("S", &["A"]);
+        b.relation("R", &["B", "A"]);
+        let q = b.build();
+        assert_eq!(q.edge(1).attrs, vec![1, 0]);
+        assert_ne!(ab, QuerySignature::of(&q));
+    }
+
+    #[test]
+    fn accessors() {
+        let sig = QuerySignature::of(&star());
+        assert_eq!(sig.n_attrs(), 3);
+        assert_eq!(sig.n_edges(), 2);
+    }
+}

@@ -39,7 +39,9 @@
 //! * [`mpc`] — the load-measuring MPC simulator;
 //! * [`relation`] — queries, classification (Fig. 1), the RAM oracle;
 //! * [`primitives`] — Section-2 MPC primitives;
-//! * [`core`] — the paper's algorithms (Theorems 3, 5, 7, 9; baselines);
+//! * [`core`] — the paper's algorithms (Theorems 3, 5, 7, 9; baselines) and
+//!   the [`core::engine::QueryEngine`] serving layer (plan cache,
+//!   cost-based planning, per-query stats epochs);
 //! * [`instancegen`] — the hard instances of Figures 3, 4 and 6.
 
 pub use aj_core as core;
@@ -50,9 +52,13 @@ pub use aj_relation as relation;
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
-    pub use aj_core::{execute_best, DistDatabase, DistRelation, Plan};
-    pub use aj_mpc::{Cluster, Net, Partitioned};
+    pub use aj_core::{
+        execute_best, execute_plan, DistDatabase, DistRelation, EngineConfig, Plan, QueryEngine,
+        QueryOutcome,
+    };
+    pub use aj_mpc::{Cluster, EpochStats, Net, Partitioned};
     pub use aj_relation::{
-        classify::classify, Database, JoinClass, Query, QueryBuilder, Relation, Tuple,
+        classify::classify, Database, JoinClass, Query, QueryBuilder, QuerySignature, Relation,
+        Tuple,
     };
 }
