@@ -1,0 +1,136 @@
+//! Wall-clock micro-benchmarks of the columnar data plane: `TupleBlock`
+//! versus `Vec<Tuple>` for build/sort/dedup/project, `FxHashMap` versus the
+//! SipHash-backed `std::collections::HashMap` for build-side indexes, and
+//! the radix block exchange versus the per-item exchange.
+//!
+//! Run with `cargo bench --bench data_plane`; pass `--smoke` for the
+//! CI-bounded variant (tiny time budget, few iterations) that exists to
+//! fail loudly if one of these paths regresses into pathological territory.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use aj_bench::microbench::{bench, black_box, default_budget};
+use aj_mpc::{Cluster, RowOutbox};
+use aj_primitives::FxHashMap;
+use aj_relation::{Tuple, TupleBlock};
+
+fn rows(n: u64) -> Vec<[u64; 3]> {
+    (0..n).map(|i| [i % 977, i.wrapping_mul(0x9e37), i]).collect()
+}
+
+fn bench_block_vs_tuple(budget: Duration, min_iters: usize) {
+    let data = rows(100_000);
+
+    bench("block/build+sort+dedup/100k", budget, min_iters, || {
+        let mut b = TupleBlock::with_capacity(3, data.len());
+        for r in &data {
+            b.push_row(r);
+        }
+        b.sort_dedup();
+        black_box(b.len())
+    });
+    bench("tuple/build+sort+dedup/100k", budget, min_iters, || {
+        let mut v: Vec<Tuple> = data.iter().map(|r| Tuple::from(*r)).collect();
+        v.sort_unstable();
+        v.dedup();
+        black_box(v.len())
+    });
+
+    let block = {
+        let mut b = TupleBlock::with_capacity(3, data.len());
+        for r in &data {
+            b.push_row(r);
+        }
+        b
+    };
+    let tuples: Vec<Tuple> = data.iter().map(|r| Tuple::from(*r)).collect();
+    bench("block/project/100k", budget, min_iters, || {
+        let mut out = TupleBlock::with_capacity(2, block.len());
+        block.project_into(&[2, 0], &mut out);
+        black_box(out.len())
+    });
+    bench("tuple/project/100k", budget, min_iters, || {
+        let out: Vec<Tuple> = tuples.iter().map(|t| t.project(&[2, 0])).collect();
+        black_box(out.len())
+    });
+}
+
+fn bench_hash_maps(budget: Duration, min_iters: usize) {
+    let keys: Vec<Tuple> = (0..50_000u64).map(|i| Tuple::from([i % 8192, i % 3])).collect();
+
+    bench("fxmap/build+probe/50k", budget, min_iters, || {
+        let mut m: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for k in &keys {
+            *m.entry(k.clone()).or_insert(0) += 1;
+        }
+        let mut hits = 0u64;
+        for k in &keys {
+            hits += m.get(k.values()).copied().unwrap_or(0);
+        }
+        black_box(hits)
+    });
+    bench("sipmap/build+probe/50k", budget, min_iters, || {
+        let mut m: HashMap<Tuple, u64> = HashMap::new();
+        for k in &keys {
+            *m.entry(k.clone()).or_insert(0) += 1;
+        }
+        let mut hits = 0u64;
+        for k in &keys {
+            hits += m.get(k.values()).copied().unwrap_or(0);
+        }
+        black_box(hits)
+    });
+}
+
+fn bench_exchange(budget: Duration, min_iters: usize) {
+    let p = 16usize;
+    let n_per = 8_000u64;
+
+    bench("exchange_rows/radix/128k", budget, min_iters, || {
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let outbox: Vec<RowOutbox> = (0..p)
+            .map(|s| {
+                let mut ob = RowOutbox::with_capacity(3, n_per as usize);
+                for i in 0..n_per {
+                    ob.push(((s as u64 + i * 7) % p as u64) as usize, &[s as u64, i, i * 3]);
+                }
+                ob
+            })
+            .collect();
+        black_box(net.exchange_rows(3, outbox).len())
+    });
+    bench("exchange/per-tuple/128k", budget, min_iters, || {
+        let mut cluster = Cluster::new(p);
+        let mut net = cluster.net();
+        let outbox: Vec<Vec<(usize, Tuple)>> = (0..p)
+            .map(|s| {
+                (0..n_per)
+                    .map(|i| {
+                        (
+                            ((s as u64 + i * 7) % p as u64) as usize,
+                            Tuple::from([s as u64, i, i * 3]),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        black_box(net.exchange(outbox).len())
+    });
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (budget, min_iters) = if smoke {
+        (Duration::from_millis(60), 2)
+    } else {
+        (default_budget(), 5)
+    };
+    if smoke {
+        println!("data_plane microbenchmarks (smoke mode: bounded iterations)");
+    }
+    bench_block_vs_tuple(budget, min_iters);
+    bench_hash_maps(budget, min_iters);
+    bench_exchange(budget, min_iters);
+}

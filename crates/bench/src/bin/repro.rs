@@ -5,19 +5,31 @@
 //! repro                      # run everything (sequential executor)
 //! repro --parallel           # also run every measurement on the parallel
 //!                            #   executor: assert equal loads, report speedup
+//! repro --json BENCH.json    # additionally write the benchmark trajectory
+//!                            #   (per-experiment wall clocks, loads,
+//!                            #   throughput) as JSON
 //! repro list                 # list experiment ids
 //! repro fig3 thm5            # run selected experiments
 //! repro --parallel fig3 thm5 # flags and ids combine
 //! ```
 
-use aj_bench::{run_experiment, set_parallel, ALL_EXPERIMENTS};
+use aj_bench::{run_experiment, set_parallel, take_records, ExperimentRun, ALL_EXPERIMENTS};
 
 fn main() {
     let mut parallel = false;
+    let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--parallel" | "-P" => parallel = true,
+            "--json" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --json needs a file path");
+                    std::process::exit(2);
+                });
+                json_path = Some(path);
+            }
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -25,7 +37,7 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--parallel] [list | EXPERIMENT...]");
+                println!("usage: repro [--parallel] [--json PATH] [list | EXPERIMENT...]");
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return;
             }
@@ -49,11 +61,27 @@ fn main() {
         println!("parallel comparison ON: every measurement re-runs on ParExecutor (same L asserted)");
     }
     println!();
+    let mut runs: Vec<ExperimentRun> = Vec::new();
     for id in ids {
         let start = std::time::Instant::now();
+        let _ = take_records(); // drop cells left over from a previous experiment
         for table in run_experiment(id) {
             println!("{table}");
         }
-        eprintln!("[{id}: {:?}]", start.elapsed());
+        let wall = start.elapsed();
+        eprintln!("[{id}: {wall:?}]");
+        runs.push(ExperimentRun {
+            id: id.to_string(),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            cells: take_records(),
+        });
+    }
+    if let Some(path) = json_path {
+        let doc = aj_bench::jsonout::render(parallel, &runs);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[benchmark trajectory written to {path}]");
     }
 }

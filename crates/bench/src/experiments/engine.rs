@@ -181,6 +181,15 @@ pub fn run() -> Vec<ExpTable> {
     } else {
         None
     };
+    let batch_load = cost.iter().map(|o| o.execution.max_load).max().unwrap_or(0);
+    super::record(super::BenchRecord {
+        label: "query-batch".to_string(),
+        p: P,
+        max_load: batch_load,
+        units: n_queries as u64,
+        seq_ms: cost_ms,
+        par_ms,
+    });
 
     let mut t = ExpTable::new(
         format!(

@@ -27,6 +27,7 @@ pub mod thm7;
 pub mod thm9;
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use aj_core::dist::distribute_db;
@@ -36,6 +37,39 @@ use aj_relation::{Database, Query};
 use crate::table::fmt_f;
 
 static PARALLEL: AtomicBool = AtomicBool::new(false);
+
+/// One measured cell recorded for the `--json` benchmark trajectory
+/// (`repro --json BENCH_repro.json`): wall clocks, the simulated load, and a
+/// work-unit count from which throughput is derived.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// What the cell measured (e.g. `"measure"`, `"binary-join"`).
+    pub label: String,
+    /// Cluster size of the cell.
+    pub p: usize,
+    /// Simulated max load `L` of the cell.
+    pub max_load: u64,
+    /// Work units processed: tuples routed for [`measure`] cells; experiments
+    /// with bespoke timing report their own unit (output tuples, queries).
+    pub units: u64,
+    /// Sequential-executor wall time, milliseconds.
+    pub seq_ms: f64,
+    /// Parallel-executor wall time (only when the comparison is enabled).
+    pub par_ms: Option<f64>,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Append one cell to the benchmark-trajectory recorder.
+pub fn record(r: BenchRecord) {
+    RECORDS.lock().unwrap().push(r);
+}
+
+/// Drain every cell recorded since the previous call (the `repro` binary
+/// calls this after each experiment to group cells per experiment id).
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut *RECORDS.lock().unwrap())
+}
 
 /// Enable/disable the parallel-executor comparison in every measurement
 /// (the `repro --parallel` flag).
@@ -125,6 +159,14 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     } else {
         None
     };
+    record(BenchRecord {
+        label: "measure".to_string(),
+        p,
+        max_load: load,
+        units: cluster.stats().total_messages,
+        seq_ms,
+        par_ms,
+    });
     (out, load, Wall { seq_ms, par_ms })
 }
 

@@ -83,6 +83,14 @@ pub fn run() -> Vec<ExpTable> {
         let (out_par, load_par, par_ms) = time_join(&db, p, true, iters);
         assert_eq!(out_seq, out_par, "executors disagree on the result size");
         assert_eq!(load_seq, load_par, "executors disagree on the load");
+        super::record(super::BenchRecord {
+            label: "binary-join".to_string(),
+            p,
+            max_load: load_seq,
+            units: in_size as u64 + out_seq as u64,
+            seq_ms,
+            par_ms: Some(par_ms),
+        });
         t.row(vec![
             p.to_string(),
             out_seq.to_string(),

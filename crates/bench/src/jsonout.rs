@@ -1,0 +1,175 @@
+//! Hand-rolled JSON rendering for the benchmark trajectory
+//! (`repro --json BENCH_repro.json`). serde is unavailable in the offline
+//! build environment; the schema is small and flat, so a direct writer keeps
+//! the output stable and dependency-free.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "parallel": true,
+//!   "experiments": [
+//!     {
+//!       "id": "scaling",
+//!       "wall_ms": 1234.5,
+//!       "seq_ms": 1000.0, "par_ms": 400.0,
+//!       "max_load": 9000, "units": 120000,
+//!       "units_per_sec_seq": 120000.0, "units_per_sec_par": 300000.0,
+//!       "cells": [ {"label": "binary-join", "p": 8, ...}, ... ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `units` are the work items of a cell — tuples routed for `measure` cells,
+//! output tuples / queries where an experiment times itself — so
+//! `units_per_sec` is the simulator's throughput in its own natural unit.
+
+use crate::experiments::BenchRecord;
+
+/// All cells of one experiment plus its end-to-end wall clock.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    /// Experiment id (one of [`crate::ALL_EXPERIMENTS`]).
+    pub id: String,
+    /// End-to-end wall time of the experiment, milliseconds.
+    pub wall_ms: f64,
+    /// Every cell the experiment recorded.
+    pub cells: Vec<BenchRecord>,
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn opt_f(x: Option<f64>) -> String {
+    x.map(f).unwrap_or_else(|| "null".to_string())
+}
+
+fn rate(units: u64, ms: f64) -> f64 {
+    units as f64 / (ms / 1e3).max(1e-9)
+}
+
+/// Render the full trajectory document.
+pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"parallel\": {parallel},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let seq_ms: f64 = run.cells.iter().map(|c| c.seq_ms).sum();
+        let par_ms: Option<f64> = if run.cells.iter().all(|c| c.par_ms.is_some()) && !run.cells.is_empty() {
+            Some(run.cells.iter().filter_map(|c| c.par_ms).sum())
+        } else {
+            None
+        };
+        let max_load = run.cells.iter().map(|c| c.max_load).max().unwrap_or(0);
+        let units: u64 = run.cells.iter().map(|c| c.units).sum();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", esc(&run.id)));
+        out.push_str(&format!("      \"wall_ms\": {},\n", f(run.wall_ms)));
+        out.push_str(&format!("      \"seq_ms\": {},\n", f(seq_ms)));
+        out.push_str(&format!("      \"par_ms\": {},\n", opt_f(par_ms)));
+        out.push_str(&format!("      \"max_load\": {max_load},\n"));
+        out.push_str(&format!("      \"units\": {units},\n"));
+        out.push_str(&format!(
+            "      \"units_per_sec_seq\": {},\n",
+            f(rate(units, seq_ms))
+        ));
+        out.push_str(&format!(
+            "      \"units_per_sec_par\": {},\n",
+            opt_f(par_ms.map(|ms| rate(units, ms)))
+        ));
+        out.push_str("      \"cells\": [\n");
+        for (j, c) in run.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}}}{}\n",
+                esc(&c.label),
+                c.p,
+                c.max_load,
+                c.units,
+                f(c.seq_ms),
+                opt_f(c.par_ms),
+                if j + 1 == run.cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_shape() {
+        let runs = vec![ExperimentRun {
+            id: "demo".to_string(),
+            wall_ms: 12.5,
+            cells: vec![BenchRecord {
+                label: "cell".to_string(),
+                p: 4,
+                max_load: 10,
+                units: 100,
+                seq_ms: 5.0,
+                par_ms: Some(2.5),
+            }],
+        }];
+        let s = render(true, &runs);
+        assert!(s.contains("\"schema\": 1"));
+        assert!(s.contains("\"id\": \"demo\""));
+        assert!(s.contains("\"par_ms\": 2.500"));
+        assert!(s.contains("\"units_per_sec_seq\": 20000.000"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn missing_par_is_null() {
+        let runs = vec![ExperimentRun {
+            id: "seq-only".to_string(),
+            wall_ms: 1.0,
+            cells: vec![BenchRecord {
+                label: "c".to_string(),
+                p: 2,
+                max_load: 1,
+                units: 1,
+                seq_ms: 1.0,
+                par_ms: None,
+            }],
+        }];
+        let s = render(false, &runs);
+        assert!(s.contains("\"par_ms\": null"));
+        assert!(s.contains("\"units_per_sec_par\": null"));
+    }
+}

@@ -10,10 +10,12 @@
 //! executors head-to-head across `p`.
 
 pub mod experiments;
+pub mod jsonout;
 pub mod microbench;
 pub mod table;
 
-pub use experiments::{parallel_enabled, set_parallel, Wall};
+pub use experiments::{parallel_enabled, set_parallel, take_records, BenchRecord, Wall};
+pub use jsonout::ExperimentRun;
 pub use table::ExpTable;
 
 /// All experiment ids, in paper order (plus the executor `scaling` check).

@@ -199,7 +199,7 @@ fn step3(
         let pos = db[e0].positions_of(&s_i[i]);
         product = net.run_local(
             product.into_iter().zip(maps).collect(),
-            |s, (mut prod, map): (Vec<u64>, std::collections::HashMap<Tuple, u64>)| {
+            |s, (mut prod, map): (Vec<u64>, aj_primitives::FxHashMap<Tuple, u64>)| {
                 for (t, pr) in db[e0].parts[s].iter().zip(prod.iter_mut()) {
                     let d = map.get(&t.project(&pos)).copied().unwrap_or(0);
                     *pr = pr.saturating_mul(d);
@@ -332,7 +332,7 @@ fn bfs_order_from(tree: &aj_relation::JoinTree, e0: usize, within: &[usize]) -> 
             adj[*p].push(e);
         }
     }
-    let allowed: std::collections::HashSet<usize> = within.iter().copied().collect();
+    let allowed: aj_primitives::FxHashSet<usize> = within.iter().copied().collect();
     let mut order = Vec::new();
     let mut seen = vec![false; n];
     seen[e0] = true;

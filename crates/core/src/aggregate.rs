@@ -8,7 +8,7 @@
 //! algorithms address columns only through their schema, so the extras ride
 //! along and are ⊗-combined when results are emitted.
 
-use std::collections::HashMap;
+use aj_primitives::FxHashMap;
 
 use aj_mpc::{Net, Partitioned};
 use aj_primitives::{lookup, prefix_sum, sum_by_key, OwnedTable};
@@ -165,13 +165,18 @@ pub fn output_size_with_tree(
                 .into_iter()
                 .zip(answers)
                 .collect(),
-            |_, (mut part, ans): (Vec<(Tuple, u64)>, HashMap<Tuple, u64>)| {
-                part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
-                    Some(&m) => {
-                        *w = w.saturating_mul(m);
-                        true
+            |_, (mut part, ans): (Vec<(Tuple, u64)>, FxHashMap<Tuple, u64>)| {
+                // Probe by bare value slice — no per-tuple key allocation.
+                let mut key = Vec::with_capacity(ppos.len());
+                part.retain_mut(|(t, w)| {
+                    t.project_into(&ppos, &mut key);
+                    match ans.get(key.as_slice()) {
+                        Some(&m) => {
+                            *w = w.saturating_mul(m);
+                            true
+                        }
+                        None => false,
                     }
-                    None => false,
                 });
                 part
             },
@@ -245,13 +250,18 @@ pub fn count_by_group(
                 .into_iter()
                 .zip(answers)
                 .collect(),
-            |_, (mut part, ans): (Vec<(Tuple, u64)>, HashMap<Tuple, u64>)| {
-                part.retain_mut(|(t, w)| match ans.get(&t.project(&ppos)) {
-                    Some(&m) => {
-                        *w = w.saturating_mul(m);
-                        true
+            |_, (mut part, ans): (Vec<(Tuple, u64)>, FxHashMap<Tuple, u64>)| {
+                // Probe by bare value slice — no per-tuple key allocation.
+                let mut key = Vec::with_capacity(ppos.len());
+                part.retain_mut(|(t, w)| {
+                    t.project_into(&ppos, &mut key);
+                    match ans.get(key.as_slice()) {
+                        Some(&m) => {
+                            *w = w.saturating_mul(m);
+                            true
+                        }
+                        None => false,
                     }
-                    None => false,
                 });
                 part
             },
@@ -318,7 +328,7 @@ pub fn join_aggregate<S: Semiring>(
     let (parents, bfs) = re_root(&tree, y_node, qplus.n_edges());
     // TOP(x): the highest node containing x (excluding ŷ).
     let yset = AttrSet::from_iter(y.iter().copied());
-    let mut top: HashMap<Attr, usize> = HashMap::new();
+    let mut top: FxHashMap<Attr, usize> = FxHashMap::default();
     for &u in &bfs {
         if u == y_node {
             continue;
@@ -387,10 +397,12 @@ pub fn join_aggregate<S: Semiring>(
         );
         let answers = lookup(net, &table, &requests);
         let pann = parent.attrs.len();
+        let mut key = Vec::with_capacity(prpos.len());
         for (part, ans) in parent.parts.parts_mut().iter_mut().zip(answers) {
             let mut next = Vec::with_capacity(part.len());
             for t in part.drain(..) {
-                if let Some(&m) = ans.get(&t.project(&prpos)) {
+                t.project_into(&prpos, &mut key);
+                if let Some(&m) = ans.get(key.as_slice()) {
                     let w = S::mul(S::from_u64(t.get(pann)), m);
                     let mut vals = t.values().to_vec();
                     vals[pann] = S::to_u64(w);
@@ -520,10 +532,12 @@ fn ann_reduce<S: Semiring>(
         );
         let answers = lookup(net, &table, &requests);
         let bann = big.attrs.len();
+        let mut key = Vec::with_capacity(bpos.len());
         for (part, ans) in big.parts.parts_mut().iter_mut().zip(answers) {
             let mut next = Vec::with_capacity(part.len());
             for t in part.drain(..) {
-                if let Some(&m) = ans.get(&t.project(&bpos)) {
+                t.project_into(&bpos, &mut key);
+                if let Some(&m) = ans.get(key.as_slice()) {
                     let w = S::mul(S::from_u64(t.get(bann)), m);
                     let mut vals = t.values().to_vec();
                     vals[bann] = S::to_u64(w);
@@ -714,7 +728,7 @@ mod tests {
             .iter()
             .map(|a| schema.iter().position(|x| x == a).unwrap())
             .collect();
-        let mut m: HashMap<Tuple, u64> = HashMap::new();
+        let mut m: FxHashMap<Tuple, u64> = FxHashMap::default();
         for t in tuples {
             *m.entry(t.project(&pos)).or_insert(0) += 1;
         }

@@ -26,9 +26,9 @@
 //! the final local hash join) are expressed through the round API of
 //! [`aj_mpc`], so they run concurrently under a parallel executor.
 
-use std::collections::HashMap;
+use aj_primitives::FxHashMap;
 
-use aj_mpc::{Net, Partitioned, ServerId};
+use aj_mpc::{Net, Partitioned, RowOutbox, TupleBlock};
 use aj_primitives::{
     lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key, OwnedTable,
 };
@@ -84,7 +84,7 @@ pub fn binary_join(
     );
     // Per owner: joinable keys with both degrees.
     let joinable: Vec<Vec<(Tuple, u64, u64)>> = net.run_each(|s| {
-        let m2: HashMap<&Tuple, u64> = d2.parts[s].iter().map(|(k, c)| (k, *c)).collect();
+        let m2: FxHashMap<&Tuple, u64> = d2.parts[s].iter().map(|(k, c)| (k, *c)).collect();
         d1.parts[s]
             .iter()
             .filter_map(|(k, c1)| m2.get(k).map(|&c2| (k.clone(), *c1, c2)))
@@ -160,21 +160,18 @@ pub fn binary_join(
         seed: kd,
         parts: Partitioned::from_parts(directive_parts),
     };
-
     // --- Capture layout info before the parts are consumed ----------------
     let la = left.attrs.len();
-    let right_append: Vec<usize> = {
-        let arity = right
-            .parts
-            .iter()
-            .flat_map(|pt| pt.first())
-            .map(Tuple::arity)
-            .next()
-            .unwrap_or(right.attrs.len());
-        (0..arity)
-            .filter(|&c| c >= right.attrs.len() || !shared.contains(&right.attrs[c]))
-            .collect()
-    };
+    let right_arity = right
+        .parts
+        .iter()
+        .flat_map(|pt| pt.first())
+        .map(Tuple::arity)
+        .next()
+        .unwrap_or(right.attrs.len());
+    let right_append: Vec<usize> = (0..right_arity)
+        .filter(|&c| c >= right.attrs.len() || !shared.contains(&right.attrs[c]))
+        .collect();
     let left_arity = left
         .parts
         .iter()
@@ -189,11 +186,17 @@ pub fn binary_join(
     let left_nb = multi_numbering(net, pair_with_key(net, left.parts, &lkey), n1);
     let n2 = next_seed(seed);
     let right_nb = multi_numbering(net, pair_with_key(net, right.parts, &rkey), n2);
-
-    // --- Route both sides --------------------------------------------------
-    let left_routed = route_side(net, &directives, left_nb, n_groups, p, Side::Left);
-    let right_routed = route_side(net, &directives, right_nb, n_groups, p, Side::Right);
-
+    // --- Route both sides (columnar: cell-tagged rows in TupleBlocks) -----
+    let left_routed = route_side(net, &directives, left_nb, n_groups, p, Side::Left, left_arity);
+    let right_routed = route_side(
+        net,
+        &directives,
+        right_nb,
+        n_groups,
+        p,
+        Side::Right,
+        right_arity,
+    );
     // --- Local join per physical server ------------------------------------
     // Final layout order (see module docs).
     let final_order: Vec<usize> = {
@@ -215,23 +218,62 @@ pub fn binary_join(
             .chain(ra_extra)
             .collect()
     };
-    let sides: Vec<_> = left_routed
-        .into_parts()
-        .into_iter()
-        .zip(right_routed.into_parts())
-        .collect();
-    let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lpart, rpart)| {
-        // Index left by (vcell, key).
-        let mut index: HashMap<(VCell, Tuple), Vec<&Tuple>> = HashMap::with_capacity(lpart.len());
-        for (cell, t) in &lpart {
-            index.entry((*cell, t.project(&lkey))).or_default().push(t);
+    let sides: Vec<(TupleBlock, TupleBlock)> =
+        left_routed.into_iter().zip(right_routed).collect();
+    let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lblock, rblock)| {
+        // Two-level build-side index over the left block: virtual cell →
+        // join key → row indices. The inner map is probed with a bare value
+        // slice (`Borrow<[Value]>`), and rows stay in the flat block — the
+        // probe loop allocates nothing but the output tuples themselves.
+        let mut index: FxHashMap<VCell, FxHashMap<Tuple, Vec<u32>>> = FxHashMap::default();
+        let mut lkey_scratch = Vec::with_capacity(lkey.len());
+        for (i, row) in lblock.iter().enumerate() {
+            let vals = &row[1..];
+            lkey_scratch.clear();
+            lkey_scratch.extend(lkey.iter().map(|&c| vals[c]));
+            index
+                .entry(row[0])
+                .or_default()
+                .entry(Tuple::from_slice(&lkey_scratch))
+                .or_default()
+                .push(i as u32);
         }
+        // When the final layout is the plain concatenation (no annotation
+        // columns to interleave — the common case), outputs are built
+        // straight from the two value slices.
+        let order_is_identity = final_order.iter().enumerate().all(|(i, &c)| i == c);
         let mut out = Vec::new();
-        for (cell, t) in &rpart {
-            if let Some(ls) = index.get(&(*cell, t.project(&rkey))) {
-                let appended = t.project(&right_append);
-                for l in ls {
-                    out.push(l.concat(&appended).project(&final_order));
+        let mut key = Vec::with_capacity(rkey.len());
+        let mut appended = Vec::with_capacity(right_append.len());
+        let mut row_buf = Vec::with_capacity(final_order.len());
+        for row in rblock.iter() {
+            let Some(by_key) = index.get(&row[0]) else {
+                continue;
+            };
+            let vals = &row[1..];
+            key.clear();
+            key.extend(rkey.iter().map(|&c| vals[c]));
+            if let Some(ls) = by_key.get(key.as_slice()) {
+                appended.clear();
+                appended.extend(right_append.iter().map(|&c| vals[c]));
+                for &li in ls {
+                    let lv = &lblock.row(li as usize)[1..];
+                    if order_is_identity {
+                        out.push(Tuple::from_concat(lv, &appended));
+                    } else {
+                        // The reordered concatenation
+                        // [left ++ appended][final_order], assembled in
+                        // scratch: one allocation per output tuple at most.
+                        row_buf.clear();
+                        row_buf.extend(final_order.iter().map(|&i| {
+                            if i < lv.len() {
+                                lv[i]
+                            } else {
+                                appended[i - lv.len()]
+                            }
+                        }));
+                        out.push(Tuple::new(row_buf.as_slice()));
+                    }
                 }
             }
         }
@@ -278,6 +320,12 @@ fn pair_with_key(
 /// Look up directives and ship tuples to their (virtual-cell-tagged)
 /// physical destinations. Tuples whose key has no directive (no match on the
 /// other side) are dropped locally.
+///
+/// Movement is columnar: each sender stages rows `[cell, values…]` in a flat
+/// [`aj_mpc::RowOutbox`] (heavy tuples once per replica cell) and the radix
+/// block exchange delivers per-server [`TupleBlock`]s — no per-tuple clone
+/// or boxed message on the hot path. Loads are identical to the per-item
+/// exchange: one unit per delivered row.
 fn route_side(
     net: &mut Net,
     directives: &OwnedTable<Tuple, Directive>,
@@ -285,7 +333,8 @@ fn route_side(
     n_groups: u64,
     p: usize,
     side: Side,
-) -> Partitioned<(VCell, Tuple)> {
+    tuple_arity: usize,
+) -> Vec<TupleBlock> {
     let requests = Partitioned::from_parts(net.run_each(|s| {
         numbered[s]
             .iter()
@@ -293,37 +342,42 @@ fn route_side(
             .collect::<Vec<Tuple>>()
     }));
     let answers = lookup(net, directives, &requests);
+    let row_arity = tuple_arity + 1;
     let inputs: Vec<_> = numbered.into_parts().into_iter().zip(answers).collect();
-    let received = net.round_map(inputs, |_, (part, ans)| {
-        let mut msgs: Vec<(ServerId, (VCell, Tuple))> = Vec::new();
-        for (k, t, idx) in part {
-            match ans.get(&k) {
+    let outbox: Vec<RowOutbox> = net.run_local(inputs, |_, (part, ans)| {
+        let part: Vec<(Tuple, Tuple, u64)> = part;
+        let ans: FxHashMap<Tuple, Directive> = ans;
+        let mut ob = RowOutbox::with_capacity(row_arity, part.len());
+        let mut row = Vec::with_capacity(row_arity);
+        let stage = |ob: &mut RowOutbox, row: &mut Vec<u64>, cell: u64, t: &Tuple| {
+            row.clear();
+            row.push(cell);
+            row.extend_from_slice(t.values());
+            ob.push((cell % p as u64) as usize, row);
+        };
+        for (k, t, idx) in &part {
+            match ans.get(k) {
                 None => {} // dangling for this join: drop
-                Some(Directive::Light { group }) => {
-                    let cell = *group;
-                    msgs.push(((cell % p as u64) as usize, (cell, t)));
-                }
+                Some(Directive::Light { group }) => stage(&mut ob, &mut row, *group, t),
                 Some(Directive::Heavy { start, rows, cols }) => match side {
                     Side::Left => {
                         let r = idx % rows;
                         for c in 0..*cols {
-                            let cell = n_groups + start + r * cols + c;
-                            msgs.push(((cell % p as u64) as usize, (cell, t.clone())));
+                            stage(&mut ob, &mut row, n_groups + start + r * cols + c, t);
                         }
                     }
                     Side::Right => {
                         let c = idx % cols;
                         for r in 0..*rows {
-                            let cell = n_groups + start + r * cols + c;
-                            msgs.push(((cell % p as u64) as usize, (cell, t.clone())));
+                            stage(&mut ob, &mut row, n_groups + start + r * cols + c, t);
                         }
                     }
                 },
             }
         }
-        msgs
+        ob
     });
-    Partitioned::from_parts(received)
+    net.exchange_rows(row_arity, outbox)
 }
 
 fn output_schema(left: &DistRelation, right: &DistRelation, shared: &[Attr]) -> Vec<Attr> {

@@ -114,7 +114,7 @@ pub fn line3_worst_case(in_size: u64, p: usize) -> f64 {
 /// the query has more than 20 attributes or edges).
 pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
     use aj_relation::AttrSet;
-    use std::collections::HashMap;
+    use aj_primitives::FxHashMap;
     let n = q.n_attrs();
     let m = q.n_edges();
     assert!(n <= 20 && m <= 20, "l_binhc is exhaustive; keep queries small");
@@ -152,7 +152,7 @@ pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
             }
             // T = Σ_a Π_{e∈S} |σ_{x=a}R(e)|: a count-annotated join of the
             // per-edge projections onto x, evaluated by iterative hash joins.
-            let mut acc: HashMap<aj_relation::Tuple, u64> = HashMap::new();
+            let mut acc: FxHashMap<aj_relation::Tuple, u64> = FxHashMap::default();
             acc.insert(aj_relation::Tuple::unit(), 1);
             let mut acc_attrs: Vec<usize> = Vec::new();
             for e in s.iter() {
@@ -164,7 +164,7 @@ pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
                     .filter(|a| xset.contains(*a))
                     .collect();
                 let pos = rel.positions_of(&xattrs);
-                let mut groups: HashMap<aj_relation::Tuple, u64> = HashMap::new();
+                let mut groups: FxHashMap<aj_relation::Tuple, u64> = FxHashMap::default();
                 for t in &rel.tuples {
                     *groups.entry(t.project(&pos)).or_insert(0) += 1;
                 }
@@ -185,15 +185,15 @@ pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
                     .iter()
                     .map(|a| acc_attrs.iter().position(|x| x == a).unwrap())
                     .collect();
-                let mut index: HashMap<aj_relation::Tuple, Vec<(aj_relation::Tuple, u64)>> =
-                    HashMap::new();
+                let mut index: FxHashMap<aj_relation::Tuple, Vec<(aj_relation::Tuple, u64)>> =
+                    FxHashMap::default();
                 for (t, c) in &groups {
                     index
                         .entry(t.project(&g_shared_pos))
                         .or_default()
                         .push((t.project(&g_new_pos), *c));
                 }
-                let mut next: HashMap<aj_relation::Tuple, u64> = HashMap::new();
+                let mut next: FxHashMap<aj_relation::Tuple, u64> = FxHashMap::default();
                 for (t, c) in &acc {
                     if let Some(matches) = index.get(&t.project(&a_shared_pos)) {
                         for (ext, c2) in matches {

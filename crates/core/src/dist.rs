@@ -200,7 +200,7 @@ pub fn split_by_degree(
     let attrs = rel.attrs.clone();
     let split: Vec<(Vec<Tuple>, Vec<Tuple>)> = net.run_local(
         rel.parts.into_parts().into_iter().zip(answers).collect(),
-        |_, (part, ans): (Vec<Tuple>, std::collections::HashMap<Tuple, u64>)| {
+        |_, (part, ans): (Vec<Tuple>, aj_primitives::FxHashMap<Tuple, u64>)| {
             part.into_iter()
                 .partition(|t| ans.get(&t.project(&pos)).copied().unwrap_or(0) > threshold)
         },
@@ -229,7 +229,7 @@ pub fn degrees_of(
     of: &DistRelation,
     of_key_attrs: &[Attr],
     seed: u64,
-) -> Vec<std::collections::HashMap<Tuple, u64>> {
+) -> Vec<aj_primitives::FxHashMap<Tuple, u64>> {
     let rpos = rel.positions_of(rel_key_attrs);
     let keyed = Partitioned::from_parts(net.run_each(|s| {
         rel.parts[s]

@@ -27,7 +27,7 @@
 //! base seed and the query's signature fingerprint, so a repeated shape —
 //! cache hit or not — reproduces its run bit-for-bit, on either executor.
 
-use std::collections::HashMap;
+use aj_primitives::FxHashMap;
 
 use aj_mpc::{Cluster, EpochStats, Stats};
 use aj_relation::classify::{classify, AttributeForest, JoinClass};
@@ -137,7 +137,7 @@ pub struct QueryOutcome {
 pub struct QueryEngine {
     cluster: Cluster,
     config: EngineConfig,
-    cache: HashMap<QuerySignature, PlanArtifacts>,
+    cache: FxHashMap<QuerySignature, PlanArtifacts>,
     served: u64,
     cache_hits: u64,
 }
@@ -164,7 +164,7 @@ impl QueryEngine {
         QueryEngine {
             cluster,
             config,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             served: 0,
             cache_hits: 0,
         }

@@ -23,7 +23,7 @@
 //! heavy) read owner-side metadata that a real deployment would broadcast in
 //! O(1) control messages.
 
-use std::collections::HashMap;
+use aj_primitives::FxHashMap;
 
 use aj_mpc::{Net, Partitioned, ServerId};
 use aj_primitives::{lookup, parallel_packing, prefix_sum, sum_by_key, Key, OwnedTable};
@@ -86,7 +86,7 @@ fn rec(net: &mut Net, q: &Query, db: DistDatabase, seed: &mut u64) -> DistRelati
     // Per-subset join sizes |Q(R,S)| (no dangling tuples ⇒ = |⋈_S R(e)|),
     // computed with the linear-load counting primitive (Corollary 4).
     let m = q.n_edges();
-    let mut cnt: HashMap<u64, u64> = HashMap::new();
+    let mut cnt: FxHashMap<u64, u64> = FxHashMap::default();
     for s in EdgeSet::all(m).subsets() {
         if s.is_empty() {
             continue;
@@ -106,7 +106,7 @@ fn rec(net: &mut Net, q: &Query, db: DistDatabase, seed: &mut u64) -> DistRelati
 }
 
 /// `L_instance` from the subset counts: `max_S (|Q(R,S)|/p)^{1/|S|}`.
-fn l_instance_from_counts(cnt: &HashMap<u64, u64>, p: usize) -> f64 {
+fn l_instance_from_counts(cnt: &FxHashMap<u64, u64>, p: usize) -> f64 {
     let mut best = 0f64;
     for (&mask, &c) in cnt {
         let k = mask.count_ones() as f64;
@@ -129,7 +129,7 @@ fn case1(
     db: DistDatabase,
     forest: &AttributeForest,
     load: u64,
-    cnt: &HashMap<u64, u64>,
+    cnt: &FxHashMap<u64, u64>,
     seed: &mut u64,
 ) -> DistRelation {
     let p = net.p();
@@ -172,7 +172,7 @@ fn case1(
 
     // Heavy keys: per-value subset counts |Q_x(R_a, S)| co-located at the
     // degree owner (final_seed = kd).
-    let mut per_subset: HashMap<u64, Vec<HashMap<Tuple, u64>>> = HashMap::new();
+    let mut per_subset: FxHashMap<u64, Vec<FxHashMap<Tuple, u64>>> = FxHashMap::default();
     for s in EdgeSet::all(m).subsets() {
         if s.is_empty() {
             continue;
@@ -249,7 +249,7 @@ fn case1(
     };
 
     // Look up each relation's directive answers.
-    let mut answers: Vec<Vec<HashMap<Tuple, Directive>>> = Vec::with_capacity(m);
+    let mut answers: Vec<Vec<FxHashMap<Tuple, Directive>>> = Vec::with_capacity(m);
     for rel in &db {
         let pos = rel.positions_of(&root_attrs);
         let requests = Partitioned::from_parts(
@@ -279,7 +279,7 @@ fn case1(
     });
     let out_attrs = occurring_attrs(q);
     let mut out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, msgs: Vec<(u64, u8, Tuple)>| {
-        let mut by_group: HashMap<u64, Vec<Vec<Tuple>>> = HashMap::new();
+        let mut by_group: FxHashMap<u64, Vec<Vec<Tuple>>> = FxHashMap::default();
         for (g, e, t) in msgs {
             by_group.entry(g).or_insert_with(|| vec![Vec::new(); m])[e as usize].push(t);
         }
@@ -421,7 +421,7 @@ fn case2(
     db: DistDatabase,
     forest: &AttributeForest,
     load: u64,
-    cnt: &HashMap<u64, u64>,
+    cnt: &FxHashMap<u64, u64>,
     seed: &mut u64,
 ) -> DistRelation {
     let p = net.p();

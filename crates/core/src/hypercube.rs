@@ -10,7 +10,7 @@
 //! * On skewed instances its load degrades — exactly the gap the paper's
 //!   Theorem-3 algorithm closes; the experiments measure this.
 
-use aj_mpc::{Net, Partitioned, ServerId};
+use aj_mpc::{Net, Partitioned, RowOutbox, TupleBlock};
 use aj_relation::{Attr, Database, Query, Tuple};
 
 use crate::dist::{distribute_db, DistRelation};
@@ -60,9 +60,21 @@ pub fn hypercube_join_dist(
     for a in 1..q.n_attrs() {
         stride[a] = stride[a - 1] * shares.0[a - 1];
     }
-    // Per-relation layouts and free coordinates (attributes a relation does
-    // not fix), captured before the shards move into the routing closure.
+    // Per-relation layouts, actual tuple arities (annotations may trail the
+    // schema) and free coordinates (attributes a relation does not fix),
+    // captured before the shards move into the routing closure.
     let rel_attrs: Vec<Vec<Attr>> = dist.iter().map(|rel| rel.attrs.clone()).collect();
+    let rel_arity: Vec<usize> = dist
+        .iter()
+        .map(|rel| {
+            rel.parts
+                .iter()
+                .flat_map(|pt| pt.first())
+                .map(Tuple::arity)
+                .next()
+                .unwrap_or(rel.attrs.len())
+        })
+        .collect();
     let free: Vec<Vec<Attr>> = dist
         .iter()
         .map(|rel| {
@@ -80,9 +92,14 @@ pub fn hypercube_join_dist(
             per_server[s].push((e, part));
         }
     }
-    // Route: each tuple goes to every cell consistent with its attr hashes.
-    let received = net.round_map(per_server, |_, rels| {
-        let mut msgs: Vec<(ServerId, (u8, Tuple))> = Vec::new();
+    // Route columnar: each tuple goes to every cell consistent with its attr
+    // hashes, staged as one flat row `[edge, values…, 0-padding]` per copy
+    // (blocks need a uniform width; the widest relation sets it). One row is
+    // one load unit — identical accounting to the per-item exchange.
+    let row_arity = 1 + rel_arity.iter().copied().max().unwrap_or(0);
+    let outbox: Vec<RowOutbox> = net.run_local(per_server, |_, rels| {
+        let mut ob = RowOutbox::new(row_arity);
+        let mut row = vec![0u64; row_arity];
         for (e, part) in rels {
             let attrs = &rel_attrs[e];
             for t in part {
@@ -103,23 +120,23 @@ pub fn hypercube_join_dist(
                     }
                     cells = next;
                 }
-                for (n, cell) in cells.iter().enumerate() {
-                    if n + 1 == cells.len() {
-                        msgs.push((*cell, (e as u8, t)));
-                        break;
-                    }
-                    msgs.push((*cell, (e as u8, t.clone())));
+                row[0] = e as u64;
+                row[1..1 + t.arity()].copy_from_slice(t.values());
+                row[1 + t.arity()..].fill(0);
+                for &cell in &cells {
+                    ob.push(cell, &row);
                 }
             }
         }
-        msgs
+        ob
     });
+    let received = net.exchange_rows(row_arity, outbox);
     // Local join per cell, one closure per server.
     let mut out_attrs: Vec<Attr> = (0..q.n_attrs())
         .filter(|&a| !q.edges_containing(a).is_empty())
         .collect();
     out_attrs.sort_unstable();
-    let out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, msgs: Vec<(u8, Tuple)>| {
+    let out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, block: TupleBlock| {
         let mut locals: Vec<LocalRel> = q
             .edges()
             .iter()
@@ -128,8 +145,9 @@ pub fn hypercube_join_dist(
                 tuples: Vec::new(),
             })
             .collect();
-        for (e, t) in msgs {
-            locals[e as usize].tuples.push(t);
+        for row in block.iter() {
+            let e = row[0] as usize;
+            locals[e].tuples.push(Tuple::new(&row[1..1 + rel_arity[e]]));
         }
         if locals.iter().any(|l| l.tuples.is_empty()) {
             return Vec::new();

@@ -6,7 +6,7 @@
 //! for those final steps. It works for cyclic local queries too (needed by
 //! the HyperCube executor).
 
-use std::collections::HashMap;
+use aj_primitives::FxHashMap;
 
 use aj_relation::{Attr, Tuple};
 
@@ -65,20 +65,12 @@ pub fn multiway_join(rels: &[LocalRel]) -> (Vec<Attr>, Vec<Tuple>) {
         let append_pos: Vec<usize> = (0..arity)
             .filter(|&c| c >= n_attr || !shared.contains(&rel.attrs[c]))
             .collect();
-        let mut index: HashMap<Tuple, Vec<Tuple>> = HashMap::with_capacity(rel.tuples.len());
+        let mut index: FxHashMap<Tuple, Vec<Tuple>> = aj_primitives::fx_map_with_capacity(rel.tuples.len());
         for t in &rel.tuples {
             index
                 .entry(t.project(&rel_key_pos))
                 .or_default()
                 .push(t.project(&append_pos));
-        }
-        let mut next = Vec::new();
-        for t in &acc {
-            if let Some(matches) = index.get(&t.project(&acc_key_pos)) {
-                for m in matches {
-                    next.push(t.concat(m));
-                }
-            }
         }
         // New schema: acc attrs, then acc extras, then rel's appended attrs,
         // then rel extras. To keep attr positions aligned with values, we
@@ -111,7 +103,24 @@ pub fn multiway_join(rels: &[LocalRel]) -> (Vec<Attr>, Vec<Tuple>) {
         order.extend(appended_attr_cols);
         order.extend((acc_len..acc_len + acc_extra).collect::<Vec<_>>());
         order.extend(appended_extra_cols);
-        acc = next.iter().map(|t| t.project(&order)).collect();
+        // Probe by value slice; build each output row in scratch so the
+        // concat + column-reorder costs one allocation per output tuple.
+        let mut next = Vec::new();
+        let mut key = Vec::with_capacity(acc_key_pos.len());
+        let mut cat = Vec::new();
+        let mut row = Vec::with_capacity(order.len());
+        for t in &acc {
+            t.project_into(&acc_key_pos, &mut key);
+            if let Some(matches) = index.get(key.as_slice()) {
+                for m in matches {
+                    t.concat_into(m, &mut cat);
+                    row.clear();
+                    row.extend(order.iter().map(|&i| cat[i]));
+                    next.push(Tuple::new(row.as_slice()));
+                }
+            }
+        }
+        acc = next;
         acc_attrs = new_attrs;
         acc_extra = new_extra;
     }

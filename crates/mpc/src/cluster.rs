@@ -1,7 +1,10 @@
 //! The cluster: server bookkeeping, the communication entry point, and the
 //! round API the executors drive.
 
+use aj_relation::TupleBlock;
+
 use crate::executor::{run_consuming, run_indexed, Execute, ParExecutor, SeqExecutor};
+use crate::rows::RowOutbox;
 use crate::stats::{EpochStats, Stats};
 use crate::Partitioned;
 
@@ -291,6 +294,163 @@ impl Net<'_> {
         });
         let counts = delivered.iter().map(|(_, c)| *c).collect();
         (delivered.drain(..).map(|(v, _)| v).collect(), counts)
+    }
+
+    /// One communication round moving **blocks** (the columnar data plane):
+    /// `outbox[s]` holds the rows sent by local server `s` with one
+    /// destination per row ([`RowOutbox`]); rows needing replication appear
+    /// once per destination. Returns one [`TupleBlock`] per receiver with
+    /// rows in deterministic (sender, send-order) order — the exact order
+    /// [`Net::exchange`] would deliver the same tuples in — and charges one
+    /// load unit per row, identically to the per-item exchange.
+    ///
+    /// Routing is **radix-partitioned**: a counting pass computes
+    /// per-destination row counts, then a single scatter pass `memcpy`s each
+    /// row into its receiver's pre-sized flat buffer — no per-tuple
+    /// `Vec::push` or clone. Under a parallel executor both passes run
+    /// concurrently over senders, with the scatter writing through disjoint
+    /// per-(sender, destination) slices computed at the barrier between the
+    /// passes.
+    ///
+    /// # Panics
+    /// Panics if `outbox.len() != self.p()`, a sender block's arity differs
+    /// from `arity`, a sender's `dests` length differs from its row count,
+    /// or any destination is out of range.
+    pub fn exchange_rows(&mut self, arity: usize, outbox: Vec<RowOutbox>) -> Vec<TupleBlock> {
+        assert_eq!(
+            outbox.len(),
+            self.len,
+            "outbox must have exactly one entry per server"
+        );
+        for ob in &outbox {
+            assert_eq!(ob.rows.arity(), arity, "sender block arity mismatch");
+            assert_eq!(ob.rows.len(), ob.dests.len(), "one destination per row");
+        }
+        let total_rows: usize = outbox.iter().map(RowOutbox::len).sum();
+        let parallel_worthwhile = total_rows >= 4 * self.len.max(64);
+        let (inbox, counts) = if self.cluster.executor.is_parallel()
+            && self.len > 1
+            && parallel_worthwhile
+            && arity > 0
+        {
+            self.route_rows_parallel(arity, outbox)
+        } else {
+            self.route_rows_sequential(arity, outbox)
+        };
+        self.cluster.record_round(self.lo, self.stride, &counts);
+        inbox
+    }
+
+    /// Sequential radix routing: one counting pass to pre-size every
+    /// receiver block, one scatter pass appending rows in sender order.
+    fn route_rows_sequential(
+        &self,
+        arity: usize,
+        outbox: Vec<RowOutbox>,
+    ) -> (Vec<TupleBlock>, Vec<u64>) {
+        let mut counts = vec![0u64; self.len];
+        for ob in &outbox {
+            for &d in &ob.dests {
+                assert!(
+                    d < self.len,
+                    "destination {d} out of range (p = {})",
+                    self.len
+                );
+                counts[d] += 1;
+            }
+        }
+        let mut inbox: Vec<TupleBlock> = counts
+            .iter()
+            .map(|&c| TupleBlock::with_capacity(arity, c as usize))
+            .collect();
+        for ob in &outbox {
+            if arity == 0 {
+                for &d in &ob.dests {
+                    inbox[d].push_empty_rows(1);
+                }
+            } else {
+                for (i, &d) in ob.dests.iter().enumerate() {
+                    inbox[d].push_row(ob.rows.row(i));
+                }
+            }
+        }
+        (inbox, counts)
+    }
+
+    /// Parallel radix routing: counting pass over senders, offset matrix at
+    /// the barrier, then a concurrent scatter through disjoint
+    /// per-(sender, destination) slices of the pre-sized receiver buffers.
+    fn route_rows_parallel(
+        &self,
+        arity: usize,
+        outbox: Vec<RowOutbox>,
+    ) -> (Vec<TupleBlock>, Vec<u64>) {
+        /// Per-receiver base pointers for the scatter. Accessors go through
+        /// `&self` so closures capture the `Sync` wrapper, not the raw
+        /// pointers inside.
+        struct RawBufs(Vec<*mut u64>);
+        // SAFETY: every (sender, destination) range of a receiver buffer is
+        // written by exactly one sender task (ranges are disjoint by the
+        // offset construction), and reads happen only after the region
+        // barrier.
+        unsafe impl Send for RawBufs {}
+        unsafe impl Sync for RawBufs {}
+        impl RawBufs {
+            #[inline]
+            fn base(&self, d: usize) -> *mut u64 {
+                self.0[d]
+            }
+        }
+
+        let p = self.len;
+        let exec = self.cluster.executor.as_ref();
+        // Counting pass (parallel over senders).
+        let outbox_ref = &outbox;
+        let per_sender: Vec<Vec<u32>> = run_indexed(exec, p, |s| {
+            let mut counts = vec![0u32; p];
+            for &d in &outbox_ref[s].dests {
+                assert!(d < p, "destination {d} out of range (p = {p})");
+                counts[d] += 1;
+            }
+            counts
+        });
+        // Barrier: sender-major offsets into each receiver buffer.
+        let mut totals = vec![0usize; p];
+        let mut offsets: Vec<Vec<usize>> = Vec::with_capacity(p);
+        for counts in &per_sender {
+            offsets.push(totals.clone());
+            for (d, &c) in counts.iter().enumerate() {
+                totals[d] += c as usize;
+            }
+        }
+        // Scatter pass (parallel over senders) into pre-sized buffers.
+        let mut bufs: Vec<Vec<u64>> = totals.iter().map(|&t| vec![0u64; t * arity]).collect();
+        let raw = RawBufs(bufs.iter_mut().map(|b| b.as_mut_ptr()).collect());
+        let raw_ref = &raw;
+        let offsets_ref = &offsets;
+        run_indexed(exec, p, move |s| {
+            let ob = &outbox_ref[s];
+            let mut cursor = offsets_ref[s].clone();
+            let data = ob.rows.values();
+            for (i, &d) in ob.dests.iter().enumerate() {
+                // SAFETY: row slot (s, cursor[d]) has exactly one writer —
+                // this task — and lies inside receiver d's buffer.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        data.as_ptr().add(i * arity),
+                        raw_ref.base(d).add(cursor[d] * arity),
+                        arity,
+                    );
+                }
+                cursor[d] += 1;
+            }
+        });
+        let counts = totals.iter().map(|&t| t as u64).collect();
+        let inbox = bufs
+            .into_iter()
+            .map(|b| TupleBlock::from_values(arity, b))
+            .collect();
+        (inbox, counts)
     }
 
     /// One **computation + communication round**: for each local server `s`,
@@ -594,6 +754,106 @@ mod tests {
         }
         assert_eq!(cluster.stats().exchanges, 0);
         assert_eq!(cluster.stats().max_load, 0);
+    }
+
+    /// The block exchange must deliver exactly what the per-item exchange
+    /// delivers — same rows, same order, same stats.
+    #[test]
+    fn exchange_rows_matches_per_item_exchange() {
+        let p = 8usize;
+        let arity = 3usize;
+        let rows: Vec<Vec<(usize, [u64; 3])>> = (0..p)
+            .map(|s| {
+                (0..40u64)
+                    .map(|i| {
+                        let d = ((s as u64 * 13 + i * 7) % p as u64) as usize;
+                        (d, [s as u64, i, s as u64 * 1000 + i])
+                    })
+                    .collect()
+            })
+            .collect();
+        // Per-item path.
+        let mut a = Cluster::new(p);
+        let item_inbox = a.net().exchange(
+            rows.iter()
+                .map(|r| r.iter().map(|&(d, v)| (d, v.to_vec())).collect())
+                .collect(),
+        );
+        // Block path.
+        let mut b = Cluster::new(p);
+        let block_inbox = b.net().exchange_rows(
+            arity,
+            rows.iter()
+                .map(|r| {
+                    let mut ob = RowOutbox::with_capacity(arity, r.len());
+                    for (d, v) in r {
+                        ob.push(*d, v);
+                    }
+                    ob
+                })
+                .collect(),
+        );
+        assert_eq!(a.stats(), b.stats());
+        for (items, block) in item_inbox.iter().zip(&block_inbox) {
+            assert_eq!(items.len(), block.len());
+            for (item, row) in items.iter().zip(block.iter()) {
+                assert_eq!(item.as_slice(), row);
+            }
+        }
+    }
+
+    /// Radix routing under the parallel executor delivers bit-identical
+    /// blocks and stats to the sequential path.
+    #[test]
+    fn exchange_rows_agrees_across_executors() {
+        let p = 6usize;
+        let arity = 2usize;
+        let build = || -> Vec<RowOutbox> {
+            (0..p)
+                .map(|s| {
+                    let mut ob = RowOutbox::new(arity);
+                    for i in 0..100u64 {
+                        ob.push(((s as u64 + i * 11) % p as u64) as usize, &[s as u64, i]);
+                    }
+                    ob
+                })
+                .collect()
+        };
+        let mut seq = Cluster::new(p);
+        let seq_inbox = seq.net().exchange_rows(arity, build());
+        let mut par = Cluster::with_executor(p, Box::new(ParExecutor::with_threads(4)));
+        let par_inbox = par.net().exchange_rows(arity, build());
+        assert_eq!(seq_inbox, par_inbox);
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn exchange_rows_zero_arity_counts_rows() {
+        let mut cluster = Cluster::new(2);
+        {
+            let mut net = cluster.net();
+            let mut ob = RowOutbox::new(0);
+            ob.rows.push_empty_rows(3);
+            ob.dests.extend([1, 1, 0]);
+            let inbox = net.exchange_rows(0, vec![ob, RowOutbox::new(0)]);
+            assert_eq!(inbox[0].len(), 1);
+            assert_eq!(inbox[1].len(), 2);
+        }
+        assert_eq!(cluster.stats().max_load, 2);
+        assert_eq!(cluster.stats().total_messages, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn exchange_rows_bad_destination_panics_in_parallel() {
+        let mut cluster = Cluster::with_executor(2, Box::new(ParExecutor::with_threads(2)));
+        let mut net = cluster.net();
+        let mut ob = RowOutbox::new(1);
+        for i in 0..300u64 {
+            ob.push(0, &[i]);
+        }
+        ob.push(7, &[0]);
+        net.exchange_rows(1, vec![ob, RowOutbox::new(1)]);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Pluggable execution backends: run per-server work sequentially or on a
-//! thread pool.
+//! persistent thread pool.
 //!
 //! The simulator charges *communication* through [`crate::Net::exchange`];
 //! *local computation* is free in the MPC cost model but very much not free
@@ -10,11 +10,13 @@
 //! * [`SeqExecutor`] — every server's work runs on the calling thread, in
 //!   server order. Deterministic stepping, zero overhead, the right choice
 //!   for debugging and for tiny instances.
-//! * [`ParExecutor`] — server closures run concurrently on OS threads
-//!   (work-stealing over server indices via an atomic cursor). This is what
-//!   lets the simulation's wall-clock time track the paper's load bounds:
-//!   `p` servers doing `O(IN/p + √(IN·OUT)/p)` work each really do run side
-//!   by side.
+//! * [`ParExecutor`] — server closures run concurrently on a **persistent
+//!   worker pool** created once per executor: workers park on a condvar
+//!   between parallel regions and pull server indices from an atomic cursor
+//!   (work stealing) inside one. A hot experiment executes thousands of
+//!   regions; reusing parked threads replaces a spawn/join pair per region
+//!   (tens of microseconds and a kernel round trip each) with one
+//!   notify/park cycle.
 //!
 //! # Determinism and load accounting
 //!
@@ -27,13 +29,16 @@
 //! **bit-identical** per-round maximum loads — a property the test suite
 //! asserts on random instances.
 
+use std::cell::UnsafeCell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// An execution backend for per-server work.
 ///
 /// `run(n, task)` must invoke `task(i)` exactly once for every `i in 0..n`;
-/// the order and the thread are the backend's choice.
+/// the order and the thread are the backend's choice. ([`run_indexed`]
+/// relies on the exactly-once contract for its unsynchronized result slots.)
 pub trait Execute: Send + Sync + std::fmt::Debug {
     /// Invoke `task` once per index in `0..n`.
     fn run(&self, n: usize, task: &(dyn Fn(usize) + Sync));
@@ -64,21 +69,196 @@ impl Execute for SeqExecutor {
     }
 }
 
-/// Run per-server work concurrently on scoped OS threads.
+/// The current parallel region, type-erased so parked workers can pick it
+/// up. The raw pointer is only dereferenced between region publication and
+/// the region's completion barrier, during which the coordinator keeps the
+/// referent alive on its stack.
+#[derive(Clone, Copy)]
+struct RegionTask {
+    task: *const (dyn Fn(usize) + Sync),
+    n: usize,
+}
+
+// SAFETY: the pointer is only shared with workers while the coordinating
+// thread blocks inside `Pool::run_region`, which outlives every worker's
+// use of it (the completion barrier). The pointee is `Sync`, so concurrent
+// calls from several workers are allowed.
+unsafe impl Send for RegionTask {}
+
+struct PoolState {
+    /// Region sequence number; workers use it to detect fresh work.
+    generation: u64,
+    /// The active region, if any.
+    region: Option<RegionTask>,
+    /// Workers still inside the active region.
+    active: usize,
+    /// First panic payload raised by a worker in the active region.
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// Set once, on drop: workers exit their park loop.
+    shutdown: bool,
+}
+
+/// Shared core of a persistent pool: region hand-off state plus the
+/// work-stealing cursor of the active region.
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers park here between regions.
+    work_cv: Condvar,
+    /// The coordinator parks here until `active` drops to zero.
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+    workers: usize,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Arc<Pool> {
+        let pool = Arc::new(Pool {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                region: None,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            workers,
+        });
+        for _ in 0..workers {
+            let p = Arc::clone(&pool);
+            // Workers hold a weak-free Arc clone; `shutdown` (set by the
+            // owning executor's Drop) is what terminates them.
+            std::thread::spawn(move || p.worker_loop());
+        }
+        pool
+    }
+
+    fn worker_loop(&self) {
+        let mut seen_generation = 0u64;
+        loop {
+            let region = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.generation != seen_generation {
+                        if let Some(r) = st.region {
+                            seen_generation = st.generation;
+                            break r;
+                        }
+                    }
+                    st = self.work_cv.wait(st).unwrap();
+                }
+            };
+            // SAFETY: the coordinator blocks in `run_region` until this
+            // worker reports completion below, so the task outlives this
+            // dereference.
+            let task = unsafe { &*region.task };
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+                let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= region.n {
+                    break;
+                }
+                task(i);
+            }));
+            let mut st = self.state.lock().unwrap();
+            if let Err(payload) = outcome {
+                st.panic.get_or_insert(payload);
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Publish one region, let every worker drain it, wait for the barrier,
+    /// and re-raise the first worker panic with its original payload.
+    fn run_region(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: `RegionTask` erases the closure's lifetime; the barrier
+        // below (waiting for `active == 0`) guarantees no worker touches the
+        // pointer after this function returns.
+        let region = RegionTask {
+            task: unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    task,
+                )
+            },
+            n,
+        };
+        let mut st = self.state.lock().unwrap();
+        // Serialize overlapping regions: clones of one executor may be
+        // driven from different threads, and a second region must not reset
+        // the shared cursor while the first is mid-drain (that would break
+        // the exactly-once contract `run_indexed`'s slots rely on).
+        while st.region.is_some() {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+        st.region = Some(region);
+        st.active = self.workers;
+        st.generation = st.generation.wrapping_add(1);
+        self.work_cv.notify_all();
+        while st.active > 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        st.region = None;
+        let panic = st.panic.take();
+        drop(st);
+        // Wake any coordinator parked above waiting to publish its region.
+        self.done_cv.notify_all();
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Shuts the pool down when the last executor clone drops. Worker threads
+/// hold `Arc<Pool>` but never an `Arc<PoolGuard>`, so the guard's drop runs
+/// exactly when no executor can publish further regions.
+struct PoolGuard(Arc<Pool>);
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.shutdown = true;
+        self.0.work_cv.notify_all();
+    }
+}
+
+/// Run per-server work concurrently on a persistent parking worker pool.
 ///
-/// Each parallel region spawns up to `threads` scoped workers that pull
-/// server indices from an atomic cursor (work stealing), so an uneven
-/// per-server workload — exactly what skewed instances produce — still keeps
-/// every core busy. There is no persistent pool: threads live for one region
-/// and join at its barrier, which keeps borrows of per-round data safe. The
-/// per-region spawn cost (tens of microseconds) is amortized only when the
-/// per-server closures do real work; [`crate::Net::exchange`] therefore
-/// routes small rounds (control messages) on the sequential path, while
+/// The pool's threads are created **once**, when the executor is built, and
+/// park on a condvar between parallel regions; a region is published as a
+/// `(closure, n)` pair, drained via an atomic index cursor (work stealing —
+/// uneven per-server workloads, exactly what skewed instances produce, still
+/// keep every worker busy), and closed by a completion barrier. Worker
+/// panics are caught and re-raised on the coordinating thread with their
+/// original payload.
+///
+/// Cloning shares the pool. Dropping the last clone parks no more work and
+/// shuts the worker threads down.
+///
+/// [`crate::Net::exchange`] routes small rounds (control messages) on the
+/// sequential path since staging `O(p²)` buckets costs more than it saves;
 /// `round`/`run_local` closures always parallelize — prefer [`SeqExecutor`]
 /// outright for workloads dominated by tiny control rounds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ParExecutor {
     threads: usize,
+    /// `None` when `threads == 1`: regions run inline, no pool is spawned.
+    pool: Option<Arc<PoolGuard>>,
+}
+
+impl std::fmt::Debug for ParExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParExecutor")
+            .field("threads", &self.threads)
+            .field("persistent_pool", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl ParExecutor {
@@ -87,16 +267,20 @@ impl ParExecutor {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        ParExecutor { threads }
+        ParExecutor::with_threads(threads)
     }
 
-    /// A pool with an explicit thread count (`>= 1`).
+    /// A pool with an explicit thread count (`>= 1`). A single-thread pool
+    /// spawns no workers and runs regions inline on the calling thread.
     ///
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one thread");
-        ParExecutor { threads }
+        ParExecutor {
+            threads,
+            pool: (threads > 1).then(|| Arc::new(PoolGuard(Pool::new(threads)))),
+        }
     }
 
     /// Configured thread count.
@@ -113,39 +297,14 @@ impl Default for ParExecutor {
 
 impl Execute for ParExecutor {
     fn run(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            for i in 0..n {
-                task(i);
-            }
-            return;
-        }
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        task(i);
-                    })
-                })
-                .collect();
-            // Join explicitly and re-raise the first worker panic with its
-            // original payload (scope's automatic join would replace the
-            // message with "a scoped thread panicked").
-            let mut panic_payload = None;
-            for handle in handles {
-                if let Err(payload) = handle.join() {
-                    panic_payload.get_or_insert(payload);
+        match &self.pool {
+            Some(guard) if n > 1 => guard.0.run_region(n, task),
+            _ => {
+                for i in 0..n {
+                    task(i);
                 }
             }
-            if let Some(payload) = panic_payload {
-                std::panic::resume_unwind(payload);
-            }
-        });
+        }
     }
 
     fn is_parallel(&self) -> bool {
@@ -157,7 +316,32 @@ impl Execute for ParExecutor {
     }
 }
 
+/// A `Sync` vector of write-once result slots. Safety rests on the
+/// [`Execute`] contract: `task(i)` runs exactly once per index, so slot `i`
+/// has exactly one writer and no concurrent readers until the region's
+/// barrier has passed.
+struct SlotVec<T>(Vec<UnsafeCell<Option<T>>>);
+
+// SAFETY: disjoint slots are written by disjoint `task(i)` invocations
+// (exactly-once contract); reads happen only after the executor's region
+// barrier, on the coordinating thread.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    /// Raw pointer to slot `i`. Going through `&self` (not the inner `Vec`)
+    /// keeps closures capturing the `Sync` wrapper, which is what makes
+    /// them shippable to worker threads.
+    #[inline]
+    fn slot(&self, i: usize) -> *mut Option<T> {
+        self.0[i].get()
+    }
+}
+
 /// Run `f(i)` for `i in 0..n` on `exec`, collecting results in index order.
+///
+/// Results are written through per-index `UnsafeCell` slots — no lock
+/// traffic on hot rounds; the exactly-once visit contract of [`Execute`]
+/// makes every slot single-writer (checked by a debug assertion).
 pub(crate) fn run_indexed<T: Send>(
     exec: &dyn Execute,
     n: usize,
@@ -166,22 +350,29 @@ pub(crate) fn run_indexed<T: Send>(
     if !exec.is_parallel() {
         return (0..n).map(f).collect();
     }
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    exec.run(n, &|i| {
+    let slots = SlotVec((0..n).map(|_| UnsafeCell::new(None)).collect());
+    let slots_ref = &slots;
+    exec.run(n, &move |i| {
         let value = f(i);
-        *slots[i].lock().unwrap() = Some(value);
+        // SAFETY: slot `i` is written exactly once (Execute contract), and
+        // nothing reads it before the region barrier.
+        let slot = unsafe { &mut *slots_ref.slot(i) };
+        debug_assert!(slot.is_none(), "executor visited index {i} twice");
+        *slot = Some(value);
     });
     slots
+        .0
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
                 .expect("executor must visit every index")
         })
         .collect()
 }
 
-/// Like [`run_indexed`], but each index consumes an owned input.
+/// Like [`run_indexed`], but each index consumes an owned input (same
+/// slot discipline, in the other direction: each input is taken exactly
+/// once by its index's task).
 pub(crate) fn run_consuming<S: Send, T: Send>(
     exec: &dyn Execute,
     inputs: Vec<S>,
@@ -190,11 +381,12 @@ pub(crate) fn run_consuming<S: Send, T: Send>(
     if !exec.is_parallel() {
         return inputs.into_iter().enumerate().map(|(i, s)| f(i, s)).collect();
     }
-    let cells: Vec<Mutex<Option<S>>> = inputs.into_iter().map(|s| Mutex::new(Some(s))).collect();
-    run_indexed(exec, cells.len(), |i| {
-        let input = cells[i]
-            .lock()
-            .unwrap()
+    let cells = SlotVec(inputs.into_iter().map(|s| UnsafeCell::new(Some(s))).collect());
+    let n = cells.0.len();
+    let cells_ref = &cells;
+    run_indexed(exec, n, move |i| {
+        // SAFETY: cell `i` is consumed exactly once, by the unique task(i).
+        let input = unsafe { &mut *cells_ref.slot(i) }
             .take()
             .expect("each index consumed once");
         f(i, input)
@@ -205,6 +397,7 @@ pub(crate) fn run_consuming<S: Send, T: Send>(
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
 
     #[test]
     fn seq_visits_every_index_in_order() {
@@ -222,6 +415,84 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
         }
+    }
+
+    #[test]
+    fn pool_is_reused_across_regions() {
+        // Thousands of regions on one executor: with per-region spawning
+        // this test thrashes; with a parked pool it is instant, and every
+        // region still visits every index exactly once.
+        let exec = ParExecutor::with_threads(4);
+        let total = AtomicU64::new(0);
+        for round in 0..2000u64 {
+            let hits = AtomicU64::new(0);
+            exec.run(8, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8, "region {round}");
+            total.fetch_add(hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 16_000);
+    }
+
+    #[test]
+    fn concurrent_regions_from_clones_serialize() {
+        // Two threads hammer the same shared pool through clones; regions
+        // must serialize, so every region still visits each index exactly
+        // once (the contract run_indexed's unsynchronized slots rely on).
+        let exec = ParExecutor::with_threads(3);
+        let exec2 = exec.clone();
+        std::thread::scope(|scope| {
+            for e in [&exec, &exec2] {
+                scope.spawn(move || {
+                    for round in 0..300 {
+                        let hits = AtomicU64::new(0);
+                        e.run(16, &|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(hits.load(Ordering::Relaxed), 16, "round {round}");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = ParExecutor::with_threads(3);
+        let b = a.clone();
+        let hits = AtomicU64::new(0);
+        a.run(10, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        b.run(10, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let exec = ParExecutor::with_threads(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run(64, &|i| {
+                if i == 33 {
+                    panic!("boom at {i}");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 33"), "original payload lost: {msg}");
+        // The pool survives a panicked region and runs the next one.
+        let hits = AtomicU64::new(0);
+        exec.run(16, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 
     #[test]
@@ -248,5 +519,20 @@ mod tests {
         assert!(exec.is_parallel());
         let got = run_indexed(&exec, 10, |i| i);
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_unit_regions() {
+        let exec = ParExecutor::with_threads(4);
+        let hits = AtomicU64::new(0);
+        exec.run(0, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        exec.run(1, &|i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
     }
 }

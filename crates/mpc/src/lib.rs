@@ -46,12 +46,15 @@ mod cluster;
 pub mod executor;
 mod hashing;
 mod partitioned;
+mod rows;
 mod stats;
 
+pub use aj_relation::TupleBlock;
 pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
 pub use partitioned::Partitioned;
+pub use rows::{BlockPartitioned, RowOutbox};
 pub use stats::{EpochStats, LoadReport, Stats};
 
 /// Convenience: run `f` against a fresh sequentially-simulated cluster of

@@ -1,0 +1,136 @@
+//! Columnar exchange payloads: blocks of rows plus per-row destinations.
+//!
+//! The per-item [`crate::Net::exchange`] moves a `Vec<(dest, T)>` per
+//! sender — every tuple is an owned allocation that gets pushed, moved, and
+//! re-pushed. The block exchange ([`crate::Net::exchange_rows`]) moves
+//! [`TupleBlock`]s instead: a sender hands over one flat buffer of rows and
+//! one destination per row, and the router delivers per-receiver blocks with
+//! a radix **counting pass** (per-destination row counts) followed by one
+//! **scatter pass** into pre-sized per-destination slices. No per-tuple
+//! `Vec::push` of an owned tuple, no per-tuple clone — values are `memcpy`d
+//! from flat buffer to flat buffer.
+
+use aj_relation::TupleBlock;
+
+use crate::ServerId;
+
+/// One sender's contribution to a block exchange: `dests[i]` is the local
+/// destination server of `rows.row(i)`. Rows needing replication appear once
+/// per destination.
+#[derive(Debug, Clone)]
+pub struct RowOutbox {
+    /// The rows this server sends, in send order.
+    pub rows: TupleBlock,
+    /// One destination per row.
+    pub dests: Vec<ServerId>,
+}
+
+impl RowOutbox {
+    /// An empty outbox of the given row arity.
+    pub fn new(arity: usize) -> Self {
+        RowOutbox {
+            rows: TupleBlock::new(arity),
+            dests: Vec::new(),
+        }
+    }
+
+    /// An empty outbox with room for `rows` rows.
+    pub fn with_capacity(arity: usize, rows: usize) -> Self {
+        RowOutbox {
+            rows: TupleBlock::with_capacity(arity, rows),
+            dests: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Queue one row for `dest`.
+    #[inline]
+    pub fn push(&mut self, dest: ServerId, row: &[u64]) {
+        self.rows.push_row(row);
+        self.dests.push(dest);
+    }
+
+    /// Number of queued rows.
+    pub fn len(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.dests.is_empty()
+    }
+}
+
+/// A distributed columnar collection: one [`TupleBlock`] per server of a
+/// [`crate::Net`] — the block counterpart of [`crate::Partitioned`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockPartitioned {
+    blocks: Vec<TupleBlock>,
+}
+
+impl BlockPartitioned {
+    /// Wrap per-server blocks.
+    pub fn from_blocks(blocks: Vec<TupleBlock>) -> Self {
+        BlockPartitioned { blocks }
+    }
+
+    /// `p` empty blocks of the given arity.
+    pub fn empty(p: usize, arity: usize) -> Self {
+        BlockPartitioned {
+            blocks: (0..p).map(|_| TupleBlock::new(arity)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn p(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrow the shards.
+    pub fn blocks(&self) -> &[TupleBlock] {
+        &self.blocks
+    }
+
+    /// Take ownership of the shards.
+    pub fn into_blocks(self) -> Vec<TupleBlock> {
+        self.blocks
+    }
+
+    /// Total number of rows across all shards.
+    pub fn total_len(&self) -> usize {
+        self.blocks.iter().map(TupleBlock::len).sum()
+    }
+}
+
+impl std::ops::Index<usize> for BlockPartitioned {
+    type Output = TupleBlock;
+    fn index(&self, s: usize) -> &TupleBlock {
+        &self.blocks[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_accumulates_rows() {
+        let mut ob = RowOutbox::with_capacity(2, 4);
+        assert!(ob.is_empty());
+        ob.push(1, &[10, 20]);
+        ob.push(0, &[30, 40]);
+        assert_eq!(ob.len(), 2);
+        assert_eq!(ob.rows.row(1), &[30, 40]);
+        assert_eq!(ob.dests, vec![1, 0]);
+    }
+
+    #[test]
+    fn block_partitioned_round_trip() {
+        let mut a = TupleBlock::new(1);
+        a.push_row(&[7]);
+        let parts = BlockPartitioned::from_blocks(vec![a, TupleBlock::new(1)]);
+        assert_eq!(parts.p(), 2);
+        assert_eq!(parts.total_len(), 1);
+        assert_eq!(parts[0].row(0), &[7]);
+        assert_eq!(parts.into_blocks().len(), 2);
+    }
+}

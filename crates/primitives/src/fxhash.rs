@@ -1,0 +1,176 @@
+//! Deterministic fast hashing for hot build-side indexes.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 behind a
+//! randomly-seeded `RandomState`: HashDoS-safe, but ~10× slower than needed
+//! for trusted `u64` keys, and differently seeded on every map — so two runs
+//! of the simulator walk their hash tables in different orders. The
+//! simulator is single-process and its keys are its own tuples; what matters
+//! is speed and run-to-run determinism.
+//!
+//! [`FxHasher`] is the Firefox/rustc "Fx" multiply-rotate hash over 64-bit
+//! words: one rotate, one xor, one multiply per word. [`FxHashMap`] /
+//! [`FxHashSet`] are the drop-in aliases every hot index in `aj_primitives`
+//! and `aj_core` uses; combined with `Tuple`'s `Borrow<[Value]>` impl,
+//! probes take a bare value slice and allocate nothing.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (π-derived, as in rustc-hash).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx word hasher: `h = (rotl5(h) ^ word) · K` per 64-bit word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8-byte words, then the tail as one padded word. Not
+        // byte-stream-stable across split writes — irrelevant for hashing,
+        // which always writes whole values.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche so low bits (the table index) depend on every
+        // input word — the bare Fx state is weak in its low bits.
+        let h = self.hash;
+        let h = (h ^ (h >> 32)).wrapping_mul(0xd6e8_feb8_6659_fd93);
+        h ^ (h >> 32)
+    }
+}
+
+/// Deterministic builder: every map starts from the same (zero) state — no
+/// `RandomState`, so iteration order is a pure function of the insertion
+/// sequence and capacity.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` with deterministic Fx hashing — the build-side index type of
+/// the hot join loops.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` with deterministic Fx hashing.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// An empty [`FxHashMap`] with room for `n` entries (`with_capacity` needs
+/// the hasher spelled out for non-`RandomState` maps; this reads better).
+pub fn fx_map_with_capacity<K, V>(n: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(n, FxBuildHasher::default())
+}
+
+/// An empty [`FxHashSet`] with room for `n` entries.
+pub fn fx_set_with_capacity<K>(n: usize) -> FxHashSet<K> {
+    FxHashSet::with_capacity_and_hasher(n, FxBuildHasher::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&vec![1u64, 2, 3]), hash_of(&vec![1u64, 2, 3]));
+    }
+
+    #[test]
+    fn distinguishes_values_and_lengths() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&vec![1u64, 2]), hash_of(&vec![1u64, 2, 0]));
+        assert_ne!(hash_of(&vec![1u64, 2]), hash_of(&vec![2u64, 1]));
+    }
+
+    #[test]
+    fn tuple_and_slice_agree() {
+        // The Borrow<[Value]> lookup contract: Tuple and its value slice
+        // must hash identically under the same builder.
+        let t = aj_relation::Tuple::from([7, 8, 9]);
+        let s: &[u64] = &[7, 8, 9];
+        assert_eq!(hash_of(&t), FxBuildHasher::default().hash_one(s));
+    }
+
+    #[test]
+    fn map_probes_by_slice() {
+        let mut m: FxHashMap<aj_relation::Tuple, u32> = fx_map_with_capacity(4);
+        m.insert(aj_relation::Tuple::from([1, 2]), 5);
+        assert_eq!(m.get([1u64, 2].as_slice()), Some(&5));
+    }
+
+    #[test]
+    fn low_bits_disperse() {
+        // Consecutive keys must not collide in the low bits the table uses.
+        let mut buckets = vec![0usize; 64];
+        for i in 0..6400u64 {
+            buckets[(hash_of(&i) & 63) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((40..=200).contains(&b), "skewed bucket histogram: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn byte_writes_cover_tails() {
+        let mut h = FxHasher::default();
+        h.write(b"hello world");
+        let a = h.finish();
+        let mut h = FxHasher::default();
+        h.write(b"hello worle");
+        assert_ne!(a, h.finish());
+    }
+}

@@ -40,6 +40,7 @@
 //! ```
 
 mod alloc;
+pub mod fxhash;
 mod key;
 mod numbering;
 mod packing;
@@ -47,6 +48,9 @@ mod prefix;
 mod table;
 
 pub use alloc::{allocate_servers, Allocation};
+pub use fxhash::{
+    fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
+};
 pub use key::Key;
 pub use numbering::multi_numbering;
 pub use packing::{parallel_packing, Packing};

@@ -2,7 +2,7 @@
 //! pairs, assign consecutive numbers `0, 1, 2, …` to the pairs within each
 //! key (the paper numbers from 1; zero-based is more convenient in code).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use aj_mpc::{Net, Partitioned, ServerId};
 
@@ -22,7 +22,7 @@ pub fn multi_numbering<K: Key, T: Send + Sync>(
     let parts = items.into_parts();
     // Round 1: (key, server, count) → key owner.
     let at_owner = net.round(|s| {
-        let mut m: HashMap<&K, u64> = HashMap::new();
+        let mut m: FxHashMap<&K, u64> = FxHashMap::default();
         for (k, _) in &parts[s] {
             *m.entry(k).or_insert(0) += 1;
         }
@@ -53,7 +53,7 @@ pub fn multi_numbering<K: Key, T: Send + Sync>(
         |_, (part, offs)| {
             let offs: Vec<(K, u64)> = offs;
             let part: Vec<(K, T)> = part;
-            let mut base: HashMap<K, u64> = offs.into_iter().collect();
+            let mut base: FxHashMap<K, u64> = offs.into_iter().collect();
             let mut numbered = Vec::with_capacity(part.len());
             for (k, t) in part {
                 let n = base.get_mut(&k).expect("owner answered every local key");
@@ -70,7 +70,7 @@ pub fn multi_numbering<K: Key, T: Send + Sync>(
 mod tests {
     use super::*;
     use aj_mpc::Cluster;
-    use std::collections::HashSet;
+    use crate::fxhash::FxHashSet;
 
     #[test]
     fn numbers_are_consecutive_per_key() {
@@ -98,7 +98,7 @@ mod tests {
         let items: Vec<(u64, u64)> = (0..64).map(|i| (7, i)).collect();
         let parts = Partitioned::distribute(items, 8);
         let numbered = multi_numbering(&mut net, parts, 1).gather_free();
-        let nums: HashSet<u64> = numbered.iter().map(|&(_, _, n)| n).collect();
+        let nums: FxHashSet<u64> = numbered.iter().map(|&(_, _, n)| n).collect();
         assert_eq!(nums.len(), 64);
         assert_eq!(*nums.iter().max().unwrap(), 63);
     }

@@ -7,7 +7,7 @@
 //! (each of weight < 1/2) are packed along a two-level √p tree, matching the
 //! paper's recursive scheme with `O(√p)` control load.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use aj_mpc::{Net, Partitioned, ServerId};
 
@@ -125,7 +125,7 @@ pub fn parallel_packing<T>(net: &mut Net, items: Partitioned<(T, f64)>) -> Packi
         partial_weight: f64,
         has_partial: bool,
     }
-    let mut leader_states: HashMap<usize, LeaderState> = HashMap::new();
+    let mut leader_states: FxHashMap<usize, LeaderState> = FxHashMap::default();
     let mut leader_full_counts = vec![0u64; p];
     for (s, mut entries) in at_leaders.into_iter().enumerate() {
         if entries.is_empty() {
@@ -166,7 +166,7 @@ pub fn parallel_packing<T>(net: &mut Net, items: Partitioned<(T, f64)>) -> Packi
     }
     let at_root = net.exchange(up2);
     // Root packs leader partials into root bins.
-    let mut root_assign: HashMap<usize, usize> = HashMap::new();
+    let mut root_assign: FxHashMap<usize, usize> = FxHashMap::default();
     let mut root_bins = 0usize;
     {
         let mut entries = at_root.into_iter().next().unwrap_or_default();
@@ -237,8 +237,8 @@ mod tests {
     fn check_invariants(weights: &[(u64, f64)], packing: &Packing<u64>) {
         let items = packing.items.clone().gather_free();
         assert_eq!(items.len(), weights.len());
-        let wmap: HashMap<u64, f64> = weights.iter().copied().collect();
-        let mut bin_weight: HashMap<u64, f64> = HashMap::new();
+        let wmap: FxHashMap<u64, f64> = weights.iter().copied().collect();
+        let mut bin_weight: FxHashMap<u64, f64> = FxHashMap::default();
         for (id, bin) in &items {
             assert!(*bin < packing.n_groups, "bin id out of range");
             *bin_weight.entry(*bin).or_insert(0.0) += wmap[id];

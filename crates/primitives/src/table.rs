@@ -15,7 +15,7 @@
 //! servers while the measured loads stay bit-identical to the sequential
 //! executor.
 
-use std::collections::{HashMap, HashSet};
+use crate::fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet};
 
 use aj_mpc::{Net, Partitioned, ServerId};
 
@@ -40,18 +40,20 @@ pub fn sum_by_key<K: Key, V: Clone + Send>(
     seed: u64,
     combine: impl Fn(V, V) -> V + Sync,
 ) -> OwnedTable<K, V> {
+    use std::collections::hash_map::Entry;
     let p = net.p();
     // Local pre-aggregation bounds traffic per key at one unit per server.
+    // Entry-based merge: one hash probe per pair instead of remove+insert.
     let received = net.round_map(pairs.into_parts(), |_, part: Vec<(K, V)>| {
-        let mut local: HashMap<K, V> = HashMap::with_capacity(part.len());
+        let mut local: FxHashMap<K, V> = fx_map_with_capacity(part.len());
         for (k, v) in part {
-            match local.remove(&k) {
-                Some(old) => {
-                    let merged = combine(old, v);
-                    local.insert(k, merged);
+            match local.entry(k) {
+                Entry::Occupied(mut e) => {
+                    let merged = combine(e.get().clone(), v);
+                    e.insert(merged);
                 }
-                None => {
-                    local.insert(k, v);
+                Entry::Vacant(e) => {
+                    e.insert(v);
                 }
             }
         }
@@ -61,15 +63,15 @@ pub fn sum_by_key<K: Key, V: Clone + Send>(
             .collect()
     });
     let parts = net.run_local(received, |_, entries: Vec<(K, V)>| {
-        let mut m: HashMap<K, V> = HashMap::with_capacity(entries.len());
+        let mut m: FxHashMap<K, V> = fx_map_with_capacity(entries.len());
         for (k, v) in entries {
-            match m.remove(&k) {
-                Some(old) => {
-                    let merged = combine(old, v);
-                    m.insert(k, merged);
+            match m.entry(k) {
+                Entry::Occupied(mut e) => {
+                    let merged = combine(e.get().clone(), v);
+                    e.insert(merged);
                 }
-                None => {
-                    m.insert(k, v);
+                Entry::Vacant(e) => {
+                    e.insert(v);
                 }
             }
         }
@@ -118,12 +120,12 @@ pub fn lookup<K: Key, V: Clone + Send + Sync>(
     net: &mut Net,
     table: &OwnedTable<K, V>,
     requests: &Partitioned<K>,
-) -> Vec<HashMap<K, V>> {
+) -> Vec<FxHashMap<K, V>> {
     let p = net.p();
     assert_eq!(requests.p(), p, "requests must span the same servers");
     // Phase 1: distinct local keys → owner, tagged with requester id.
     let asks = net.round(|s| {
-        let distinct: HashSet<&K> = requests[s].iter().collect();
+        let distinct: FxHashSet<&K> = requests[s].iter().collect();
         distinct
             .into_iter()
             .map(|k| (k.owner(table.seed, p), (k.clone(), s)))
@@ -131,7 +133,7 @@ pub fn lookup<K: Key, V: Clone + Send + Sync>(
     });
     // Phase 2: owner answers (only hits; misses are implied).
     let answers = net.round_map(asks, |owner, asks: Vec<(K, ServerId)>| {
-        let local: HashMap<&K, &V> = table.parts[owner].iter().map(|(k, v)| (k, v)).collect();
+        let local: FxHashMap<&K, &V> = table.parts[owner].iter().map(|(k, v)| (k, v)).collect();
         asks.into_iter()
             .filter_map(|(k, requester)| {
                 local.get(&k).map(|v| (requester, (k.clone(), (*v).clone())))
@@ -161,7 +163,7 @@ pub fn semi_join<T: Send + Sync, K: Key>(
     let hits = lookup(net, &table, &request_keys);
     let kept = net.run_local(
         items.into_parts().into_iter().zip(hits).collect::<Vec<_>>(),
-        |_, (part, map): (Vec<T>, HashMap<K, ()>)| {
+        |_, (part, map): (Vec<T>, FxHashMap<K, ()>)| {
             part.into_iter()
                 .filter(|t| map.contains_key(&key_of(t)))
                 .collect::<Vec<T>>()

@@ -5,6 +5,8 @@
 //!
 //! * [`Tuple`], [`Relation`], [`Database`] — the data model (set semantics,
 //!   `u64` values);
+//! * [`TupleBlock`] — columnar row storage (flat `Vec<u64>` + arity), the
+//!   unit of the zero-copy data plane ([`block`]);
 //! * [`Query`] / [`QueryBuilder`] — natural-join hypergraphs `(V, E)`;
 //! * [`JoinTree`] and GYO-based acyclicity testing ([`Query::join_tree`]);
 //! * join classification per Section 1.4 of the paper — tall-flat ⊂
@@ -34,6 +36,7 @@
 //! assert_eq!(ram::count(&q, &db), 2);
 //! ```
 
+pub mod block;
 pub mod classify;
 pub mod cover;
 pub mod ghd;
@@ -45,6 +48,7 @@ pub mod sets;
 pub mod signature;
 pub mod tuple;
 
+pub use block::TupleBlock;
 pub use classify::JoinClass;
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
 pub use signature::QuerySignature;

@@ -56,9 +56,10 @@ pub mod prelude {
         execute_best, execute_plan, DistDatabase, DistRelation, EngineConfig, Plan, QueryEngine,
         QueryOutcome,
     };
-    pub use aj_mpc::{Cluster, EpochStats, Net, Partitioned};
+    pub use aj_mpc::{BlockPartitioned, Cluster, EpochStats, Net, Partitioned, RowOutbox};
+    pub use aj_primitives::{FxHashMap, FxHashSet};
     pub use aj_relation::{
         classify::classify, Database, JoinClass, Query, QueryBuilder, QuerySignature, Relation,
-        Tuple,
+        Tuple, TupleBlock,
     };
 }

@@ -126,6 +126,40 @@ fn hierarchical_solver_equivalent_on_corpus() {
     }
 }
 
+/// The persistent worker pool must behave identically across its whole
+/// lifetime: one `ParExecutor` (and a clone sharing the same parked pool)
+/// drives many queries back to back on long-lived clusters, and every
+/// query's output and stats must match a fresh sequential cluster's.
+#[test]
+fn persistent_pool_serves_many_queries_bit_identically() {
+    let p = 4;
+    let exec = ParExecutor::with_threads(4);
+    let mut par_a = Cluster::with_executor(p, Box::new(exec.clone()));
+    let mut par_b = Cluster::with_executor(p, Box::new(exec)); // shares the pool
+    for round in 0..12u64 {
+        let q = random::random_acyclic_query(3, round * 17 + 1);
+        let db = random::random_instance(&q, 30, 5, round ^ 0x5eed);
+        let run_on = |cluster: &mut Cluster| {
+            let before = cluster.stats().clone();
+            let out = {
+                let mut net = cluster.net();
+                let dist = distribute_db(&db, p);
+                let mut s = round | 1;
+                yannakakis::yannakakis(&mut net, &q, dist, None, &mut s)
+            };
+            let mut tuples = out.gather_free().tuples;
+            tuples.sort_unstable();
+            (tuples, cluster.stats().delta_since(&before))
+        };
+        let mut seq = Cluster::new(p);
+        let (seq_out, seq_delta) = run_on(&mut seq);
+        let which = if round % 2 == 0 { &mut par_a } else { &mut par_b };
+        let (par_out, par_delta) = run_on(which);
+        assert_eq!(seq_out, par_out, "round {round}");
+        assert_eq!(seq_delta, par_delta, "round {round}");
+    }
+}
+
 /// The per-round load trace (not just the final max) must be identical:
 /// exercise it by comparing stats after every intermediate step of a
 /// multi-step pipeline on a skewed instance.
