@@ -1,7 +1,8 @@
 //! Wall-clock micro-benchmarks of the columnar data plane: `TupleBlock`
 //! versus `Vec<Tuple>` for build/sort/dedup/project, `FxHashMap` versus the
-//! SipHash-backed `std::collections::HashMap` for build-side indexes, and
-//! the radix block exchange versus the per-item exchange.
+//! SipHash-backed `std::collections::HashMap` for build-side indexes, the
+//! radix block exchange versus the per-item exchange, and skewed-vs-uniform
+//! binary-join routing (hash-only vs hybrid).
 //!
 //! Run with `cargo bench --bench data_plane`; pass `--smoke` for the
 //! CI-bounded variant (tiny time budget, few iterations) that exists to
@@ -120,6 +121,64 @@ fn bench_exchange(budget: Duration, min_iters: usize) {
     });
 }
 
+/// Skewed-vs-uniform routing: the hash-only and hybrid binary joins on a
+/// Zipf(1.1) instance and a uniform one. Timings are informational; the
+/// invariant that fails loudly is the load relation — hybrid ≤ hash under
+/// skew, hybrid ≡ hash without it.
+fn bench_skew_routing(budget: Duration, min_iters: usize) {
+    use aj_core::binary::{detect_join_skew, hash_join, hybrid_hash_join};
+    use aj_core::dist::DistRelation;
+    let p = 16usize;
+    for (name, s) in [("zipf1.1", 1.1f64), ("uniform", 0.0)] {
+        let inst = aj_instancegen::skew::zipf_binary(10_000, s, 64, 0x5eed);
+        let sides = || {
+            (
+                DistRelation::distribute(&inst.db.relations[0], p),
+                DistRelation::distribute(&inst.db.relations[1], p),
+            )
+        };
+        let skew = {
+            let mut cluster = Cluster::new(p);
+            let mut net = cluster.net();
+            let (l, r) = sides();
+            detect_join_skew(&mut net, &l, &r, 16).significant(p)
+        };
+        let mut loads = (0u64, 0u64);
+        bench(&format!("join/hash/{name}/20k"), budget, min_iters, || {
+            let mut cluster = Cluster::new(p);
+            let out = {
+                let mut net = cluster.net();
+                let (l, r) = sides();
+                let mut seed = 7;
+                hash_join(&mut net, l, r, &mut seed).total_len()
+            };
+            loads.0 = cluster.stats().max_load;
+            black_box(out)
+        });
+        bench(&format!("join/hybrid/{name}/20k"), budget, min_iters, || {
+            let mut cluster = Cluster::new(p);
+            let out = {
+                let mut net = cluster.net();
+                let (l, r) = sides();
+                let mut seed = 7;
+                hybrid_hash_join(&mut net, l, r, &skew, &mut seed).total_len()
+            };
+            loads.1 = cluster.stats().max_load;
+            black_box(out)
+        });
+        let (hash_load, hybrid_load) = loads;
+        if s > 1.0 {
+            assert!(
+                hybrid_load < hash_load,
+                "{name}: hybrid load {hybrid_load} must beat hash {hash_load}"
+            );
+        } else {
+            assert_eq!(hybrid_load, hash_load, "{name}: empty profile is bit-identical");
+        }
+        println!("{name:<22} L(hash) {hash_load:>8}  L(hybrid) {hybrid_load:>8}");
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (budget, min_iters) = if smoke {
@@ -133,4 +192,5 @@ fn main() {
     bench_block_vs_tuple(budget, min_iters);
     bench_hash_maps(budget, min_iters);
     bench_exchange(budget, min_iters);
+    bench_skew_routing(budget, min_iters);
 }

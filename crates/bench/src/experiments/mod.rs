@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod scaling;
 pub mod sec13;
+pub mod skew;
 pub mod table1;
 pub mod thm12;
 pub mod thm3;

@@ -21,7 +21,7 @@ pub use table::ExpTable;
 /// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6", "scaling", "engine",
+    "thm7", "thm9", "fig6", "scaling", "engine", "skew",
 ];
 
 /// Run one experiment by id.
@@ -46,6 +46,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "fig6" => experiments::fig6::run(),
         "scaling" => experiments::scaling::run(),
         "engine" => experiments::engine::run(),
+        "skew" => experiments::skew::run(),
         other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
     }
 }

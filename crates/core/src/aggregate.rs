@@ -42,7 +42,9 @@ impl std::error::Error for AggregateError {}
 /// annotations.
 #[derive(Debug, Clone)]
 pub struct AnnOutput<S: Semiring> {
+    /// Output attribute layout.
     pub attrs: Vec<Attr>,
+    /// Per-server `(tuple, annotation)` shards.
     pub parts: Vec<Vec<(Tuple, S::T)>>,
 }
 

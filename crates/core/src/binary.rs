@@ -25,13 +25,33 @@
 //! All per-server phases (degree counting, directive lookup, grid routing,
 //! the final local hash join) are expressed through the round API of
 //! [`aj_mpc`], so they run concurrently under a parallel executor.
+//!
+//! # Routing modes
+//!
+//! Besides the paper's exact-degree algorithm ([`binary_join`]), this module
+//! provides the one-round hash family used by the skew-aware serving path:
+//!
+//! * [`hash_join`] — the hash-only baseline (`h(key) mod p`), worst-case
+//!   optimal only on skew-free instances;
+//! * [`hybrid_hash_join`] — light keys keep the identical hash routing,
+//!   heavy keys (from a broadcast [`JoinSkew`] profile, see
+//!   [`detect_join_skew`]) are sliced into per-key grids placed by a
+//!   deterministic LPT assignment — the paper's grid scheme driven by
+//!   approximate one-pass degrees instead of exact counting rounds.
+//!
+//! All three modes share the same cell-tagged local join and produce the
+//! same output layout.
 
 use aj_primitives::FxHashMap;
 
-use aj_mpc::{Net, Partitioned, RowOutbox, TupleBlock};
+use aj_mpc::{
+    detect_heavy_hitters, hash_mix, hash_to_server, HashKey, Net, Partitioned, RowOutbox,
+    ServerId, TupleBlock,
+};
 use aj_primitives::{
     lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key, OwnedTable,
 };
+use aj_relation::skew::{grid_split, target_cell_load, JoinSkew};
 use aj_relation::{Attr, Tuple};
 
 use crate::dist::{next_seed, DistRelation};
@@ -65,8 +85,8 @@ pub fn binary_join(
         return DistRelation::empty(out_attrs, p);
     }
     let in_size = (left.total_len() + right.total_len()) as u64;
-    let lkey = left.positions_of(&shared);
-    let rkey = right.positions_of(&shared);
+    let layout = JoinLayout::of(&left, &right, &shared);
+    let (lkey, rkey) = (layout.lkey.clone(), layout.rkey.clone());
 
     // --- Degrees, co-located per key --------------------------------------
     let kd = next_seed(seed);
@@ -160,34 +180,21 @@ pub fn binary_join(
         seed: kd,
         parts: Partitioned::from_parts(directive_parts),
     };
-    // --- Capture layout info before the parts are consumed ----------------
-    let la = left.attrs.len();
-    let right_arity = right
-        .parts
-        .iter()
-        .flat_map(|pt| pt.first())
-        .map(Tuple::arity)
-        .next()
-        .unwrap_or(right.attrs.len());
-    let right_append: Vec<usize> = (0..right_arity)
-        .filter(|&c| c >= right.attrs.len() || !shared.contains(&right.attrs[c]))
-        .collect();
-    let left_arity = left
-        .parts
-        .iter()
-        .flat_map(|pt| pt.first())
-        .map(Tuple::arity)
-        .next()
-        .unwrap_or(la);
-    let right_attr_len = right.attrs.len();
-
     // --- Number tuples within keys (for grid slicing) ---------------------
     let n1 = next_seed(seed);
     let left_nb = multi_numbering(net, pair_with_key(net, left.parts, &lkey), n1);
     let n2 = next_seed(seed);
     let right_nb = multi_numbering(net, pair_with_key(net, right.parts, &rkey), n2);
     // --- Route both sides (columnar: cell-tagged rows in TupleBlocks) -----
-    let left_routed = route_side(net, &directives, left_nb, n_groups, p, Side::Left, left_arity);
+    let left_routed = route_side(
+        net,
+        &directives,
+        left_nb,
+        n_groups,
+        p,
+        Side::Left,
+        layout.left_arity,
+    );
     let right_routed = route_side(
         net,
         &directives,
@@ -195,89 +202,13 @@ pub fn binary_join(
         n_groups,
         p,
         Side::Right,
-        right_arity,
+        layout.right_arity,
     );
     // --- Local join per physical server ------------------------------------
-    // Final layout order (see module docs).
-    let final_order: Vec<usize> = {
-        let ra_attr: Vec<usize> = right_append
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c < right_attr_len)
-            .map(|(k, _)| left_arity + k)
-            .collect();
-        let ra_extra: Vec<usize> = right_append
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c >= right_attr_len)
-            .map(|(k, _)| left_arity + k)
-            .collect();
-        (0..la)
-            .chain(ra_attr)
-            .chain(la..left_arity)
-            .chain(ra_extra)
-            .collect()
-    };
     let sides: Vec<(TupleBlock, TupleBlock)> =
         left_routed.into_iter().zip(right_routed).collect();
     let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lblock, rblock)| {
-        // Two-level build-side index over the left block: virtual cell →
-        // join key → row indices. The inner map is probed with a bare value
-        // slice (`Borrow<[Value]>`), and rows stay in the flat block — the
-        // probe loop allocates nothing but the output tuples themselves.
-        let mut index: FxHashMap<VCell, FxHashMap<Tuple, Vec<u32>>> = FxHashMap::default();
-        let mut lkey_scratch = Vec::with_capacity(lkey.len());
-        for (i, row) in lblock.iter().enumerate() {
-            let vals = &row[1..];
-            lkey_scratch.clear();
-            lkey_scratch.extend(lkey.iter().map(|&c| vals[c]));
-            index
-                .entry(row[0])
-                .or_default()
-                .entry(Tuple::from_slice(&lkey_scratch))
-                .or_default()
-                .push(i as u32);
-        }
-        // When the final layout is the plain concatenation (no annotation
-        // columns to interleave — the common case), outputs are built
-        // straight from the two value slices.
-        let order_is_identity = final_order.iter().enumerate().all(|(i, &c)| i == c);
-        let mut out = Vec::new();
-        let mut key = Vec::with_capacity(rkey.len());
-        let mut appended = Vec::with_capacity(right_append.len());
-        let mut row_buf = Vec::with_capacity(final_order.len());
-        for row in rblock.iter() {
-            let Some(by_key) = index.get(&row[0]) else {
-                continue;
-            };
-            let vals = &row[1..];
-            key.clear();
-            key.extend(rkey.iter().map(|&c| vals[c]));
-            if let Some(ls) = by_key.get(key.as_slice()) {
-                appended.clear();
-                appended.extend(right_append.iter().map(|&c| vals[c]));
-                for &li in ls {
-                    let lv = &lblock.row(li as usize)[1..];
-                    if order_is_identity {
-                        out.push(Tuple::from_concat(lv, &appended));
-                    } else {
-                        // The reordered concatenation
-                        // [left ++ appended][final_order], assembled in
-                        // scratch: one allocation per output tuple at most.
-                        row_buf.clear();
-                        row_buf.extend(final_order.iter().map(|&i| {
-                            if i < lv.len() {
-                                lv[i]
-                            } else {
-                                appended[i - lv.len()]
-                            }
-                        }));
-                        out.push(Tuple::new(row_buf.as_slice()));
-                    }
-                }
-            }
-        }
-        out
+        local_cell_join(&lblock, &rblock, &layout)
     });
     DistRelation {
         attrs: out_attrs,
@@ -285,11 +216,427 @@ pub fn binary_join(
     }
 }
 
+/// Column bookkeeping shared by every binary-join routing mode (the paper's
+/// grid router, the hash-only baseline and the skew-aware hybrid): key
+/// positions on both sides, the right columns appended to each output row,
+/// and the output column order `[left attrs][right new attrs][left extras]
+/// [right extras]` (see the module docs on annotations).
+struct JoinLayout {
+    /// Positions of the join key in the left layout.
+    lkey: Vec<usize>,
+    /// Positions of the join key in the right layout.
+    rkey: Vec<usize>,
+    /// Right-side columns appended to each output row.
+    right_append: Vec<usize>,
+    /// Output column permutation over `[left values ++ appended]`.
+    final_order: Vec<usize>,
+    /// Actual left tuple arity (annotations may trail the schema).
+    left_arity: usize,
+    /// Actual right tuple arity.
+    right_arity: usize,
+}
+
+impl JoinLayout {
+    fn of(left: &DistRelation, right: &DistRelation, shared: &[Attr]) -> JoinLayout {
+        let la = left.attrs.len();
+        let lkey = left.positions_of(shared);
+        let rkey = right.positions_of(shared);
+        let right_arity = right
+            .parts
+            .iter()
+            .flat_map(|pt| pt.first())
+            .map(Tuple::arity)
+            .next()
+            .unwrap_or(right.attrs.len());
+        let right_append: Vec<usize> = (0..right_arity)
+            .filter(|&c| c >= right.attrs.len() || !shared.contains(&right.attrs[c]))
+            .collect();
+        let left_arity = left
+            .parts
+            .iter()
+            .flat_map(|pt| pt.first())
+            .map(Tuple::arity)
+            .next()
+            .unwrap_or(la);
+        let right_attr_len = right.attrs.len();
+        let final_order: Vec<usize> = {
+            let ra_attr: Vec<usize> = right_append
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c < right_attr_len)
+                .map(|(k, _)| left_arity + k)
+                .collect();
+            let ra_extra: Vec<usize> = right_append
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c >= right_attr_len)
+                .map(|(k, _)| left_arity + k)
+                .collect();
+            (0..la)
+                .chain(ra_attr)
+                .chain(la..left_arity)
+                .chain(ra_extra)
+                .collect()
+        };
+        JoinLayout {
+            lkey,
+            rkey,
+            right_append,
+            final_order,
+            left_arity,
+            right_arity,
+        }
+    }
+}
+
+/// The per-server join of two routed, cell-tagged blocks (rows are
+/// `[cell, values…]`). A two-level build-side index over the left block —
+/// virtual cell → join key → row indices — scopes matching to within one
+/// cell, so folding many virtual cells onto one physical server never
+/// produces duplicate output pairs. The inner map is probed with a bare
+/// value slice (`Borrow<[Value]>`), and rows stay in the flat blocks — the
+/// probe loop allocates nothing but the output tuples themselves.
+fn local_cell_join(lblock: &TupleBlock, rblock: &TupleBlock, layout: &JoinLayout) -> Vec<Tuple> {
+    let mut index: FxHashMap<VCell, FxHashMap<Tuple, Vec<u32>>> = FxHashMap::default();
+    let mut lkey_scratch = Vec::with_capacity(layout.lkey.len());
+    for (i, row) in lblock.iter().enumerate() {
+        let vals = &row[1..];
+        lkey_scratch.clear();
+        lkey_scratch.extend(layout.lkey.iter().map(|&c| vals[c]));
+        index
+            .entry(row[0])
+            .or_default()
+            .entry(Tuple::from_slice(&lkey_scratch))
+            .or_default()
+            .push(i as u32);
+    }
+    // When the final layout is the plain concatenation (no annotation
+    // columns to interleave — the common case), outputs are built straight
+    // from the two value slices.
+    let order_is_identity = layout.final_order.iter().enumerate().all(|(i, &c)| i == c);
+    let mut out = Vec::new();
+    let mut key = Vec::with_capacity(layout.rkey.len());
+    let mut appended = Vec::with_capacity(layout.right_append.len());
+    let mut row_buf = Vec::with_capacity(layout.final_order.len());
+    for row in rblock.iter() {
+        let Some(by_key) = index.get(&row[0]) else {
+            continue;
+        };
+        let vals = &row[1..];
+        key.clear();
+        key.extend(layout.rkey.iter().map(|&c| vals[c]));
+        if let Some(ls) = by_key.get(key.as_slice()) {
+            appended.clear();
+            appended.extend(layout.right_append.iter().map(|&c| vals[c]));
+            for &li in ls {
+                let lv = &lblock.row(li as usize)[1..];
+                if order_is_identity {
+                    out.push(Tuple::from_concat(lv, &appended));
+                } else {
+                    // The reordered concatenation [left ++ appended]
+                    // [final_order], assembled in scratch: one allocation
+                    // per output tuple at most.
+                    row_buf.clear();
+                    row_buf.extend(layout.final_order.iter().map(|&i| {
+                        if i < lv.len() {
+                            lv[i]
+                        } else {
+                            appended[i - lv.len()]
+                        }
+                    }));
+                    out.push(Tuple::new(row_buf.as_slice()));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// The target load `L = max(1, ⌈IN/p⌉, ⌈√(OUT/p)⌉)`.
 pub fn target_load(in_size: u64, out_size: u64, p: usize) -> u64 {
     let a = in_size.div_ceil(p as u64);
     let b = ((out_size as f64 / p as f64).sqrt()).ceil() as u64;
     a.max(b).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Hash-only and skew-aware hybrid routing
+// ---------------------------------------------------------------------------
+
+/// Detect the heavy hitters of both sides of `left ⋈ right` over their
+/// shared join key: two one-pass detections
+/// ([`aj_mpc::detect_heavy_hitters`], at most `k` nominations per server
+/// each) merged at round barriers into a [`JoinSkew`]. Costs four control
+/// rounds of `O(p·k)` units total; the result is globally known, so routing
+/// can consult it for free.
+pub fn detect_join_skew(
+    net: &mut Net,
+    left: &DistRelation,
+    right: &DistRelation,
+    k: usize,
+) -> JoinSkew {
+    let shared = left.shared_attrs(right);
+    let lkey = left.positions_of(&shared);
+    let rkey = right.positions_of(&shared);
+    JoinSkew {
+        left: detect_heavy_hitters(net, &left.parts, &lkey, k),
+        right: detect_heavy_hitters(net, &right.parts, &rkey, k),
+    }
+}
+
+/// The **hash-only baseline**: route every tuple to `h(key) mod p` and join
+/// locally — one data round, load `IN/p + max_k(d1(k)+d2(k))` (w.h.p. over
+/// the routing hash). Worst-case optimal only on skew-free instances: a
+/// single heavy key concentrates its entire degree on one server, which is
+/// precisely the failure mode [`hybrid_hash_join`] removes.
+///
+/// # Panics
+/// Panics if the sides share no attribute (hash routing has no key to
+/// partition on; use [`crate::hypercube`] for Cartesian products).
+pub fn hash_join(
+    net: &mut Net,
+    left: DistRelation,
+    right: DistRelation,
+    seed: &mut u64,
+) -> DistRelation {
+    let key_arity = left.shared_attrs(&right).len();
+    hybrid_hash_join(net, left, right, &JoinSkew::empty(key_arity), seed)
+}
+
+/// The **skew-aware hybrid hash join**: one data round whose routing mode is
+/// decided per key by a [`JoinSkew`] profile.
+///
+/// * **Light keys** (not in the profile) keep the exact hash routing of
+///   [`hash_join`] — same hash, same seed, same destination, same load;
+///   with an empty profile the two functions are bit-identical.
+/// * **Heavy keys** are sliced into a `⌈a/L⌉ × ⌈b/L⌉` grid of virtual cells
+///   at the profile-derived target `L` ([`target_cell_load`]): each left
+///   tuple picks one row slice (by hashing its full contents) and is
+///   replicated across the columns; each right tuple picks one column slice
+///   and is replicated across the rows — a broadcast degenerates to the
+///   `1 × c` / `r × 1` case when one side of the key is small. A matching
+///   pair meets in exactly one cell, and cells are placed on physical
+///   servers by a deterministic LPT (longest-first) assignment of their
+///   estimated loads, so no server receives more than ≈ `2L` units per cell
+///   it hosts.
+///
+/// This mirrors the paper's exact heavy-key grid (see [`binary_join`]) with
+/// the profile's approximate degrees standing in for the exact ones: no
+/// degree-counting rounds, no per-key numbering — the price is that keys the
+/// detection under-counts get coarser grids. Per-server load stays within a
+/// constant of `max(IN/p, √(OUT_heavy/p))` as long as the profile covers the
+/// keys above their side's fair share (e.g. via [`JoinSkew::significant`]).
+///
+/// Tuples may carry trailing annotation columns exactly as in
+/// [`binary_join`]; the output layout is identical.
+///
+/// # Panics
+/// Panics if the sides share no attribute.
+pub fn hybrid_hash_join(
+    net: &mut Net,
+    left: DistRelation,
+    right: DistRelation,
+    skew: &JoinSkew,
+    seed: &mut u64,
+) -> DistRelation {
+    let p = net.p();
+    assert_eq!(left.parts.p(), p);
+    assert_eq!(right.parts.p(), p);
+    let shared = left.shared_attrs(&right);
+    assert!(
+        !shared.is_empty(),
+        "hash routing needs a non-empty join key (use HyperCube for Cartesian products)"
+    );
+    let out_attrs = output_schema(&left, &right, &shared);
+    if left.total_len() == 0 || right.total_len() == 0 {
+        return DistRelation::empty(out_attrs, p);
+    }
+    let route_seed = next_seed(seed);
+    let layout = JoinLayout::of(&left, &right, &shared);
+    let table = HeavyTable::plan(skew, p);
+    let left_routed = route_hybrid_side(
+        net,
+        left.parts,
+        &layout.lkey,
+        layout.left_arity,
+        &table,
+        route_seed,
+        HSide::Left,
+    );
+    let right_routed = route_hybrid_side(
+        net,
+        right.parts,
+        &layout.rkey,
+        layout.right_arity,
+        &table,
+        route_seed,
+        HSide::Right,
+    );
+    let sides: Vec<(TupleBlock, TupleBlock)> =
+        left_routed.into_iter().zip(right_routed).collect();
+    let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lblock, rblock)| {
+        local_cell_join(&lblock, &rblock, &layout)
+    });
+    DistRelation {
+        attrs: out_attrs,
+        parts: Partitioned::from_parts(out_parts),
+    }
+}
+
+/// The planner's load estimate for [`hybrid_hash_join`] on a profiled
+/// instance: `IN/p + √(OUT_heavy/p)`, where `OUT_heavy = Σ_k a_k·b_k` is
+/// the output the profiled heavy keys produce. This is the same
+/// constant-free form as the closed-form bounds in [`crate::bounds`] (the
+/// hybrid grid achieves it with the same grid constants as the paper's
+/// algorithm), so the cost model compares like with like; since
+/// `OUT_heavy ≤ OUT`, the one-round hybrid never prices above Theorem 3 on
+/// a binary join — it loses only to bounds without an output term (e.g.
+/// Yannakakis when `OUT < IN` is still priced fairly against it).
+pub fn hybrid_load_estimate(skew: &JoinSkew, in_size: u64, p: usize) -> f64 {
+    let out_heavy: u64 = skew
+        .merged_keys()
+        .iter()
+        .map(|&(_, a, b)| a.saturating_mul(b))
+        .sum();
+    in_size as f64 / p as f64 + (out_heavy as f64 / p as f64).sqrt()
+}
+
+/// Grid directive for one heavy key: cells `cell0 .. cell0 + rows·cols` in
+/// the global heavy-cell space, row-major.
+struct HeavyDir {
+    cell0: u64,
+    rows: u64,
+    cols: u64,
+}
+
+/// The driver-side routing table of the hybrid join: one grid directive per
+/// heavy key plus the LPT cell→server placement. A pure function of
+/// `(profile, p)`, so every server derives the identical table from the
+/// broadcast profile — consulting it is free.
+struct HeavyTable {
+    /// `(key, directive)` sorted by key for slice-probing binary search.
+    dirs: Vec<(Tuple, HeavyDir)>,
+    /// Physical server of each global heavy cell.
+    cell_server: Vec<ServerId>,
+}
+
+impl HeavyTable {
+    fn plan(skew: &JoinSkew, p: usize) -> HeavyTable {
+        let load = target_cell_load(skew, p);
+        let merged = skew.merged_keys();
+        let mut dirs = Vec::with_capacity(merged.len());
+        let mut cell_est: Vec<u64> = Vec::new();
+        let mut cell0 = 0u64;
+        for (key, a, b) in merged {
+            let (rows, cols) = grid_split(a, b, load);
+            // Every cell of this key receives at most ⌈a/rows⌉ + ⌈b/cols⌉.
+            let est = a.div_ceil(rows) + b.div_ceil(cols);
+            cell_est.resize(cell_est.len() + (rows * cols) as usize, est);
+            dirs.push((key, HeavyDir { cell0, rows, cols }));
+            cell0 += rows * cols;
+        }
+        // Deterministic LPT: heaviest cells first, each to the currently
+        // least-loaded server (ties: lower cell index, lower server id).
+        let mut order: Vec<usize> = (0..cell_est.len()).collect();
+        order.sort_unstable_by(|&x, &y| cell_est[y].cmp(&cell_est[x]).then(x.cmp(&y)));
+        let mut server_load = vec![0u64; p];
+        let mut cell_server = vec![0usize; cell_est.len()];
+        for i in order {
+            let s = (0..p).min_by_key(|&s| (server_load[s], s)).expect("p >= 1");
+            cell_server[i] = s;
+            server_load[s] += cell_est[i];
+        }
+        HeavyTable { dirs, cell_server }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum HSide {
+    Left,
+    Right,
+}
+
+/// Route one side of the hybrid join (columnar, one exchange): light keys
+/// hash to their owner (cell tag = destination), heavy keys replicate
+/// across their grid slice (cell tag = `p + global cell`, so tags never
+/// collide with light tags and folding stays duplicate-free).
+fn route_hybrid_side(
+    net: &mut Net,
+    parts: Partitioned<Tuple>,
+    key_pos: &[usize],
+    arity: usize,
+    table: &HeavyTable,
+    route_seed: u64,
+    side: HSide,
+) -> Vec<TupleBlock> {
+    let p = net.p();
+    let row_arity = arity + 1;
+    // Per-side slice seeds: a tuple appearing on both sides of a self-join
+    // must pick its row and column slices independently.
+    let slice_seed = hash_mix(route_seed ^ match side {
+        HSide::Left => 0x51de_0001,
+        HSide::Right => 0x51de_0002,
+    });
+    let outbox: Vec<RowOutbox> = net.run_local(parts.into_parts(), |_, part: Vec<Tuple>| {
+        let mut ob = RowOutbox::with_capacity(row_arity, part.len());
+        let mut row: Vec<u64> = Vec::with_capacity(row_arity);
+        let mut key: Vec<u64> = Vec::with_capacity(key_pos.len());
+        let stage = |ob: &mut RowOutbox, row: &mut Vec<u64>, cell: u64, dest: usize, t: &Tuple| {
+            row.clear();
+            row.push(cell);
+            row.extend_from_slice(t.values());
+            ob.push(dest, row);
+        };
+        for t in &part {
+            key.clear();
+            key.extend(key_pos.iter().map(|&c| t.values()[c]));
+            match table
+                .dirs
+                .binary_search_by(|(k, _)| k.values().cmp(key.as_slice()))
+            {
+                Err(_) => {
+                    // Light key: today's plain hash routing, bit-identical
+                    // to `hash_join`.
+                    let dest = hash_to_server(key.as_slice(), route_seed, p);
+                    stage(&mut ob, &mut row, dest as u64, dest, t);
+                }
+                Ok(i) => {
+                    let d = &table.dirs[i].1;
+                    let slice = t.values().hash_key(slice_seed);
+                    match side {
+                        HSide::Left => {
+                            let r = slice % d.rows;
+                            for c in 0..d.cols {
+                                let cell = d.cell0 + r * d.cols + c;
+                                stage(
+                                    &mut ob,
+                                    &mut row,
+                                    p as u64 + cell,
+                                    table.cell_server[cell as usize],
+                                    t,
+                                );
+                            }
+                        }
+                        HSide::Right => {
+                            let c = slice % d.cols;
+                            for r in 0..d.rows {
+                                let cell = d.cell0 + r * d.cols + c;
+                                stage(
+                                    &mut ob,
+                                    &mut row,
+                                    p as u64 + cell,
+                                    table.cell_server[cell as usize],
+                                    t,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ob
+    });
+    net.exchange_rows(row_arity, outbox)
 }
 
 #[derive(Clone, Copy)]
@@ -528,6 +875,181 @@ mod tests {
         assert_eq!(out.attrs, vec![0, 1, 2]);
         let got = out.gather_free().tuples;
         assert_eq!(got, vec![Tuple::from([1, 5, 9, 77, 88])]);
+    }
+
+    fn hash_join_via_mpc(p: usize, r1: &Relation, r2: &Relation) -> (Relation, u64) {
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let left = DistRelation::distribute(r1, p);
+            let right = DistRelation::distribute(r2, p);
+            let mut seed = 42;
+            hash_join(&mut net, left, right, &mut seed)
+        };
+        (out.gather_free(), cluster.stats().max_load)
+    }
+
+    /// Detect, threshold, and run the hybrid join on one cluster; return
+    /// the gathered result and the cluster's max load (detection included).
+    fn hybrid_via_mpc(p: usize, k: usize, r1: &Relation, r2: &Relation) -> (Relation, u64) {
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let left = DistRelation::distribute(r1, p);
+            let right = DistRelation::distribute(r2, p);
+            let skew = detect_join_skew(&mut net, &left, &right, k).significant(p);
+            let mut seed = 42;
+            hybrid_hash_join(&mut net, left, right, &skew, &mut seed)
+        };
+        (out.gather_free(), cluster.stats().max_load)
+    }
+
+    #[test]
+    fn hash_join_matches_oracle() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        let q = b.build();
+        let db = database_from_rows(
+            &q,
+            &[
+                vec![vec![1, 10], vec![2, 10], vec![3, 11]],
+                vec![vec![10, 5], vec![10, 6], vec![12, 9]],
+            ],
+        );
+        let (got, _) = hash_join_via_mpc(4, &db.relations[0], &db.relations[1]);
+        let want = reference((&["A", "B"], &["B", "C"]), &db.relations[0], &db.relations[1]);
+        assert_eq!(sorted(got.tuples), sorted(want));
+    }
+
+    /// With an empty profile the hybrid join *is* the hash join: identical
+    /// outputs (order included) and identical stats.
+    #[test]
+    fn hybrid_with_empty_profile_is_bit_identical_to_hash_join() {
+        let p = 8;
+        let r1 = Relation::new(
+            vec![0, 1],
+            (0..300).map(|i| Tuple::from([i, i % 40])).collect(),
+        );
+        let r2 = Relation::new(
+            vec![1, 2],
+            (0..300).map(|i| Tuple::from([i % 40, 1000 + i])).collect(),
+        );
+        let run = |use_hybrid: bool| {
+            let mut cluster = Cluster::new(p);
+            let out = {
+                let mut net = cluster.net();
+                let left = DistRelation::distribute(&r1, p);
+                let right = DistRelation::distribute(&r2, p);
+                let mut seed = 9;
+                if use_hybrid {
+                    hybrid_hash_join(&mut net, left, right, &JoinSkew::empty(1), &mut seed)
+                } else {
+                    hash_join(&mut net, left, right, &mut seed)
+                }
+            };
+            (out.gather_free().tuples, cluster.stats().clone())
+        };
+        let (hash_out, hash_stats) = run(false);
+        let (hyb_out, hyb_stats) = run(true);
+        assert_eq!(hash_out, hyb_out);
+        assert_eq!(hash_stats, hyb_stats);
+    }
+
+    /// One dominant key on both sides: the hybrid grid must spread what the
+    /// hash join concentrates, and stay correct.
+    #[test]
+    fn hybrid_spreads_heavy_key() {
+        let p = 16;
+        let heavy = 320u64;
+        let mut rows1: Vec<Tuple> = (0..heavy).map(|i| Tuple::from([i, 7])).collect();
+        rows1.extend((0..40).map(|i| Tuple::from([1000 + i, 100 + i % 20])));
+        let mut rows2: Vec<Tuple> = (0..heavy).map(|i| Tuple::from([7, 2000 + i])).collect();
+        rows2.extend((0..40).map(|i| Tuple::from([100 + i % 20, 3000 + i])));
+        let r1 = Relation::new(vec![0, 1], rows1);
+        let r2 = Relation::new(vec![1, 2], rows2);
+        let (hash_out, hash_load) = hash_join_via_mpc(p, &r1, &r2);
+        let (hyb_out, hyb_load) = hybrid_via_mpc(p, 4, &r1, &r2);
+        assert_eq!(sorted(hash_out.tuples), sorted(hyb_out.tuples));
+        assert!(
+            hyb_load * 2 <= hash_load,
+            "hybrid {hyb_load} should be well below hash {hash_load}"
+        );
+        let want = reference((&["A", "B"], &["B", "C"]), &r1, &r2);
+        let (got, _) = hybrid_via_mpc(p, 8, &r1, &r2);
+        assert_eq!(sorted(got.tuples), sorted(want));
+    }
+
+    /// A key heavy on the build side only (and vice versa): the grid
+    /// degenerates to a broadcast (`r × 1` / `1 × c`) and stays correct.
+    #[test]
+    fn heavy_key_on_one_side_only() {
+        let p = 4;
+        for heavy_left in [true, false] {
+            let heavy_rows: Vec<Tuple> = (0..120).map(|i| Tuple::from([i, 5])).collect();
+            let light_rows: Vec<Tuple> = (0..6).map(|i| Tuple::from([5, 900 + i])).collect();
+            let (r1, r2) = if heavy_left {
+                (
+                    Relation::new(vec![0, 1], heavy_rows.clone()),
+                    Relation::new(vec![1, 2], light_rows.clone()),
+                )
+            } else {
+                (
+                    Relation::new(
+                        vec![0, 1],
+                        light_rows.iter().map(|t| Tuple::from([t.get(1), 5])).collect(),
+                    ),
+                    Relation::new(
+                        vec![1, 2],
+                        heavy_rows.iter().map(|t| Tuple::from([5, t.get(0)])).collect(),
+                    ),
+                )
+            };
+            let (hyb_out, _) = hybrid_via_mpc(p, 4, &r1, &r2);
+            let want = reference((&["A", "B"], &["B", "C"]), &r1, &r2);
+            assert_eq!(sorted(hyb_out.tuples), sorted(want), "heavy_left={heavy_left}");
+        }
+    }
+
+    /// Annotation columns ride through the hybrid join with the same layout
+    /// as the paper's algorithm.
+    #[test]
+    fn hybrid_annotations_ride_along() {
+        let p = 2;
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let left = DistRelation {
+                attrs: vec![0, 1],
+                parts: Partitioned::distribute(vec![Tuple::from([1, 5, 77])], p),
+            };
+            let right = DistRelation {
+                attrs: vec![1, 2],
+                parts: Partitioned::distribute(vec![Tuple::from([5, 9, 88])], p),
+            };
+            let mut seed = 1;
+            hash_join(&mut net, left, right, &mut seed)
+        };
+        assert_eq!(out.attrs, vec![0, 1, 2]);
+        assert_eq!(out.gather_free().tuples, vec![Tuple::from([1, 5, 9, 77, 88])]);
+    }
+
+    /// The load estimate adds exactly the heavy output term, so a profiled
+    /// heavy key raises the estimate above the skew-free one, and an empty
+    /// profile estimates the pure `IN/p` of hash routing.
+    #[test]
+    fn hybrid_load_estimate_tracks_profile() {
+        use aj_relation::skew::SkewProfile;
+        let flat = hybrid_load_estimate(&JoinSkew::empty(1), 1600, 8);
+        assert_eq!(flat, 200.0);
+        let skewed = JoinSkew {
+            left: SkewProfile::from_counts(1, 800, vec![(Tuple::from([7u64]), 600)]),
+            right: SkewProfile::from_counts(1, 800, vec![(Tuple::from([7u64]), 600)]),
+        };
+        let est = hybrid_load_estimate(&skewed, 1600, 8);
+        // IN/p + √(600·600/8)
+        assert!((est - (200.0 + (360_000.0f64 / 8.0).sqrt())).abs() < 1e-9);
+        assert!(est > flat);
     }
 
     #[test]

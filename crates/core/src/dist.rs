@@ -11,7 +11,9 @@ use aj_relation::{Attr, Database, Query, Relation, Tuple};
 /// address columns through `attrs` positions and carry the rest along.
 #[derive(Debug, Clone)]
 pub struct DistRelation {
+    /// Attribute layout of the tuples.
     pub attrs: Vec<Attr>,
+    /// The tuples, sharded over the servers.
     pub parts: Partitioned<Tuple>,
 }
 

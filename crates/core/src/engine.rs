@@ -22,6 +22,12 @@
 //!   **epoch** ([`Cluster::epoch`]), so each [`QueryOutcome`] carries the
 //!   true interval loads (planning and execution separately) and the epochs
 //!   sum back to the cluster's cumulative [`aj_mpc::Stats`].
+//! * **Skew-aware serving** (opt-in, [`EngineConfig::skew_aware`]) — binary
+//!   joins are profiled by the one-pass heavy-hitter detection during
+//!   planning (charged to the planning epoch) and the profile-priced
+//!   [`Plan::SkewHybrid`] competes in plan selection; heavy keys then route
+//!   through [`crate::binary::hybrid_hash_join`]'s per-key grids instead of
+//!   a single hash bucket.
 //!
 //! Determinism: each query runs on a seed stream derived from the engine's
 //! base seed and the query's signature fingerprint, so a repeated shape —
@@ -32,11 +38,13 @@ use aj_primitives::FxHashMap;
 use aj_mpc::{Cluster, EpochStats, Stats};
 use aj_relation::classify::{classify, AttributeForest, JoinClass};
 use aj_relation::signature::QuerySignature;
+use aj_relation::skew::JoinSkew;
 use aj_relation::{Database, JoinTree, Query};
 
 use crate::aggregate::output_size_with_tree;
+use crate::binary::detect_join_skew;
 use crate::dist::distribute_db;
-use crate::planner::{choose_plan, estimated_load, execute_plan_dist, Plan};
+use crate::planner::{choose_plan_skew, execute_plan_skew, Plan};
 use crate::DistRelation;
 
 /// Engine configuration.
@@ -46,6 +54,15 @@ pub struct EngineConfig {
     /// algorithm by bound comparison. When `false`, dispatch by join class
     /// only (the [`crate::planner::plan_for`] behaviour).
     pub cost_based: bool,
+    /// On binary joins, additionally run the one-pass heavy-hitter
+    /// detection ([`crate::binary::detect_join_skew`]) during planning and
+    /// let the profile-priced [`Plan::SkewHybrid`] compete in plan
+    /// selection. Off by default: detection adds control rounds, so the
+    /// default engine's measurements stay bit-identical to earlier
+    /// versions. Requires [`EngineConfig::cost_based`].
+    pub skew_aware: bool,
+    /// Per-server nomination budget of the heavy-hitter detection.
+    pub skew_top_k: usize,
     /// Base seed of the per-query seed streams.
     pub seed: u64,
 }
@@ -54,6 +71,8 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             cost_based: true,
+            skew_aware: false,
+            skew_top_k: crate::planner::DEFAULT_SKEW_TOP_K,
             seed: 0x5eed_ba5e,
         }
     }
@@ -101,6 +120,9 @@ pub struct QueryOutcome {
     pub out_size: Option<u64>,
     /// The cost model's load estimate for the chosen plan, if it ran.
     pub estimated_load: Option<f64>,
+    /// The heavy-hitter profile detected during planning (skew-aware
+    /// engines on binary joins only). Charged to the planning epoch.
+    pub skew: Option<JoinSkew>,
     /// The distributed join result.
     pub output: DistRelation,
     /// Loads of the planning phase (counting pass; empty epoch when
@@ -243,9 +265,12 @@ impl QueryEngine {
 
         // Planning phase, in its own epoch. Cyclic queries have exactly one
         // applicable algorithm, so the counting pass (which also requires a
-        // join tree) is skipped for them.
+        // join tree) is skipped for them. A skew-aware engine additionally
+        // profiles binary joins here — detection is planning work, so its
+        // gather/broadcast rounds are charged to the planning epoch.
         self.cluster.begin_epoch();
-        let (plan, out_size, est) = if self.config.cost_based && class != JoinClass::Cyclic {
+        let (plan, out_size, est, skew) = if self.config.cost_based && class != JoinClass::Cyclic
+        {
             let tree = artifacts
                 .join_tree
                 .as_ref()
@@ -255,11 +280,19 @@ impl QueryEngine {
                 let mut net = self.cluster.net();
                 output_size_with_tree(&mut net, tree, &dist, &mut plan_seed)
             };
-            let plan = choose_plan(class, in_size, out, p);
-            let est = estimated_load(plan, in_size, out, p);
-            (plan, Some(out), Some(est))
+            let skew = if self.config.skew_aware && hybrid_applicable(q) {
+                let mut net = self.cluster.net();
+                Some(
+                    detect_join_skew(&mut net, &dist[0], &dist[1], self.config.skew_top_k)
+                        .significant(p),
+                )
+            } else {
+                None
+            };
+            let (plan, est) = choose_plan_skew(class, in_size, out, p, skew.as_ref());
+            (plan, Some(out), Some(est), skew)
         } else {
-            (Plan::for_class(class), None, None)
+            (Plan::for_class(class), None, None, None)
         };
         let planning = self.cluster.epoch();
 
@@ -269,7 +302,7 @@ impl QueryEngine {
         let mut exec_seed = mix(self.config.seed, fingerprint);
         let output = {
             let mut net = self.cluster.net();
-            execute_plan_dist(&mut net, plan, q, dist, &mut exec_seed)
+            execute_plan_skew(&mut net, plan, q, dist, skew.as_ref(), &mut exec_seed)
         };
         let execution = self.cluster.epoch();
         // Per-query attribution runs on epochs, not the round log; trimming
@@ -283,6 +316,7 @@ impl QueryEngine {
             in_size,
             out_size,
             estimated_load: est,
+            skew,
             output,
             planning,
             execution,
@@ -308,6 +342,17 @@ pub fn epochs_reconcile(outcomes: &[QueryOutcome], stats: &Stats) -> bool {
         max = max.max(o.planning.max_load).max(o.execution.max_load);
     }
     msgs == stats.total_messages && rounds == stats.exchanges && max == stats.max_load
+}
+
+/// Can [`Plan::SkewHybrid`] serve this query? A binary join of two
+/// relations sharing at least one attribute (Cartesian pairs have no key to
+/// hash on).
+fn hybrid_applicable(q: &Query) -> bool {
+    q.n_edges() == 2
+        && q.edges()[0]
+            .attrs
+            .iter()
+            .any(|a| q.edges()[1].attrs.contains(a))
 }
 
 const PLANNING_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -473,6 +518,54 @@ mod tests {
         assert_eq!(a.planning, b.planning);
         assert_eq!(a.execution, b.execution);
         assert_eq!(sorted(&a.output), sorted(&b.output));
+    }
+
+    /// A skew-aware engine profiles binary joins during planning (charged
+    /// to the planning epoch), picks the hybrid plan, stays correct, and
+    /// its epochs still reconcile with the cumulative stats.
+    #[test]
+    fn skew_aware_engine_serves_binary_joins_with_the_hybrid() {
+        let mut b = aj_relation::QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        let q = b.build();
+        // One heavy key (60% of each side) plus a light tail.
+        let mut rows1: Vec<Vec<u64>> = (0..120).map(|i| vec![i, 0]).collect();
+        rows1.extend((0..80).map(|i| vec![200 + i, 1 + i % 40]));
+        let mut rows2: Vec<Vec<u64>> = (0..120).map(|i| vec![0, 1000 + i]).collect();
+        rows2.extend((0..80).map(|i| vec![1 + i % 40, 2000 + i]));
+        let db = database_from_rows(&q, &[rows1, rows2]);
+        let cfg = EngineConfig {
+            skew_aware: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = QueryEngine::with_cluster(Cluster::new(8), cfg);
+        let outcome = engine.run(&q, &db);
+        assert_eq!(outcome.plan, Plan::SkewHybrid);
+        let skew = outcome.skew.as_ref().expect("detection ran");
+        assert!(skew.left.is_heavy(&[0]) && skew.right.is_heavy(&[0]));
+        // Detection rounds live in the planning epoch: counting pass plus
+        // two gather/broadcast pairs.
+        assert!(outcome.planning.exchanges >= 4);
+        let (_, mut want) = ram::join(&q, &db);
+        want.sort_unstable();
+        assert_eq!(sorted(&outcome.output), want);
+        let outcomes = vec![outcome, engine.run(&q, &db)];
+        assert!(outcomes[1].cache_hit);
+        assert_eq!(outcomes[0].execution, outcomes[1].execution);
+        assert!(epochs_reconcile(&outcomes, engine.stats()));
+    }
+
+    /// The default engine never detects: no profile, no hybrid plan, so its
+    /// measurements are unchanged by the skew-aware machinery.
+    #[test]
+    fn default_engine_does_not_detect_skew() {
+        let q = line_query(3);
+        let db = line3_db(&q);
+        let mut engine = QueryEngine::new(4);
+        let outcome = engine.run(&q, &db);
+        assert!(outcome.skew.is_none());
+        assert_ne!(outcome.plan, Plan::SkewHybrid);
     }
 
     #[test]

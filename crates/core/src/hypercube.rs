@@ -9,8 +9,16 @@
 //!   (Section 7).
 //! * On skewed instances its load degrades — exactly the gap the paper's
 //!   Theorem-3 algorithm closes; the experiments measure this.
+//!
+//! The skew-aware variant ([`hypercube_join_skew`]) removes the worst of
+//! that degradation without giving up the one-round structure: a broadcast
+//! [`HypercubeSkew`] profile names the heavy values per attribute, one
+//! **designated** relation *partitions* each heavy value across its
+//! dimension (coordinate from a full-tuple hash instead of the value hash),
+//! and every other relation *replicates* its matching tuples across that
+//! dimension. Light values keep the bit-identical hash placement.
 
-use aj_mpc::{Net, Partitioned, RowOutbox, TupleBlock};
+use aj_mpc::{detect_heavy_hitters, hash_mix, HashKey, Net, Partitioned, RowOutbox, TupleBlock};
 use aj_relation::{Attr, Database, Query, Tuple};
 
 use crate::dist::{distribute_db, DistRelation};
@@ -26,6 +34,112 @@ impl Shares {
     pub fn grid_size(&self) -> usize {
         self.0.iter().product()
     }
+}
+
+/// Heavy values per attribute, each with the relation **designated** to
+/// partition it (every other relation replicates across that dimension).
+/// Small and globally known — like every skew profile it is derived at a
+/// round barrier and broadcast, so routing consults it for free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HypercubeSkew {
+    /// `(attribute, value, designated edge)` sorted by `(attribute, value)`.
+    heavy: Vec<(Attr, u64, usize)>,
+}
+
+impl HypercubeSkew {
+    /// A profile with no heavy values (routing stays pure HyperCube).
+    pub fn empty() -> Self {
+        HypercubeSkew::default()
+    }
+
+    /// Build from `(attribute, value, designated edge)` entries.
+    ///
+    /// # Panics
+    /// Panics if an `(attribute, value)` pair repeats.
+    pub fn from_entries(mut entries: Vec<(Attr, u64, usize)>) -> Self {
+        entries.sort_unstable();
+        for w in entries.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) != (w[1].0, w[1].1),
+                "duplicate heavy (attribute, value) pair"
+            );
+        }
+        HypercubeSkew { heavy: entries }
+    }
+
+    /// Number of heavy `(attribute, value)` pairs.
+    pub fn len(&self) -> usize {
+        self.heavy.len()
+    }
+
+    /// Does the profile name no heavy value?
+    pub fn is_empty(&self) -> bool {
+        self.heavy.is_empty()
+    }
+
+    /// The `(attribute, value, designated edge)` entries.
+    pub fn entries(&self) -> &[(Attr, u64, usize)] {
+        &self.heavy
+    }
+
+    /// The edge designated to partition `value` on `attr`, if heavy.
+    pub fn designee(&self, attr: Attr, value: u64) -> Option<usize> {
+        self.heavy
+            .binary_search_by(|&(a, v, _)| (a, v).cmp(&(attr, value)))
+            .ok()
+            .map(|i| self.heavy[i].2)
+    }
+}
+
+/// Detect the heavy values of every sharded attribute (share > 1) across
+/// the relations that contain it — one [`detect_heavy_hitters`] pass per
+/// (relation, attribute) pair, merged at the barrier — and designate, per
+/// heavy value, the relation with the largest count as its partitioner
+/// (ties to the smaller edge index). A value is heavy when its merged count
+/// reaches `threshold` (callers typically pass `IN/p`, the fair share a
+/// single value can overload a server with).
+pub fn detect_hypercube_skew(
+    net: &mut Net,
+    q: &Query,
+    dist: &crate::dist::DistDatabase,
+    shares: &Shares,
+    k: usize,
+    threshold: u64,
+) -> HypercubeSkew {
+    let threshold = threshold.max(2);
+    let mut entries: Vec<(Attr, u64, usize)> = Vec::new();
+    for a in 0..q.n_attrs() {
+        if shares.0[a] <= 1 {
+            continue;
+        }
+        // Per-edge nominations for this attribute, in edge order.
+        let mut per_value: std::collections::BTreeMap<u64, Vec<(usize, u64)>> =
+            std::collections::BTreeMap::new();
+        for (e, rel) in dist.iter().enumerate() {
+            let Some(pos) = rel.attrs.iter().position(|&x| x == a) else {
+                continue;
+            };
+            let profile = detect_heavy_hitters(net, &rel.parts, &[pos], k);
+            for (key, c) in profile.entries() {
+                per_value.entry(key.get(0)).or_default().push((e, *c));
+            }
+        }
+        for (value, contributions) in per_value {
+            let total: u64 = contributions.iter().map(|&(_, c)| c).sum();
+            if total < threshold {
+                continue;
+            }
+            // Largest contributor partitions; first (smallest edge) wins ties.
+            let mut best = contributions[0];
+            for &(e, c) in &contributions[1..] {
+                if c > best.1 {
+                    best = (e, c);
+                }
+            }
+            entries.push((a, value, best.0));
+        }
+    }
+    HypercubeSkew::from_entries(entries)
 }
 
 /// Run HyperCube with the given shares. One data round. The local joins are
@@ -49,6 +163,37 @@ pub fn hypercube_join_dist(
     dist: crate::dist::DistDatabase,
     shares: &Shares,
     seed: u64,
+) -> DistRelation {
+    hypercube_impl(net, q, dist, shares, seed, None)
+}
+
+/// Skew-aware HyperCube: identical to [`hypercube_join_dist`] except that
+/// values named heavy by the profile are **partitioned/replicated** instead
+/// of hashed — the designated relation spreads its matching tuples across
+/// the value's dimension by a full-tuple hash, every other relation
+/// replicates its matching tuples across that dimension (relations not
+/// containing the attribute already do). Light values, and every value with
+/// an empty profile, keep the bit-identical hash placement, so
+/// `hypercube_join_skew(…, &HypercubeSkew::empty(), …)` reproduces
+/// [`hypercube_join_dist`]'s loads exactly.
+pub fn hypercube_join_skew(
+    net: &mut Net,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    shares: &Shares,
+    skew: &HypercubeSkew,
+    seed: u64,
+) -> DistRelation {
+    hypercube_impl(net, q, dist, shares, seed, Some(skew))
+}
+
+fn hypercube_impl(
+    net: &mut Net,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    shares: &Shares,
+    seed: u64,
+    skew: Option<&HypercubeSkew>,
 ) -> DistRelation {
     let p = net.p();
     assert_eq!(shares.0.len(), q.n_attrs(), "one share per attribute");
@@ -97,21 +242,47 @@ pub fn hypercube_join_dist(
     // (blocks need a uniform width; the widest relation sets it). One row is
     // one load unit — identical accounting to the per-item exchange.
     let row_arity = 1 + rel_arity.iter().copied().max().unwrap_or(0);
+    // Heavy values partition by a full-tuple hash on their designated
+    // relation; the seed is derived so the light placement is untouched.
+    let slice_seed = hash_mix(seed ^ 0x51de_ac3d);
     let outbox: Vec<RowOutbox> = net.run_local(per_server, |_, rels| {
         let mut ob = RowOutbox::new(row_arity);
         let mut row = vec![0u64; row_arity];
+        let mut dynamic_free: Vec<Attr> = Vec::new();
         for (e, part) in rels {
             let attrs = &rel_attrs[e];
             for t in part {
-                // Fixed coordinates from the tuple's own attributes.
+                // Fixed coordinates from the tuple's own attributes; heavy
+                // values divert to the partition/replicate scheme.
                 let mut base = 0usize;
+                dynamic_free.clear();
                 for (i, &a) in attrs.iter().enumerate() {
-                    let h = (t.get(i) ^ (a as u64 * 0x9e37_79b9)).owner(seed, shares.0[a]);
-                    base += h * stride[a];
+                    let designee = match skew {
+                        Some(sk) if shares.0[a] > 1 => sk.designee(a, t.get(i)),
+                        _ => None,
+                    };
+                    match designee {
+                        // This relation partitions the heavy value: spread
+                        // by the whole tuple instead of the value.
+                        Some(e_star) if e_star == e => {
+                            let h =
+                                (t.values().hash_key(slice_seed) % shares.0[a] as u64) as usize;
+                            base += h * stride[a];
+                        }
+                        // Another relation partitions: replicate across the
+                        // dimension so every slice of it is met.
+                        Some(_) => dynamic_free.push(a),
+                        // Light value: today's hash placement, bit for bit.
+                        None => {
+                            let h =
+                                (t.get(i) ^ (a as u64 * 0x9e37_79b9)).owner(seed, shares.0[a]);
+                            base += h * stride[a];
+                        }
+                    }
                 }
-                // Enumerate free coordinates.
+                // Enumerate free coordinates (static + heavy-replicated).
                 let mut cells = vec![base];
-                for &a in &free[e] {
+                for &a in free[e].iter().chain(dynamic_free.iter()) {
                     let mut next = Vec::with_capacity(cells.len() * shares.0[a]);
                     for c in &cells {
                         for v in 0..shares.0[a] {
@@ -375,6 +546,107 @@ mod tests {
         for (srv, &peak) in peaks.iter().enumerate().skip(s.grid_size()) {
             assert_eq!(peak, 0, "server {srv} is outside the grid but got data");
         }
+    }
+
+    /// An empty skew profile must reproduce the plain HyperCube run bit for
+    /// bit — outputs and stats.
+    #[test]
+    fn empty_skew_profile_is_bit_identical() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        let n = 14u64;
+        let edges: Vec<Vec<u64>> = (0..n)
+            .flat_map(|a| (0..n).filter(move |b| (a * 3 + b) % 4 != 0).map(move |b| vec![a, b]))
+            .collect();
+        let db = database_from_rows(&q, &[edges.clone(), edges.clone(), edges]);
+        let shares = worst_case_shares(&q, &[200, 200, 200], 8);
+        let run = |skewed: bool| {
+            let mut cluster = Cluster::new(8);
+            let out = {
+                let mut net = cluster.net();
+                let dist = crate::dist::distribute_db(&db, 8);
+                if skewed {
+                    hypercube_join_skew(&mut net, &q, dist, &shares, &HypercubeSkew::empty(), 5)
+                } else {
+                    hypercube_join_dist(&mut net, &q, dist, &shares, 5)
+                }
+            };
+            (out.gather_free().tuples, cluster.stats().clone())
+        };
+        let (plain_out, plain_stats) = run(false);
+        let (skew_out, skew_stats) = run(true);
+        assert_eq!(plain_out, skew_out);
+        assert_eq!(plain_stats, skew_stats);
+    }
+
+    /// A hot value on one attribute of a triangle: the hybrid placement must
+    /// cut the hot cell's load and keep the result exact. Detection runs in
+    /// its own stats epoch (exactly like the engine's planning phase), so
+    /// the comparison is between the two *join* rounds.
+    #[test]
+    fn skewed_triangle_spreads_hot_value() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        // Attribute A is hot: value 0 dominates R2 (one distinct C per
+        // tuple); R3's hot fan-out is small, R1 carries no A at all.
+        let r1: Vec<Vec<u64>> = (0..20u64)
+            .flat_map(|b| (0..300u64).map(move |c| vec![b, c]))
+            .filter(|t| (t[0] * 7 + t[1]) % 75 == 0)
+            .collect();
+        let mut r2: Vec<Vec<u64>> = (0..300).map(|c| vec![0, c]).collect();
+        r2.extend((0..20).map(|i| vec![1 + i % 7, i % 9]));
+        let mut r3: Vec<Vec<u64>> = (0..20).map(|b| vec![0, b]).collect();
+        r3.extend((0..20).map(|i| vec![1 + i % 7, i % 12]));
+        let mut db = database_from_rows(&q, &[r1, r2, r3]);
+        for r in &mut db.relations {
+            r.dedup();
+        }
+        let want = ram::naive_join(&q, &db);
+        let p = 16;
+        // Attr ids intern in first-use order: B=0, C=1, A=2. A gets the
+        // big share.
+        let a_attr = q.attr_by_name("A").unwrap();
+        let mut share_vec = vec![2usize; 3];
+        share_vec[a_attr] = 4;
+        let shares = Shares(share_vec);
+        let in_size = db.input_size() as u64;
+        let run = |skewed: bool| {
+            let mut cluster = Cluster::new(p);
+            let dist = crate::dist::distribute_db(&db, p);
+            let skew = if skewed {
+                let mut net = cluster.net();
+                let skew =
+                    detect_hypercube_skew(&mut net, &q, &dist, &shares, 8, in_size / p as u64);
+                assert_eq!(skew.len(), 1, "exactly the hot value is heavy: {skew:?}");
+                assert_eq!(skew.designee(a_attr, 0), Some(1), "R2 has the largest count");
+                skew
+            } else {
+                HypercubeSkew::empty()
+            };
+            let _detection = cluster.epoch();
+            let out = {
+                let mut net = cluster.net();
+                hypercube_join_skew(&mut net, &q, dist, &shares, &skew, 11)
+            };
+            let join_epoch = cluster.epoch();
+            let mut got = out.gather_free().tuples;
+            got.sort_unstable();
+            (got, join_epoch.max_load)
+        };
+        let (plain_out, plain_load) = run(false);
+        let (skew_out, skew_load) = run(true);
+        assert_eq!(plain_out, want);
+        assert_eq!(skew_out, want);
+        assert!(
+            2 * skew_load <= plain_load,
+            "hybrid join load {skew_load} should halve plain {plain_load}"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //!
 //! | Module | Paper | Load |
 //! |---|---|---|
-//! | [`binary`] | output-optimal binary join \[8,18\] | `O(IN/p + √(OUT/p))` |
-//! | [`hypercube`] | HyperCube / one-round baseline \[3,8\] | `L_Cartesian · polylog` |
+//! | [`binary`] | output-optimal binary join \[8,18\]; hash-only + skew-aware hybrid routing | `O(IN/p + √(OUT/p))` |
+//! | [`hypercube`] | HyperCube / one-round baseline \[3,8\]; skew-aware placement | `L_Cartesian · polylog` |
 //! | [`yannakakis`] | MPC Yannakakis \[2,25\] | `O(IN/p + OUT/p)` |
 //! | [`hierarchical`] | Theorem 3 (instance-optimal, r-hierarchical) | `O(IN/p + L_instance)` |
 //! | [`line3`] | Theorem 5 | `O(IN/p + √(IN·OUT)/p)` |
@@ -28,6 +28,8 @@
 //! identical outputs and bit-identical load measurements (asserted by the
 //! `executor_equivalence` test suite); only wall-clock time differs.
 
+#![deny(missing_docs)]
+
 pub mod acyclic;
 pub mod aggregate;
 pub mod binary;
@@ -44,4 +46,7 @@ pub mod yannakakis;
 
 pub use dist::{DistDatabase, DistRelation};
 pub use engine::{EngineConfig, QueryEngine, QueryOutcome};
-pub use planner::{choose_plan, execute_best, execute_plan, execute_plan_dist, plan_for, Plan};
+pub use planner::{
+    choose_plan, choose_plan_skew, execute_best, execute_plan, execute_plan_dist,
+    execute_plan_skew, plan_for, Plan,
+};

@@ -14,7 +14,9 @@ use aj_relation::{Attr, Tuple};
 /// trailing columns, which are concatenated through).
 #[derive(Debug, Clone)]
 pub struct LocalRel {
+    /// Attribute layout of the fragment.
     pub attrs: Vec<Attr>,
+    /// The fragment's tuples.
     pub tuples: Vec<Tuple>,
 }
 

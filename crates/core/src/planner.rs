@@ -4,10 +4,15 @@
 
 use aj_mpc::Net;
 use aj_relation::classify::{classify, JoinClass};
+use aj_relation::skew::JoinSkew;
 use aj_relation::{Database, Query};
 
 use crate::bounds;
 use crate::dist::{distribute_db, next_seed, DistRelation};
+
+/// Default per-server nomination budget of the heavy-hitter detection when a
+/// skew-aware plan has to derive its own profile.
+pub const DEFAULT_SKEW_TOP_K: usize = 16;
 
 /// The chosen execution strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +28,12 @@ pub enum Plan {
     Yannakakis,
     /// Cyclic: worst-case-optimal HyperCube shares.
     WorstCase,
+    /// Binary joins on a skew-aware engine: the one-round
+    /// [`crate::binary::hybrid_hash_join`] — light keys hash-routed, heavy
+    /// keys (from a [`JoinSkew`] profile) grid-partitioned. Load
+    /// `IN/p + O(√(OUT_heavy/p))`, estimated from the profile by
+    /// [`crate::binary::hybrid_load_estimate`].
+    SkewHybrid,
 }
 
 impl Plan {
@@ -45,6 +56,7 @@ impl std::fmt::Display for Plan {
             Plan::OutputOptimal => "thm7",
             Plan::Yannakakis => "yann",
             Plan::WorstCase => "hcube",
+            Plan::SkewHybrid => "hybrid",
         };
         f.write_str(s)
     }
@@ -90,6 +102,42 @@ pub fn estimated_load(plan: Plan, in_size: u64, out_size: u64, p: usize) -> f64 
         Plan::WorstCase => {
             panic!("HyperCube has no (IN, OUT) closed form; it is the only cyclic candidate")
         }
+        Plan::SkewHybrid => {
+            panic!("the hybrid plan is priced from a JoinSkew profile (choose_plan_skew)")
+        }
+    }
+}
+
+/// [`choose_plan`] extended with the skew-aware candidate: when a
+/// [`JoinSkew`] profile is available (the query is a binary join and the
+/// engine ran detection), [`Plan::SkewHybrid`] competes with its
+/// profile-derived estimate ([`crate::binary::hybrid_load_estimate`]) —
+/// which, unlike the closed-form bounds, carries no output-redistribution
+/// term: a binary join's output never moves, so on a profiled instance the
+/// one-round hybrid typically wins unless the closed forms are genuinely
+/// cheaper. Without a profile this is exactly [`choose_plan`].
+pub fn choose_plan_skew(
+    class: JoinClass,
+    in_size: u64,
+    out_size: u64,
+    p: usize,
+    skew: Option<&JoinSkew>,
+) -> (Plan, f64) {
+    let base = choose_plan(class, in_size, out_size, p);
+    let base_est = match base {
+        Plan::WorstCase => f64::INFINITY, // cyclic: no closed form, no hybrid either
+        _ => estimated_load(base, in_size, out_size, p),
+    };
+    match skew {
+        Some(profile) if class != JoinClass::Cyclic => {
+            let hybrid_est = crate::binary::hybrid_load_estimate(profile, in_size, p);
+            if hybrid_est < base_est {
+                (Plan::SkewHybrid, hybrid_est)
+            } else {
+                (base, base_est)
+            }
+        }
+        _ => (base, base_est),
     }
 }
 
@@ -161,6 +209,27 @@ pub fn execute_plan_dist(
     dist: crate::dist::DistDatabase,
     seed: &mut u64,
 ) -> DistRelation {
+    execute_plan_skew(net, plan, q, dist, None, seed)
+}
+
+/// [`execute_plan_dist`] with an optional pre-computed [`JoinSkew`] profile
+/// for the [`Plan::SkewHybrid`] arm (the engine detects during planning and
+/// passes the profile through so execution does not re-detect). When the
+/// plan is `SkewHybrid` and no profile is given, detection runs inline with
+/// [`DEFAULT_SKEW_TOP_K`] nominations per server. Same seed discipline as
+/// every other arm: exactly one draw from the caller's stream.
+///
+/// # Panics
+/// Panics if `plan` is [`Plan::SkewHybrid`] and `q` is not a binary join of
+/// two relations sharing at least one attribute.
+pub fn execute_plan_skew(
+    net: &mut Net,
+    plan: Plan,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    skew: Option<&JoinSkew>,
+    seed: &mut u64,
+) -> DistRelation {
     let mut local = next_seed(seed);
     match plan {
         Plan::InstanceOptimal => crate::hierarchical::solve(net, q, dist, &mut local),
@@ -170,6 +239,27 @@ pub fn execute_plan_dist(
             let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
             let shares = crate::hypercube::worst_case_shares(q, &sizes, net.p());
             crate::hypercube::hypercube_join_dist(net, q, dist, &shares, local)
+        }
+        Plan::SkewHybrid => {
+            assert_eq!(q.n_edges(), 2, "the hybrid plan serves binary joins");
+            let mut it = dist.into_iter();
+            let left = it.next().expect("two relations");
+            let right = it.next().expect("two relations");
+            let detected;
+            let profile = match skew {
+                Some(s) => s,
+                None => {
+                    detected = crate::binary::detect_join_skew(
+                        net,
+                        &left,
+                        &right,
+                        DEFAULT_SKEW_TOP_K,
+                    )
+                    .significant(net.p());
+                    &detected
+                }
+            };
+            crate::binary::hybrid_hash_join(net, left, right, profile, &mut local)
         }
     }
 }
@@ -351,6 +441,64 @@ mod tests {
         // OUT ≥ IN: Theorem 7 wins.
         let plan = choose_plan(JoinClass::Acyclic, 10_000, 1_000_000, 16);
         assert_eq!(plan, Plan::OutputOptimal);
+    }
+
+    /// The hybrid plan competes only when a profile exists, wins when its
+    /// profile-priced load beats the closed forms, and executes correctly.
+    #[test]
+    fn skew_hybrid_plan_selection_and_execution() {
+        use aj_relation::skew::{JoinSkew, SkewProfile};
+        use aj_relation::Tuple;
+        // No profile: selection is untouched.
+        let (plan, _) = choose_plan_skew(JoinClass::TallFlat, 4096, 1 << 20, 16, None);
+        assert_eq!(plan, choose_plan(JoinClass::TallFlat, 4096, 1 << 20, 16));
+        // A clean profile on a high-OUT instance: one round, no output
+        // movement — the hybrid wins.
+        let clean = JoinSkew::empty(1);
+        let (plan, est) = choose_plan_skew(JoinClass::TallFlat, 4096, 1 << 20, 16, Some(&clean));
+        assert_eq!(plan, Plan::SkewHybrid);
+        assert!(est >= 4096.0 / 16.0);
+        // A heavily skewed profile still wins over the hash-hostile closed
+        // forms, with a larger estimate than the clean one.
+        let skewed = JoinSkew {
+            left: SkewProfile::from_counts(1, 2048, vec![(Tuple::from([7u64]), 1500)]),
+            right: SkewProfile::from_counts(1, 2048, vec![(Tuple::from([7u64]), 1500)]),
+        };
+        let (_, skew_est) = choose_plan_skew(JoinClass::TallFlat, 4096, 1 << 21, 16, Some(&skewed));
+        assert!(skew_est > est);
+        // Execution: the hybrid arm (self-detecting) matches the oracle.
+        let mut b = aj_relation::QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        let q = b.build();
+        let db = aj_relation::database_from_rows(
+            &q,
+            &[
+                (0..60).map(|i| vec![i, i % 5]).collect(),
+                (0..40).map(|i| vec![i % 5, 100 + i]).collect(),
+            ],
+        );
+        let (_, mut want) = ram::join(&q, &db);
+        want.sort_unstable();
+        let mut cluster = Cluster::new(4);
+        let out = {
+            let mut net = cluster.net();
+            let mut seed = 5;
+            execute_plan(&mut net, Plan::SkewHybrid, &q, &db, &mut seed)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+        // Seed discipline: the hybrid arm advances the stream exactly like
+        // every other arm.
+        let advance = |plan: Plan| -> u64 {
+            let mut cluster = Cluster::new(4);
+            let mut net = cluster.net();
+            let mut seed = 99;
+            execute_plan(&mut net, plan, &q, &db, &mut seed);
+            seed
+        };
+        assert_eq!(advance(Plan::SkewHybrid), advance(Plan::Yannakakis));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`fig6`] | the randomized triangle lower-bound instance | Figure 6, Theorem 11 |
 //! | [`cartesian`] | Cartesian-product instances for the Eq. (1) bound | Section 1.3 |
 //! | [`random`] | random acyclic queries + instances for differential tests | — |
+//! | [`skew`] | Zipf-parameterised binary/star/triangle instances for the skew experiments | — |
 //!
 //! ```
 //! use aj_instancegen::{line_query, random};
@@ -30,5 +31,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod random;
 pub mod shapes;
+pub mod skew;
 
 pub use shapes::{line_query, star_query};
+pub use skew::{zipf_binary, zipf_star, zipf_triangle, SkewInstance, Zipf};

@@ -1,0 +1,247 @@
+//! The **skew family**: Zipf-parameterised instances for the skew-aware
+//! execution experiments.
+//!
+//! Every generator draws join-key values from a Zipf(`s`) distribution over
+//! a bounded domain — `s = 0` is uniform, `s ≈ 1` the classic web-scale
+//! skew, `s > 1` a regime where the top key carries a constant fraction of
+//! the relation. Hash routing concentrates that fraction on one server,
+//! which is exactly what the hybrid routing of `aj_core::binary` /
+//! `aj_core::hypercube` is built to avoid; the `skew` experiment of
+//! `aj_bench` measures both sides of that comparison on these instances.
+//!
+//! Like every generator in this crate, the instances are deterministic
+//! functions of their seed.
+//!
+//! ```
+//! use aj_instancegen::skew::{zipf_binary, Zipf};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let z = Zipf::new(100, 1.1);
+//! assert!(z.sample(&mut rng) < 100);
+//!
+//! let inst = zipf_binary(1000, 1.1, 64, 42);
+//! assert_eq!(inst.db.relations.len(), 2);
+//! assert_eq!(inst.db.input_size(), 2000);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use aj_relation::{Database, Query, QueryBuilder, Relation, Tuple};
+
+/// A deterministic Zipf(`s`) sampler over ranks `0..domain` (rank `r` has
+/// weight `(r+1)^-s`), via inverse-CDF binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative normalized weights; `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for the given domain size and exponent (`s = 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    /// Panics if `domain == 0` or `s < 0`.
+    pub fn new(domain: u64, s: f64) -> Self {
+        assert!(domain >= 1, "need a non-empty domain");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0f64;
+        for r in 0..domain {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draw one rank in `0..domain` (rank 0 is the heaviest).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        // 53-bit mantissa draw in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// One generated skew instance: the query, the database, and the generating
+/// parameters (for table captions).
+#[derive(Debug, Clone)]
+pub struct SkewInstance {
+    /// The join query.
+    pub query: Query,
+    /// The instance (set semantics: generators construct distinct tuples or
+    /// dedup).
+    pub db: Database,
+    /// Zipf exponent of the join-key draws.
+    pub s: f64,
+    /// Key domain size.
+    pub domain: u64,
+}
+
+/// A binary join `R1(A,B) ⋈ R2(B,C)` with `n` tuples per side whose `B`
+/// values are Zipf(`s`) over `0..domain`. `A`/`C` are unique row ids, so
+/// both relations are duplicate-free by construction and the per-key
+/// degrees on the two sides are i.i.d. Zipf frequencies.
+pub fn zipf_binary(n: u64, s: f64, domain: u64, seed: u64) -> SkewInstance {
+    let mut b = QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let query = b.build();
+    let z = Zipf::new(domain, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r1: Vec<Tuple> = (0..n).map(|i| Tuple::from([i, z.sample(&mut rng)])).collect();
+    let r2: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::from([z.sample(&mut rng), 1_000_000 + i]))
+        .collect();
+    SkewInstance {
+        query,
+        db: Database::new(vec![
+            Relation::new(vec![0, 1], r1),
+            Relation::new(vec![1, 2], r2),
+        ]),
+        s,
+        domain,
+    }
+}
+
+/// A `k`-arm star join `R1(X,A1) ⋈ … ⋈ Rk(X,Ak)` with `n` tuples per arm
+/// whose center values `X` are Zipf(`s`); leaf values are unique per arm
+/// (duplicate-free). The star is r-hierarchical, so this exercises the
+/// skew behaviour of the Theorem-3 territory.
+pub fn zipf_star(n: u64, arms: usize, s: f64, domain: u64, seed: u64) -> SkewInstance {
+    assert!(arms >= 2, "a star needs at least two arms");
+    let query = crate::shapes::star_query(arms);
+    let z = Zipf::new(domain, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels: Vec<Relation> = (0..arms)
+        .map(|arm| {
+            let tuples: Vec<Tuple> = (0..n)
+                .map(|i| {
+                    Tuple::from([z.sample(&mut rng), (arm as u64 + 1) * 1_000_000 + i])
+                })
+                .collect();
+            Relation::new(vec![0, arm + 1], tuples)
+        })
+        .collect();
+    SkewInstance {
+        query,
+        db: Database::new(rels),
+        s,
+        domain,
+    }
+}
+
+/// A triangle `R1(B,C) ⋈ R2(A,C) ⋈ R3(A,B)` with hub-skewed edges: each
+/// relation draws `n` edges whose **hub** endpoint is Zipf(`s`) over
+/// `0..domain` and whose other endpoint is uniform over the same domain,
+/// then dedups (set semantics). Each relation hubs a *different* attribute
+/// (`B` for R1, `C` for R2, `A` for R3), so every hot value has one
+/// dominant contributor — the relation the skew-aware placement designates
+/// as its partitioner. The hot hubs keep high degrees after dedup as long
+/// as `domain` is a few times `n·P(rank 0)` — if both endpoints were Zipf,
+/// dedup would cap every hot value's degree at roughly the domain size and
+/// erase the skew.
+pub fn zipf_triangle(n: u64, s: f64, domain: u64, seed: u64) -> SkewInstance {
+    use rand::RngExt;
+    let query = crate::shapes::triangle_query();
+    let z = Zipf::new(domain, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut draw = |attrs: Vec<usize>, hub_first: bool| {
+        let mut tuples: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let hub = z.sample(&mut rng);
+                let spoke = rng.random_range(0..domain);
+                if hub_first {
+                    Tuple::from([hub, spoke])
+                } else {
+                    Tuple::from([spoke, hub])
+                }
+            })
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation::new(attrs, tuples)
+    };
+    // Attribute interning order of `triangle_query`: B=0, C=1, A=2.
+    let r1 = draw(vec![0, 1], true); // R1(B,C) hubs B
+    let r2 = draw(vec![2, 1], false); // R2(A,C) hubs C
+    let r3 = draw(vec![2, 0], true); // R3(A,B) hubs A
+    SkewInstance {
+        query,
+        db: Database::new(vec![r1, r2, r3]),
+        s,
+        domain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_in_range() {
+        let z = Zipf::new(50, 1.1);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| z.sample(&mut rng)).collect::<Vec<u64>>()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3));
+        assert_ne!(a, draw(4));
+        assert!(a.iter().all(|&v| v < 50));
+    }
+
+    #[test]
+    fn zipf_skews_toward_rank_zero() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 carries far more than the uniform share of 100.
+        assert!(counts[0] > 800, "rank-0 count {}", counts[0]);
+        assert!(counts[0] > 4 * counts[10].max(1));
+        // s = 0 is uniform: rank 0 close to the fair share.
+        let u = Zipf::new(100, 0.0);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..10_000 {
+            counts[u.sample(&mut rng) as usize] += 1;
+        }
+        assert!((50..200).contains(&counts[0]), "uniform rank-0 {}", counts[0]);
+    }
+
+    #[test]
+    fn binary_instance_shape() {
+        let inst = zipf_binary(500, 1.1, 32, 11);
+        assert_eq!(inst.db.relations[0].len(), 500);
+        assert_eq!(inst.db.relations[1].len(), 500);
+        assert!(inst.db.relations[0].tuples.iter().all(|t| t.get(1) < 32));
+        // The oracle can evaluate it and the heavy key produces output.
+        assert!(aj_relation::ram::count(&inst.query, &inst.db) > 500);
+    }
+
+    #[test]
+    fn star_and_triangle_instances_match_their_queries() {
+        let star = zipf_star(120, 3, 1.0, 16, 5);
+        assert!(star.db.matches(&star.query));
+        let tri = zipf_triangle(200, 1.1, 24, 6);
+        assert!(tri.db.matches(&tri.query));
+        for r in &tri.db.relations {
+            let mut t = r.tuples.clone();
+            let n = t.len();
+            t.dedup();
+            assert_eq!(n, t.len(), "set semantics");
+        }
+    }
+}

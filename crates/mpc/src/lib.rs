@@ -42,11 +42,14 @@
 //!   round complexity is a query-dependent constant and is documented per
 //!   algorithm instead.
 
+#![deny(missing_docs)]
+
 mod cluster;
 pub mod executor;
 mod hashing;
 mod partitioned;
 mod rows;
+pub mod skew;
 mod stats;
 
 pub use aj_relation::TupleBlock;
@@ -55,6 +58,7 @@ pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
 pub use partitioned::Partitioned;
 pub use rows::{BlockPartitioned, RowOutbox};
+pub use skew::detect_heavy_hitters;
 pub use stats::{EpochStats, LoadReport, Stats};
 
 /// Convenience: run `f` against a fresh sequentially-simulated cluster of

@@ -1,0 +1,212 @@
+//! One-pass distributed heavy-hitter detection.
+//!
+//! Hash routing is worst-case optimal only on skew-free inputs; before
+//! choosing a routing mode, an algorithm needs to know *which* keys are
+//! heavy. This module provides the detection round: every server counts its
+//! local keys and nominates its top-k, the nominations are **merged at a
+//! round barrier** on a coordinator, and the merged summary is broadcast
+//! back as an [`aj_relation::SkewProfile`] every server then consults for
+//! free during routing.
+//!
+//! The whole detection is one pass over the data and two control rounds:
+//!
+//! 1. **gather** — each server ships at most `k` `(key, count)` nominations
+//!    plus its exact local row count to the coordinator (`≤ p·(k+1)` units
+//!    received there);
+//! 2. **broadcast** — the coordinator merges (summing counts per key,
+//!    keeping the top-k merged keys) and broadcasts the profile (`≤ k+1`
+//!    units per server).
+//!
+//! **Guarantee.** Reported counts are lower bounds on true global
+//! frequencies: a key's count misses only servers where it fell outside the
+//! local top-k, so it is under-counted by at most `Σ_s c_k(s)` over those
+//! servers, each term bounded by server `s`'s k-th largest local count. Any
+//! key with true frequency above `p · max_s(k-th local count)` is guaranteed
+//! to be nominated somewhere. With `k ≥` the number of distinct keys the
+//! counts are exact. The profile's `total` is always exact.
+
+use std::collections::HashMap;
+
+use aj_relation::{SkewProfile, Tuple};
+
+use crate::{Net, Partitioned};
+
+/// What one server reports to the coordinator in the gather round. Each
+/// report is one message unit, exactly like any other control value.
+#[derive(Clone)]
+enum Report {
+    /// A nominated heavy key with its exact *local* count.
+    Count(Tuple, u64),
+    /// The server's exact local row count.
+    Total(u64),
+}
+
+/// Detect the heavy hitters of a distributed collection of tuples projected
+/// onto `key_pos`, nominating at most `k` keys per server (see the module
+/// docs for rounds, loads and the approximation guarantee).
+///
+/// Deterministic on both executors: local candidate selection orders by
+/// `(count desc, key asc)`, so ties break identically everywhere.
+///
+/// # Panics
+/// Panics if `parts` is not aligned with `net` or `k == 0`.
+pub fn detect_heavy_hitters(
+    net: &mut Net,
+    parts: &Partitioned<Tuple>,
+    key_pos: &[usize],
+    k: usize,
+) -> SkewProfile {
+    assert_eq!(parts.p(), net.p(), "partitioning must match the net");
+    assert!(k >= 1, "need room for at least one candidate");
+    // Local pass: exact counts, top-k nominations (deterministic order).
+    let nominations: Vec<Vec<(Tuple, u64)>> = net.run_each(|s| {
+        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        for t in &parts[s] {
+            *counts.entry(t.project(key_pos)).or_insert(0) += 1;
+        }
+        let mut cands: Vec<(Tuple, u64)> = counts.into_iter().collect();
+        cands.sort_unstable_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then_with(|| ka.cmp(kb)));
+        cands.truncate(k);
+        cands
+    });
+    // Gather round: nominations + exact local totals to the coordinator.
+    let inbox = net.round(|s| {
+        let mut msgs: Vec<(usize, Report)> = nominations[s]
+            .iter()
+            .map(|(key, c)| (0usize, Report::Count(key.clone(), *c)))
+            .collect();
+        msgs.push((0, Report::Total(parts[s].len() as u64)));
+        msgs
+    });
+    // Merge at the barrier (coordinator-local, free).
+    let mut total = 0u64;
+    let mut merged: HashMap<Tuple, u64> = HashMap::new();
+    for report in &inbox[0] {
+        match report {
+            Report::Count(key, c) => *merged.entry(key.clone()).or_insert(0) += c,
+            Report::Total(n) => total += n,
+        }
+    }
+    let mut merged: Vec<(Tuple, u64)> = merged.into_iter().collect();
+    merged.sort_unstable_by(|(ka, ca), (kb, cb)| cb.cmp(ca).then_with(|| ka.cmp(kb)));
+    merged.truncate(k);
+    // Broadcast round: the profile back to every server (k+1 units each).
+    let mut payload: Vec<Report> = merged
+        .iter()
+        .map(|(key, c)| Report::Count(key.clone(), *c))
+        .collect();
+    payload.push(Report::Total(total));
+    net.broadcast(0, payload);
+    SkewProfile::from_counts(key_pos.len(), total, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+
+    fn parts_of(rows: Vec<Vec<u64>>, p: usize) -> Partitioned<Tuple> {
+        Partitioned::distribute(rows.into_iter().map(Tuple::new).collect(), p)
+    }
+
+    #[test]
+    fn detects_the_dominant_key_with_exact_total() {
+        let p = 4;
+        let mut rows: Vec<Vec<u64>> = (0..90).map(|i| vec![i, 7]).collect();
+        rows.extend((0..10).map(|i| vec![100 + i, i % 5]));
+        let parts = parts_of(rows, p);
+        let mut cluster = Cluster::new(p);
+        let profile = {
+            let mut net = cluster.net();
+            detect_heavy_hitters(&mut net, &parts, &[1], 4)
+        };
+        assert_eq!(profile.total(), 100);
+        assert_eq!(profile.key_arity(), 1);
+        // The dominant key is found with its exact count (it is in every
+        // server's top-4).
+        assert_eq!(profile.count_of(&[7]), Some(90));
+        assert_eq!(profile.max_count(), 90);
+    }
+
+    #[test]
+    fn all_one_key_input() {
+        let p = 3;
+        let parts = parts_of((0..60).map(|i| vec![i, 42]).collect(), p);
+        let mut cluster = Cluster::new(p);
+        let profile = {
+            let mut net = cluster.net();
+            detect_heavy_hitters(&mut net, &parts, &[1], 8)
+        };
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile.count_of(&[42]), Some(60));
+        assert_eq!(profile.total(), 60);
+    }
+
+    #[test]
+    fn k_larger_than_distinct_keys_is_exact() {
+        let p = 4;
+        // 5 distinct keys, k = 64: every count is exact.
+        let parts = parts_of((0..100).map(|i| vec![i, i % 5]).collect(), p);
+        let mut cluster = Cluster::new(p);
+        let profile = {
+            let mut net = cluster.net();
+            detect_heavy_hitters(&mut net, &parts, &[1], 64)
+        };
+        assert_eq!(profile.len(), 5);
+        for key in 0..5u64 {
+            assert_eq!(profile.count_of(&[key]), Some(20));
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_profile() {
+        let p = 2;
+        let parts = Partitioned::<Tuple>::empty(p);
+        let mut cluster = Cluster::new(p);
+        let profile = {
+            let mut net = cluster.net();
+            detect_heavy_hitters(&mut net, &parts, &[0], 4)
+        };
+        assert!(profile.is_empty());
+        assert_eq!(profile.total(), 0);
+    }
+
+    /// Detection charges the gather to the coordinator and the broadcast to
+    /// every server — each nomination/profile entry exactly once.
+    #[test]
+    fn detection_load_is_charged_once_per_unit() {
+        let p = 4;
+        let parts = parts_of((0..80).map(|i| vec![i, i % 2]).collect(), p);
+        let mut cluster = Cluster::new(p);
+        {
+            let mut net = cluster.net();
+            detect_heavy_hitters(&mut net, &parts, &[1], 2);
+        }
+        let s = cluster.stats();
+        // Gather: every server nominates 2 keys + 1 total = 12 units at the
+        // coordinator. Broadcast: 2 entries + 1 total = 3 units per server.
+        assert_eq!(s.exchanges, 2);
+        assert_eq!(s.total_messages, 12 + 3 * p as u64);
+        assert_eq!(s.per_server_peak, vec![12, 3, 3, 3]);
+        assert_eq!(s.max_load, 12);
+    }
+
+    /// Both executors produce the identical profile and identical stats.
+    #[test]
+    fn detection_is_executor_equivalent() {
+        let p = 6;
+        let build = || parts_of((0..300).map(|i| vec![i, i % 9 / 3]).collect(), p);
+        let run = |mut cluster: Cluster| {
+            let parts = build();
+            let profile = {
+                let mut net = cluster.net();
+                detect_heavy_hitters(&mut net, &parts, &[1], 3)
+            };
+            (profile, cluster.stats().clone())
+        };
+        let (seq_p, seq_s) = run(Cluster::new(p));
+        let (par_p, par_s) = run(Cluster::new_parallel(p));
+        assert_eq!(seq_p, par_p);
+        assert_eq!(seq_s, par_s);
+    }
+}

@@ -206,9 +206,14 @@ impl EpochStats {
 /// A snapshot of the headline numbers, used in experiment output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadReport {
+    /// Number of servers.
     pub p: usize,
+    /// Rounds performed in the reported interval.
     pub exchanges: u64,
+    /// The load `L` of the interval: max units received by any server in
+    /// any round.
     pub max_load: u64,
+    /// Units communicated in the interval.
     pub total_messages: u64,
 }
 

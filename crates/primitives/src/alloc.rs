@@ -12,11 +12,14 @@ use crate::table::{own_by_key, OwnedTable};
 /// A server range assigned to a subproblem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Allocation {
+    /// First server of the range.
     pub start: u64,
+    /// Number of servers in the range.
     pub len: u64,
 }
 
 impl Allocation {
+    /// One past the last server of the range.
     pub fn end(&self) -> u64 {
         self.start + self.len
     }

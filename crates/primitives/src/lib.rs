@@ -39,6 +39,8 @@
 //! assert_eq!(table.parts.total_len(), 10); // one entry per distinct key
 //! ```
 
+#![deny(missing_docs)]
+
 mod alloc;
 pub mod fxhash;
 mod key;

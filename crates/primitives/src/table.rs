@@ -25,7 +25,9 @@ use crate::key::Key;
 /// Each key appears at most once globally.
 #[derive(Debug, Clone)]
 pub struct OwnedTable<K: Key, V> {
+    /// Routing seed deciding each key's owner.
     pub seed: u64,
+    /// The entries, sharded by owner.
     pub parts: Partitioned<(K, V)>,
 }
 

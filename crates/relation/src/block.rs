@@ -21,6 +21,26 @@ use crate::tuple::{Tuple, Value};
 /// Row `i` occupies `data[i*arity .. (i+1)*arity]`. The row count is stored
 /// explicitly so 0-ary rows (the unit tuple of full-aggregation queries)
 /// work too.
+///
+/// ```
+/// use aj_relation::TupleBlock;
+///
+/// let mut block = TupleBlock::with_capacity(2, 3);
+/// block.push_row(&[2, 20]);
+/// block.push_row(&[1, 10]);
+/// block.push_row(&[2, 20]);
+/// assert_eq!(block.len(), 3);
+/// assert_eq!(block.row(1), &[1, 10]);
+///
+/// // In-place sort + dedup, no per-row allocation.
+/// block.sort_dedup();
+/// assert_eq!(block.len(), 2);
+///
+/// // Projection writes straight into another block.
+/// let mut keys = TupleBlock::new(1);
+/// block.project_into(&[0], &mut keys);
+/// assert_eq!(keys.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![1, 2]);
+/// ```
 #[derive(Clone, PartialEq, Eq)]
 pub struct TupleBlock {
     arity: usize,

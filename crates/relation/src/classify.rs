@@ -153,7 +153,9 @@ pub struct ForestNode {
     pub attrs: Vec<Attr>,
     /// The common edge set.
     pub edges: EdgeSet,
+    /// Parent node index (`None` for roots).
     pub parent: Option<usize>,
+    /// Child node indices.
     pub children: Vec<usize>,
 }
 
@@ -162,7 +164,9 @@ pub struct ForestNode {
 /// are merged into one node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttributeForest {
+    /// The forest nodes (merged attribute classes).
     pub nodes: Vec<ForestNode>,
+    /// Indices of the root nodes.
     pub roots: Vec<usize>,
 }
 

@@ -14,6 +14,8 @@
 //! * the attribute forest of hierarchical joins ([`classify::AttributeForest`]);
 //! * canonical query signatures — structural cache keys for per-shape
 //!   planning artifacts ([`signature`]);
+//! * heavy-hitter skew profiles and the grid math of hybrid routing
+//!   ([`skew`]);
 //! * Lemma 2's minimal-path-of-length-3 witness ([`minpath`]);
 //! * integral edge covers, Lemma 1 ([`cover`]);
 //! * semiring annotations for join-aggregate queries, Section 6
@@ -36,6 +38,8 @@
 //! assert_eq!(ram::count(&q, &db), 2);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod block;
 pub mod classify;
 pub mod cover;
@@ -46,12 +50,14 @@ pub mod ram;
 pub mod semiring;
 pub mod sets;
 pub mod signature;
+pub mod skew;
 pub mod tuple;
 
 pub use block::TupleBlock;
 pub use classify::JoinClass;
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
 pub use signature::QuerySignature;
+pub use skew::{JoinSkew, SkewProfile};
 pub use sets::{AttrSet, EdgeSet};
 pub use tuple::{Tuple, Value};
 
@@ -61,7 +67,9 @@ pub use tuple::{Tuple, Value};
 /// bottom-up evaluation order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinTree {
+    /// Parent edge of each edge (`None` exactly for the root).
     pub parent: Vec<Option<usize>>,
+    /// Ear-removal order (leaves first, root last).
     pub order: Vec<usize>,
 }
 

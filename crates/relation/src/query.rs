@@ -65,6 +65,7 @@ pub struct QueryBuilder {
 }
 
 impl QueryBuilder {
+    /// A builder with no attributes or relations yet.
     pub fn new() -> Self {
         Self::default()
     }
@@ -95,6 +96,10 @@ impl QueryBuilder {
         self.edges.len() - 1
     }
 
+    /// Finish the query.
+    ///
+    /// # Panics
+    /// Panics if no relation was added.
     pub fn build(self) -> Query {
         assert!(!self.edges.is_empty(), "query needs at least one relation");
         Query {
@@ -334,16 +339,20 @@ impl std::fmt::Display for Query {
 pub struct Relation {
     /// Attribute layout, mirroring `Edge::attrs`.
     pub attrs: Vec<Attr>,
+    /// The tuples (may carry extra trailing annotation columns).
     pub tuples: Vec<Tuple>,
 }
 
 impl Relation {
+    /// A relation from a layout and its tuples (tuples may carry extra
+    /// trailing columns, e.g. annotations).
     pub fn new(attrs: Vec<Attr>, tuples: Vec<Tuple>) -> Self {
         // Tuples may carry extra trailing columns (e.g. annotations).
         debug_assert!(tuples.iter().all(|t| t.arity() >= attrs.len()));
         Relation { attrs, tuples }
     }
 
+    /// An empty relation with the given layout.
     pub fn empty(attrs: Vec<Attr>) -> Self {
         Relation {
             attrs,
@@ -351,10 +360,12 @@ impl Relation {
         }
     }
 
+    /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
+    /// Does the relation hold no tuples?
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
@@ -387,10 +398,12 @@ impl Relation {
 /// A database instance: one [`Relation`] per query edge, aligned by index.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Database {
+    /// One relation per query edge, aligned by index.
     pub relations: Vec<Relation>,
 }
 
 impl Database {
+    /// A database from its per-edge relations.
     pub fn new(relations: Vec<Relation>) -> Self {
         Database { relations }
     }

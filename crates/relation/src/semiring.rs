@@ -109,7 +109,9 @@ impl Semiring for MinPlus {
 /// A relation whose tuples carry semiring annotations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnnRelation<S: Semiring> {
+    /// Attribute layout, mirroring the query edge.
     pub attrs: Vec<crate::query::Attr>,
+    /// `(tuple, annotation)` pairs.
     pub tuples: Vec<(Tuple, S::T)>,
 }
 
@@ -127,10 +129,12 @@ impl<S: Semiring> AnnRelation<S> {
         AnnRelation { attrs, tuples }
     }
 
+    /// Number of annotated tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
+    /// Does the relation hold no tuples?
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }

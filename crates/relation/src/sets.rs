@@ -39,43 +39,53 @@ macro_rules! bitset {
                 s
             }
 
+            /// Insert `i`.
             pub fn insert(&mut self, i: usize) {
                 assert!(i < 64, "index {i} out of bitset range");
                 self.0 |= 1 << i;
             }
 
+            /// Remove `i` (no-op if absent).
             pub fn remove(&mut self, i: usize) {
                 self.0 &= !(1u64 << i);
             }
 
+            /// Is `i` a member?
             pub fn contains(&self, i: usize) -> bool {
                 i < 64 && (self.0 >> i) & 1 == 1
             }
 
+            /// Is the set empty?
             pub fn is_empty(&self) -> bool {
                 self.0 == 0
             }
 
+            /// Number of members.
             pub fn len(&self) -> usize {
                 self.0.count_ones() as usize
             }
 
+            /// Set union.
             pub fn union(self, other: Self) -> Self {
                 $name(self.0 | other.0)
             }
 
+            /// Set intersection.
             pub fn intersect(self, other: Self) -> Self {
                 $name(self.0 & other.0)
             }
 
+            /// Set difference `self \\ other`.
             pub fn minus(self, other: Self) -> Self {
                 $name(self.0 & !other.0)
             }
 
+            /// Is `self ⊆ other`?
             pub fn is_subset(self, other: Self) -> bool {
                 self.0 & !other.0 == 0
             }
 
+            /// Is `self ⊇ other`?
             pub fn is_superset(self, other: Self) -> bool {
                 other.is_subset(self)
             }

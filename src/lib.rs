@@ -59,7 +59,7 @@ pub mod prelude {
     pub use aj_mpc::{BlockPartitioned, Cluster, EpochStats, Net, Partitioned, RowOutbox};
     pub use aj_primitives::{FxHashMap, FxHashSet};
     pub use aj_relation::{
-        classify::classify, Database, JoinClass, Query, QueryBuilder, QuerySignature, Relation,
-        Tuple, TupleBlock,
+        classify::classify, Database, JoinClass, JoinSkew, Query, QueryBuilder, QuerySignature,
+        Relation, SkewProfile, Tuple, TupleBlock,
     };
 }

@@ -199,3 +199,59 @@ fn persistent_pool_reuse_stays_bit_identical() {
         );
     }
 }
+
+/// Skew-free routing stays bit-identical to the pre-skew data plane: on a
+/// uniform instance the detected-and-thresholded profile is empty, and the
+/// hybrid join's rounds — stats included — are exactly the hash join's, on
+/// both executors.
+#[test]
+fn skew_free_hybrid_routing_is_bit_identical_to_hash() {
+    use acyclic_joins::core::binary::{detect_join_skew, hash_join, hybrid_hash_join};
+    use acyclic_joins::core::DistRelation;
+    let p = 8;
+    let rows1 = random_rows(0xaa, 600, 2, 97);
+    let rows2 = random_rows(0xbb, 600, 2, 97);
+    let rel = |attrs: Vec<usize>, rows: &[Vec<u64>]| {
+        let mut r = acyclic_joins::relation::Relation::new(
+            attrs,
+            rows.iter().map(|r| Tuple::new(r.as_slice())).collect(),
+        );
+        r.dedup();
+        r
+    };
+    let left = rel(vec![0, 1], &rows1);
+    let right = rel(vec![1, 2], &rows2);
+    let run = |parallel: bool, hybrid: bool| {
+        let mut cluster = if parallel {
+            Cluster::with_executor(p, Box::new(ParExecutor::with_threads(4)))
+        } else {
+            Cluster::new(p)
+        };
+        let skew = {
+            let mut net = cluster.net();
+            let l = DistRelation::distribute(&left, p);
+            let r = DistRelation::distribute(&right, p);
+            detect_join_skew(&mut net, &l, &r, 16).significant(p)
+        };
+        assert!(!skew.is_skewed(), "uniform keys must threshold to an empty profile");
+        cluster.reset_stats(); // compare the join rounds in isolation
+        let out = {
+            let mut net = cluster.net();
+            let l = DistRelation::distribute(&left, p);
+            let r = DistRelation::distribute(&right, p);
+            let mut seed = 11;
+            if hybrid {
+                hybrid_hash_join(&mut net, l, r, &skew, &mut seed)
+            } else {
+                hash_join(&mut net, l, r, &mut seed)
+            }
+        };
+        (out.gather_free().tuples, cluster.stats().clone())
+    };
+    let (hash_out, hash_stats) = run(false, false);
+    for (parallel, hybrid) in [(false, true), (true, false), (true, true)] {
+        let (out, stats) = run(parallel, hybrid);
+        assert_eq!(out, hash_out, "parallel={parallel} hybrid={hybrid}");
+        assert_eq!(stats, hash_stats, "parallel={parallel} hybrid={hybrid}");
+    }
+}

@@ -189,3 +189,67 @@ fn skewed_binary_join_equivalent_with_grid_routing() {
     assert_eq!(seq_out, par_out);
     assert_eq!(seq_stats, par_stats);
 }
+
+/// The skew-aware path end to end — heavy-hitter detection, the hybrid
+/// binary join, and the skew-aware HyperCube — must be bit-identical across
+/// executors on a Zipf instance: same profiles, same outputs, same stats.
+#[test]
+fn skew_aware_path_equivalent_on_zipf() {
+    use acyclic_joins::core::binary::{detect_join_skew, hybrid_hash_join};
+    use acyclic_joins::core::hypercube::{
+        detect_hypercube_skew, hypercube_join_skew, worst_case_shares,
+    };
+    let p = 8;
+    // Binary hybrid.
+    let inst = acyclic_joins::instancegen::skew::zipf_binary(1200, 1.1, 32, 77);
+    let run_binary = |mut cluster: Cluster| {
+        let out = {
+            let mut net = cluster.net();
+            let left = DistRelation::distribute(&inst.db.relations[0], p);
+            let right = DistRelation::distribute(&inst.db.relations[1], p);
+            let skew = detect_join_skew(&mut net, &left, &right, 8).significant(p);
+            let mut seed = 5;
+            hybrid_hash_join(&mut net, left, right, &skew, &mut seed)
+        };
+        let mut tuples = out.gather_free().tuples;
+        tuples.sort_unstable();
+        (tuples, cluster.stats().clone())
+    };
+    let (seq_out, seq_stats) = run_binary(Cluster::new(p));
+    let (par_out, par_stats) = run_binary(Cluster::with_executor(
+        p,
+        Box::new(ParExecutor::with_threads(4)),
+    ));
+    assert_eq!(seq_out, par_out);
+    assert_eq!(seq_stats, par_stats);
+    // Skew-aware HyperCube.
+    let tri = acyclic_joins::instancegen::skew::zipf_triangle(900, 1.1, 450, 78);
+    let run_triangle = |mut cluster: Cluster| {
+        let sizes: Vec<u64> = tri.db.relations.iter().map(|r| r.len() as u64).collect();
+        let shares = worst_case_shares(&tri.query, &sizes, p);
+        let in_size = tri.db.input_size() as u64;
+        let out = {
+            let mut net = cluster.net();
+            let dist = distribute_db(&tri.db, p);
+            let skew = detect_hypercube_skew(
+                &mut net,
+                &tri.query,
+                &dist,
+                &shares,
+                8,
+                in_size / (3 * p as u64),
+            );
+            hypercube_join_skew(&mut net, &tri.query, dist, &shares, &skew, 9)
+        };
+        let mut tuples = out.gather_free().tuples;
+        tuples.sort_unstable();
+        (tuples, cluster.stats().clone())
+    };
+    let (seq_out, seq_stats) = run_triangle(Cluster::new(p));
+    let (par_out, par_stats) = run_triangle(Cluster::with_executor(
+        p,
+        Box::new(ParExecutor::with_threads(4)),
+    ));
+    assert_eq!(seq_out, par_out);
+    assert_eq!(seq_stats, par_stats);
+}
