@@ -17,7 +17,9 @@ use aj_primitives::FxHashMap;
 use aj_relation::{Tuple, TupleBlock};
 
 fn rows(n: u64) -> Vec<[u64; 3]> {
-    (0..n).map(|i| [i % 977, i.wrapping_mul(0x9e37), i]).collect()
+    (0..n)
+        .map(|i| [i % 977, i.wrapping_mul(0x9e37), i])
+        .collect()
 }
 
 fn bench_block_vs_tuple(budget: Duration, min_iters: usize) {
@@ -58,7 +60,9 @@ fn bench_block_vs_tuple(budget: Duration, min_iters: usize) {
 }
 
 fn bench_hash_maps(budget: Duration, min_iters: usize) {
-    let keys: Vec<Tuple> = (0..50_000u64).map(|i| Tuple::from([i % 8192, i % 3])).collect();
+    let keys: Vec<Tuple> = (0..50_000u64)
+        .map(|i| Tuple::from([i % 8192, i % 3]))
+        .collect();
 
     bench("fxmap/build+probe/50k", budget, min_iters, || {
         let mut m: FxHashMap<Tuple, u64> = FxHashMap::default();
@@ -95,7 +99,10 @@ fn bench_exchange(budget: Duration, min_iters: usize) {
             .map(|s| {
                 let mut ob = RowOutbox::with_capacity(3, n_per as usize);
                 for i in 0..n_per {
-                    ob.push(((s as u64 + i * 7) % p as u64) as usize, &[s as u64, i, i * 3]);
+                    ob.push(
+                        ((s as u64 + i * 7) % p as u64) as usize,
+                        &[s as u64, i, i * 3],
+                    );
                 }
                 ob
             })
@@ -155,17 +162,22 @@ fn bench_skew_routing(budget: Duration, min_iters: usize) {
             loads.0 = cluster.stats().max_load;
             black_box(out)
         });
-        bench(&format!("join/hybrid/{name}/20k"), budget, min_iters, || {
-            let mut cluster = Cluster::new(p);
-            let out = {
-                let mut net = cluster.net();
-                let (l, r) = sides();
-                let mut seed = 7;
-                hybrid_hash_join(&mut net, l, r, &skew, &mut seed).total_len()
-            };
-            loads.1 = cluster.stats().max_load;
-            black_box(out)
-        });
+        bench(
+            &format!("join/hybrid/{name}/20k"),
+            budget,
+            min_iters,
+            || {
+                let mut cluster = Cluster::new(p);
+                let out = {
+                    let mut net = cluster.net();
+                    let (l, r) = sides();
+                    let mut seed = 7;
+                    hybrid_hash_join(&mut net, l, r, &skew, &mut seed).total_len()
+                };
+                loads.1 = cluster.stats().max_load;
+                black_box(out)
+            },
+        );
         let (hash_load, hybrid_load) = loads;
         if s > 1.0 {
             assert!(
@@ -173,7 +185,10 @@ fn bench_skew_routing(budget: Duration, min_iters: usize) {
                 "{name}: hybrid load {hybrid_load} must beat hash {hash_load}"
             );
         } else {
-            assert_eq!(hybrid_load, hash_load, "{name}: empty profile is bit-identical");
+            assert_eq!(
+                hybrid_load, hash_load,
+                "{name}: empty profile is bit-identical"
+            );
         }
         println!("{name:<22} L(hash) {hash_load:>8}  L(hybrid) {hybrid_load:>8}");
     }

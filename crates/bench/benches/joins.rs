@@ -22,16 +22,25 @@ fn bench_binary_join(parallel: bool) {
             r.dedup();
         }
         let tag = if parallel { "par" } else { "seq" };
-        bench(&format!("binary_join/{n}/{tag}"), default_budget(), 5, || {
-            let p = 16;
-            let mut cluster = cluster(p, parallel);
-            let mut net = cluster.net();
-            let dist = distribute_db(&db, p);
-            let mut seed = 7;
-            let out =
-                aj_core::binary::binary_join(&mut net, dist[0].clone(), dist[1].clone(), &mut seed);
-            black_box(out.total_len())
-        });
+        bench(
+            &format!("binary_join/{n}/{tag}"),
+            default_budget(),
+            5,
+            || {
+                let p = 16;
+                let mut cluster = cluster(p, parallel);
+                let mut net = cluster.net();
+                let dist = distribute_db(&db, p);
+                let mut seed = 7;
+                let out = aj_core::binary::binary_join(
+                    &mut net,
+                    dist[0].clone(),
+                    dist[1].clone(),
+                    &mut seed,
+                );
+                black_box(out.total_len())
+            },
+        );
     }
 }
 
@@ -118,14 +127,21 @@ fn bench_output_size(parallel: bool) {
         r.dedup();
     }
     let tag = if parallel { "par" } else { "seq" };
-    bench(&format!("output_size_cor4/{tag}"), default_budget(), 5, || {
-        let p = 16;
-        let mut cluster = cluster(p, parallel);
-        let mut net = cluster.net();
-        let dist = distribute_db(&db, p);
-        let mut seed = 7;
-        black_box(aj_core::aggregate::output_size(&mut net, &q, &dist, &mut seed))
-    });
+    bench(
+        &format!("output_size_cor4/{tag}"),
+        default_budget(),
+        5,
+        || {
+            let p = 16;
+            let mut cluster = cluster(p, parallel);
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            let mut seed = 7;
+            black_box(aj_core::aggregate::output_size(
+                &mut net, &q, &dist, &mut seed,
+            ))
+        },
+    );
 }
 
 fn main() {

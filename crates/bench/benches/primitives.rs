@@ -9,14 +9,19 @@ fn bench_sum_by_key(parallel: bool) {
     let tag = if parallel { "par" } else { "seq" };
     for &n in &[10_000u64, 100_000] {
         let pairs: Vec<(u64, u64)> = (0..n).map(|i| (i % 1024, 1)).collect();
-        bench(&format!("sum_by_key/{n}/{tag}"), default_budget(), 5, || {
-            let p = 32;
-            let mut cluster = cluster(p, parallel);
-            let mut net = cluster.net();
-            let parts = Partitioned::distribute(pairs.clone(), p);
-            let t = sum_by_key(&mut net, parts, 7, |a, b| a + b);
-            black_box(t.parts.total_len())
-        });
+        bench(
+            &format!("sum_by_key/{n}/{tag}"),
+            default_budget(),
+            5,
+            || {
+                let p = 32;
+                let mut cluster = cluster(p, parallel);
+                let mut net = cluster.net();
+                let parts = Partitioned::distribute(pairs.clone(), p);
+                let t = sum_by_key(&mut net, parts, 7, |a, b| a + b);
+                black_box(t.parts.total_len())
+            },
+        );
     }
 }
 
@@ -41,36 +46,51 @@ fn bench_packing(parallel: bool) {
     let items: Vec<(u64, f64)> = (0..20_000u64)
         .map(|i| (i, ((i % 97) + 1) as f64 / 100.0))
         .collect();
-    bench(&format!("parallel_packing_20k/{tag}"), default_budget(), 5, || {
-        let p = 32;
-        let mut cluster = cluster(p, parallel);
-        let mut net = cluster.net();
-        let parts = Partitioned::distribute(items.clone(), p);
-        let packing = parallel_packing(&mut net, parts);
-        black_box(packing.n_groups)
-    });
+    bench(
+        &format!("parallel_packing_20k/{tag}"),
+        default_budget(),
+        5,
+        || {
+            let p = 32;
+            let mut cluster = cluster(p, parallel);
+            let mut net = cluster.net();
+            let parts = Partitioned::distribute(items.clone(), p);
+            let packing = parallel_packing(&mut net, parts);
+            black_box(packing.n_groups)
+        },
+    );
 }
 
 fn bench_numbering(parallel: bool) {
     let tag = if parallel { "par" } else { "seq" };
     let items: Vec<(u64, u64)> = (0..50_000).map(|i| (i % 512, i)).collect();
-    bench(&format!("multi_numbering_50k/{tag}"), default_budget(), 5, || {
-        let p = 32;
-        let mut cluster = cluster(p, parallel);
-        let mut net = cluster.net();
-        let parts = Partitioned::distribute(items.clone(), p);
-        black_box(multi_numbering(&mut net, parts, 9).total_len())
-    });
+    bench(
+        &format!("multi_numbering_50k/{tag}"),
+        default_budget(),
+        5,
+        || {
+            let p = 32;
+            let mut cluster = cluster(p, parallel);
+            let mut net = cluster.net();
+            let parts = Partitioned::distribute(items.clone(), p);
+            black_box(multi_numbering(&mut net, parts, 9).total_len())
+        },
+    );
 }
 
 fn bench_prefix(parallel: bool) {
     let tag = if parallel { "par" } else { "seq" };
     let values: Vec<u64> = (0..256).collect();
-    bench(&format!("prefix_sum_p256/{tag}"), default_budget(), 5, || {
-        let mut cluster = cluster(256, parallel);
-        let mut net = cluster.net();
-        black_box(prefix_sum(&mut net, &values))
-    });
+    bench(
+        &format!("prefix_sum_p256/{tag}"),
+        default_budget(),
+        5,
+        || {
+            let mut cluster = cluster(256, parallel);
+            let mut net = cluster.net();
+            black_box(prefix_sum(&mut net, &values))
+        },
+    );
 }
 
 fn main() {

@@ -58,7 +58,9 @@ fn main() {
     println!("acyclic-joins reproduction — Hu & Yi, PODS 2019");
     println!("load L = max tuples received by any server in any round");
     if parallel {
-        println!("parallel comparison ON: every measurement re-runs on ParExecutor (same L asserted)");
+        println!(
+            "parallel comparison ON: every measurement re-runs on ParExecutor (same L asserted)"
+        );
     }
     println!();
     let mut runs: Vec<ExperimentRun> = Vec::new();

@@ -136,7 +136,11 @@ fn dedup(mut db: Database) -> Database {
 }
 
 /// Serve the whole batch on a fresh engine; returns outcomes + wall ms.
-fn serve(batch: &[(Query, Database)], cost_based: bool, parallel: bool) -> (Vec<QueryOutcome>, f64) {
+fn serve(
+    batch: &[(Query, Database)],
+    cost_based: bool,
+    parallel: bool,
+) -> (Vec<QueryOutcome>, f64) {
     let cluster = if parallel {
         Cluster::new_parallel(P)
     } else {
@@ -174,8 +178,14 @@ pub fn run() -> Vec<ExpTable> {
         let (par, ms) = serve(&batch, true, true);
         for (a, b) in cost.iter().zip(&par) {
             assert_eq!(a.plan, b.plan, "executors disagree on the plan");
-            assert_eq!(a.planning, b.planning, "executors disagree on planning epoch");
-            assert_eq!(a.execution, b.execution, "executors disagree on execution epoch");
+            assert_eq!(
+                a.planning, b.planning,
+                "executors disagree on planning epoch"
+            );
+            assert_eq!(
+                a.execution, b.execution,
+                "executors disagree on execution epoch"
+            );
         }
         Some(ms)
     } else {

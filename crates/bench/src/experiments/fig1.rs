@@ -39,7 +39,9 @@ pub fn run() -> Vec<ExpTable> {
         };
         t.row(vec![name.to_string(), class.to_string(), path]);
     }
-    t.note("Lemma 2: an acyclic query has a minimal path of length 3 iff it is NOT r-hierarchical.");
+    t.note(
+        "Lemma 2: an acyclic query has a minimal path of length 3 iff it is NOT r-hierarchical.",
+    );
     t.note("Each class above is witnessed non-empty, confirming the strict chain of Figure 1.");
     vec![t]
 }

@@ -9,8 +9,14 @@ use crate::table::ExpTable;
 pub fn run() -> Vec<ExpTable> {
     let mut out = Vec::new();
     for (name, q) in [
-        ("Q1 = R1(x1)⋈R2(x1,x2)⋈…⋈R6(x1,x2,x3,x6) [tall-flat]", shapes::tall_flat_q1()),
-        ("Q2 = R1(x1,x2)⋈R2(x1,x3,x4)⋈R3(x1,x3,x5) [hierarchical]", shapes::hierarchical_q2()),
+        (
+            "Q1 = R1(x1)⋈R2(x1,x2)⋈…⋈R6(x1,x2,x3,x6) [tall-flat]",
+            shapes::tall_flat_q1(),
+        ),
+        (
+            "Q2 = R1(x1,x2)⋈R2(x1,x3,x4)⋈R3(x1,x3,x5) [hierarchical]",
+            shapes::hierarchical_q2(),
+        ),
     ] {
         let forest = AttributeForest::build(&q).expect("hierarchical");
         let mut t = ExpTable::new(
@@ -24,7 +30,11 @@ pub fn run() -> Vec<ExpTable> {
             depth: usize,
             t: &mut ExpTable,
         ) {
-            let names: Vec<&str> = f.nodes[node].attrs.iter().map(|&a| q.attr_name(a)).collect();
+            let names: Vec<&str> = f.nodes[node]
+                .attrs
+                .iter()
+                .map(|&a| q.attr_name(a))
+                .collect();
             t.row(vec![
                 format!("{}{}", "  ".repeat(depth), depth),
                 names.join(","),

@@ -11,7 +11,10 @@ pub fn run() -> Vec<ExpTable> {
     let p = 16;
     let n = 512;
     let mut one = ExpTable::new(
-        format!("Figure 3 (one-sided): Yannakakis join order matters (IN≈{}, p={p})", 3 * n),
+        format!(
+            "Figure 3 (one-sided): Yannakakis join order matters (IN≈{}, p={p})",
+            3 * n
+        ),
         &with_wall(&[
             "OUT",
             "L (R1⋈R2)⋈R3",
@@ -39,10 +42,15 @@ pub fn run() -> Vec<ExpTable> {
         row.extend(wall.cells());
         one.row(row);
     }
-    one.note("The (R1⋈R2)⋈R3 order materializes an OUT-sized intermediate; R1⋈(R2⋈R3) stays linear.");
+    one.note(
+        "The (R1⋈R2)⋈R3 order materializes an OUT-sized intermediate; R1⋈(R2⋈R3) stays linear.",
+    );
 
     let mut two = ExpTable::new(
-        format!("Figure 3 (two-sided): no global order is good (IN≈{}, p={p})", 6 * n),
+        format!(
+            "Figure 3 (two-sided): no global order is good (IN≈{}, p={p})",
+            6 * n
+        ),
         &with_wall(&[
             "OUT",
             "L fwd order",
@@ -68,6 +76,8 @@ pub fn run() -> Vec<ExpTable> {
         row.extend(wall.cells());
         two.row(row);
     }
-    two.note("Both orders pay Ω(OUT/p) on the glued instance; the Theorem-5 decomposition does not.");
+    two.note(
+        "Both orders pay Ω(OUT/p) on the glued instance; the Theorem-5 decomposition does not.",
+    );
     vec![one, two]
 }

@@ -14,14 +14,7 @@ pub fn run() -> Vec<ExpTable> {
     let n = 768u64;
     let mut t = ExpTable::new(
         format!("Figure 4: line-3 lower-bound instance (N={n}, p={p})"),
-        &with_wall(&[
-            "τ",
-            "OUT",
-            "L measured",
-            "lower bnd",
-            "Thm5 bound",
-            "IN/√p",
-        ]),
+        &with_wall(&["τ", "OUT", "L measured", "lower bnd", "Thm5 bound", "IN/√p"]),
     );
     for tau in [2u64, 4, 8] {
         let inst = fig4::generate(n, n * tau * tau, 42 + tau);
@@ -65,6 +58,8 @@ pub fn run() -> Vec<ExpTable> {
             (pj >= inst.out as f64).to_string(),
         ]);
     }
-    j.note("Only loads with p·J(L) ≥ OUT can possibly emit every result — the source of the Ω̃ bound.");
+    j.note(
+        "Only loads with p·J(L) ≥ OUT can possibly emit every result — the source of the Ω̃ bound.",
+    );
     vec![t, j]
 }

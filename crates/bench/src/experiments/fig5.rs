@@ -39,7 +39,11 @@ pub fn run() -> Vec<ExpTable> {
     }
     t.row(vec![
         "(leaf children of e0)".into(),
-        children[e0].iter().map(|&c| q.edge(c).name.clone()).collect::<Vec<_>>().join(","),
+        children[e0]
+            .iter()
+            .map(|&c| q.edge(c).name.clone())
+            .collect::<Vec<_>>()
+            .join(","),
         format!("2^k = {} sub-joins", 1u32 << children[e0].len()),
         "".into(),
     ]);
@@ -59,7 +63,11 @@ pub fn run() -> Vec<ExpTable> {
         out.to_string(),
         p.to_string(),
         load.to_string(),
-        fmt_f(aj_core::bounds::acyclic_bound(db.input_size() as u64, out, p)),
+        fmt_f(aj_core::bounds::acyclic_bound(
+            db.input_size() as u64,
+            out,
+            p,
+        )),
     ];
     row.extend(wall.cells());
     m.row(row);

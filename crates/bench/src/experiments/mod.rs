@@ -26,6 +26,7 @@ pub mod thm4;
 pub mod thm5;
 pub mod thm7;
 pub mod thm9;
+pub mod updates;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -155,7 +156,10 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
             load,
             "SeqExecutor and ParExecutor disagree on the measured load"
         );
-        assert_eq!(par_out, out, "SeqExecutor and ParExecutor disagree on the result");
+        assert_eq!(
+            par_out, out,
+            "SeqExecutor and ParExecutor disagree on the result"
+        );
         Some(ms)
     } else {
         None
@@ -222,7 +226,11 @@ mod tests {
             let tables = crate::run_experiment(id);
             assert!(!tables.is_empty(), "experiment {id} produced no tables");
             for t in &tables {
-                assert!(!t.rows.is_empty(), "experiment {id}: empty table {}", t.title);
+                assert!(
+                    !t.rows.is_empty(),
+                    "experiment {id}: empty table {}",
+                    t.title
+                );
             }
         }
     }

@@ -23,7 +23,11 @@ use crate::table::{fmt_f, ExpTable};
 
 /// Per-side relation size (scaled down in debug builds so the experiment
 /// smoke test stays fast; `repro` release builds use the full size).
-const N: u64 = if cfg!(debug_assertions) { 4_000 } else { 48_000 };
+const N: u64 = if cfg!(debug_assertions) {
+    4_000
+} else {
+    48_000
+};
 
 fn instance(n: u64) -> Database {
     let q = aj_instancegen::line_query(2);
@@ -100,7 +104,9 @@ pub fn run() -> Vec<ExpTable> {
             format!("{:.2}x", seq_ms / par_ms.max(1e-9)),
         ]);
     }
-    t.note("Same loads, same outputs — only wall clock changes: the executor-equivalence guarantee.");
+    t.note(
+        "Same loads, same outputs — only wall clock changes: the executor-equivalence guarantee.",
+    );
     t.note(format!(
         "Speedup ceiling is min(p, cores) = min(p, {cores}); single-core hosts read ≈1.0x."
     ));

@@ -103,7 +103,9 @@ fn binary_table() -> ExpTable {
         row.extend(wall.cells());
         t.row(row);
     }
-    t.note("hy/ha = L(hybrid)/L(hash). At s=0 the profile is empty and the hybrid IS the hash join.");
+    t.note(
+        "hy/ha = L(hybrid)/L(hash). At s=0 the profile is empty and the hybrid IS the hash join.",
+    );
     t.note("L(grid) is the paper's exact-degree binary join — the multi-round gold standard the one-round hybrid tracks.");
     t
 }
@@ -111,8 +113,18 @@ fn binary_table() -> ExpTable {
 fn triangle_table() -> ExpTable {
     let p = 8usize;
     let mut t = ExpTable::new(
-        format!("Skew-aware HyperCube: Zipf(s) triangle vertices, n = {N_TRIANGLE}/relation, p = {p}"),
-        &with_wall(&["s", "IN", "OUT", "L(hcube)", "L(detect)", "L(skew-hc)", "ratio"]),
+        format!(
+            "Skew-aware HyperCube: Zipf(s) triangle vertices, n = {N_TRIANGLE}/relation, p = {p}"
+        ),
+        &with_wall(&[
+            "s",
+            "IN",
+            "OUT",
+            "L(hcube)",
+            "L(detect)",
+            "L(skew-hc)",
+            "ratio",
+        ]),
     );
     for (si, s) in [0.0f64, 1.1].into_iter().enumerate() {
         // Domain a few times the hot hub's degree so dedup keeps the skew
@@ -146,10 +158,16 @@ fn triangle_table() -> ExpTable {
         });
         assert_eq!(out_plain, out_skew, "placements must agree on OUT");
         if s == 0.0 {
-            assert!(skew.is_empty(), "uniform vertices must not trip the detector");
+            assert!(
+                skew.is_empty(),
+                "uniform vertices must not trip the detector"
+            );
             assert_eq!(l_skew, l_plain, "empty profile is bit-identical");
         } else {
-            assert!(!skew.is_empty(), "Zipf({s}) vertices must trip the detector");
+            assert!(
+                !skew.is_empty(),
+                "Zipf({s}) vertices must trip the detector"
+            );
             // HyperCube's replication floor dominates at p = 8, so the win
             // is bounded; it must still be a real one.
             assert!(

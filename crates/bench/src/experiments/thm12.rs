@@ -83,7 +83,11 @@ pub fn run() -> Vec<ExpTable> {
         ]);
     }
     t.note("Rows 1–3: ratio O(1) — BinHC is instance-optimal up to polylog (Theorems 1–2).");
-    t.note("Row 4: with dangling tuples the ratio explodes — the one-round barrier; O(1) extra rounds");
-    t.note("of semi-joins remove the dangling tuples and restore instance-optimality (paper remark).");
+    t.note(
+        "Row 4: with dangling tuples the ratio explodes — the one-round barrier; O(1) extra rounds",
+    );
+    t.note(
+        "of semi-joins remove the dangling tuples and restore instance-optimality (paper remark).",
+    );
     vec![t]
 }

@@ -32,7 +32,10 @@ pub fn run() -> Vec<ExpTable> {
     let p = 16;
     let n = 1024u64;
     let mut t = ExpTable::new(
-        format!("Theorem 3: instance-optimality ratio on skewed star joins (IN={}, p={p})", 2 * n),
+        format!(
+            "Theorem 3: instance-optimality ratio on skewed star joins (IN={}, p={p})",
+            2 * n
+        ),
         &with_wall(&[
             "skew",
             "OUT",

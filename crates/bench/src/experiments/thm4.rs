@@ -20,7 +20,9 @@ fn tight_instance(m: usize, n: u64, k: usize) -> (Query, Database) {
     let rows: Vec<Vec<Vec<u64>>> = (0..m)
         .map(|i| {
             let dom = if i < k { n } else { 1 };
-            (0..dom).map(|v| vec![0, (i as u64 + 1) * 1_000_000 + v]).collect()
+            (0..dom)
+                .map(|v| vec![0, (i as u64 + 1) * 1_000_000 + v])
+                .collect()
         })
         .collect();
     (q.clone(), database_from_rows(&q, &rows))

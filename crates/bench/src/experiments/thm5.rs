@@ -12,7 +12,10 @@ pub fn run() -> Vec<ExpTable> {
     let p = 16;
     let n = 1024u64;
     let mut t = ExpTable::new(
-        format!("Theorem 5: line-3 load vs OUT (two-sided Fig-3 instances, IN≈{}, p={p})", 6 * n),
+        format!(
+            "Theorem 5: line-3 load vs OUT (two-sided Fig-3 instances, IN≈{}, p={p})",
+            6 * n
+        ),
         &with_wall(&[
             "OUT",
             "L line-3",

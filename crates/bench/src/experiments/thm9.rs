@@ -46,13 +46,13 @@ pub fn run() -> Vec<ExpTable> {
         let (q, db) = line3_fanout(n, f);
         let in_size = db.input_size() as u64;
         let join_size = aj_relation::ram::count(&q, &db);
-        let y = vec![
-            q.attr_by_name("X0").unwrap(),
-            q.attr_by_name("X1").unwrap(),
-        ];
+        let y = vec![q.attr_by_name("X0").unwrap(), q.attr_by_name("X1").unwrap()];
         let (groups, load, wall) = measure(p, |net| {
-            let ann: Vec<AnnRelation<CountRing>> =
-                db.relations.iter().map(AnnRelation::from_relation).collect();
+            let ann: Vec<AnnRelation<CountRing>> = db
+                .relations
+                .iter()
+                .map(AnnRelation::from_relation)
+                .collect();
             let mut seed = 3;
             let out = join_aggregate::<CountRing>(net, &q, &ann, &y, &mut seed).unwrap();
             out.total_len()

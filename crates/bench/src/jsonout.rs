@@ -75,11 +75,12 @@ pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
     out.push_str("  \"experiments\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let seq_ms: f64 = run.cells.iter().map(|c| c.seq_ms).sum();
-        let par_ms: Option<f64> = if run.cells.iter().all(|c| c.par_ms.is_some()) && !run.cells.is_empty() {
-            Some(run.cells.iter().filter_map(|c| c.par_ms).sum())
-        } else {
-            None
-        };
+        let par_ms: Option<f64> =
+            if run.cells.iter().all(|c| c.par_ms.is_some()) && !run.cells.is_empty() {
+                Some(run.cells.iter().filter_map(|c| c.par_ms).sum())
+            } else {
+                None
+            };
         let max_load = run.cells.iter().map(|c| c.max_load).max().unwrap_or(0);
         let units: u64 = run.cells.iter().map(|c| c.units).sum();
         out.push_str("    {\n");

@@ -21,7 +21,7 @@ pub use table::ExpTable;
 /// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6", "scaling", "engine", "skew",
+    "thm7", "thm9", "fig6", "scaling", "engine", "skew", "updates",
 ];
 
 /// Run one experiment by id.
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "scaling" => experiments::scaling::run(),
         "engine" => experiments::engine::run(),
         "skew" => experiments::skew::run(),
+        "updates" => experiments::updates::run(),
         other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
     }
 }

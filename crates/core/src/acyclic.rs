@@ -45,7 +45,10 @@ pub fn solve(net: &mut Net, q: &Query, db: DistDatabase, seed: &mut u64) -> Dist
         (qr, db)
     } else {
         let (qr, kept) = q.reduce();
-        (qr, kept.into_iter().map(|e| db[e].clone()).collect::<Vec<_>>())
+        (
+            qr,
+            kept.into_iter().map(|e| db[e].clone()).collect::<Vec<_>>(),
+        )
     };
     let out_size = output_size(net, &q, &db, seed);
     if out_size == 0 {
@@ -68,9 +71,7 @@ fn rec(net: &mut Net, q: &Query, db: DistDatabase, out_size: u64, seed: &mut u64
         .order
         .iter()
         .copied()
-        .find(|&e| {
-            !children[e].is_empty() && children[e].iter().all(|&c| children[c].is_empty())
-        })
+        .find(|&e| !children[e].is_empty() && children[e].iter().all(|&c| children[c].is_empty()))
         .expect("a tree with ≥2 nodes has an all-leaf-children internal node");
     let leaves: Vec<usize> = children[e0].clone();
     let k = leaves.len();
@@ -85,7 +86,10 @@ fn rec(net: &mut Net, q: &Query, db: DistDatabase, out_size: u64, seed: &mut u64
     // Join keys s_i = e0 ∩ e_i (non-empty unless the leaf is a Cartesian
     // factor, in which case the unit key groups everything — the paper's
     // dummy attribute).
-    let s_i: Vec<Vec<Attr>> = leaves.iter().map(|&e| db[e0].shared_attrs(&db[e])).collect();
+    let s_i: Vec<Vec<Attr>> = leaves
+        .iter()
+        .map(|&e| db[e0].shared_attrs(&db[e]))
+        .collect();
 
     // Split each leaf by key degree ≥ τ.
     let mut heavy_leaf: Vec<DistRelation> = Vec::with_capacity(k);
@@ -106,11 +110,31 @@ fn rec(net: &mut Net, q: &Query, db: DistDatabase, out_size: u64, seed: &mut u64
         let part = if mask != 0 {
             let j = mask.trailing_zeros() as usize;
             step2(
-                net, q, &db, e0, &leaves, j, mask, &heavy_leaf, &light_leaf, &ebar_order, seed,
+                net,
+                q,
+                &db,
+                e0,
+                &leaves,
+                j,
+                mask,
+                &heavy_leaf,
+                &light_leaf,
+                &ebar_order,
+                seed,
             )
         } else {
             step3(
-                net, q, &db, e0, &leaves, &s_i, &light_leaf, &ebar_order, tau, out_size, seed,
+                net,
+                q,
+                &db,
+                e0,
+                &leaves,
+                &s_i,
+                &light_leaf,
+                &ebar_order,
+                tau,
+                out_size,
+                seed,
             )
         };
         debug_assert_eq!(part.attrs, out_attrs, "sub-join schema mismatch");
@@ -192,10 +216,16 @@ fn step3(
 ) -> DistRelation {
     let k = leaves.len();
     // Degree products for R(e0) tuples (per-server closures each pass).
-    let mut product: Vec<Vec<u64>> =
-        net.run_each(|s| vec![1u64; db[e0].parts[s].len()]);
+    let mut product: Vec<Vec<u64>> = net.run_each(|s| vec![1u64; db[e0].parts[s].len()]);
     for i in 0..k {
-        let maps = degrees_of(net, &light_leaf[i], &s_i[i], &db[e0], &s_i[i], next_seed(seed));
+        let maps = degrees_of(
+            net,
+            &light_leaf[i],
+            &s_i[i],
+            &db[e0],
+            &s_i[i],
+            next_seed(seed),
+        );
         let pos = db[e0].positions_of(&s_i[i]);
         product = net.run_local(
             product.into_iter().zip(maps).collect(),

@@ -81,7 +81,12 @@ pub fn is_out_hierarchical(q: &Query, y: &[Attr]) -> bool {
         .edges()
         .iter()
         .filter_map(|e| {
-            let attrs: Vec<Attr> = e.attrs.iter().copied().filter(|a| yset.contains(*a)).collect();
+            let attrs: Vec<Attr> = e
+                .attrs
+                .iter()
+                .copied()
+                .filter(|a| yset.contains(*a))
+                .collect();
             if attrs.is_empty() {
                 None
             } else {
@@ -116,7 +121,9 @@ fn with_output_edge(q: &Query, y: &[Attr]) -> Query {
 /// load: a distributed Yannakakis-count fold along the join tree
 /// (Corollary 4; assumes set semantics).
 pub fn output_size(net: &mut Net, q: &Query, db: &DistDatabase, seed: &mut u64) -> u64 {
-    let tree = q.join_tree().expect("output_size requires an acyclic query");
+    let tree = q
+        .join_tree()
+        .expect("output_size requires an acyclic query");
     output_size_with_tree(net, &tree, db, seed)
 }
 
@@ -154,7 +161,9 @@ pub fn output_size_with_tree(
                     .collect::<Vec<_>>()
             },
         ));
-        let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| a.saturating_add(b));
+        let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| {
+            a.saturating_add(b)
+        });
         let requests = Partitioned::from_parts(net.run_each(|s| {
             weights[pr][s]
                 .iter()
@@ -205,7 +214,9 @@ pub fn count_by_group(
     final_seed: u64,
     seed: &mut u64,
 ) -> OwnedTable<Tuple, u64> {
-    let tree = q.join_tree().expect("count_by_group requires an acyclic query");
+    let tree = q
+        .join_tree()
+        .expect("count_by_group requires an acyclic query");
     let root = tree.root();
     for (i, rel) in db.iter().enumerate() {
         for a in group_attrs {
@@ -239,7 +250,9 @@ pub fn count_by_group(
                     .collect::<Vec<_>>()
             },
         ));
-        let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| a.saturating_add(b));
+        let table = sum_by_key(net, msg_pairs, next_seed(seed), |a: u64, b| {
+            a.saturating_add(b)
+        });
         let requests = Partitioned::from_parts(net.run_each(|s| {
             weights[pr][s]
                 .iter()
@@ -450,7 +463,11 @@ pub fn join_aggregate<S: Semiring>(
     // Pre-reduce annotated (so the solvers' structural reduce is a no-op).
     let (qy, residual) = ann_reduce::<S>(net, qy, residual, seed);
     let out = if residual.len() == 1 {
-        residual.into_iter().next().unwrap().normalized_keep_extras()
+        residual
+            .into_iter()
+            .next()
+            .unwrap()
+            .normalized_keep_extras()
     } else if is_hierarchical(&qy) {
         crate::hierarchical::solve(net, &qy, residual, seed)
     } else {
@@ -604,8 +621,11 @@ impl DistRelation {
                 .map(|part| {
                     part.iter()
                         .map(|t| {
-                            let full: Vec<usize> =
-                                order.iter().copied().chain(self.attrs.len()..t.arity()).collect();
+                            let full: Vec<usize> = order
+                                .iter()
+                                .copied()
+                                .chain(self.attrs.len()..t.arity())
+                                .collect();
                             t.project(&full)
                         })
                         .collect()

@@ -45,8 +45,8 @@
 use aj_primitives::FxHashMap;
 
 use aj_mpc::{
-    detect_heavy_hitters, hash_mix, hash_to_server, HashKey, Net, Partitioned, RowOutbox,
-    ServerId, TupleBlock,
+    detect_heavy_hitters, hash_mix, hash_to_server, HashKey, Net, Partitioned, RowOutbox, ServerId,
+    TupleBlock,
 };
 use aj_primitives::{
     lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key, OwnedTable,
@@ -205,8 +205,7 @@ pub fn binary_join(
         layout.right_arity,
     );
     // --- Local join per physical server ------------------------------------
-    let sides: Vec<(TupleBlock, TupleBlock)> =
-        left_routed.into_iter().zip(right_routed).collect();
+    let sides: Vec<(TupleBlock, TupleBlock)> = left_routed.into_iter().zip(right_routed).collect();
     let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lblock, rblock)| {
         local_cell_join(&lblock, &rblock, &layout)
     });
@@ -472,8 +471,7 @@ pub fn hybrid_hash_join(
         route_seed,
         HSide::Right,
     );
-    let sides: Vec<(TupleBlock, TupleBlock)> =
-        left_routed.into_iter().zip(right_routed).collect();
+    let sides: Vec<(TupleBlock, TupleBlock)> = left_routed.into_iter().zip(right_routed).collect();
     let out_parts: Vec<Vec<Tuple>> = net.run_local(sides, |_, (lblock, rblock)| {
         local_cell_join(&lblock, &rblock, &layout)
     });
@@ -573,10 +571,13 @@ fn route_hybrid_side(
     let row_arity = arity + 1;
     // Per-side slice seeds: a tuple appearing on both sides of a self-join
     // must pick its row and column slices independently.
-    let slice_seed = hash_mix(route_seed ^ match side {
-        HSide::Left => 0x51de_0001,
-        HSide::Right => 0x51de_0002,
-    });
+    let slice_seed = hash_mix(
+        route_seed
+            ^ match side {
+                HSide::Left => 0x51de_0001,
+                HSide::Right => 0x51de_0002,
+            },
+    );
     let outbox: Vec<RowOutbox> = net.run_local(parts.into_parts(), |_, part: Vec<Tuple>| {
         let mut ob = RowOutbox::with_capacity(row_arity, part.len());
         let mut row: Vec<u64> = Vec::with_capacity(row_arity);
@@ -645,7 +646,11 @@ enum Side {
     Right,
 }
 
-fn keyed_units(net: &Net, parts: &Partitioned<Tuple>, key_pos: &[usize]) -> Partitioned<(Tuple, u64)> {
+fn keyed_units(
+    net: &Net,
+    parts: &Partitioned<Tuple>,
+    key_pos: &[usize],
+) -> Partitioned<(Tuple, u64)> {
     Partitioned::from_parts(net.run_each(|s| {
         parts[s]
             .iter()
@@ -780,7 +785,11 @@ mod tests {
             ],
         );
         let (got, _) = join_via_mpc(4, &db.relations[0], &db.relations[1]);
-        let want = reference((&["A", "B"], &["B", "C"]), &db.relations[0], &db.relations[1]);
+        let want = reference(
+            (&["A", "B"], &["B", "C"]),
+            &db.relations[0],
+            &db.relations[1],
+        );
         // Normalize: output layout is A,B,C (left attrs then new); oracle is
         // ascending attrs A,B,C — same here.
         assert_eq!(sorted(got.tuples), sorted(want));
@@ -791,10 +800,7 @@ mod tests {
         // One key with d1 = d2 = 200 on p=8: output 40_000; light path would
         // overload one server; the grid must keep load near L.
         let p = 8;
-        let r1 = Relation::new(
-            vec![0, 1],
-            (0..200).map(|i| Tuple::from([i, 7])).collect(),
-        );
+        let r1 = Relation::new(vec![0, 1], (0..200).map(|i| Tuple::from([i, 7])).collect());
         let r2 = Relation::new(
             vec![1, 2],
             (0..200).map(|i| Tuple::from([7, 1000 + i])).collect(),
@@ -812,8 +818,14 @@ mod tests {
     fn many_light_keys_balanced() {
         let p = 8;
         let n = 1024u64;
-        let r1 = Relation::new(vec![0, 1], (0..n).map(|i| Tuple::from([i, i % 256])).collect());
-        let r2 = Relation::new(vec![1, 2], (0..n).map(|i| Tuple::from([i % 256, i])).collect());
+        let r1 = Relation::new(
+            vec![0, 1],
+            (0..n).map(|i| Tuple::from([i, i % 256])).collect(),
+        );
+        let r2 = Relation::new(
+            vec![1, 2],
+            (0..n).map(|i| Tuple::from([i % 256, i])).collect(),
+        );
         let (out, load) = join_via_mpc(p, &r1, &r2);
         // Each of 256 keys: 4 × 4 = 16 results.
         assert_eq!(out.tuples.len(), 256 * 16);
@@ -918,7 +930,11 @@ mod tests {
             ],
         );
         let (got, _) = hash_join_via_mpc(4, &db.relations[0], &db.relations[1]);
-        let want = reference((&["A", "B"], &["B", "C"]), &db.relations[0], &db.relations[1]);
+        let want = reference(
+            (&["A", "B"], &["B", "C"]),
+            &db.relations[0],
+            &db.relations[1],
+        );
         assert_eq!(sorted(got.tuples), sorted(want));
     }
 
@@ -997,17 +1013,27 @@ mod tests {
                 (
                     Relation::new(
                         vec![0, 1],
-                        light_rows.iter().map(|t| Tuple::from([t.get(1), 5])).collect(),
+                        light_rows
+                            .iter()
+                            .map(|t| Tuple::from([t.get(1), 5]))
+                            .collect(),
                     ),
                     Relation::new(
                         vec![1, 2],
-                        heavy_rows.iter().map(|t| Tuple::from([5, t.get(0)])).collect(),
+                        heavy_rows
+                            .iter()
+                            .map(|t| Tuple::from([5, t.get(0)]))
+                            .collect(),
                     ),
                 )
             };
             let (hyb_out, _) = hybrid_via_mpc(p, 4, &r1, &r2);
             let want = reference((&["A", "B"], &["B", "C"]), &r1, &r2);
-            assert_eq!(sorted(hyb_out.tuples), sorted(want), "heavy_left={heavy_left}");
+            assert_eq!(
+                sorted(hyb_out.tuples),
+                sorted(want),
+                "heavy_left={heavy_left}"
+            );
         }
     }
 
@@ -1031,7 +1057,10 @@ mod tests {
             hash_join(&mut net, left, right, &mut seed)
         };
         assert_eq!(out.attrs, vec![0, 1, 2]);
-        assert_eq!(out.gather_free().tuples, vec![Tuple::from([1, 5, 9, 77, 88])]);
+        assert_eq!(
+            out.gather_free().tuples,
+            vec![Tuple::from([1, 5, 9, 77, 88])]
+        );
     }
 
     /// The load estimate adds exactly the heavy output term, so a profiled

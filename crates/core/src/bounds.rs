@@ -13,7 +13,10 @@ use aj_relation::{ram, Database, EdgeSet, Query};
 /// experiment scale.
 pub fn l_instance(q: &Query, db: &Database, p: usize) -> f64 {
     let m = q.n_edges();
-    let subsets: Vec<EdgeSet> = EdgeSet::all(m).subsets().filter(|s| !s.is_empty()).collect();
+    let subsets: Vec<EdgeSet> = EdgeSet::all(m)
+        .subsets()
+        .filter(|s| !s.is_empty())
+        .collect();
     let sizes = ram::q_r_s_sizes(q, db, &subsets);
     subsets
         .iter()
@@ -113,12 +116,17 @@ pub fn line3_worst_case(in_size: u64, p: usize) -> f64 {
 /// Exhaustive over `x ⊆ V` and `S ⊆ E` (query size is a constant; panics if
 /// the query has more than 20 attributes or edges).
 pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
-    use aj_relation::AttrSet;
     use aj_primitives::FxHashMap;
+    use aj_relation::AttrSet;
     let n = q.n_attrs();
     let m = q.n_edges();
-    assert!(n <= 20 && m <= 20, "l_binhc is exhaustive; keep queries small");
-    let occurring: Vec<usize> = (0..n).filter(|&a| !q.edges_containing(a).is_empty()).collect();
+    assert!(
+        n <= 20 && m <= 20,
+        "l_binhc is exhaustive; keep queries small"
+    );
+    let occurring: Vec<usize> = (0..n)
+        .filter(|&a| !q.edges_containing(a).is_empty())
+        .collect();
     let mut best = 0f64;
     // Enumerate x over subsets of occurring attributes.
     let k = occurring.len();
@@ -320,7 +328,9 @@ mod tests {
             &q,
             &[
                 vec![vec![0]],
-                (0..n).flat_map(|a| (0..n).map(move |b| vec![1 + a, 1 + b])).collect(),
+                (0..n)
+                    .flat_map(|a| (0..n).map(move |b| vec![1 + a, 1 + b]))
+                    .collect(),
                 vec![vec![0]],
             ],
         );
@@ -330,7 +340,10 @@ mod tests {
         // OUT = 0 ⇒ L_instance ≈ 0, but BinHC's degree statistics see the
         // dangling product: x = {A,B}, S = {R2} gives (n²/p).
         assert!(li < 1.5);
-        assert!(lb >= (n * n / p as u64) as f64 * 0.9, "BinHC should see the dangling mass, got {lb}");
+        assert!(
+            lb >= (n * n / p as u64) as f64 * 0.9,
+            "BinHC should see the dangling mass, got {lb}"
+        );
     }
 
     #[test]

@@ -1,0 +1,1144 @@
+//! **Incremental view maintenance**: registered queries kept materialized
+//! under live insert/delete batches.
+//!
+//! The paper's algorithms are one-shot — every query recomputes from
+//! scratch. A serving system sees the opposite workload: long-lived queries
+//! against a base that changes by small signed batches. This module turns a
+//! [`crate::engine::QueryEngine`] cluster into that system:
+//!
+//! * [`MaterializedView`] — one registered query with its **counted
+//!   materialization** (exact per-tuple derivation counts in the signed
+//!   counting ring [`aj_relation::semiring::ZRing`], sharded over the
+//!   servers by output-tuple hash) and the cached state the delta pass
+//!   joins against.
+//! * **Acyclic views** cache one shard of every join-tree partner per
+//!   *directed tree edge*, hashed on that edge's join key. A batch's delta
+//!   for relation `e` BFS-walks the cached tree from `e`: at each step the
+//!   signed rows are routed by the next edge's key (one
+//!   [`aj_mpc::Net::exchange_deltas`] round — deltas ride the same radix
+//!   [`aj_relation::TupleBlock`] exchange as all bulk data) and joined
+//!   locally against the cached partner shard. By the join tree's running
+//!   intersection property, the shared attributes between the accumulated
+//!   schema and the next edge are exactly that tree edge's key, so the walk
+//!   computes `ΔR_e ⋈ (⋈_{j≠e} R_j)` with load `O(|Δ| + |Δ-output|)` — the
+//!   partners never move.
+//! * **Cyclic views** get **delta-HyperCube**: registration places every
+//!   base relation on the worst-case-optimal shares grid once and caches
+//!   the per-cell fragments; a delta routes through the *same* cached grid
+//!   (fixed coordinates hashed, free dimensions replicated) and joins
+//!   against the resident fragments of the other relations. A matching
+//!   output assignment meets its delta row in exactly one cell, so counts
+//!   stay exact.
+//! * **Counted deletions** — every routed row carries a signed weight
+//!   (`-1` per delete, `+1` per insert; products through joins, ⊕-sums at
+//!   the materialization), so a deletion is a pure decrement: no
+//!   re-derivation scan, ever. An output tuple leaves the materialization
+//!   exactly when its count reaches zero.
+//! * **Recompute-vs-maintain** — each batch is priced by the planner
+//!   ([`crate::planner::choose_maintenance`]): the delta pass at
+//!   `IN = |Δ|` against a fresh build at the current `(IN, OUT)`, with a
+//!   staleness term for accumulated churn. When maintenance loses, the view
+//!   re-registers itself (new shares, fresh caches) inside the same call.
+//! * **Per-view epochs** — registration and every update batch run inside
+//!   their own stats epoch ([`aj_mpc::Cluster::epoch`]), so maintenance
+//!   load is attributed exactly like per-query load on the serving path.
+//! * Binary-join views keep their [`JoinSkew`] profile **maintained**: each
+//!   batch folds its signed key counts into the profile
+//!   ([`aj_relation::SkewProfile::apply_delta`]), and a rebuild re-detects
+//!   from scratch — the profile invalidation — so heavy hitters that emerge
+//!   mid-stream are visible without extra detection rounds.
+
+use aj_primitives::FxHashMap;
+
+use aj_mpc::{hash_to_server, Cluster, DeltaBlock, DeltaOutbox, EpochStats, RowOutbox};
+use aj_relation::classify::{classify, JoinClass};
+use aj_relation::delta::{CountedSnapshot, UpdateBatch};
+use aj_relation::semiring::{Semiring, ZRing};
+use aj_relation::signature::QuerySignature;
+use aj_relation::skew::JoinSkew;
+use aj_relation::{Attr, Database, Query, Tuple, Value};
+
+use crate::binary::detect_join_skew;
+use crate::dist::distribute_db;
+use crate::hypercube::{worst_case_shares, Shares};
+use crate::local::{multiway_join, normalize, LocalRel};
+use crate::planner::{choose_maintenance, execute_plan_dist, MaintenanceChoice, Plan};
+
+/// Handle of a registered view within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewId(pub(crate) usize);
+
+impl ViewId {
+    /// The view's index within its engine's registration order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The answer to one [`crate::engine::QueryEngine::apply_update`] call.
+#[derive(Debug)]
+pub struct UpdateOutcome {
+    /// The view that absorbed the batch.
+    pub view: ViewId,
+    /// What the planner chose for this batch.
+    pub strategy: MaintenanceChoice,
+    /// `|Δ|` of the batch.
+    pub batch_size: u64,
+    /// The planner's price of the delta pass.
+    pub maintain_estimate: f64,
+    /// The planner's price of a fresh build.
+    pub recompute_estimate: f64,
+    /// Loads of this call (the delta pass, or the rebuild) in its own epoch.
+    pub maintenance: EpochStats,
+    /// Distinct output tuples after the batch.
+    pub out_size: u64,
+}
+
+/// One cached join-tree partner shard: relation `to`, hashed on the tree
+/// edge's join key.
+#[derive(Debug)]
+struct EdgeShard {
+    /// The partner edge whose tuples this shard caches.
+    to: usize,
+    /// The tree edge's join key (shared attributes, ascending).
+    key: Vec<Attr>,
+    /// Key positions within the partner's layout.
+    key_pos: Vec<usize>,
+    /// Routing seed of this shard.
+    seed: u64,
+    /// Per-server probe index: key values → resident partner tuples.
+    index: Vec<FxHashMap<Tuple, Vec<Tuple>>>,
+}
+
+/// Cached state of an acyclic view: partner shards per directed tree edge
+/// plus the BFS propagation order from every possible delta source.
+#[derive(Debug)]
+struct TreeCache {
+    shards: Vec<EdgeShard>,
+    /// `paths[e]` = shard indices visited, in order, by a delta on edge `e`.
+    paths: Vec<Vec<usize>>,
+}
+
+/// Cached state of a cyclic view: the shares grid and the per-cell resident
+/// fragments of every relation.
+#[derive(Debug)]
+struct GridCache {
+    shares: Shares,
+    stride: Vec<usize>,
+    seed: u64,
+    /// Per edge: the grid dimensions it replicates across (share > 1,
+    /// attribute not in the edge).
+    free: Vec<Vec<Attr>>,
+    /// `frags[s][e]` = sorted resident fragment of edge `e` at cell `s`.
+    frags: Vec<Vec<Vec<Tuple>>>,
+    /// Per-tuple replication factor, weighted by relation size (the
+    /// planner's pricing input).
+    repl: f64,
+}
+
+#[derive(Debug)]
+enum ViewCache {
+    Tree(TreeCache),
+    Grid(GridCache),
+}
+
+/// A query registered for incremental maintenance: the counted
+/// materialization plus the cached join state the delta pass probes.
+#[derive(Debug)]
+pub struct MaterializedView {
+    query: Query,
+    class: JoinClass,
+    plan: Plan,
+    out_attrs: Vec<Attr>,
+    /// Driver-side mirror of the current base instance (canonical sorted
+    /// relations; free bookkeeping, like every driver-visible size).
+    base: Database,
+    /// Per-server counted materialization, hash-owned by output tuple.
+    mat: Vec<FxHashMap<Tuple, i64>>,
+    mat_seed: u64,
+    seed_base: u64,
+    cache: ViewCache,
+    registration: EpochStats,
+    out_size: u64,
+    /// Churn absorbed since the last full build.
+    cum_delta: u64,
+    rebuilds: u64,
+    /// Maintained heavy-hitter profile (binary-join views only).
+    skew: Option<JoinSkew>,
+}
+
+impl MaterializedView {
+    /// The registered query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Table-1 class of the view.
+    pub fn class(&self) -> JoinClass {
+        self.class
+    }
+
+    /// The plan full builds of this view run.
+    pub fn plan(&self) -> Plan {
+        self.plan
+    }
+
+    /// Loads of the most recent full build (registration or rebuild).
+    pub fn registration(&self) -> &EpochStats {
+        &self.registration
+    }
+
+    /// Current base instance (driver-side mirror).
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// Distinct output tuples currently materialized.
+    pub fn out_size(&self) -> u64 {
+        self.out_size
+    }
+
+    /// `Σ|Δ|` absorbed since the last full build.
+    pub fn cum_delta(&self) -> u64 {
+        self.cum_delta
+    }
+
+    /// How many times the view fell back to a full rebuild.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The maintained heavy-hitter profile over the join key (binary-join
+    /// views only): updated in place by every maintained batch, re-detected
+    /// from scratch — i.e. invalidated — by every rebuild.
+    pub fn skew(&self) -> Option<&JoinSkew> {
+        self.skew.as_ref()
+    }
+
+    /// The counted materialization, gathered **without communication
+    /// charge** (test/result inspection, like
+    /// [`crate::DistRelation::gather_free`]): sorted `(tuple, count)` pairs,
+    /// every count positive. This is the canonical representation the
+    /// differential tests compare bit-for-bit against a full recompute.
+    pub fn snapshot(&self) -> CountedSnapshot {
+        let mut out: CountedSnapshot = Vec::new();
+        for shard in &self.mat {
+            for (t, &c) in shard {
+                debug_assert!(c > 0, "materialized count must be positive");
+                out.push((t.clone(), c as u64));
+            }
+        }
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Salt of the view seed stream (distinct from the engine's query streams).
+const VIEW_SALT: u64 = 0x7a1e_5eed_0d15_c0de;
+/// Salt of the materialization routing seed.
+const MAT_SALT: u64 = 0x00d1_ce00_5a17_0001;
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Register `q` with its current instance: run the full build (join,
+/// materialization, caches) inside one stats epoch and return the view.
+///
+/// # Panics
+/// Panics if `db` does not match `q`'s layout.
+pub(crate) fn register(
+    cluster: &mut Cluster,
+    engine_seed: u64,
+    q: &Query,
+    db: &Database,
+) -> MaterializedView {
+    assert!(
+        db.matches(q),
+        "database layout does not match the view query"
+    );
+    let mut base = db.clone();
+    base.dedup_all();
+    let seed_base = mix(engine_seed ^ VIEW_SALT, QuerySignature::of(q).fingerprint());
+    let class = classify(q);
+    let mut out_attrs: Vec<Attr> = (0..q.n_attrs())
+        .filter(|&a| !q.edges_containing(a).is_empty())
+        .collect();
+    out_attrs.sort_unstable();
+    let mut view = MaterializedView {
+        query: q.clone(),
+        class,
+        plan: Plan::for_class(class),
+        out_attrs,
+        base,
+        mat: Vec::new(),
+        mat_seed: mix(seed_base, MAT_SALT),
+        seed_base,
+        cache: ViewCache::Tree(TreeCache {
+            shards: Vec::new(),
+            paths: Vec::new(),
+        }),
+        registration: EpochStats::default(),
+        out_size: 0,
+        cum_delta: 0,
+        rebuilds: 0,
+        skew: None,
+    };
+    cluster.begin_epoch();
+    build(cluster, &mut view);
+    view.registration = cluster.epoch();
+    cluster.trim_round_log();
+    view
+}
+
+/// Full build from `view.base`: join, counted materialization, caches, and
+/// (for binary views) skew detection. Used by registration and by the
+/// recompute fall-back; the caller wraps it in an epoch.
+fn build(cluster: &mut Cluster, view: &mut MaterializedView) {
+    let p = cluster.p();
+    let mut exec_seed = mix(view.seed_base, view.rebuilds);
+    view.mat = (0..p).map(|_| FxHashMap::default()).collect();
+    view.skew = None;
+    match view.class {
+        JoinClass::Cyclic => {
+            // Delta-HyperCube state: place every relation on the shares grid
+            // and cache the per-cell fragments; the materialization is the
+            // per-cell local join of those fragments.
+            let sizes: Vec<u64> = view.base.relations.iter().map(|r| r.len() as u64).collect();
+            let shares = worst_case_shares(&view.query, &sizes, p);
+            let grid = build_grid(cluster, view, shares, mix(exec_seed, 0x9e1d));
+            let outputs = grid_full_join(cluster, view, &grid);
+            view.cache = ViewCache::Grid(grid);
+            merge_outputs(cluster, view, outputs);
+        }
+        _ => {
+            // Acyclic: the class plan computes the view, then the output is
+            // routed to its count owners; tree shards are built per directed
+            // tree edge.
+            let dist = distribute_db(&view.base, p);
+            let out = {
+                let mut net = cluster.net();
+                execute_plan_dist(&mut net, view.plan, &view.query, dist, &mut exec_seed)
+            }
+            .normalized();
+            let arity = view.out_attrs.len();
+            let mat_seed = view.mat_seed;
+            let received = {
+                let mut net = cluster.net();
+                let outbox: Vec<DeltaOutbox> =
+                    net.run_local(out.parts.into_parts(), |_, part: Vec<Tuple>| {
+                        let mut ob = DeltaOutbox::with_capacity(arity, part.len());
+                        for t in &part {
+                            ob.push(hash_to_server(t.values(), mat_seed, p), t.values(), 1);
+                        }
+                        ob
+                    });
+                net.exchange_deltas(arity, outbox)
+            };
+            merge_outputs(cluster, view, received);
+            view.cache = ViewCache::Tree(build_tree(cluster, view, mix(exec_seed, 0x7ee5)));
+            view.skew = detect_view_skew(cluster, view);
+        }
+    }
+    view.out_size = view.mat.iter().map(|m| m.len() as u64).sum();
+    view.cum_delta = 0;
+}
+
+/// Binary-join views get a heavy-hitter profile at build time.
+fn detect_view_skew(cluster: &mut Cluster, view: &MaterializedView) -> Option<JoinSkew> {
+    if view.query.n_edges() != 2 {
+        return None;
+    }
+    let p = cluster.p();
+    let dist = distribute_db(&view.base, p);
+    if dist[0].shared_attrs(&dist[1]).is_empty() {
+        return None;
+    }
+    let mut net = cluster.net();
+    Some(detect_join_skew(
+        &mut net,
+        &dist[0],
+        &dist[1],
+        crate::planner::DEFAULT_SKEW_TOP_K,
+    ))
+}
+
+/// Build the directed-tree-edge shards of an acyclic view.
+fn build_tree(cluster: &mut Cluster, view: &MaterializedView, seed: u64) -> TreeCache {
+    let q = &view.query;
+    let p = cluster.p();
+    let tree = q.join_tree().expect("acyclic view has a join tree");
+    let m = q.n_edges();
+    // Undirected tree adjacency (neighbors ascending, for determinism).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (e, par) in tree.parent.iter().enumerate() {
+        if let Some(par) = par {
+            adj[e].push(*par);
+            adj[*par].push(e);
+        }
+    }
+    for nbrs in &mut adj {
+        nbrs.sort_unstable();
+    }
+    // One shard per directed edge (from → to): partner `to` hashed on the
+    // tree edge's shared attributes.
+    let mut shards: Vec<EdgeShard> = Vec::new();
+    let mut shard_of: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+    for (from, nbrs) in adj.iter().enumerate() {
+        for &to in nbrs {
+            let mut key: Vec<Attr> = q
+                .edge(from)
+                .attrs
+                .iter()
+                .copied()
+                .filter(|a| q.edge(to).attrs.contains(a))
+                .collect();
+            key.sort_unstable();
+            let key_pos = q.edge(to).positions_of(&key);
+            let shard_seed = mix(seed, ((from as u64) << 32) | to as u64);
+            let index = shard_relation(
+                cluster,
+                &view.base.relations[to].tuples,
+                &key_pos,
+                shard_seed,
+                p,
+            );
+            shard_of.insert((from, to), shards.len());
+            shards.push(EdgeShard {
+                to,
+                key,
+                key_pos,
+                seed: shard_seed,
+                index,
+            });
+        }
+    }
+    // BFS propagation order from every source edge.
+    let mut paths: Vec<Vec<usize>> = Vec::with_capacity(m);
+    for start in 0..m {
+        let mut order = Vec::with_capacity(m.saturating_sub(1));
+        let mut seen = vec![false; m];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(from) = queue.pop_front() {
+            for &to in &adj[from] {
+                if !seen[to] {
+                    seen[to] = true;
+                    order.push(shard_of[&(from, to)]);
+                    queue.push_back(to);
+                }
+            }
+        }
+        paths.push(order);
+    }
+    TreeCache { shards, paths }
+}
+
+/// Route one relation's tuples to their key-hash owners and build the
+/// per-server probe index (one block-exchange round, `|R|` units).
+fn shard_relation(
+    cluster: &mut Cluster,
+    tuples: &[Tuple],
+    key_pos: &[usize],
+    seed: u64,
+    p: usize,
+) -> Vec<FxHashMap<Tuple, Vec<Tuple>>> {
+    let arity = tuples.first().map(Tuple::arity).unwrap_or(key_pos.len());
+    let parts = aj_mpc::Partitioned::distribute(tuples.to_vec(), p);
+    let mut net = cluster.net();
+    let outbox: Vec<RowOutbox> = net.run_local(parts.into_parts(), |_, part: Vec<Tuple>| {
+        let mut ob = RowOutbox::with_capacity(arity, part.len());
+        let mut key: Vec<Value> = Vec::with_capacity(key_pos.len());
+        for t in &part {
+            t.project_into(key_pos, &mut key);
+            ob.push(hash_to_server(key.as_slice(), seed, p), t.values());
+        }
+        ob
+    });
+    let received = net.exchange_rows(arity, outbox);
+    net.run_local(received, |_, block: aj_relation::TupleBlock| {
+        let mut index: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        let mut key: Vec<Value> = Vec::with_capacity(key_pos.len());
+        for row in block.iter() {
+            key.clear();
+            key.extend(key_pos.iter().map(|&c| row[c]));
+            index
+                .entry(Tuple::from_slice(&key))
+                .or_default()
+                .push(Tuple::new(row));
+        }
+        index
+    })
+}
+
+/// Build the grid cache of a cyclic view: place every relation's tuples on
+/// the shares grid (one block-exchange round per relation) and keep the
+/// sorted per-cell fragments resident.
+fn build_grid(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    shares: Shares,
+    seed: u64,
+) -> GridCache {
+    let q = &view.query;
+    let p = cluster.p();
+    let n_attrs = q.n_attrs();
+    let mut stride = vec![1usize; n_attrs];
+    for a in 1..n_attrs {
+        stride[a] = stride[a - 1] * shares.0[a - 1];
+    }
+    let free: Vec<Vec<Attr>> = q
+        .edges()
+        .iter()
+        .map(|e| {
+            (0..n_attrs)
+                .filter(|a| !e.attrs.contains(a) && shares.0[*a] > 1)
+                .collect()
+        })
+        .collect();
+    let mut frags: Vec<Vec<Vec<Tuple>>> = (0..p)
+        .map(|_| (0..q.n_edges()).map(|_| Vec::new()).collect())
+        .collect();
+    let mut weighted_repl = 0f64;
+    for (e, rel) in view.base.relations.iter().enumerate() {
+        let repl_e: usize = free[e].iter().map(|&a| shares.0[a]).product();
+        weighted_repl += rel.len() as f64 * repl_e as f64;
+        let arity = rel
+            .tuples
+            .first()
+            .map(Tuple::arity)
+            .unwrap_or(rel.attrs.len());
+        let parts = aj_mpc::Partitioned::distribute(rel.tuples.clone(), p);
+        let attrs = &rel.attrs;
+        let (free_e, stride_ref, shares_ref) = (&free[e], &stride, &shares);
+        let received = {
+            let mut net = cluster.net();
+            let outbox: Vec<RowOutbox> =
+                net.run_local(parts.into_parts(), |_, part: Vec<Tuple>| {
+                    let mut ob = RowOutbox::with_capacity(arity, part.len());
+                    for t in &part {
+                        for cell in
+                            grid_cells(t.values(), attrs, free_e, shares_ref, stride_ref, seed)
+                        {
+                            ob.push(cell, t.values());
+                        }
+                    }
+                    ob
+                });
+            net.exchange_rows(arity, outbox)
+        };
+        for (s, block) in received.into_iter().enumerate() {
+            let mut frag: Vec<Tuple> = block.iter().map(Tuple::new).collect();
+            frag.sort_unstable();
+            frags[s][e] = frag;
+        }
+    }
+    let repl = weighted_repl / view.base.input_size().max(1) as f64;
+    GridCache {
+        shares,
+        stride,
+        seed,
+        free,
+        frags,
+        repl,
+    }
+}
+
+/// Cells of the shares grid a tuple of layout `attrs` is consistent with:
+/// one fixed coordinate per own attribute (hashed, exactly as HyperCube
+/// places it), a full sweep over every free dimension.
+fn grid_cells(
+    values: &[Value],
+    attrs: &[Attr],
+    free: &[Attr],
+    shares: &Shares,
+    stride: &[usize],
+    seed: u64,
+) -> Vec<usize> {
+    let mut base = 0usize;
+    for (i, &a) in attrs.iter().enumerate() {
+        if shares.0[a] > 1 {
+            base += crate::hypercube::attr_coordinate(values[i], a, seed, shares.0[a]) * stride[a];
+        }
+    }
+    let mut cells = vec![base];
+    for &a in free {
+        let mut next = Vec::with_capacity(cells.len() * shares.0[a]);
+        for c in &cells {
+            for v in 0..shares.0[a] {
+                next.push(c + v * stride[a]);
+            }
+        }
+        cells = next;
+    }
+    cells
+}
+
+/// The initial full join of a grid view, computed from the freshly placed
+/// fragments: per cell, join all resident fragments locally and route the
+/// outputs to their count owners (one delta round, `OUT` units).
+fn grid_full_join(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    grid: &GridCache,
+) -> Vec<DeltaBlock> {
+    let p = cluster.p();
+    let q = &view.query;
+    let out_attrs = &view.out_attrs;
+    let arity = out_attrs.len();
+    let mat_seed = view.mat_seed;
+    let frags = &grid.frags;
+    let mut net = cluster.net();
+    let outbox: Vec<DeltaOutbox> = net.run_local((0..p).collect::<Vec<_>>(), |s, _| {
+        let mut ob = DeltaOutbox::new(arity);
+        if frags[s].iter().any(Vec::is_empty) {
+            return ob;
+        }
+        let locals: Vec<LocalRel> = q
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(e, edge)| LocalRel {
+                attrs: edge.attrs.clone(),
+                tuples: frags[s][e].clone(),
+            })
+            .collect();
+        let (attrs, tuples) = multiway_join(&locals);
+        let (attrs, tuples) = normalize(&attrs, tuples);
+        debug_assert_eq!(&attrs, out_attrs);
+        for t in &tuples {
+            ob.push(hash_to_server(t.values(), mat_seed, p), t.values(), 1);
+        }
+        ob
+    });
+    net.exchange_deltas(arity, outbox)
+}
+
+/// Fold routed signed output rows into the per-server counted
+/// materialization: counts ⊕-sum in the signed counting ring, zero-count
+/// tuples leave.
+fn merge_outputs(cluster: &mut Cluster, view: &mut MaterializedView, received: Vec<DeltaBlock>) {
+    let shards = std::mem::take(&mut view.mat);
+    let net = cluster.net();
+    let inputs: Vec<(FxHashMap<Tuple, i64>, DeltaBlock)> =
+        shards.into_iter().zip(received).collect();
+    view.mat = net.run_local(inputs, |_, (mut shard, block)| {
+        for (payload, w) in block.iter() {
+            match shard.entry(Tuple::from_slice(payload)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let c = ZRing::add(*e.get(), w);
+                    if c == ZRing::zero() {
+                        e.remove();
+                    } else {
+                        *e.get_mut() = c;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    if w != ZRing::zero() {
+                        e.insert(w);
+                    }
+                }
+            }
+        }
+        shard
+    });
+}
+
+/// Apply one signed batch to a view: price maintain vs recompute, run the
+/// chosen pass inside its own epoch, and return the outcome.
+///
+/// # Panics
+/// Panics if the batch spans a different number of relations than the view,
+/// or a delta tuple's arity does not match its relation's layout.
+pub(crate) fn apply_update(
+    cluster: &mut Cluster,
+    view: &mut MaterializedView,
+    id: ViewId,
+    batch: &UpdateBatch,
+) -> UpdateOutcome {
+    assert_eq!(
+        batch.n_relations(),
+        view.query.n_edges(),
+        "batch spans a different number of relations than the view"
+    );
+    for (e, delta) in batch.deltas.iter().enumerate() {
+        let arity = view.query.edge(e).attrs.len();
+        assert!(
+            delta.signed().all(|(t, _)| t.arity() == arity),
+            "delta tuple arity mismatch on relation {e}"
+        );
+    }
+    let batch_size = batch.size();
+    let touched = batch.deltas.iter().filter(|d| !d.is_empty()).count();
+    let repl = match &view.cache {
+        ViewCache::Tree(_) => 1.0,
+        ViewCache::Grid(g) => g.repl,
+    };
+    let (strategy, maintain_est, recompute_est) = choose_maintenance(
+        view.class,
+        view.query.n_edges(),
+        view.base.input_size() as u64,
+        view.out_size,
+        batch_size,
+        touched,
+        view.cum_delta,
+        repl,
+        cluster.p(),
+    );
+    cluster.begin_epoch();
+    match strategy {
+        MaintenanceChoice::Recompute => {
+            batch.apply_to(&mut view.base);
+            view.rebuilds += 1;
+            build(cluster, view);
+        }
+        MaintenanceChoice::Maintain => {
+            maintain(cluster, view, batch);
+            batch.apply_to(&mut view.base);
+            view.out_size = view.mat.iter().map(|m| m.len() as u64).sum();
+            view.cum_delta += batch_size;
+        }
+    }
+    let maintenance = cluster.epoch();
+    cluster.trim_round_log();
+    UpdateOutcome {
+        view: id,
+        strategy,
+        batch_size,
+        maintain_estimate: maintain_est,
+        recompute_estimate: recompute_est,
+        maintenance,
+        out_size: view.out_size,
+    }
+}
+
+/// The delta pass: per touched relation (ascending edge order), propagate
+/// the signed rows through the cached state, fold the derived signed
+/// outputs into the materialization, then apply the relation's delta to
+/// every cache that shards it — so later relations in the same batch join
+/// against the already-updated earlier ones (the standard
+/// `ΔR_i ⋈ R_{<i}^new ⋈ R_{>i}^old` decomposition, which sums to exactly
+/// `ΔQ`).
+fn maintain(cluster: &mut Cluster, view: &mut MaterializedView, batch: &UpdateBatch) {
+    for e in 0..view.query.n_edges() {
+        if batch.deltas[e].is_empty() {
+            continue;
+        }
+        let signed: Vec<(Tuple, i64)> = batch.deltas[e]
+            .signed()
+            .map(|(t, w)| (t.clone(), w))
+            .collect();
+        let outputs = match &view.cache {
+            ViewCache::Tree(_) => propagate_tree(cluster, view, e, &signed),
+            ViewCache::Grid(_) => propagate_grid(cluster, view, e, &signed),
+        };
+        merge_outputs(cluster, view, outputs);
+        update_caches(cluster, view, e, &signed);
+        update_view_skew(view, e, &signed);
+    }
+}
+
+/// Fold a relation's signed key counts into the maintained profile.
+fn update_view_skew(view: &mut MaterializedView, e: usize, signed: &[(Tuple, i64)]) {
+    let Some(skew) = view.skew.as_mut() else {
+        return;
+    };
+    let q = &view.query;
+    let mut key: Vec<Attr> = q
+        .edge(0)
+        .attrs
+        .iter()
+        .copied()
+        .filter(|a| q.edge(1).attrs.contains(a))
+        .collect();
+    key.sort_unstable();
+    let pos = q.edge(e).positions_of(&key);
+    let changes: Vec<(Tuple, i64)> = signed.iter().map(|(t, w)| (t.project(&pos), *w)).collect();
+    let side = if e == 0 {
+        &mut skew.left
+    } else {
+        &mut skew.right
+    };
+    side.apply_delta(&changes);
+}
+
+/// Spread a batch's signed rows over the servers (the free initial
+/// placement, round-robin like [`aj_mpc::Partitioned::distribute`]).
+fn place_signed(signed: &[(Tuple, i64)], p: usize) -> Vec<Vec<(Tuple, i64)>> {
+    let mut parts: Vec<Vec<(Tuple, i64)>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, (t, w)) in signed.iter().enumerate() {
+        parts[i % p].push((t.clone(), *w));
+    }
+    parts
+}
+
+/// Tree propagation: BFS-walk the cached shards from the delta's edge (one
+/// delta round per step), then route the projected signed outputs to their
+/// count owners.
+fn propagate_tree(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    e: usize,
+    signed: &[(Tuple, i64)],
+) -> Vec<DeltaBlock> {
+    let ViewCache::Tree(tree) = &view.cache else {
+        unreachable!("tree propagation on a tree-cached view");
+    };
+    let p = cluster.p();
+    let q = &view.query;
+    let mut acc = place_signed(signed, p);
+    let mut acc_attrs: Vec<Attr> = q.edge(e).attrs.clone();
+    for &si in &tree.paths[e] {
+        let shard = &tree.shards[si];
+        let partner = q.edge(shard.to);
+        let acc_key_pos: Vec<usize> = shard
+            .key
+            .iter()
+            .map(|a| acc_attrs.iter().position(|x| x == a).expect("key in acc"))
+            .collect();
+        // Partner columns appended to each row (non-key attributes).
+        let append_pos: Vec<usize> = (0..partner.attrs.len())
+            .filter(|&c| !shard.key.contains(&partner.attrs[c]))
+            .collect();
+        let arity = acc_attrs.len();
+        let (seed, index) = (shard.seed, &shard.index);
+        let mut net = cluster.net();
+        let acc_key_ref = &acc_key_pos;
+        let outbox: Vec<DeltaOutbox> = net.run_local(acc, |_, rows: Vec<(Tuple, i64)>| {
+            let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+            let mut key: Vec<Value> = Vec::with_capacity(acc_key_ref.len());
+            for (t, w) in &rows {
+                t.project_into(acc_key_ref, &mut key);
+                ob.push(hash_to_server(key.as_slice(), seed, p), t.values(), *w);
+            }
+            ob
+        });
+        let received = net.exchange_deltas(arity, outbox);
+        let append_ref = &append_pos;
+        acc = net.run_local(received, |s, block: DeltaBlock| {
+            let idx = &index[s];
+            let mut out: Vec<(Tuple, i64)> = Vec::new();
+            let mut key: Vec<Value> = Vec::with_capacity(acc_key_ref.len());
+            let mut row: Vec<Value> = Vec::with_capacity(arity + append_ref.len());
+            for (payload, w) in block.iter() {
+                key.clear();
+                key.extend(acc_key_ref.iter().map(|&c| payload[c]));
+                if let Some(matches) = idx.get(key.as_slice()) {
+                    for mt in matches {
+                        row.clear();
+                        row.extend_from_slice(payload);
+                        row.extend(append_ref.iter().map(|&c| mt.get(c)));
+                        out.push((Tuple::new(row.as_slice()), w));
+                    }
+                }
+            }
+            out
+        });
+        acc_attrs.extend(append_pos.iter().map(|&c| partner.attrs[c]));
+    }
+    // Project to the canonical output order and route to the count owners.
+    let out_pos: Vec<usize> = view
+        .out_attrs
+        .iter()
+        .map(|a| acc_attrs.iter().position(|x| x == a).expect("attr covered"))
+        .collect();
+    route_to_counts(cluster, view, acc, &out_pos)
+}
+
+/// Project signed rows onto the view's output order and route them to their
+/// materialization owners (one delta round).
+fn route_to_counts(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    acc: Vec<Vec<(Tuple, i64)>>,
+    out_pos: &[usize],
+) -> Vec<DeltaBlock> {
+    let p = cluster.p();
+    let arity = view.out_attrs.len();
+    let mat_seed = view.mat_seed;
+    let mut net = cluster.net();
+    let outbox: Vec<DeltaOutbox> = net.run_local(acc, |_, rows: Vec<(Tuple, i64)>| {
+        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+        let mut out: Vec<Value> = Vec::with_capacity(arity);
+        for (t, w) in &rows {
+            t.project_into(out_pos, &mut out);
+            ob.push(hash_to_server(out.as_slice(), mat_seed, p), &out, *w);
+        }
+        ob
+    });
+    net.exchange_deltas(arity, outbox)
+}
+
+/// Delta-HyperCube propagation: route the signed rows through the cached
+/// shares grid (replicating across the edge's free dimensions, exactly like
+/// the resident placement) and join each cell's delta fragment against the
+/// resident fragments of the other relations.
+fn propagate_grid(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    e: usize,
+    signed: &[(Tuple, i64)],
+) -> Vec<DeltaBlock> {
+    let ViewCache::Grid(grid) = &view.cache else {
+        unreachable!("grid propagation on a grid-cached view");
+    };
+    let p = cluster.p();
+    let q = &view.query;
+    let edge_attrs = &q.edge(e).attrs;
+    let arity = edge_attrs.len();
+    let acc = place_signed(signed, p);
+    // The cell-local join order and resulting schema are pure functions of
+    // (query, edge) — identical at every cell.
+    let order = grid_join_order(q, e);
+    let schema = grid_join_schema(q, e, &order);
+    let out_pos: Vec<usize> = view
+        .out_attrs
+        .iter()
+        .map(|a| schema.iter().position(|x| x == a).expect("attr covered"))
+        .collect();
+    let out_arity = view.out_attrs.len();
+    let mat_seed = view.mat_seed;
+    let mut net = cluster.net();
+    let outbox: Vec<DeltaOutbox> = net.run_local(acc, |_, rows: Vec<(Tuple, i64)>| {
+        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+        for (t, w) in &rows {
+            for cell in grid_cells(
+                t.values(),
+                edge_attrs,
+                &grid.free[e],
+                &grid.shares,
+                &grid.stride,
+                grid.seed,
+            ) {
+                ob.push(cell, t.values(), *w);
+            }
+        }
+        ob
+    });
+    let received = net.exchange_deltas(arity, outbox);
+    let frags = &grid.frags;
+    let outbox: Vec<DeltaOutbox> = net.run_local(received, |s, block: DeltaBlock| {
+        let mut ob = DeltaOutbox::new(out_arity);
+        if block.is_empty() {
+            return ob;
+        }
+        let derived = grid_cell_join(q, e, &order, &block, &frags[s]);
+        let mut out: Vec<Value> = Vec::with_capacity(out_arity);
+        for (vals, w) in derived {
+            out.clear();
+            out.extend(out_pos.iter().map(|&c| vals[c]));
+            ob.push(hash_to_server(out.as_slice(), mat_seed, p), &out, w);
+        }
+        ob
+    });
+    net.exchange_deltas(out_arity, outbox)
+}
+
+/// The order in which a cell-local delta join visits the other edges:
+/// connected-first (avoiding needless cross products), ties to the lower
+/// edge index — a pure function of `(query, e)`.
+fn grid_join_order(q: &Query, e: usize) -> Vec<usize> {
+    let mut covered: Vec<Attr> = q.edge(e).attrs.clone();
+    let mut remaining: Vec<usize> = (0..q.n_edges()).filter(|&j| j != e).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&j| q.edge(j).attrs.iter().any(|a| covered.contains(a)))
+            .unwrap_or(0);
+        let j = remaining.remove(pick);
+        for &a in &q.edge(j).attrs {
+            if !covered.contains(&a) {
+                covered.push(a);
+            }
+        }
+        order.push(j);
+    }
+    order
+}
+
+/// The accumulated schema after a cell-local delta join in `order`.
+fn grid_join_schema(q: &Query, e: usize, order: &[usize]) -> Vec<Attr> {
+    let mut schema: Vec<Attr> = q.edge(e).attrs.clone();
+    for &j in order {
+        for &a in &q.edge(j).attrs {
+            if !schema.contains(&a) {
+                schema.push(a);
+            }
+        }
+    }
+    schema
+}
+
+/// Join one cell's delta fragment (edge `e`) against the cell's resident
+/// fragments of every other edge, by reference — no fragment is copied or
+/// moved. Returns signed rows over [`grid_join_schema`]'s column order.
+fn grid_cell_join(
+    q: &Query,
+    e: usize,
+    order: &[usize],
+    delta: &DeltaBlock,
+    frags: &[Vec<Tuple>],
+) -> Vec<(Vec<Value>, i64)> {
+    let mut acc: Vec<(Vec<Value>, i64)> = delta.iter().map(|(v, w)| (v.to_vec(), w)).collect();
+    let mut acc_attrs: Vec<Attr> = q.edge(e).attrs.clone();
+    for &j in order {
+        if frags[j].is_empty() || acc.is_empty() {
+            return Vec::new();
+        }
+        let partner = q.edge(j);
+        let shared: Vec<Attr> = partner
+            .attrs
+            .iter()
+            .copied()
+            .filter(|a| acc_attrs.contains(a))
+            .collect();
+        let pkey_pos = partner.positions_of(&shared);
+        let akey_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| acc_attrs.iter().position(|x| x == a).expect("shared"))
+            .collect();
+        let append_pos: Vec<usize> = (0..partner.attrs.len())
+            .filter(|&c| !shared.contains(&partner.attrs[c]))
+            .collect();
+        let mut index: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+        for t in &frags[j] {
+            index.entry(t.project(&pkey_pos)).or_default().push(t);
+        }
+        let mut next: Vec<(Vec<Value>, i64)> = Vec::new();
+        let mut key: Vec<Value> = Vec::with_capacity(akey_pos.len());
+        for (vals, w) in &acc {
+            key.clear();
+            key.extend(akey_pos.iter().map(|&c| vals[c]));
+            if let Some(matches) = index.get(key.as_slice()) {
+                for mt in matches {
+                    let mut row = Vec::with_capacity(vals.len() + append_pos.len());
+                    row.extend_from_slice(vals);
+                    row.extend(append_pos.iter().map(|&c| mt.get(c)));
+                    next.push((row, *w));
+                }
+            }
+        }
+        acc = next;
+        acc_attrs.extend(append_pos.iter().map(|&c| partner.attrs[c]));
+    }
+    acc
+}
+
+/// Apply one relation's signed delta to every cache that shards it: the
+/// tree shards with `to == e` (one delta round each, routed by that shard's
+/// key) and, on grid views, the cell fragments of edge `e` (one delta round
+/// through the grid placement).
+fn update_caches(
+    cluster: &mut Cluster,
+    view: &mut MaterializedView,
+    e: usize,
+    signed: &[(Tuple, i64)],
+) {
+    let p = cluster.p();
+    let edge_attrs = view.query.edge(e).attrs.clone();
+    let arity = edge_attrs.len();
+    match &mut view.cache {
+        ViewCache::Tree(tree) => {
+            for shard in tree.shards.iter_mut().filter(|s| s.to == e) {
+                let parts = place_signed(signed, p);
+                let (seed, key_pos) = (shard.seed, shard.key_pos.clone());
+                let mut net = cluster.net();
+                let key_ref = &key_pos;
+                let outbox: Vec<DeltaOutbox> =
+                    net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
+                        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+                        let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
+                        for (t, w) in &rows {
+                            t.project_into(key_ref, &mut key);
+                            ob.push(hash_to_server(key.as_slice(), seed, p), t.values(), *w);
+                        }
+                        ob
+                    });
+                let received = net.exchange_deltas(arity, outbox);
+                let idx_shards = std::mem::take(&mut shard.index);
+                let inputs: Vec<_> = idx_shards.into_iter().zip(received).collect();
+                shard.index = net.run_local(
+                    inputs,
+                    |_, (mut idx, block): (FxHashMap<Tuple, Vec<Tuple>>, DeltaBlock)| {
+                        let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
+                        for (payload, w) in block.iter() {
+                            key.clear();
+                            key.extend(key_ref.iter().map(|&c| payload[c]));
+                            apply_signed_row(&mut idx, &key, payload, w);
+                        }
+                        idx
+                    },
+                );
+            }
+        }
+        ViewCache::Grid(grid) => {
+            let parts = place_signed(signed, p);
+            let (free_e, shares, stride, seed) =
+                (&grid.free[e], &grid.shares, &grid.stride, grid.seed);
+            let mut net = cluster.net();
+            let attrs_ref = &edge_attrs;
+            let outbox: Vec<DeltaOutbox> = net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
+                let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+                for (t, w) in &rows {
+                    for cell in grid_cells(t.values(), attrs_ref, free_e, shares, stride, seed) {
+                        ob.push(cell, t.values(), *w);
+                    }
+                }
+                ob
+            });
+            let received = net.exchange_deltas(arity, outbox);
+            let frag_shards = std::mem::take(&mut grid.frags);
+            let inputs: Vec<_> = frag_shards.into_iter().zip(received).collect();
+            grid.frags = net.run_local(
+                inputs,
+                |_, (mut cell_frags, block): (Vec<Vec<Tuple>>, DeltaBlock)| {
+                    for (payload, w) in block.iter() {
+                        let t = Tuple::from_slice(payload);
+                        let frag = &mut cell_frags[e];
+                        match frag.binary_search(&t) {
+                            Ok(i) if w < 0 => {
+                                frag.remove(i);
+                            }
+                            Err(i) if w > 0 => {
+                                frag.insert(i, t);
+                            }
+                            // Inserting a resident tuple / deleting an
+                            // absent one: the set reading keeps one copy /
+                            // none.
+                            _ => {}
+                        }
+                    }
+                    cell_frags
+                },
+            );
+        }
+    }
+}
+
+/// Apply one signed row to a key-indexed shard (insert appends, delete
+/// removes the first matching occurrence; empty buckets leave the map).
+fn apply_signed_row(
+    idx: &mut FxHashMap<Tuple, Vec<Tuple>>,
+    key: &[Value],
+    payload: &[Value],
+    w: i64,
+) {
+    if w > 0 {
+        idx.entry(Tuple::from_slice(key))
+            .or_default()
+            .push(Tuple::from_slice(payload));
+    } else if let Some(bucket) = idx.get_mut(key) {
+        if let Some(i) = bucket.iter().position(|t| t.values() == payload) {
+            bucket.remove(i);
+        }
+        if bucket.is_empty() {
+            idx.remove(key);
+        }
+    }
+}

@@ -146,15 +146,15 @@ pub fn dist_semi_join(
 /// Remove all dangling tuples of an acyclic join: two semi-join sweeps along
 /// the join tree (the distributed full reducer; `O(m)` rounds, linear load).
 pub fn dist_full_reduce(net: &mut Net, q: &Query, db: DistDatabase, seed: u64) -> DistDatabase {
-    let tree = q.join_tree().expect("full reducer requires an acyclic query");
+    let tree = q
+        .join_tree()
+        .expect("full reducer requires an acyclic query");
     let mut rels = db;
     let mut s = seed;
     for &e in &tree.order {
         if let Some(p) = tree.parent[e] {
-            let parent_rel = std::mem::replace(
-                &mut rels[p],
-                DistRelation::empty(Vec::new(), net.p()),
-            );
+            let parent_rel =
+                std::mem::replace(&mut rels[p], DistRelation::empty(Vec::new(), net.p()));
             let reduced = dist_semi_join(net, parent_rel, &rels[e], s);
             rels[p] = reduced;
             s = s.wrapping_add(0x9e37);
@@ -162,10 +162,8 @@ pub fn dist_full_reduce(net: &mut Net, q: &Query, db: DistDatabase, seed: u64) -
     }
     for &e in tree.order.iter().rev() {
         if let Some(p) = tree.parent[e] {
-            let child_rel = std::mem::replace(
-                &mut rels[e],
-                DistRelation::empty(Vec::new(), net.p()),
-            );
+            let child_rel =
+                std::mem::replace(&mut rels[e], DistRelation::empty(Vec::new(), net.p()));
             let reduced = dist_semi_join(net, child_rel, &rels[p], s);
             rels[e] = reduced;
             s = s.wrapping_add(0x9e37);
@@ -252,7 +250,9 @@ pub fn degrees_of(
 
 /// Seed helper: derive a fresh routing seed.
 pub fn next_seed(seed: &mut u64) -> u64 {
-    *seed = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(DEFAULT_SEED);
+    *seed = seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(DEFAULT_SEED);
     *seed
 }
 

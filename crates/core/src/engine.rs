@@ -28,6 +28,12 @@
 //!   [`Plan::SkewHybrid`] competes in plan selection; heavy keys then route
 //!   through [`crate::binary::hybrid_hash_join`]'s per-key grids instead of
 //!   a single hash bucket.
+//! * **Materialized views** ([`QueryEngine::register_view`] /
+//!   [`QueryEngine::apply_update`]) — registered queries stay exactly
+//!   materialized under signed insert/delete batches via the delta
+//!   subsystem ([`crate::delta`]): counted deletions, delta propagation
+//!   through cached join trees / HyperCube grids, a cost-based
+//!   recompute fall-back, and per-view stats epochs.
 //!
 //! Determinism: each query runs on a seed stream derived from the engine's
 //! base seed and the query's signature fingerprint, so a repeated shape —
@@ -43,9 +49,11 @@ use aj_relation::{Database, JoinTree, Query};
 
 use crate::aggregate::output_size_with_tree;
 use crate::binary::detect_join_skew;
+use crate::delta::{self, MaterializedView, UpdateOutcome, ViewId};
 use crate::dist::distribute_db;
 use crate::planner::{choose_plan_skew, execute_plan_skew, Plan};
 use crate::DistRelation;
+use aj_relation::delta::UpdateBatch;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +168,7 @@ pub struct QueryEngine {
     cluster: Cluster,
     config: EngineConfig,
     cache: FxHashMap<QuerySignature, PlanArtifacts>,
+    views: Vec<MaterializedView>,
     served: u64,
     cache_hits: u64,
 }
@@ -187,6 +196,7 @@ impl QueryEngine {
             cluster,
             config,
             cache: FxHashMap::default(),
+            views: Vec::new(),
             served: 0,
             cache_hits: 0,
         }
@@ -269,8 +279,7 @@ impl QueryEngine {
         // profiles binary joins here — detection is planning work, so its
         // gather/broadcast rounds are charged to the planning epoch.
         self.cluster.begin_epoch();
-        let (plan, out_size, est, skew) = if self.config.cost_based && class != JoinClass::Cyclic
-        {
+        let (plan, out_size, est, skew) = if self.config.cost_based && class != JoinClass::Cyclic {
             let tree = artifacts
                 .join_tree
                 .as_ref()
@@ -326,6 +335,76 @@ impl QueryEngine {
     /// Serve a batch of requests in order.
     pub fn run_batch(&mut self, batch: &[(Query, Database)]) -> Vec<QueryOutcome> {
         batch.iter().map(|(q, db)| self.run(q, db)).collect()
+    }
+
+    /// Register `q` as a **materialized view** over its current instance:
+    /// the engine computes the join once, keeps the counted materialization
+    /// and the delta caches resident (see [`crate::delta`]), and from then
+    /// on absorbs [`QueryEngine::apply_update`] batches incrementally. The
+    /// build runs in its own stats epoch
+    /// ([`MaterializedView::registration`]).
+    ///
+    /// ```
+    /// use aj_relation::{database_from_rows, QueryBuilder, Tuple, UpdateBatch};
+    /// use aj_core::engine::QueryEngine;
+    ///
+    /// let mut b = QueryBuilder::new();
+    /// b.relation("R1", &["A", "B"]);
+    /// b.relation("R2", &["B", "C"]);
+    /// let q = b.build();
+    /// let db = database_from_rows(
+    ///     &q,
+    ///     &[vec![vec![1, 10], vec![2, 10]], vec![vec![10, 7]]],
+    /// );
+    ///
+    /// let mut engine = QueryEngine::new(4);
+    /// let view = engine.register_view(&q, &db);
+    /// assert_eq!(engine.view(view).out_size(), 2);
+    ///
+    /// // One signed batch: drop (1,10), add a third match for B = 10.
+    /// let mut batch = UpdateBatch::empty(2);
+    /// batch.delete(0, Tuple::from([1, 10]));
+    /// batch.insert(0, Tuple::from([3, 10]));
+    /// let outcome = engine.apply_update(view, &batch);
+    /// assert_eq!(outcome.out_size, 2);
+    /// let snap = engine.view(view).snapshot();
+    /// assert_eq!(snap[0].0, Tuple::from([2, 10, 7]));
+    /// assert_eq!(snap[1].0, Tuple::from([3, 10, 7]));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `db` does not match `q`'s layout.
+    pub fn register_view(&mut self, q: &Query, db: &Database) -> ViewId {
+        let id = ViewId(self.views.len());
+        let view = delta::register(&mut self.cluster, self.config.seed, q, db);
+        self.views.push(view);
+        id
+    }
+
+    /// Absorb one signed update batch into a registered view: the planner
+    /// prices the delta pass against a full recompute
+    /// ([`crate::planner::choose_maintenance`]) and the cheaper side runs,
+    /// in its own stats epoch.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`] or a batch whose shape does not match
+    /// the view.
+    pub fn apply_update(&mut self, id: ViewId, batch: &UpdateBatch) -> UpdateOutcome {
+        let view = self.views.get_mut(id.0).expect("unknown view id");
+        delta::apply_update(&mut self.cluster, view, id, batch)
+    }
+
+    /// A registered view.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`].
+    pub fn view(&self, id: ViewId) -> &MaterializedView {
+        &self.views[id.0]
+    }
+
+    /// Number of registered views.
+    pub fn n_views(&self) -> usize {
+        self.views.len()
     }
 }
 
@@ -434,7 +513,11 @@ mod tests {
             ],
         );
         let mut engine = QueryEngine::new(4);
-        let outcomes = vec![engine.run(&q1, &db1), engine.run(&q2, &db2), engine.run(&q1, &db1)];
+        let outcomes = vec![
+            engine.run(&q1, &db1),
+            engine.run(&q2, &db2),
+            engine.run(&q1, &db1),
+        ];
         assert!(epochs_reconcile(&outcomes, engine.stats()));
     }
 
@@ -585,6 +668,9 @@ mod tests {
         // Star joins are in the r-hierarchical family (Theorem-3 territory).
         assert_eq!(Plan::for_class(art.class), Plan::InstanceOptimal);
         assert!(art.join_tree.is_some());
-        assert!(art.forest.is_some(), "stars are hierarchical: forest exists");
+        assert!(
+            art.forest.is_some(),
+            "stars are hierarchical: forest exists"
+        );
     }
 }

@@ -162,7 +162,12 @@ fn case1(
             .map(|part| {
                 part.iter()
                     .filter(|&&(_, d)| d <= load)
-                    .map(|(k, d)| (k.clone(), (*d as f64 / load as f64).clamp(f64::MIN_POSITIVE, 1.0)))
+                    .map(|(k, d)| {
+                        (
+                            k.clone(),
+                            (*d as f64 / load as f64).clamp(f64::MIN_POSITIVE, 1.0),
+                        )
+                    })
                     .collect()
             })
             .collect(),
@@ -209,7 +214,10 @@ fn case1(
         heavy_demand.push(v);
     }
     // Two-pass allocation with demand scaling to fit in p servers.
-    let totals: Vec<u64> = heavy_demand.iter().map(|v| v.iter().map(|d| d.1).sum()).collect();
+    let totals: Vec<u64> = heavy_demand
+        .iter()
+        .map(|v| v.iter().map(|d| d.1).sum())
+        .collect();
     let (_, total) = prefix_sum(net, &totals);
     if total > p as u64 {
         for part in &mut heavy_demand {
@@ -218,7 +226,10 @@ fn case1(
             }
         }
     }
-    let totals: Vec<u64> = heavy_demand.iter().map(|v| v.iter().map(|d| d.1).sum()).collect();
+    let totals: Vec<u64> = heavy_demand
+        .iter()
+        .map(|v| v.iter().map(|d| d.1).sum())
+        .collect();
     let (bases, _) = prefix_sum(net, &totals);
     let directive_parts: Vec<Vec<(Tuple, Directive)>> = packing
         .items
@@ -278,35 +289,36 @@ fn case1(
         msgs
     });
     let out_attrs = occurring_attrs(q);
-    let mut out_parts: Vec<Vec<Tuple>> = net.run_local(received, |_, msgs: Vec<(u64, u8, Tuple)>| {
-        let mut by_group: FxHashMap<u64, Vec<Vec<Tuple>>> = FxHashMap::default();
-        for (g, e, t) in msgs {
-            by_group.entry(g).or_insert_with(|| vec![Vec::new(); m])[e as usize].push(t);
-        }
-        let mut out = Vec::new();
-        let mut groups: Vec<u64> = by_group.keys().copied().collect();
-        groups.sort_unstable();
-        for g in groups {
-            let rels = &by_group[&g];
-            if rels.iter().any(Vec::is_empty) {
-                continue;
+    let mut out_parts: Vec<Vec<Tuple>> =
+        net.run_local(received, |_, msgs: Vec<(u64, u8, Tuple)>| {
+            let mut by_group: FxHashMap<u64, Vec<Vec<Tuple>>> = FxHashMap::default();
+            for (g, e, t) in msgs {
+                by_group.entry(g).or_insert_with(|| vec![Vec::new(); m])[e as usize].push(t);
             }
-            let locals: Vec<LocalRel> = q
-                .edges()
-                .iter()
-                .zip(rels)
-                .map(|(e, tuples)| LocalRel {
-                    attrs: e.attrs.clone(),
-                    tuples: tuples.clone(),
-                })
-                .collect();
-            let (attrs, tuples) = multiway_join(&locals);
-            let (attrs, tuples) = normalize(&attrs, tuples);
-            debug_assert_eq!(attrs, out_attrs);
-            out.extend(tuples);
-        }
-        out
-    });
+            let mut out = Vec::new();
+            let mut groups: Vec<u64> = by_group.keys().copied().collect();
+            groups.sort_unstable();
+            for g in groups {
+                let rels = &by_group[&g];
+                if rels.iter().any(Vec::is_empty) {
+                    continue;
+                }
+                let locals: Vec<LocalRel> = q
+                    .edges()
+                    .iter()
+                    .zip(rels)
+                    .map(|(e, tuples)| LocalRel {
+                        attrs: e.attrs.clone(),
+                        tuples: tuples.clone(),
+                    })
+                    .collect();
+                let (attrs, tuples) = multiway_join(&locals);
+                let (attrs, tuples) = normalize(&attrs, tuples);
+                debug_assert_eq!(attrs, out_attrs);
+                out.extend(tuples);
+            }
+            out
+        });
 
     // ---- Heavy sub-instances: recurse on the residual query --------------
     // Driver-level introspection of the heavy directives (control metadata).

@@ -29,6 +29,16 @@ use aj_primitives::Key;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Shares(pub Vec<usize>);
 
+/// The grid coordinate HyperCube's hash placement assigns `value` on
+/// attribute `attr` at the given share. One definition shared by the
+/// one-round join and by the delta subsystem's cached-grid routing
+/// (`crate::delta`), which must place signed rows in exactly the cells the
+/// resident placement put the base tuples in.
+#[inline]
+pub(crate) fn attr_coordinate(value: u64, attr: Attr, seed: u64, share: usize) -> usize {
+    (value ^ (attr as u64 * 0x9e37_79b9)).owner(seed, share)
+}
+
 impl Shares {
     /// Grid size = product of shares.
     pub fn grid_size(&self) -> usize {
@@ -198,7 +208,10 @@ fn hypercube_impl(
     let p = net.p();
     assert_eq!(shares.0.len(), q.n_attrs(), "one share per attribute");
     let grid = shares.grid_size();
-    assert!(grid >= 1 && grid <= p, "share product {grid} must fit in p={p}");
+    assert!(
+        grid >= 1 && grid <= p,
+        "share product {grid} must fit in p={p}"
+    );
 
     // Strides for mixed-radix cell coordinates.
     let mut stride = vec![1usize; q.n_attrs()];
@@ -265,8 +278,7 @@ fn hypercube_impl(
                         // This relation partitions the heavy value: spread
                         // by the whole tuple instead of the value.
                         Some(e_star) if e_star == e => {
-                            let h =
-                                (t.values().hash_key(slice_seed) % shares.0[a] as u64) as usize;
+                            let h = (t.values().hash_key(slice_seed) % shares.0[a] as u64) as usize;
                             base += h * stride[a];
                         }
                         // Another relation partitions: replicate across the
@@ -274,9 +286,7 @@ fn hypercube_impl(
                         Some(_) => dynamic_free.push(a),
                         // Light value: today's hash placement, bit for bit.
                         None => {
-                            let h =
-                                (t.get(i) ^ (a as u64 * 0x9e37_79b9)).owner(seed, shares.0[a]);
-                            base += h * stride[a];
+                            base += attr_coordinate(t.get(i), a, seed, shares.0[a]) * stride[a];
                         }
                     }
                 }
@@ -463,9 +473,27 @@ mod tests {
         let q = b.build();
         // Small random-ish triangle instance.
         let n = 12u64;
-        let edges1: Vec<Vec<u64>> = (0..n).flat_map(|b| (0..n).filter(move |c| (b * 7 + c) % 3 == 0).map(move |c| vec![b, c])).collect();
-        let edges2: Vec<Vec<u64>> = (0..n).flat_map(|a| (0..n).filter(move |c| (a * 5 + c) % 4 == 0).map(move |c| vec![a, c])).collect();
-        let edges3: Vec<Vec<u64>> = (0..n).flat_map(|a| (0..n).filter(move |b| (a + b * 3) % 5 == 0).map(move |b| vec![a, b])).collect();
+        let edges1: Vec<Vec<u64>> = (0..n)
+            .flat_map(|b| {
+                (0..n)
+                    .filter(move |c| (b * 7 + c) % 3 == 0)
+                    .map(move |c| vec![b, c])
+            })
+            .collect();
+        let edges2: Vec<Vec<u64>> = (0..n)
+            .flat_map(|a| {
+                (0..n)
+                    .filter(move |c| (a * 5 + c) % 4 == 0)
+                    .map(move |c| vec![a, c])
+            })
+            .collect();
+        let edges3: Vec<Vec<u64>> = (0..n)
+            .flat_map(|a| {
+                (0..n)
+                    .filter(move |b| (a + b * 3) % 5 == 0)
+                    .map(move |b| vec![a, b])
+            })
+            .collect();
         let db = database_from_rows(&q, &[edges1, edges2, edges3]);
         let want = ram::naive_join(&q, &db);
         let p = 8;
@@ -529,7 +557,11 @@ mod tests {
         assert!(s.grid_size() <= 4, "budget ⌊log₂ 7⌋ = 2 levels");
         let n = 10u64;
         let edges: Vec<Vec<u64>> = (0..n)
-            .flat_map(|a| (0..n).filter(move |b| (a + b) % 3 != 0).map(move |b| vec![a, b]))
+            .flat_map(|a| {
+                (0..n)
+                    .filter(move |b| (a + b) % 3 != 0)
+                    .map(move |b| vec![a, b])
+            })
             .collect();
         let db = database_from_rows(&q, &[edges.clone(), edges.clone(), edges]);
         let want = ram::naive_join(&q, &db);
@@ -559,7 +591,11 @@ mod tests {
         let q = b.build();
         let n = 14u64;
         let edges: Vec<Vec<u64>> = (0..n)
-            .flat_map(|a| (0..n).filter(move |b| (a * 3 + b) % 4 != 0).map(move |b| vec![a, b]))
+            .flat_map(|a| {
+                (0..n)
+                    .filter(move |b| (a * 3 + b) % 4 != 0)
+                    .map(move |b| vec![a, b])
+            })
             .collect();
         let db = database_from_rows(&q, &[edges.clone(), edges.clone(), edges]);
         let shares = worst_case_shares(&q, &[200, 200, 200], 8);
@@ -624,7 +660,11 @@ mod tests {
                 let skew =
                     detect_hypercube_skew(&mut net, &q, &dist, &shares, 8, in_size / p as u64);
                 assert_eq!(skew.len(), 1, "exactly the hot value is heavy: {skew:?}");
-                assert_eq!(skew.designee(a_attr, 0), Some(1), "R2 has the largest count");
+                assert_eq!(
+                    skew.designee(a_attr, 0),
+                    Some(1),
+                    "R2 has the largest count"
+                );
                 skew
             } else {
                 HypercubeSkew::empty()

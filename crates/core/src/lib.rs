@@ -15,8 +15,9 @@
 //! | [`aggregate`] | Theorem 9 / Corollary 4 (free-connex join-aggregate) | `O(IN/p + √(IN·OUT)/p)` |
 //! | [`triangle`] | Section 7 comparison point | `O(IN/p^{2/3})` (worst-case opt.) |
 //! | [`bounds`] | Eq. (1), Eq. (2), Theorem 4, lower-bound formulas | — |
-//! | [`planner`] | class dispatch + cost-based plan choice | — |
+//! | [`planner`] | class dispatch + cost-based plan choice + maintain-vs-recompute pricing | — |
 //! | [`engine`] | long-lived serving layer: plan cache, cost-based planning, per-query stats epochs | — |
+//! | [`delta`] | incremental view maintenance: counted materializations under signed update batches | `O(\|Δ\| + \|Δ-output\|)` per batch |
 //!
 //! # Execution
 //!
@@ -34,6 +35,7 @@ pub mod acyclic;
 pub mod aggregate;
 pub mod binary;
 pub mod bounds;
+pub mod delta;
 pub mod dist;
 pub mod engine;
 pub mod hierarchical;
@@ -44,9 +46,10 @@ pub mod planner;
 pub mod triangle;
 pub mod yannakakis;
 
+pub use delta::{MaterializedView, UpdateOutcome, ViewId};
 pub use dist::{DistDatabase, DistRelation};
 pub use engine::{EngineConfig, QueryEngine, QueryOutcome};
 pub use planner::{
-    choose_plan, choose_plan_skew, execute_best, execute_plan, execute_plan_dist,
-    execute_plan_skew, plan_for, Plan,
+    choose_maintenance, choose_plan, choose_plan_skew, execute_best, execute_plan,
+    execute_plan_dist, execute_plan_skew, plan_for, MaintenanceChoice, Plan,
 };

@@ -55,14 +55,8 @@ pub fn solve(net: &mut Net, q: &Query, db: DistDatabase, seed: &mut u64) -> Dist
     // R2 splits by the same heavy-B set: a B value is heavy iff its degree in
     // R1 exceeds τ, so split R2 against R1's degrees.
     let (r2_heavy, r2_light) = {
-        let maps = crate::dist::degrees_of(
-            net,
-            &r1_heavy,
-            &shared_01,
-            &r2,
-            &shared_01,
-            next_seed(seed),
-        );
+        let maps =
+            crate::dist::degrees_of(net, &r1_heavy, &shared_01, &r2, &shared_01, next_seed(seed));
         let pos = r2.positions_of(&shared_01);
         let attrs = r2.attrs.clone();
         let mut heavy = Vec::with_capacity(r2.parts.p());
@@ -287,7 +281,10 @@ mod tests {
             loads.push(cluster.stats().max_load as f64);
         }
         let ratio = loads[1] / loads[0];
-        assert!((0.5..2.0).contains(&ratio), "worst-case load not flat: {loads:?}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "worst-case load not flat: {loads:?}"
+        );
     }
 
     #[test]

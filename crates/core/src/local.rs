@@ -67,7 +67,8 @@ pub fn multiway_join(rels: &[LocalRel]) -> (Vec<Attr>, Vec<Tuple>) {
         let append_pos: Vec<usize> = (0..arity)
             .filter(|&c| c >= n_attr || !shared.contains(&rel.attrs[c]))
             .collect();
-        let mut index: FxHashMap<Tuple, Vec<Tuple>> = aj_primitives::fx_map_with_capacity(rel.tuples.len());
+        let mut index: FxHashMap<Tuple, Vec<Tuple>> =
+            aj_primitives::fx_map_with_capacity(rel.tuples.len());
         for t in &rel.tuples {
             index
                 .entry(t.project(&rel_key_pos))
@@ -161,7 +162,10 @@ mod tests {
         assert_eq!(attrs, vec![0, 1, 2]);
         let mut t = tuples;
         t.sort_unstable();
-        assert_eq!(t, vec![Tuple::from([1, 10, 100]), Tuple::from([1, 10, 101])]);
+        assert_eq!(
+            t,
+            vec![Tuple::from([1, 10, 100]), Tuple::from([1, 10, 101])]
+        );
     }
 
     #[test]

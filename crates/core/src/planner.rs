@@ -181,6 +181,111 @@ pub fn choose_plan(class: JoinClass, in_size: u64, out_size: u64, p: usize) -> P
         .expect("nonempty candidate set")
 }
 
+/// How a registered view should absorb one update batch — the output of the
+/// planner's [`choose_maintenance`] decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceChoice {
+    /// Propagate the deltas through the cached state (the incremental pass).
+    Maintain,
+    /// Re-register: recompute the view and rebuild its caches from the
+    /// updated base — the batch (or the accumulated churn) is large enough
+    /// that the delta pass prices above a fresh build.
+    Recompute,
+}
+
+impl std::fmt::Display for MaintenanceChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MaintenanceChoice::Maintain => "maintain",
+            MaintenanceChoice::Recompute => "recompute",
+        })
+    }
+}
+
+/// The **recompute-vs-maintain** decision for one update batch against a
+/// registered view: price the delta pass with the same closed-form bounds
+/// the cost-based planner already uses — evaluated at `IN = |Δ|` and the
+/// proportional delta output `OUT·|Δ|/IN` — against the price of a full
+/// recompute at the view's current `(IN, OUT)`, and pick the cheaper side.
+/// Returns `(choice, maintain_estimate, recompute_estimate)`.
+///
+/// * `touched` is the number of relations the batch changes: the delta pass
+///   runs one propagation chain per touched relation.
+/// * `repl` is the placement's per-tuple replication factor — the average
+///   number of copies one base tuple keeps in the cached state (`1.0` for
+///   tree-cached acyclic views; the free-dimension grid product for cyclic
+///   views, whose HyperCube load has no `(IN, OUT)` closed form). It prices
+///   both the cyclic chain and the cache upkeep every batch pays.
+/// * `cum_delta` is the churn absorbed since the last (re)build. Cached
+///   shards, grid shares and packing were sized for the registration-time
+///   instance; the estimate scales by `1 + cum_delta/IN` so that sustained
+///   maintenance against a drifted instance eventually loses to a rebuild —
+///   the fall-back is cost-based, not a hardcoded fraction.
+///
+/// ```
+/// use aj_core::planner::{choose_maintenance, MaintenanceChoice};
+/// use aj_relation::JoinClass;
+///
+/// // A 0.1% batch on a line-3 view: maintenance wins by orders of magnitude.
+/// let (c, m, r) = choose_maintenance(JoinClass::Acyclic, 3, 30_000, 60_000, 30, 1, 30, 1.0, 8);
+/// assert_eq!(c, MaintenanceChoice::Maintain);
+/// assert!(m * 10.0 < r);
+///
+/// // Churn ≫ IN with a batch the size of the instance: rebuild.
+/// let (c, _, _) =
+///     choose_maintenance(JoinClass::Acyclic, 3, 30_000, 60_000, 30_000, 3, 300_000, 1.0, 8);
+/// assert_eq!(c, MaintenanceChoice::Recompute);
+/// ```
+#[allow(clippy::too_many_arguments)] // a cost function over the full instance state
+pub fn choose_maintenance(
+    class: JoinClass,
+    m: usize,
+    in_size: u64,
+    out_size: u64,
+    delta_in: u64,
+    touched: usize,
+    cum_delta: u64,
+    repl: f64,
+    p: usize,
+) -> (MaintenanceChoice, f64, f64) {
+    let pf = p as f64;
+    let in_f = in_size.max(1) as f64;
+    // Proportional delta output: the expected share of OUT a |Δ|-sized slice
+    // of the input derives.
+    let dout = out_size as f64 * delta_in as f64 / in_f;
+    // One propagation chain, priced by the closed forms at IN = |Δ| (cyclic
+    // views have no closed form; the grid chain ships |Δ|·repl rows and the
+    // delta output).
+    let chain = match class {
+        JoinClass::Cyclic => delta_in as f64 * repl / pf + dout / pf,
+        _ => {
+            let plan = choose_plan(class, delta_in.max(1), dout.ceil() as u64, p);
+            estimated_load(plan, delta_in, dout.ceil() as u64, p)
+        }
+    };
+    // Every signed tuple also lands in the caches that shard its relation.
+    let upkeep = 2.0 * delta_in as f64 * repl / pf;
+    let staleness = 1.0 + cum_delta as f64 / in_f;
+    let maintain = (touched as f64 * chain + upkeep) * staleness;
+    // A fresh build: the view's own plan at the current (IN, OUT), plus
+    // re-sharding the caches and routing the materialization.
+    let recompute = match class {
+        JoinClass::Cyclic => in_size as f64 * repl / pf + out_size as f64 / pf,
+        _ => {
+            let plan = choose_plan(class, in_size.max(1), out_size, p);
+            estimated_load(plan, in_size, out_size, p)
+                + 2.0 * (m.saturating_sub(1)) as f64 * in_size as f64 / pf
+                + out_size as f64 / pf
+        }
+    };
+    let choice = if maintain <= recompute {
+        MaintenanceChoice::Maintain
+    } else {
+        MaintenanceChoice::Recompute
+    };
+    (choice, maintain, recompute)
+}
+
 /// Distribute `db` and run the given plan for `q`.
 ///
 /// Seed discipline: every arm draws **exactly one** value from the caller's
@@ -249,13 +354,9 @@ pub fn execute_plan_skew(
             let profile = match skew {
                 Some(s) => s,
                 None => {
-                    detected = crate::binary::detect_join_skew(
-                        net,
-                        &left,
-                        &right,
-                        DEFAULT_SKEW_TOP_K,
-                    )
-                    .significant(net.p());
+                    detected =
+                        crate::binary::detect_join_skew(net, &left, &right, DEFAULT_SKEW_TOP_K)
+                            .significant(net.p());
                     &detected
                 }
             };

@@ -14,6 +14,7 @@
 //! | [`cartesian`] | Cartesian-product instances for the Eq. (1) bound | Section 1.3 |
 //! | [`random`] | random acyclic queries + instances for differential tests | — |
 //! | [`skew`] | Zipf-parameterised binary/star/triangle instances for the skew experiments | — |
+//! | [`updates`] | signed insert/delete streams (uniform and Zipf mixes) for the maintenance experiments | — |
 //!
 //! ```
 //! use aj_instancegen::{line_query, random};
@@ -32,6 +33,8 @@ pub mod fig6;
 pub mod random;
 pub mod shapes;
 pub mod skew;
+pub mod updates;
 
 pub use shapes::{line_query, star_query};
 pub use skew::{zipf_binary, zipf_star, zipf_triangle, SkewInstance, Zipf};
+pub use updates::update_stream;

@@ -99,7 +99,9 @@ pub fn zipf_binary(n: u64, s: f64, domain: u64, seed: u64) -> SkewInstance {
     let query = b.build();
     let z = Zipf::new(domain, s);
     let mut rng = StdRng::seed_from_u64(seed);
-    let r1: Vec<Tuple> = (0..n).map(|i| Tuple::from([i, z.sample(&mut rng)])).collect();
+    let r1: Vec<Tuple> = (0..n)
+        .map(|i| Tuple::from([i, z.sample(&mut rng)]))
+        .collect();
     let r2: Vec<Tuple> = (0..n)
         .map(|i| Tuple::from([z.sample(&mut rng), 1_000_000 + i]))
         .collect();
@@ -126,9 +128,7 @@ pub fn zipf_star(n: u64, arms: usize, s: f64, domain: u64, seed: u64) -> SkewIns
     let rels: Vec<Relation> = (0..arms)
         .map(|arm| {
             let tuples: Vec<Tuple> = (0..n)
-                .map(|i| {
-                    Tuple::from([z.sample(&mut rng), (arm as u64 + 1) * 1_000_000 + i])
-                })
+                .map(|i| Tuple::from([z.sample(&mut rng), (arm as u64 + 1) * 1_000_000 + i]))
                 .collect();
             Relation::new(vec![0, arm + 1], tuples)
         })
@@ -218,7 +218,11 @@ mod tests {
         for _ in 0..10_000 {
             counts[u.sample(&mut rng) as usize] += 1;
         }
-        assert!((50..200).contains(&counts[0]), "uniform rank-0 {}", counts[0]);
+        assert!(
+            (50..200).contains(&counts[0]),
+            "uniform rank-0 {}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use aj_relation::TupleBlock;
 
 use crate::executor::{run_consuming, run_indexed, Execute, ParExecutor, SeqExecutor};
-use crate::rows::RowOutbox;
+use crate::rows::{DeltaBlock, DeltaOutbox, RowOutbox};
 use crate::stats::{EpochStats, Stats};
 use crate::Partitioned;
 
@@ -229,11 +229,12 @@ impl Net<'_> {
         // way, so this is a pure wall-clock decision.
         let total_messages: usize = outbox.iter().map(Vec::len).sum();
         let parallel_worthwhile = total_messages >= 4 * self.len.max(64);
-        let (inbox, counts) = if self.cluster.executor.is_parallel() && self.len > 1 && parallel_worthwhile {
-            self.route_parallel(outbox)
-        } else {
-            self.route_sequential(outbox)
-        };
+        let (inbox, counts) =
+            if self.cluster.executor.is_parallel() && self.len > 1 && parallel_worthwhile {
+                self.route_parallel(outbox)
+            } else {
+                self.route_sequential(outbox)
+            };
         self.cluster.record_round(self.lo, self.stride, &counts);
         inbox
     }
@@ -265,10 +266,7 @@ impl Net<'_> {
     }
 
     /// Parallel routing via per-server staging (see [`Net::exchange`]).
-    fn route_parallel<T: Send>(
-        &self,
-        outbox: Vec<Vec<(ServerId, T)>>,
-    ) -> (Vec<Vec<T>>, Vec<u64>) {
+    fn route_parallel<T: Send>(&self, outbox: Vec<Vec<(ServerId, T)>>) -> (Vec<Vec<T>>, Vec<u64>) {
         use std::sync::Mutex;
         let p = self.len;
         let exec = self.cluster.executor.as_ref();
@@ -451,6 +449,29 @@ impl Net<'_> {
             .map(|b| TupleBlock::from_values(arity, b))
             .collect();
         (inbox, counts)
+    }
+
+    /// One **delta round**: the signed-row form of [`Net::exchange_rows`],
+    /// the round shape of incremental view maintenance. `outbox[s]` holds
+    /// local server `s`'s signed rows ([`DeltaOutbox`]) — `arity` payload
+    /// values plus an insert/delete weight each; the weight travels as a
+    /// trailing encoded column through the same radix block exchange, and
+    /// each receiver gets its rows back as a [`DeltaBlock`] in the usual
+    /// deterministic (sender, send-order) order. One signed row costs one
+    /// load unit, exactly like an unsigned row of the same payload.
+    ///
+    /// # Panics
+    /// Panics if `outbox.len() != self.p()`, a sender's payload arity
+    /// differs from `arity`, or any destination is out of range.
+    pub fn exchange_deltas(&mut self, arity: usize, outbox: Vec<DeltaOutbox>) -> Vec<DeltaBlock> {
+        let row_outbox: Vec<RowOutbox> = outbox
+            .into_iter()
+            .map(DeltaOutbox::into_row_outbox)
+            .collect();
+        self.exchange_rows(arity + 1, row_outbox)
+            .into_iter()
+            .map(DeltaBlock::from_block)
+            .collect()
     }
 
     /// One **computation + communication round**: for each local server `s`,
@@ -708,7 +729,12 @@ mod tests {
             (0..8)
                 .map(|s: usize| {
                     (0..50u64)
-                        .map(|i| ((((s as u64) * 31 + i * 7) % 8) as usize, s as u64 * 1000 + i))
+                        .map(|i| {
+                            (
+                                (((s as u64) * 31 + i * 7) % 8) as usize,
+                                s as u64 * 1000 + i,
+                            )
+                        })
                         .collect()
                 })
                 .collect()
@@ -727,13 +753,10 @@ mod tests {
         let run = |mut cluster: Cluster| -> (Vec<Vec<u64>>, Stats) {
             let inbox = {
                 let mut net = cluster.net();
-                let data: Vec<Vec<u64>> = (0..6).map(|s| (0..40).map(|i| s * 100 + i).collect()).collect();
-                net.round(|s| {
-                    data[s]
-                        .iter()
-                        .map(|&x| ((x % 6) as usize, x * 2))
-                        .collect()
-                })
+                let data: Vec<Vec<u64>> = (0..6)
+                    .map(|s| (0..40).map(|i| s * 100 + i).collect())
+                    .collect();
+                net.round(|s| data[s].iter().map(|&x| ((x % 6) as usize, x * 2)).collect())
             };
             (inbox, cluster.stats().clone())
         };
@@ -825,6 +848,47 @@ mod tests {
         let par_inbox = par.net().exchange_rows(arity, build());
         assert_eq!(seq_inbox, par_inbox);
         assert_eq!(seq.stats(), par.stats());
+    }
+
+    /// The delta exchange delivers payloads + signs in the per-item delivery
+    /// order and charges one unit per signed row — on both executors.
+    #[test]
+    fn exchange_deltas_carries_signs_with_row_accounting() {
+        let p = 4usize;
+        let build = || -> Vec<DeltaOutbox> {
+            (0..p)
+                .map(|s| {
+                    let mut ob = DeltaOutbox::with_capacity(2, 30);
+                    for i in 0..30u64 {
+                        let w = if i % 3 == 0 { -1 } else { 1 };
+                        ob.push(((s as u64 + i) % p as u64) as usize, &[s as u64, i], w);
+                    }
+                    ob
+                })
+                .collect()
+        };
+        let mut seq = Cluster::new(p);
+        let seq_inbox = seq.net().exchange_deltas(2, build());
+        let mut par = Cluster::with_executor(p, Box::new(ParExecutor::with_threads(3)));
+        let par_inbox = par.net().exchange_deltas(2, build());
+        assert_eq!(seq_inbox, par_inbox);
+        assert_eq!(seq.stats(), par.stats());
+        // One unit per signed row, total 120.
+        assert_eq!(seq.stats().total_messages, 120);
+        assert_eq!(seq.stats().exchanges, 1);
+        let mut minus = 0;
+        for block in &seq_inbox {
+            assert_eq!(block.arity(), 2);
+            for (i, (payload, w)) in block.iter().enumerate() {
+                assert_eq!(payload.len(), 2);
+                assert_eq!(block.row(i), (payload, w));
+                assert!(w == 1 || w == -1);
+                if w == -1 {
+                    minus += 1;
+                }
+            }
+        }
+        assert_eq!(minus, 40, "every third row was a delete");
     }
 
     #[test]

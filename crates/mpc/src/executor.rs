@@ -363,10 +363,7 @@ pub(crate) fn run_indexed<T: Send>(
     slots
         .0
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("executor must visit every index")
-        })
+        .map(|slot| slot.into_inner().expect("executor must visit every index"))
         .collect()
 }
 
@@ -379,9 +376,18 @@ pub(crate) fn run_consuming<S: Send, T: Send>(
     f: impl Fn(usize, S) -> T + Sync,
 ) -> Vec<T> {
     if !exec.is_parallel() {
-        return inputs.into_iter().enumerate().map(|(i, s)| f(i, s)).collect();
+        return inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| f(i, s))
+            .collect();
     }
-    let cells = SlotVec(inputs.into_iter().map(|s| UnsafeCell::new(Some(s))).collect());
+    let cells = SlotVec(
+        inputs
+            .into_iter()
+            .map(|s| UnsafeCell::new(Some(s)))
+            .collect(),
+    );
     let n = cells.0.len();
     let cells_ref = &cells;
     run_indexed(exec, n, move |i| {

@@ -57,7 +57,7 @@ pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
 pub use partitioned::Partitioned;
-pub use rows::{BlockPartitioned, RowOutbox};
+pub use rows::{BlockPartitioned, DeltaBlock, DeltaOutbox, RowOutbox};
 pub use skew::detect_heavy_hitters;
 pub use stats::{EpochStats, LoadReport, Stats};
 
@@ -115,7 +115,10 @@ mod tests {
             let inbox = net.round_map(parts.into_parts(), |_, items| {
                 items.into_iter().map(|x| ((x % 8) as usize, x)).collect()
             });
-            inbox.into_iter().map(|v| v.into_iter().sum::<u64>()).collect::<Vec<_>>()
+            inbox
+                .into_iter()
+                .map(|v| v.into_iter().sum::<u64>())
+                .collect::<Vec<_>>()
         };
         let (a, sa) = run(8, body);
         let (b, sb) = run_parallel(8, body);

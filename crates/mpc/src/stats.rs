@@ -165,7 +165,7 @@ impl Stats {
 /// Unlike the monotone [`Stats`] counters, every field here is local to the
 /// interval: `max_load` is the max over the epoch's rounds only, and
 /// `per_server_peak` holds per-server peaks reached within the epoch.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EpochStats {
     /// Rounds performed within the epoch.
     pub exchanges: u64,

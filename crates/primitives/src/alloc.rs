@@ -40,7 +40,10 @@ pub fn allocate_servers<K: Key>(
     let p = net.p();
     assert_eq!(demands.p(), p);
     // Local exclusive prefix per server, then a global prefix over totals.
-    let local_totals: Vec<u64> = demands.iter().map(|part| part.iter().map(|d| d.1).sum()).collect();
+    let local_totals: Vec<u64> = demands
+        .iter()
+        .map(|part| part.iter().map(|d| d.1).sum())
+        .collect();
     let (bases, grand_total) = prefix_sum(net, &local_totals);
     let ranged: Vec<Vec<(K, Allocation)>> = demands
         .into_parts()

@@ -160,7 +160,10 @@ mod tests {
             buckets[(hash_of(&i) & 63) as usize] += 1;
         }
         for &b in &buckets {
-            assert!((40..=200).contains(&b), "skewed bucket histogram: {buckets:?}");
+            assert!(
+                (40..=200).contains(&b),
+                "skewed bucket histogram: {buckets:?}"
+            );
         }
     }
 

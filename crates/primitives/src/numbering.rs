@@ -69,8 +69,8 @@ pub fn multi_numbering<K: Key, T: Send + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aj_mpc::Cluster;
     use crate::fxhash::FxHashSet;
+    use aj_mpc::Cluster;
 
     #[test]
     fn numbers_are_consecutive_per_key() {

@@ -284,7 +284,9 @@ mod tests {
 
     #[test]
     fn mixed_weights() {
-        let w: Vec<f64> = (1..200).map(|i| ((i * 37) % 100) as f64 / 100.0 + 0.005).collect();
+        let w: Vec<f64> = (1..200)
+            .map(|i| ((i * 37) % 100) as f64 / 100.0 + 0.005)
+            .collect();
         let w: Vec<f64> = w.into_iter().map(|x| x.min(1.0)).collect();
         run_case(8, w);
     }
@@ -320,6 +322,10 @@ mod tests {
             parallel_packing(&mut net, parts);
         }
         // Tree fanout √64 = 8 → loads stay O(√p).
-        assert!(cluster.stats().max_load <= 16, "load {}", cluster.stats().max_load);
+        assert!(
+            cluster.stats().max_load <= 16,
+            "load {}",
+            cluster.stats().max_load
+        );
     }
 }

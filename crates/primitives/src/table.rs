@@ -138,7 +138,9 @@ pub fn lookup<K: Key, V: Clone + Send + Sync>(
         let local: FxHashMap<&K, &V> = table.parts[owner].iter().map(|(k, v)| (k, v)).collect();
         asks.into_iter()
             .filter_map(|(k, requester)| {
-                local.get(&k).map(|v| (requester, (k.clone(), (*v).clone())))
+                local
+                    .get(&k)
+                    .map(|v| (requester, (k.clone(), (*v).clone())))
             })
             .collect()
     });
@@ -159,9 +161,8 @@ pub fn semi_join<T: Send + Sync, K: Key>(
     // Build the membership table (dedup at owner via sum_by_key on unit).
     let keyed = right_keys.map(|_, k| (k, ()));
     let table = sum_by_key(net, keyed, seed, |_, _| ());
-    let request_keys = Partitioned::from_parts(
-        net.run_each(|s| items[s].iter().map(&key_of).collect::<Vec<K>>()),
-    );
+    let request_keys =
+        Partitioned::from_parts(net.run_each(|s| items[s].iter().map(&key_of).collect::<Vec<K>>()));
     let hits = lookup(net, &table, &request_keys);
     let kept = net.run_local(
         items.into_parts().into_iter().zip(hits).collect::<Vec<_>>(),
@@ -274,7 +275,9 @@ mod tests {
     fn primitives_agree_across_executors() {
         let body = |net: &mut Net| {
             let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i % 37, i)).collect();
-            let table = sum_by_key(net, Partitioned::distribute(pairs, net.p()), 9, |a, b| a + b);
+            let table = sum_by_key(net, Partitioned::distribute(pairs, net.p()), 9, |a, b| {
+                a + b
+            });
             let requests = Partitioned::distribute((0..60u64).collect::<Vec<_>>(), net.p());
             let ans = lookup(net, &table, &requests);
             let mut flat: Vec<(u64, u64)> = ans

@@ -196,10 +196,12 @@ impl TupleBlock {
         out.rows += self.rows;
     }
 
-    /// Sort rows lexicographically. Rows are never boxed: common arities
-    /// (≤ 4) sort the flat buffer in place as fixed-width chunks; wider rows
-    /// sort a row-index permutation and gather once into a fresh buffer of
-    /// the same size.
+    /// Sort rows lexicographically **in place** at every arity. Rows are
+    /// never boxed: common arities (≤ 4) sort the flat buffer directly as
+    /// fixed-width chunks; wider rows sort a row-index permutation and then
+    /// apply it by cycle-following row moves through a single row-sized
+    /// scratch buffer — peak extra memory is one row plus the permutation,
+    /// never a second copy of the block.
     pub fn sort_rows(&mut self) {
         fn sort_fixed<const N: usize>(data: &mut [Value], rows: usize) {
             // SAFETY: `data` holds exactly `rows` back-to-back `[Value; N]`
@@ -216,17 +218,41 @@ impl TupleBlock {
             3 => sort_fixed::<3>(&mut self.data, self.rows),
             4 => sort_fixed::<4>(&mut self.data, self.rows),
             a => {
+                // order[i] = index of the row that belongs at position i.
                 let mut order: Vec<u32> = (0..self.rows as u32).collect();
-                let data = &self.data;
-                order.sort_unstable_by(|&x, &y| {
-                    data[x as usize * a..(x as usize + 1) * a]
-                        .cmp(&data[y as usize * a..(y as usize + 1) * a])
-                });
-                let mut sorted = Vec::with_capacity(self.data.len());
-                for &i in &order {
-                    sorted.extend_from_slice(&data[i as usize * a..(i as usize + 1) * a]);
+                {
+                    let data = &self.data;
+                    order.sort_unstable_by(|&x, &y| {
+                        data[x as usize * a..(x as usize + 1) * a]
+                            .cmp(&data[y as usize * a..(y as usize + 1) * a])
+                    });
                 }
-                self.data = sorted;
+                let mut scratch = vec![0u64; a];
+                let mut placed = vec![false; self.rows];
+                for start in 0..self.rows {
+                    if placed[start] {
+                        continue;
+                    }
+                    placed[start] = true;
+                    if order[start] as usize == start {
+                        continue;
+                    }
+                    // Rotate the cycle through `start`: hold the evicted row
+                    // in scratch, pull each slot's source row forward, and
+                    // drop the held row into the cycle's last slot.
+                    scratch.copy_from_slice(&self.data[start * a..(start + 1) * a]);
+                    let mut dst = start;
+                    loop {
+                        let src = order[dst] as usize;
+                        if src == start {
+                            self.data[dst * a..(dst + 1) * a].copy_from_slice(&scratch);
+                            break;
+                        }
+                        self.data.copy_within(src * a..(src + 1) * a, dst * a);
+                        placed[src] = true;
+                        dst = src;
+                    }
+                }
             }
         }
     }
@@ -390,6 +416,24 @@ mod tests {
         assert_eq!(z.len(), 4);
         z.sort_dedup();
         assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn wide_arity_sorts_in_place() {
+        // Arity 6 exercises the cycle-following permutation path.
+        let n = 257u64;
+        let mut b = TupleBlock::new(6);
+        for i in 0..n {
+            let x = (i * 131) % n; // a full cycle over 0..n, descending-ish
+            b.push_row(&[x % 7, x % 5, x, x + 1, x + 2, x + 3]);
+        }
+        let mut want = b.to_tuples();
+        b.sort_rows();
+        want.sort_unstable();
+        assert_eq!(b.to_tuples(), want);
+        b.dedup_rows();
+        want.dedup();
+        assert_eq!(b.to_tuples(), want);
     }
 
     #[test]

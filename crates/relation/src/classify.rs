@@ -241,7 +241,11 @@ impl AttributeForest {
     pub fn render(&self, q: &Query) -> String {
         fn rec(f: &AttributeForest, q: &Query, node: usize, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
-            let names: Vec<&str> = f.nodes[node].attrs.iter().map(|&a| q.attr_name(a)).collect();
+            let names: Vec<&str> = f.nodes[node]
+                .attrs
+                .iter()
+                .map(|&a| q.attr_name(a))
+                .collect();
             out.push_str(&format!("{pad}{}\n", names.join(",")));
             for &c in &f.nodes[node].children {
                 rec(f, q, c, depth + 1, out);

@@ -185,9 +185,9 @@ mod tests {
                 "GYO cover suboptimal on {qq}"
             );
             // Cover really covers.
-            let covered = g
-                .iter()
-                .fold(AttrSet::EMPTY, |acc, &e| acc.union(qq.edges()[e].attr_set()));
+            let covered = g.iter().fold(AttrSet::EMPTY, |acc, &e| {
+                acc.union(qq.edges()[e].attr_set())
+            });
             assert_eq!(covered, qq.all_attrs());
         }
     }

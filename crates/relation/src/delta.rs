@@ -1,0 +1,233 @@
+//! Signed update batches and counted materializations — the data model of
+//! incremental view maintenance.
+//!
+//! A live workload is not a sequence of fresh databases but a long-lived
+//! instance receiving small batches of **signed** changes: inserted and
+//! deleted tuples, per relation. [`UpdateBatch`] is that unit of change;
+//! [`RelationDelta`] is one relation's slice of it. Both are plain driver
+//! data — the delta *algorithms* live in `aj_core::delta`, which routes the
+//! signed tuples through the block exchange and joins them against cached
+//! state.
+//!
+//! The weight algebra is the **signed counting ring** ℤ
+//! ([`crate::semiring::ZRing`]): an insert carries `+1`, a delete `-1`, a
+//! join result the product of its inputs' weights, and a counted
+//! materialization sums weights per output tuple. Because the counts are
+//! exact, a deletion is a pure decrement — no re-derivation scan is ever
+//! needed to decide whether an output tuple still has support. Weights ride
+//! along the join algorithms encoded into a trailing `u64` column
+//! ([`encode_weight`] / [`decode_weight`]).
+//!
+//! ```
+//! use aj_relation::delta::UpdateBatch;
+//! use aj_relation::{database_from_rows, QueryBuilder, Tuple};
+//!
+//! let mut b = QueryBuilder::new();
+//! b.relation("R1", &["A", "B"]);
+//! b.relation("R2", &["B", "C"]);
+//! let q = b.build();
+//! let mut db = database_from_rows(&q, &[vec![vec![1, 10]], vec![vec![10, 7]]]);
+//!
+//! let mut batch = UpdateBatch::empty(q.n_edges());
+//! batch.insert(0, Tuple::from([2, 10]));
+//! batch.delete(1, Tuple::from([10, 7]));
+//! assert_eq!(batch.size(), 2);
+//! batch.apply_to(&mut db);
+//! assert_eq!(db.relations[0].len(), 2);
+//! assert_eq!(db.relations[1].len(), 0);
+//! ```
+
+use crate::query::Database;
+use crate::tuple::Tuple;
+
+/// The signed changes of one relation within an [`UpdateBatch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Tuples added to the relation (weight `+1` each).
+    pub inserts: Vec<Tuple>,
+    /// Tuples removed from the relation (weight `-1` each).
+    pub deletes: Vec<Tuple>,
+}
+
+impl RelationDelta {
+    /// An empty delta.
+    pub fn empty() -> Self {
+        RelationDelta::default()
+    }
+
+    /// Number of signed tuples (`|inserts| + |deletes|`).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Does the delta change nothing?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Iterate `(tuple, weight)` pairs: deletes first (weight `-1`), then
+    /// inserts (weight `+1`). Processing deletions before insertions within
+    /// one relation makes a batch that replaces a tuple (delete + insert of
+    /// the same key) behave like a net update regardless of internal order.
+    pub fn signed(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.deletes
+            .iter()
+            .map(|t| (t, -1i64))
+            .chain(self.inserts.iter().map(|t| (t, 1i64)))
+    }
+}
+
+/// One batch of signed tuple changes against a registered view's base
+/// relations: `deltas[e]` holds the changes of query edge `e`.
+///
+/// Set-semantics contract (matching the rest of the workspace): a batch
+/// should delete only tuples currently present and insert only tuples
+/// currently absent. `aj_core::delta` maintains exact signed counts, so a
+/// violating batch degrades gracefully (counts go above 1 or below 0 on the
+/// *base* bookkeeping) but the materialization then reflects the multiset
+/// reading of the base, not the set one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// One delta per query edge, aligned by edge index.
+    pub deltas: Vec<RelationDelta>,
+}
+
+impl UpdateBatch {
+    /// An all-empty batch over `m` relations.
+    pub fn empty(m: usize) -> Self {
+        UpdateBatch {
+            deltas: vec![RelationDelta::empty(); m],
+        }
+    }
+
+    /// Number of relations the batch spans.
+    pub fn n_relations(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Queue an insertion of `t` into relation `e`.
+    pub fn insert(&mut self, e: usize, t: Tuple) {
+        self.deltas[e].inserts.push(t);
+    }
+
+    /// Queue a deletion of `t` from relation `e`.
+    pub fn delete(&mut self, e: usize, t: Tuple) {
+        self.deltas[e].deletes.push(t);
+    }
+
+    /// `|Δ|`: the total number of signed tuples across all relations — the
+    /// `IN` of the maintenance pass, which the recompute-vs-maintain pricing
+    /// plugs into the closed-form bounds.
+    pub fn size(&self) -> u64 {
+        self.deltas.iter().map(|d| d.len() as u64).sum()
+    }
+
+    /// Does the batch change nothing?
+    pub fn is_empty(&self) -> bool {
+        self.deltas.iter().all(RelationDelta::is_empty)
+    }
+
+    /// Apply the batch to an in-memory database (the driver-side mirror used
+    /// by oracles and generators): deletes remove one matching occurrence,
+    /// inserts append. Relations are re-normalized (sorted, deduped) so the
+    /// result is a canonical set-semantics instance.
+    ///
+    /// # Panics
+    /// Panics if the batch spans a different number of relations than `db`.
+    pub fn apply_to(&self, db: &mut Database) {
+        assert_eq!(
+            self.deltas.len(),
+            db.relations.len(),
+            "batch/database arity mismatch"
+        );
+        for (delta, rel) in self.deltas.iter().zip(&mut db.relations) {
+            if delta.is_empty() {
+                continue;
+            }
+            if !delta.deletes.is_empty() {
+                // One occurrence removed per listed tuple: count the victims,
+                // then retain in one linear pass.
+                let mut dead: std::collections::HashMap<&Tuple, usize> =
+                    std::collections::HashMap::with_capacity(delta.deletes.len());
+                for t in &delta.deletes {
+                    *dead.entry(t).or_insert(0) += 1;
+                }
+                rel.tuples.retain(|t| match dead.get_mut(t) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        false
+                    }
+                    _ => true,
+                });
+            }
+            rel.tuples.extend(delta.inserts.iter().cloned());
+            rel.dedup();
+        }
+    }
+}
+
+/// A counted materialization snapshot: output tuples with their exact
+/// (positive) derivation counts, sorted by tuple — the canonical,
+/// executor-independent representation the differential tests compare
+/// bit-for-bit against a full recompute.
+pub type CountedSnapshot = Vec<(Tuple, u64)>;
+
+/// Encode a signed weight into a `u64` column (two's-complement bit cast) so
+/// it can ride through the join algorithms as a trailing annotation column.
+#[inline]
+pub fn encode_weight(w: i64) -> u64 {
+    w as u64
+}
+
+/// Inverse of [`encode_weight`].
+#[inline]
+pub fn decode_weight(v: u64) -> i64 {
+    v as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{database_from_rows, QueryBuilder};
+
+    fn q2() -> crate::query::Query {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.build()
+    }
+
+    #[test]
+    fn batch_bookkeeping() {
+        let mut batch = UpdateBatch::empty(2);
+        assert!(batch.is_empty());
+        batch.insert(0, Tuple::from([1, 2]));
+        batch.delete(1, Tuple::from([2, 3]));
+        batch.delete(1, Tuple::from([2, 4]));
+        assert_eq!(batch.size(), 3);
+        assert_eq!(batch.deltas[1].len(), 2);
+        let signed: Vec<i64> = batch.deltas[1].signed().map(|(_, w)| w).collect();
+        assert_eq!(signed, vec![-1, -1]);
+    }
+
+    #[test]
+    fn apply_to_removes_one_occurrence_and_normalizes() {
+        let q = q2();
+        let mut db = database_from_rows(&q, &[vec![vec![1, 10], vec![2, 10]], vec![vec![10, 7]]]);
+        let mut batch = UpdateBatch::empty(2);
+        batch.delete(0, Tuple::from([1, 10]));
+        batch.insert(0, Tuple::from([0, 10]));
+        batch.apply_to(&mut db);
+        assert_eq!(
+            db.relations[0].tuples,
+            vec![Tuple::from([0, 10]), Tuple::from([2, 10])]
+        );
+    }
+
+    #[test]
+    fn weight_encoding_round_trips() {
+        for w in [-3i64, -1, 0, 1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(decode_weight(encode_weight(w)), w);
+        }
+    }
+}

@@ -248,7 +248,12 @@ impl FreeConnexGhd {
         fn rec(g: &FreeConnexGhd, q: &Query, u: usize, depth: usize, out: &mut String) {
             let names: Vec<&str> = g.nodes[u].iter().map(|a| q.attr_name(a)).collect();
             let star = if g.connex.contains(&u) { "*" } else { "" };
-            out.push_str(&format!("{}{{{}}}{}\n", "  ".repeat(depth), names.join(","), star));
+            out.push_str(&format!(
+                "{}{{{}}}{}\n",
+                "  ".repeat(depth),
+                names.join(","),
+                star
+            ));
             for c in 0..g.nodes.len() {
                 if g.parent[c] == Some(u) {
                     rec(g, q, c, depth + 1, out);
@@ -344,8 +349,7 @@ mod tests {
                 name: "ŷ".into(),
                 attrs: y.clone(),
             });
-            let via_acyclic =
-                Query::from_parts(q.attr_names().to_vec(), edges).is_acyclic();
+            let via_acyclic = Query::from_parts(q.attr_names().to_vec(), edges).is_acyclic();
             assert_eq!(via_ghd, via_acyclic, "y = {y:?}");
         }
     }

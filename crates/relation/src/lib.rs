@@ -16,6 +16,8 @@
 //!   planning artifacts ([`signature`]);
 //! * heavy-hitter skew profiles and the grid math of hybrid routing
 //!   ([`skew`]);
+//! * signed update batches and counted materializations — the data model of
+//!   incremental view maintenance ([`delta`]);
 //! * Lemma 2's minimal-path-of-length-3 witness ([`minpath`]);
 //! * integral edge covers, Lemma 1 ([`cover`]);
 //! * semiring annotations for join-aggregate queries, Section 6
@@ -43,6 +45,7 @@
 pub mod block;
 pub mod classify;
 pub mod cover;
+pub mod delta;
 pub mod ghd;
 pub mod minpath;
 pub mod query;
@@ -55,10 +58,11 @@ pub mod tuple;
 
 pub use block::TupleBlock;
 pub use classify::JoinClass;
+pub use delta::{RelationDelta, UpdateBatch};
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
+pub use sets::{AttrSet, EdgeSet};
 pub use signature::QuerySignature;
 pub use skew::{JoinSkew, SkewProfile};
-pub use sets::{AttrSet, EdgeSet};
 pub use tuple::{Tuple, Value};
 
 /// A join tree of an acyclic query: node `i` is edge `i` of the query;

@@ -198,7 +198,8 @@ impl Query {
                 let mut shared = AttrSet::EMPTY;
                 for (o, &o_alive) in alive.iter().enumerate() {
                     if o != e && o_alive {
-                        shared = shared.union(self.edges[e].attr_set().intersect(self.edges[o].attr_set()));
+                        shared = shared
+                            .union(self.edges[e].attr_set().intersect(self.edges[o].attr_set()));
                     }
                 }
                 for w in 0..m {

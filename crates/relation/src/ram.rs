@@ -49,7 +49,9 @@ pub fn semi_join(r1: &Relation, r2: &Relation) -> Relation {
 /// # Panics
 /// Panics if the query is cyclic.
 pub fn full_reduce(q: &Query, db: &Database) -> Database {
-    let tree = q.join_tree().expect("full_reduce requires an acyclic query");
+    let tree = q
+        .join_tree()
+        .expect("full_reduce requires an acyclic query");
     let mut rels: Vec<Relation> = db.relations.clone();
     // Upward sweep (leaves first): parent ⋉ child.
     for &e in &tree.order {
@@ -155,8 +157,11 @@ pub fn count(q: &Query, db: &Database) -> u64 {
         // Message: key -> Σ weights of child tuples.
         let mut msg: HashMap<Tuple, u64> = HashMap::new();
         for (t, w) in &weights[e] {
-            *msg.entry(t.project(&pos_e)).or_insert(0) =
-                msg.get(&t.project(&pos_e)).copied().unwrap_or(0).saturating_add(*w);
+            *msg.entry(t.project(&pos_e)).or_insert(0) = msg
+                .get(&t.project(&pos_e))
+                .copied()
+                .unwrap_or(0)
+                .saturating_add(*w);
         }
         // Absorb into parent: multiply, dropping unmatched tuples.
         let parent_map = std::mem::take(&mut weights[p]);
@@ -168,7 +173,9 @@ pub fn count(q: &Query, db: &Database) -> u64 {
             })
             .collect();
     }
-    weights[tree.root()].values().fold(0u64, |a, &b| a.saturating_add(b))
+    weights[tree.root()]
+        .values()
+        .fold(0u64, |a, &b| a.saturating_add(b))
 }
 
 /// `|Q(R,S)|` (Section 1.5): the number of join results of the relations in
@@ -326,10 +333,7 @@ mod tests {
     #[test]
     fn count_empty_result() {
         let q = line3();
-        let db = database_from_rows(
-            &q,
-            &[vec![vec![1, 2]], vec![vec![3, 4]], vec![vec![5, 6]]],
-        );
+        let db = database_from_rows(&q, &[vec![vec![1, 2]], vec![vec![3, 4]], vec![vec![5, 6]]]);
         assert_eq!(count(&q, &db), 0);
         let (_, tuples) = join(&q, &db);
         assert!(tuples.is_empty());
@@ -341,7 +345,10 @@ mod tests {
         b.relation("R1", &["A"]);
         b.relation("R2", &["B"]);
         let q = b.build();
-        let db = database_from_rows(&q, &[vec![vec![1], vec![2]], vec![vec![7], vec![8], vec![9]]]);
+        let db = database_from_rows(
+            &q,
+            &[vec![vec![1], vec![2]], vec![vec![7], vec![8], vec![9]]],
+        );
         assert_eq!(count(&q, &db), 6);
         let (schema, tuples) = join(&q, &db);
         assert_eq!(schema, vec![0, 1]);

@@ -53,6 +53,38 @@ impl Semiring for CountRing {
     }
 }
 
+/// The **signed counting ring** `(i64, +, ×)` — the counting semiring
+/// [`CountRing`] extended with additive inverses, which is exactly what
+/// incremental view maintenance needs: an inserted tuple carries `+1`, a
+/// deleted tuple `-1`, a join derivation the product of its inputs'
+/// weights, and a counted materialization the per-tuple sum. Deletions are
+/// then exact decrements — no re-derivation scan (see
+/// [`crate::delta`]). Saturating like [`CountRing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZRing;
+
+impl Semiring for ZRing {
+    type T = i64;
+    fn zero() -> i64 {
+        0
+    }
+    fn one() -> i64 {
+        1
+    }
+    fn add(a: i64, b: i64) -> i64 {
+        a.saturating_add(b)
+    }
+    fn mul(a: i64, b: i64) -> i64 {
+        a.saturating_mul(b)
+    }
+    fn to_u64(v: i64) -> u64 {
+        v as u64 // two's-complement bit cast, inverted by from_u64
+    }
+    fn from_u64(v: u64) -> i64 {
+        v as i64
+    }
+}
+
 /// The Boolean semiring `(bool, ∨, ∧)`: EXISTS-style queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoolRing;
@@ -201,6 +233,17 @@ mod tests {
     }
 
     #[test]
+    fn z_ring_laws_and_inverses() {
+        laws::<ZRing>(&[-7, -1, 0, 1, 2, 100]);
+        // The ring structure beyond a semiring: additive inverses, which is
+        // what makes deletion weights exact.
+        for w in [-5i64, -1, 0, 1, 9] {
+            assert_eq!(ZRing::add(w, -w), ZRing::zero());
+            assert_eq!(ZRing::from_u64(ZRing::to_u64(w)), w);
+        }
+    }
+
+    #[test]
     fn min_plus_laws() {
         laws::<MinPlus>(&[0, 1, 5, 1000, u64::MAX]);
     }
@@ -224,9 +267,6 @@ mod tests {
             ],
         );
         a.combine_duplicates();
-        assert_eq!(
-            a.tuples,
-            vec![(Tuple::from([1]), 5), (Tuple::from([2]), 1)]
-        );
+        assert_eq!(a.tuples, vec![(Tuple::from([1]), 5), (Tuple::from([2]), 1)]);
     }
 }

@@ -136,8 +136,14 @@ macro_rules! bitset {
     };
 }
 
-bitset!(AttrSet, "A set of attribute indices (bitset, ≤ 64 attributes).");
-bitset!(EdgeSet, "A set of edge (relation) indices (bitset, ≤ 64 edges).");
+bitset!(
+    AttrSet,
+    "A set of attribute indices (bitset, ≤ 64 attributes)."
+);
+bitset!(
+    EdgeSet,
+    "A set of edge (relation) indices (bitset, ≤ 64 edges)."
+);
 
 #[cfg(test)]
 mod tests {

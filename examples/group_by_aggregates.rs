@@ -46,12 +46,18 @@ fn main() {
     let mut cluster = Cluster::new(p);
     let counts = {
         let mut net = cluster.net();
-        let ann: Vec<AnnRelation<CountRing>> =
-            db.relations.iter().map(AnnRelation::from_relation).collect();
+        let ann: Vec<AnnRelation<CountRing>> = db
+            .relations
+            .iter()
+            .map(AnnRelation::from_relation)
+            .collect();
         let mut seed = 17;
         join_aggregate::<CountRing>(&mut net, &q, &ann, &y, &mut seed).expect("free-connex")
     };
-    println!("\nCOUNT(*) GROUP BY room   (load L = {}):", cluster.stats().max_load);
+    println!(
+        "\nCOUNT(*) GROUP BY room   (load L = {}):",
+        cluster.stats().max_load
+    );
     for (t, c) in counts.gather_free() {
         println!("  room {} → {c} joined readings", t.get(0));
     }
@@ -61,15 +67,21 @@ fn main() {
     let mut cluster = Cluster::new(p);
     let mins = {
         let mut net = cluster.net();
-        let mut ann: Vec<AnnRelation<MinPlus>> =
-            db.relations.iter().map(AnnRelation::from_relation).collect();
+        let mut ann: Vec<AnnRelation<MinPlus>> = db
+            .relations
+            .iter()
+            .map(AnnRelation::from_relation)
+            .collect();
         for (t, w) in &mut ann[2].tuples {
             *w = 10 * (t.get(1) + 1); // drift cost per calibration batch
         }
         let mut seed = 18;
         join_aggregate::<MinPlus>(&mut net, &q, &ann, &y, &mut seed).expect("free-connex")
     };
-    println!("\nMIN drift-cost GROUP BY room  (load L = {}):", cluster.stats().max_load);
+    println!(
+        "\nMIN drift-cost GROUP BY room  (load L = {}):",
+        cluster.stats().max_load
+    );
     for (t, c) in mins.gather_free() {
         println!("  room {} → min cost {c}", t.get(0));
     }

@@ -53,13 +53,15 @@ pub use aj_relation as relation;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use aj_core::{
-        execute_best, execute_plan, DistDatabase, DistRelation, EngineConfig, Plan, QueryEngine,
-        QueryOutcome,
+        execute_best, execute_plan, DistDatabase, DistRelation, EngineConfig, MaintenanceChoice,
+        MaterializedView, Plan, QueryEngine, QueryOutcome, UpdateOutcome, ViewId,
     };
-    pub use aj_mpc::{BlockPartitioned, Cluster, EpochStats, Net, Partitioned, RowOutbox};
+    pub use aj_mpc::{
+        BlockPartitioned, Cluster, DeltaBlock, DeltaOutbox, EpochStats, Net, Partitioned, RowOutbox,
+    };
     pub use aj_primitives::{FxHashMap, FxHashSet};
     pub use aj_relation::{
         classify::classify, Database, JoinClass, JoinSkew, Query, QueryBuilder, QuerySignature,
-        Relation, SkewProfile, Tuple, TupleBlock,
+        Relation, SkewProfile, Tuple, TupleBlock, UpdateBatch,
     };
 }

@@ -11,17 +11,18 @@ use aj_core::aggregate::{is_free_connex, join_aggregate};
 use proptest::prelude::*;
 
 /// Naive reference: enumerate the full join, then fold annotations.
-fn reference<S: Semiring>(
-    q: &Query,
-    db: &[AnnRelation<S>],
-    y: &[usize],
-) -> Vec<(Tuple, S::T)>
+fn reference<S: Semiring>(q: &Query, db: &[AnnRelation<S>], y: &[usize]) -> Vec<(Tuple, S::T)>
 where
     S::T: std::fmt::Debug + PartialEq,
 {
     let plain = Database::new(
         db.iter()
-            .map(|r| Relation::new(r.attrs.clone(), r.tuples.iter().map(|(t, _)| t.clone()).collect()))
+            .map(|r| {
+                Relation::new(
+                    r.attrs.clone(),
+                    r.tuples.iter().map(|(t, _)| t.clone()).collect(),
+                )
+            })
             .collect(),
     );
     let (schema, results) = ram::join(q, &plain);
@@ -62,7 +63,11 @@ where
     v
 }
 
-fn annotated<S: Semiring>(db: &Database, seed: u64, mk: impl Fn(u64) -> S::T) -> Vec<AnnRelation<S>> {
+fn annotated<S: Semiring>(
+    db: &Database,
+    seed: u64,
+    mk: impl Fn(u64) -> S::T,
+) -> Vec<AnnRelation<S>> {
     db.relations
         .iter()
         .enumerate()

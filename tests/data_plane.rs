@@ -50,6 +50,26 @@ proptest! {
         prop_assert_eq!(block.to_tuples(), tuples);
     }
 
+    /// The any-arity in-place sort (the cycle-following permutation path,
+    /// arity > 4) matches the `Vec<Tuple>` reference pipeline at every
+    /// width, including with heavy duplication, and composes with dedup.
+    #[test]
+    fn wide_blocks_sort_in_place(seed in 0u64..10_000, n in 0usize..300, arity in 5usize..12) {
+        let rows = random_rows(seed, n, arity, 5); // tiny domain: many duplicates, long cycles
+        let mut block = TupleBlock::new(arity);
+        let mut tuples: Vec<Tuple> = Vec::new();
+        for r in &rows {
+            block.push_row(r);
+            tuples.push(Tuple::new(r));
+        }
+        block.sort_rows();
+        tuples.sort_unstable();
+        prop_assert_eq!(block.to_tuples(), tuples.clone());
+        block.dedup_rows();
+        tuples.dedup();
+        prop_assert_eq!(block.to_tuples(), tuples);
+    }
+
     /// Projection through a block matches per-tuple projection.
     #[test]
     fn block_projection_matches_tuples(seed in 0u64..10_000, n in 0usize..300) {
@@ -171,8 +191,9 @@ fn persistent_pool_reuse_stays_bit_identical() {
     let mut par = Cluster::with_executor(p, Box::new(ParExecutor::with_threads(4)));
     for round in 0..60u64 {
         let arity = 1 + (round % 3) as usize;
-        let shards: Vec<Vec<Vec<u64>>> =
-            (0..p).map(|s| random_rows(round ^ (s as u64) << 40, 90, arity, 512)).collect();
+        let shards: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|s| random_rows(round ^ (s as u64) << 40, 90, arity, 512))
+            .collect();
         let dest_of = |row: &[u64]| (row[0] % p as u64) as usize;
         let build = || {
             shards
@@ -233,7 +254,10 @@ fn skew_free_hybrid_routing_is_bit_identical_to_hash() {
             let r = DistRelation::distribute(&right, p);
             detect_join_skew(&mut net, &l, &r, 16).significant(p)
         };
-        assert!(!skew.is_skewed(), "uniform keys must threshold to an empty profile");
+        assert!(
+            !skew.is_skewed(),
+            "uniform keys must threshold to an empty profile"
+        );
         cluster.reset_stats(); // compare the join rounds in isolation
         let out = {
             let mut net = cluster.net();

@@ -18,7 +18,11 @@ fn run_sorted(
     p: usize,
     q: &Query,
     db: &Database,
-    f: impl FnOnce(&mut acyclic_joins::mpc::Net, &Query, acyclic_joins::core::DistDatabase) -> acyclic_joins::core::DistRelation,
+    f: impl FnOnce(
+        &mut acyclic_joins::mpc::Net,
+        &Query,
+        acyclic_joins::core::DistDatabase,
+    ) -> acyclic_joins::core::DistRelation,
 ) -> Vec<Tuple> {
     let mut cluster = Cluster::new(p);
     let out = {

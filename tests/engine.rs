@@ -43,8 +43,14 @@ fn mixed_batch() -> Vec<(Query, Database)> {
             star.clone(),
             dedup(random::random_instance(&star, 40, 10, 1000 + i)),
         ));
-        batch.push((rh.clone(), dedup(random::random_instance(&rh, 40, 8, 2000 + i))));
-        batch.push((tf.clone(), dedup(random::random_instance(&tf, 36, 4, 3000 + i))));
+        batch.push((
+            rh.clone(),
+            dedup(random::random_instance(&rh, 40, 8, 2000 + i)),
+        ));
+        batch.push((
+            tf.clone(),
+            dedup(random::random_instance(&tf, 36, 4, 3000 + i)),
+        ));
         batch.push(match i % 2 {
             0 => (line.clone(), fig3::one_sided(32, 64 + 32 * i).db),
             _ => {
@@ -153,7 +159,10 @@ fn cost_based_never_worse_than_class_dispatch() {
         );
         switched |= a.plan != b.plan;
     }
-    assert!(switched, "at least one case must exercise a genuine plan switch");
+    assert!(
+        switched,
+        "at least one case must exercise a genuine plan switch"
+    );
 }
 
 /// Per-query loads are bit-identical across SeqExecutor and ParExecutor.
@@ -168,7 +177,11 @@ fn executors_report_identical_per_query_epochs() {
         assert_eq!(x.plan, y.plan, "plan diverged on {q}");
         assert_eq!(x.planning, y.planning, "planning epoch diverged on {q}");
         assert_eq!(x.execution, y.execution, "execution epoch diverged on {q}");
-        assert_eq!(sorted(&x.output), sorted(&y.output), "result diverged on {q}");
+        assert_eq!(
+            sorted(&x.output),
+            sorted(&y.output),
+            "result diverged on {q}"
+        );
     }
     assert_eq!(seq.stats(), par.stats());
 }

@@ -153,7 +153,11 @@ fn persistent_pool_serves_many_queries_bit_identically() {
         };
         let mut seq = Cluster::new(p);
         let (seq_out, seq_delta) = run_on(&mut seq);
-        let which = if round % 2 == 0 { &mut par_a } else { &mut par_b };
+        let which = if round % 2 == 0 {
+            &mut par_a
+        } else {
+            &mut par_b
+        };
         let (par_out, par_delta) = run_on(which);
         assert_eq!(seq_out, par_out, "round {round}");
         assert_eq!(seq_delta, par_delta, "round {round}");

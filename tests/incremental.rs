@@ -1,0 +1,329 @@
+//! Differential tests of the incremental-maintenance subsystem
+//! (`aj_core::delta`): for every view shape, applying a stream of random
+//! signed batches must leave a counted materialization **bit-identical** to
+//! a full recompute on the final base state — on both executors — and the
+//! maintained skew profiles must track updates and invalidate on rebuild.
+
+use aj_core::engine::QueryEngine;
+use aj_core::planner::MaintenanceChoice;
+use aj_mpc::Cluster;
+use aj_relation::delta::{CountedSnapshot, UpdateBatch};
+use aj_relation::{ram, Database, Query, Tuple};
+
+/// The RAM-model oracle's counted materialization of `q` on `db`: every
+/// output tuple of the set-semantics join with count 1, sorted.
+fn oracle_snapshot(q: &Query, db: &Database) -> CountedSnapshot {
+    let mut tuples = ram::naive_join(q, db);
+    tuples.sort_unstable();
+    tuples.dedup();
+    tuples.into_iter().map(|t| (t, 1)).collect()
+}
+
+/// Every registered shape: (label, query, database).
+fn shapes() -> Vec<(&'static str, Query, Database)> {
+    let mut cases = Vec::new();
+
+    // Binary join (tall-flat).
+    let mut b = aj_relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let q = b.build();
+    let db = aj_relation::database_from_rows(
+        &q,
+        &[
+            (0..60).map(|i| vec![i, i % 7]).collect(),
+            (0..45).map(|i| vec![i % 7, 1000 + i]).collect(),
+        ],
+    );
+    cases.push(("binary", q, db));
+
+    // Line-3 (acyclic, Theorem-7 territory) — a Figure-3 hard instance.
+    let inst = aj_instancegen::fig3::one_sided(48, 48 * 6);
+    cases.push(("line3", inst.query, inst.db));
+
+    // Star (r-hierarchical).
+    let q = aj_instancegen::shapes::star_query(3);
+    let mut db = aj_instancegen::random::random_instance(&q, 60, 9, 77);
+    db.dedup_all();
+    cases.push(("star3", q, db));
+
+    // Triangle (cyclic → delta-HyperCube).
+    let inst = aj_instancegen::fig6::generate(40, 90, 5);
+    cases.push(("triangle", inst.query, inst.db));
+
+    cases
+}
+
+/// Drive one engine through registration + a generated update stream;
+/// assert the snapshot matches the oracle after every batch, and that a
+/// fresh registration on the final state is bit-identical.
+fn drive(
+    label: &str,
+    q: &Query,
+    db: &Database,
+    parallel: bool,
+    zipf_s: f64,
+) -> (CountedSnapshot, Vec<aj_mpc::EpochStats>) {
+    let mut engine = if parallel {
+        QueryEngine::new_parallel(8)
+    } else {
+        QueryEngine::new(8)
+    };
+    let view = engine.register_view(q, db);
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    assert_eq!(
+        engine.view(view).snapshot(),
+        oracle_snapshot(q, &mirror),
+        "{label}: registration snapshot"
+    );
+    let batches = aj_instancegen::updates::update_stream(q, &mirror, 4, 0.05, zipf_s, 0xfeed);
+    let mut epochs = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        let outcome = engine.apply_update(view, batch);
+        batch.apply_to(&mut mirror);
+        assert_eq!(
+            engine.view(view).snapshot(),
+            oracle_snapshot(q, &mirror),
+            "{label}: batch {i} snapshot (strategy {})",
+            outcome.strategy
+        );
+        assert_eq!(outcome.out_size, engine.view(view).snapshot().len() as u64);
+        epochs.push(outcome.maintenance);
+    }
+    // Bit-identical to a full recompute on the final state.
+    let mut fresh = QueryEngine::new(8);
+    let fresh_view = fresh.register_view(q, &mirror);
+    assert_eq!(
+        engine.view(view).snapshot(),
+        fresh.view(fresh_view).snapshot(),
+        "{label}: maintained ≠ recomputed on the final state"
+    );
+    (engine.view(view).snapshot(), epochs)
+}
+
+/// The acceptance differential: every shape, uniform update stream, N
+/// batches, maintained == recomputed, and the parallel executor reproduces
+/// the sequential engine's snapshots and per-batch epochs bit for bit.
+#[test]
+fn maintained_views_match_recompute_on_every_shape() {
+    for (label, q, db) in shapes() {
+        let (seq_snap, seq_epochs) = drive(label, &q, &db, false, 0.0);
+        let (par_snap, par_epochs) = drive(label, &q, &db, true, 0.0);
+        assert_eq!(seq_snap, par_snap, "{label}: executor snapshots differ");
+        assert_eq!(seq_epochs, par_epochs, "{label}: executor epochs differ");
+    }
+}
+
+/// Zipf-skewed update streams hammer the hot keys; counts must stay exact.
+#[test]
+fn skewed_update_streams_stay_exact() {
+    for (label, q, db) in shapes() {
+        drive(label, &q, &db, false, 1.1);
+    }
+}
+
+/// A batch the size of the instance prices above the closed-form recompute:
+/// the planner must fall back to a rebuild, and the result must still match
+/// the oracle (the cost-based fall-back, not a hardcoded threshold).
+#[test]
+fn oversized_batch_triggers_cost_based_recompute() {
+    let (_, q, db) = shapes().remove(1); // line3
+    let mut engine = QueryEngine::new(8);
+    let view = engine.register_view(&q, &db);
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    // Replace essentially the whole instance, twice over (fraction 1.0
+    // deletes/inserts ≈ IN/2 per relation each batch; churn accumulates).
+    let batches = aj_instancegen::updates::update_stream(&q, &mirror, 3, 1.0, 0.0, 0xdead);
+    let mut saw_recompute = false;
+    for batch in &batches {
+        let outcome = engine.apply_update(view, batch);
+        batch.apply_to(&mut mirror);
+        saw_recompute |= outcome.strategy == MaintenanceChoice::Recompute;
+        assert_eq!(engine.view(view).snapshot(), oracle_snapshot(&q, &mirror));
+    }
+    assert!(
+        saw_recompute,
+        "instance-sized batches must price above maintenance"
+    );
+    assert!(engine.view(view).rebuilds() > 0);
+    // After a rebuild the churn counter resets.
+    assert!(engine.view(view).cum_delta() < mirror.input_size() as u64);
+}
+
+/// Tiny batches must always maintain (the delta pass prices orders of
+/// magnitude below recompute), and the maintenance epochs must be far
+/// cheaper than the registration build.
+#[test]
+fn small_batches_maintain_and_stay_cheap() {
+    let (_, q, db) = shapes().remove(1); // line3
+    let mut engine = QueryEngine::new(8);
+    let view = engine.register_view(&q, &db);
+    let build_units = engine.view(view).registration().total_messages;
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    let batches = aj_instancegen::updates::update_stream(&q, &mirror, 3, 0.01, 0.0, 7);
+    for batch in &batches {
+        let outcome = engine.apply_update(view, batch);
+        batch.apply_to(&mut mirror);
+        assert_eq!(outcome.strategy, MaintenanceChoice::Maintain);
+        assert!(
+            2 * outcome.maintenance.total_messages <= build_units,
+            "1% batch cost {} vs build {build_units}",
+            outcome.maintenance.total_messages
+        );
+    }
+}
+
+/// Multi-relation batches must respect the `ΔR_i ⋈ R_{<i}^new ⋈ R_{>i}^old`
+/// decomposition: a batch that moves a tuple *between* joinable positions
+/// of different relations in one call must land on the oracle state.
+#[test]
+fn batches_touching_every_relation_at_once() {
+    let inst = aj_instancegen::fig6::generate(30, 60, 11);
+    let (q, db) = (inst.query, inst.db);
+    let mut engine = QueryEngine::new(4);
+    let view = engine.register_view(&q, &db);
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    let mut batch = UpdateBatch::empty(q.n_edges());
+    for (e, rel) in mirror.relations.iter().enumerate() {
+        // Delete the first two tuples of each relation, insert fresh hubs.
+        for t in rel.tuples.iter().take(2) {
+            batch.delete(e, t.clone());
+        }
+        batch.insert(e, Tuple::from([0, e as u64]));
+        batch.insert(e, Tuple::from([e as u64, 0]));
+    }
+    let outcome = engine.apply_update(view, &batch);
+    batch.apply_to(&mut mirror);
+    assert_eq!(outcome.strategy, MaintenanceChoice::Maintain);
+    assert_eq!(engine.view(view).snapshot(), oracle_snapshot(&q, &mirror));
+}
+
+/// A delete followed by a re-insert of the same tuple (same batch and
+/// across batches) must round-trip the counts exactly.
+#[test]
+fn delete_reinsert_round_trip() {
+    let mut b = aj_relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let q = b.build();
+    let db = aj_relation::database_from_rows(
+        &q,
+        &[
+            (0..20).map(|i| vec![i, i % 3]).collect(),
+            (0..12).map(|i| vec![i % 3, 500 + i]).collect(),
+        ],
+    );
+    let mut engine = QueryEngine::new(4);
+    let view = engine.register_view(&q, &db);
+    let before = engine.view(view).snapshot();
+    // Same batch: delete + re-insert is a no-op.
+    let mut batch = UpdateBatch::empty(2);
+    batch.delete(0, Tuple::from([0, 0]));
+    batch.insert(0, Tuple::from([0, 0]));
+    engine.apply_update(view, &batch);
+    assert_eq!(engine.view(view).snapshot(), before);
+    // Across batches: remove, verify shrink, restore, verify round-trip.
+    let mut del = UpdateBatch::empty(2);
+    del.delete(0, Tuple::from([0, 0]));
+    engine.apply_update(view, &del);
+    assert!(engine.view(view).snapshot().len() < before.len());
+    let mut ins = UpdateBatch::empty(2);
+    ins.insert(0, Tuple::from([0, 0]));
+    engine.apply_update(view, &ins);
+    assert_eq!(engine.view(view).snapshot(), before);
+}
+
+/// Satellite: a join key whose frequency crosses the heavy-hitter threshold
+/// mid-stream must become visible in the *maintained* profile without any
+/// re-detection, and a rebuild must re-detect (invalidate) the profile.
+#[test]
+fn view_skew_profile_crosses_threshold_and_invalidates() {
+    let p = 8usize;
+    let mut b = aj_relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let q = b.build();
+    // 256 light tuples per side, key domain 64: nobody near IN/p = 64.
+    let db = aj_relation::database_from_rows(
+        &q,
+        &[
+            (0..256).map(|i| vec![i, i % 64]).collect(),
+            (0..256).map(|i| vec![i % 64, 4000 + i]).collect(),
+        ],
+    );
+    let mut engine = QueryEngine::with_cluster(Cluster::new(p), Default::default());
+    let view = engine.register_view(&q, &db);
+    let skew = engine.view(view).skew().expect("binary view is profiled");
+    assert!(
+        !skew.significant(p).left.is_heavy(&[7]),
+        "key 7 must start light"
+    );
+    // Stream inserts onto key B = 7 on the left side until it crosses the
+    // fair share of the (growing) relation.
+    let mut batch = UpdateBatch::empty(2);
+    for i in 0..80u64 {
+        batch.insert(0, Tuple::from([10_000 + i, 7]));
+    }
+    let outcome = engine.apply_update(view, &batch);
+    assert_eq!(outcome.strategy, MaintenanceChoice::Maintain);
+    let skew = engine.view(view).skew().expect("still profiled");
+    assert!(
+        skew.significant(p).left.is_heavy(&[7]),
+        "key 7 crossed the threshold mid-stream: {skew:?}"
+    );
+    assert_eq!(skew.left.total(), 256 + 80);
+    // Deleting the hot tuples drops the maintained bound back below the
+    // threshold.
+    let mut back = UpdateBatch::empty(2);
+    for i in 0..80u64 {
+        back.delete(0, Tuple::from([10_000 + i, 7]));
+    }
+    engine.apply_update(view, &back);
+    let skew = engine.view(view).skew().expect("still profiled");
+    assert!(!skew.significant(p).left.is_heavy(&[7]));
+    // Invalidation on recompute: force a rebuild with an instance-sized
+    // batch and check the profile was re-detected from the actual base
+    // (fresh exact nominations, not the maintained lower bounds).
+    let rebuilds_before = engine.view(view).rebuilds();
+    let mut mirror = engine.view(view).base().clone();
+    let huge = aj_instancegen::updates::update_stream(&q, &mirror, 1, 1.0, 0.0, 3).remove(0);
+    let outcome = engine.apply_update(view, &huge);
+    huge.apply_to(&mut mirror);
+    assert_eq!(outcome.strategy, MaintenanceChoice::Recompute);
+    assert!(engine.view(view).rebuilds() > rebuilds_before);
+    let skew = engine.view(view).skew().expect("re-detected");
+    assert_eq!(
+        skew.left.total(),
+        mirror.relations[0].len() as u64,
+        "rebuild re-detects from the current base"
+    );
+}
+
+/// Per-view epochs attribute maintenance load: registration and every batch
+/// report their own interval, and the engine's cumulative stats cover them.
+#[test]
+fn view_epochs_attribute_maintenance_load() {
+    let (_, q, db) = shapes().remove(0);
+    let mut engine = QueryEngine::new(4);
+    let view = engine.register_view(&q, &db);
+    let reg = engine.view(view).registration().clone();
+    assert!(reg.total_messages > 0 && reg.exchanges > 0);
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    let batch = aj_instancegen::updates::update_stream(&q, &mirror, 1, 0.05, 0.0, 5).remove(0);
+    let outcome = engine.apply_update(view, &batch);
+    assert!(outcome.maintenance.total_messages > 0);
+    // Registration + the batch are all the communication this engine did.
+    assert_eq!(
+        engine.stats().total_messages,
+        reg.total_messages + outcome.maintenance.total_messages
+    );
+    assert_eq!(
+        engine.stats().max_load,
+        reg.max_load.max(outcome.maintenance.max_load)
+    );
+}

@@ -32,7 +32,10 @@ fn theorem5_beats_yannakakis_with_growing_gap() {
             let mut s = 3;
             yannakakis::yannakakis(net, &inst.query, distribute_db(&inst.db, p), None, &mut s);
         });
-        assert!(ours < yan, "line3 {ours} !< yannakakis {yan} at factor {factor}");
+        assert!(
+            ours < yan,
+            "line3 {ours} !< yannakakis {yan} at factor {factor}"
+        );
         gaps.push(yan as f64 / ours as f64);
     }
     assert!(
@@ -244,7 +247,10 @@ fn hybrid_replicas_charged_once_per_receiver() {
     // Epoch peaks sum to the same totals a delta over the interval reports.
     let delta = cluster.stats().delta_since(&before);
     assert_eq!(delta.total_messages, expected);
-    assert_eq!(delta.max_load, epoch.max_load, "delta and epoch agree exactly");
+    assert_eq!(
+        delta.max_load, epoch.max_load,
+        "delta and epoch agree exactly"
+    );
 }
 
 /// Instance-optimality (Theorem 3) vs output-optimality: on a skewed star
