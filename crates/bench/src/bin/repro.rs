@@ -5,6 +5,10 @@
 //! repro                      # run everything (sequential executor)
 //! repro --parallel           # also run every measurement on the parallel
 //!                            #   executor: assert equal loads, report speedup
+//! repro --backend net        # also run every measurement on the network
+//!                            #   backend (message passing over wire frames):
+//!                            #   assert equal loads, report wire bytes
+//! repro --backend par        # alias for --parallel; --backend seq is a no-op
 //! repro --json BENCH.json    # additionally write the benchmark trajectory
 //!                            #   (per-experiment wall clocks, loads,
 //!                            #   throughput) as JSON
@@ -13,16 +17,34 @@
 //! repro --parallel fig3 thm5 # flags and ids combine
 //! ```
 
-use aj_bench::{run_experiment, set_parallel, take_records, ExperimentRun, ALL_EXPERIMENTS};
+use aj_bench::{
+    run_experiment, set_net, set_parallel, take_records, ExperimentRun, ALL_EXPERIMENTS,
+};
 
 fn main() {
     let mut parallel = false;
+    let mut net = false;
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--parallel" | "-P" => parallel = true,
+            "--backend" => {
+                let backend = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --backend needs one of: seq, par, net");
+                    std::process::exit(2);
+                });
+                match backend.as_str() {
+                    "seq" => {}
+                    "par" => parallel = true,
+                    "net" => net = true,
+                    other => {
+                        eprintln!("error: unknown backend '{other}' (expected seq, par or net)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("error: --json needs a file path");
@@ -37,7 +59,10 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--parallel] [--json PATH] [list | EXPERIMENT...]");
+                println!(
+                    "usage: repro [--parallel] [--backend seq|par|net] [--json PATH] \
+                     [list | EXPERIMENT...]"
+                );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return;
             }
@@ -45,6 +70,7 @@ fn main() {
         }
     }
     set_parallel(parallel);
+    set_net(net);
     let ids: Vec<&str> = if ids.is_empty() {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -60,6 +86,12 @@ fn main() {
     if parallel {
         println!(
             "parallel comparison ON: every measurement re-runs on ParExecutor (same L asserted)"
+        );
+    }
+    if net {
+        println!(
+            "network backend ON: every measurement re-runs on NetExecutor \
+             (message passing over wire frames, same L asserted)"
         );
     }
     println!();
@@ -79,7 +111,7 @@ fn main() {
         });
     }
     if let Some(path) = json_path {
-        let doc = aj_bench::jsonout::render(parallel, &runs);
+        let doc = aj_bench::jsonout::render(parallel, net, &runs);
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

@@ -199,6 +199,8 @@ pub fn run() -> Vec<ExpTable> {
         units: n_queries as u64,
         seq_ms: cost_ms,
         par_ms,
+        net_ms: None,
+        wire_bytes: None,
     });
 
     let mut t = ExpTable::new(

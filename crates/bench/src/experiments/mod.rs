@@ -39,6 +39,7 @@ use aj_relation::{Database, Query};
 use crate::table::fmt_f;
 
 static PARALLEL: AtomicBool = AtomicBool::new(false);
+static NET: AtomicBool = AtomicBool::new(false);
 
 /// One measured cell recorded for the `--json` benchmark trajectory
 /// (`repro --json BENCH_repro.json`): wall clocks, the simulated load, and a
@@ -58,6 +59,11 @@ pub struct BenchRecord {
     pub seq_ms: f64,
     /// Parallel-executor wall time (only when the comparison is enabled).
     pub par_ms: Option<f64>,
+    /// Network-backend wall time (only with [`set_net`]).
+    pub net_ms: Option<f64>,
+    /// Bytes serialized through wire frames on the network backend
+    /// (only with [`set_net`]).
+    pub wire_bytes: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -84,6 +90,20 @@ pub fn parallel_enabled() -> bool {
     PARALLEL.load(Ordering::Relaxed)
 }
 
+/// Enable/disable the network-backend comparison in every measurement
+/// (the `repro --backend net` flag). Each measurement then also runs on a
+/// [`aj_mpc::NetExecutor`]-backed cluster — one thread per server, all
+/// cross-server traffic serialized through wire frames — and asserts the
+/// result and the measured load match the sequential executor exactly.
+pub fn set_net(enabled: bool) {
+    NET.store(enabled, Ordering::Relaxed);
+}
+
+/// Is the network-backend comparison enabled?
+pub fn net_enabled() -> bool {
+    NET.load(Ordering::Relaxed)
+}
+
 /// Wall-clock measurements of one experiment cell.
 #[derive(Debug, Clone, Copy)]
 pub struct Wall {
@@ -91,26 +111,33 @@ pub struct Wall {
     pub seq_ms: f64,
     /// Parallel-executor wall time (only with [`set_parallel`]).
     pub par_ms: Option<f64>,
+    /// Network-backend wall time (only with [`set_net`]).
+    pub net_ms: Option<f64>,
+    /// Wire bytes serialized on the network backend (only with [`set_net`]).
+    pub wire_bytes: Option<u64>,
 }
 
 impl Wall {
     /// Table headers for the wall-clock columns.
-    pub const HEADER: [&'static str; 3] = ["ms(seq)", "ms(par)", "speedup"];
+    pub const HEADER: [&'static str; 5] = ["ms(seq)", "ms(par)", "speedup", "ms(net)", "wire(KiB)"];
 
     /// Render the wall-clock columns of a row.
     pub fn cells(&self) -> Vec<String> {
-        match self.par_ms {
+        let mut cells = match self.par_ms {
             Some(par) => vec![
                 fmt_f(self.seq_ms),
                 fmt_f(par),
                 format!("{:.2}x", self.seq_ms / par.max(1e-9)),
             ],
-            None => {
-                let mut cells = Self::na_cells();
-                cells[0] = fmt_f(self.seq_ms);
-                cells
-            }
-        }
+            None => vec![fmt_f(self.seq_ms), "-".to_string(), "-".to_string()],
+        };
+        cells.push(self.net_ms.map(fmt_f).unwrap_or_else(|| "-".to_string()));
+        cells.push(
+            self.wire_bytes
+                .map(|b| format!("{:.1}", b as f64 / 1024.0))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        cells
     }
 
     /// Placeholder cells for rows with no wall-clock measurement, always in
@@ -130,7 +157,10 @@ pub(crate) fn with_wall(base: &[&'static str]) -> Vec<&'static str> {
 /// With [`set_parallel`] enabled, runs the body a second time on a
 /// [`aj_mpc::ParExecutor`]-backed cluster and asserts the result and the
 /// measured load are identical — the executor-equivalence guarantee, checked
-/// on every fig/table experiment.
+/// on every fig/table experiment. With [`set_net`] enabled, runs it once
+/// more on a [`aj_mpc::NetExecutor`]-backed cluster (message passing only)
+/// with the same assertions, additionally recording the wire bytes the run
+/// serialized.
 pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     p: usize,
     f: impl Fn(&mut aj_mpc::Net) -> R,
@@ -164,6 +194,32 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     } else {
         None
     };
+    let (net_ms, wire_bytes) = if net_enabled() {
+        let t2 = Instant::now();
+        let mut net_cluster = Cluster::new_net(p);
+        let net_out = {
+            let mut net = net_cluster.net();
+            f(&mut net)
+        };
+        let ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            net_cluster.stats().max_load,
+            load,
+            "SeqExecutor and NetExecutor disagree on the measured load"
+        );
+        assert_eq!(
+            net_out, out,
+            "SeqExecutor and NetExecutor disagree on the result"
+        );
+        let bytes = net_cluster
+            .executor()
+            .as_net()
+            .expect("net cluster must carry a NetExecutor")
+            .wire_bytes();
+        (Some(ms), Some(bytes))
+    } else {
+        (None, None)
+    };
     record(BenchRecord {
         label: "measure".to_string(),
         p,
@@ -171,8 +227,19 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
         units: cluster.stats().total_messages,
         seq_ms,
         par_ms,
+        net_ms,
+        wire_bytes,
     });
-    (out, load, Wall { seq_ms, par_ms })
+    (
+        out,
+        load,
+        Wall {
+            seq_ms,
+            par_ms,
+            net_ms,
+            wire_bytes,
+        },
+    )
 }
 
 /// Measure Yannakakis with a given order.
@@ -252,5 +319,29 @@ mod tests {
         super::set_parallel(true);
         let tables = crate::run_experiment("fig3");
         assert!(!tables.is_empty());
+    }
+
+    /// Same guarantee for the network backend: with the net comparison
+    /// enabled, `measure` asserts bit-identical loads and results against
+    /// the wire-serialized executor and records non-zero wire traffic.
+    #[test]
+    fn net_comparison_agrees_on_fig3() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                super::set_net(false);
+            }
+        }
+        let _restore = Restore;
+        super::set_net(true);
+        let tables = crate::run_experiment("fig3");
+        assert!(!tables.is_empty());
+        // Other tests may record cells concurrently (the recorder is global),
+        // so only assert that *some* cell carries net-backend wire traffic.
+        let cells = super::take_records();
+        assert!(
+            cells.iter().any(|c| c.wire_bytes.unwrap_or(0) > 0),
+            "no cell recorded wire traffic"
+        );
     }
 }

@@ -94,6 +94,8 @@ pub fn run() -> Vec<ExpTable> {
             units: in_size as u64 + out_seq as u64,
             seq_ms,
             par_ms: Some(par_ms),
+            net_ms: None,
+            wire_bytes: None,
         });
         t.row(vec![
             p.to_string(),

@@ -174,6 +174,8 @@ pub fn run() -> Vec<ExpTable> {
                 units: per_batch,
                 seq_ms: maint_ms / BATCHES as f64,
                 par_ms: None,
+                net_ms: None,
+                wire_bytes: None,
             });
             super::record(super::BenchRecord {
                 label: format!("updates:{label}@{:.1}%-recompute", fraction * 100.0),
@@ -182,6 +184,8 @@ pub fn run() -> Vec<ExpTable> {
                 units: rec_units,
                 seq_ms: rebuild_ms,
                 par_ms: None,
+                net_ms: None,
+                wire_bytes: None,
             });
             t.row(vec![
                 label.to_string(),

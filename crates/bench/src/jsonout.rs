@@ -14,6 +14,7 @@
 //!       "id": "scaling",
 //!       "wall_ms": 1234.5,
 //!       "seq_ms": 1000.0, "par_ms": 400.0,
+//!       "net_ms": 1200.0, "wire_bytes": 65536,
 //!       "max_load": 9000, "units": 120000,
 //!       "units_per_sec_seq": 120000.0, "units_per_sec_par": 300000.0,
 //!       "cells": [ {"label": "binary-join", "p": 8, ...}, ... ]
@@ -67,11 +68,12 @@ fn rate(units: u64, ms: f64) -> f64 {
 }
 
 /// Render the full trajectory document.
-pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
+pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": 1,\n");
     out.push_str(&format!("  \"parallel\": {parallel},\n"));
+    out.push_str(&format!("  \"net\": {net},\n"));
     out.push_str("  \"experiments\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let seq_ms: f64 = run.cells.iter().map(|c| c.seq_ms).sum();
@@ -81,6 +83,17 @@ pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
             } else {
                 None
             };
+        let net_ms: Option<f64> =
+            if run.cells.iter().all(|c| c.net_ms.is_some()) && !run.cells.is_empty() {
+                Some(run.cells.iter().filter_map(|c| c.net_ms).sum())
+            } else {
+                None
+            };
+        let wire_bytes: Option<u64> = if run.cells.iter().any(|c| c.wire_bytes.is_some()) {
+            Some(run.cells.iter().filter_map(|c| c.wire_bytes).sum())
+        } else {
+            None
+        };
         let max_load = run.cells.iter().map(|c| c.max_load).max().unwrap_or(0);
         let units: u64 = run.cells.iter().map(|c| c.units).sum();
         out.push_str("    {\n");
@@ -88,6 +101,13 @@ pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
         out.push_str(&format!("      \"wall_ms\": {},\n", f(run.wall_ms)));
         out.push_str(&format!("      \"seq_ms\": {},\n", f(seq_ms)));
         out.push_str(&format!("      \"par_ms\": {},\n", opt_f(par_ms)));
+        out.push_str(&format!("      \"net_ms\": {},\n", opt_f(net_ms)));
+        out.push_str(&format!(
+            "      \"wire_bytes\": {},\n",
+            wire_bytes
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".to_string())
+        ));
         out.push_str(&format!("      \"max_load\": {max_load},\n"));
         out.push_str(&format!("      \"units\": {units},\n"));
         out.push_str(&format!(
@@ -101,13 +121,17 @@ pub fn render(parallel: bool, runs: &[ExperimentRun]) -> String {
         out.push_str("      \"cells\": [\n");
         for (j, c) in run.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}}}{}\n",
+                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}, \"net_ms\": {}, \"wire_bytes\": {}}}{}\n",
                 esc(&c.label),
                 c.p,
                 c.max_load,
                 c.units,
                 f(c.seq_ms),
                 opt_f(c.par_ms),
+                opt_f(c.net_ms),
+                c.wire_bytes
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
                 if j + 1 == run.cells.len() { "" } else { "," }
             ));
         }
@@ -137,9 +161,11 @@ mod tests {
                 units: 100,
                 seq_ms: 5.0,
                 par_ms: Some(2.5),
+                net_ms: None,
+                wire_bytes: None,
             }],
         }];
-        let s = render(true, &runs);
+        let s = render(true, false, &runs);
         assert!(s.contains("\"schema\": 1"));
         assert!(s.contains("\"id\": \"demo\""));
         assert!(s.contains("\"par_ms\": 2.500"));
@@ -147,6 +173,28 @@ mod tests {
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn net_fields_render() {
+        let runs = vec![ExperimentRun {
+            id: "net".to_string(),
+            wall_ms: 1.0,
+            cells: vec![BenchRecord {
+                label: "c".to_string(),
+                p: 4,
+                max_load: 2,
+                units: 10,
+                seq_ms: 1.0,
+                par_ms: None,
+                net_ms: Some(3.0),
+                wire_bytes: Some(4096),
+            }],
+        }];
+        let s = render(false, true, &runs);
+        assert!(s.contains("\"net_ms\": 3.000"));
+        assert!(s.contains("\"wire_bytes\": 4096"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]
@@ -167,9 +215,11 @@ mod tests {
                 units: 1,
                 seq_ms: 1.0,
                 par_ms: None,
+                net_ms: None,
+                wire_bytes: None,
             }],
         }];
-        let s = render(false, &runs);
+        let s = render(false, false, &runs);
         assert!(s.contains("\"par_ms\": null"));
         assert!(s.contains("\"units_per_sec_par\": null"));
     }

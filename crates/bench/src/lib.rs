@@ -14,7 +14,9 @@ pub mod jsonout;
 pub mod microbench;
 pub mod table;
 
-pub use experiments::{parallel_enabled, set_parallel, take_records, BenchRecord, Wall};
+pub use experiments::{
+    net_enabled, parallel_enabled, set_net, set_parallel, take_records, BenchRecord, Wall,
+};
 pub use jsonout::ExperimentRun;
 pub use table::ExpTable;
 

@@ -10,7 +10,7 @@
 
 use aj_primitives::FxHashMap;
 
-use aj_mpc::{Net, Partitioned};
+use aj_mpc::{Net, Partitioned, Wire};
 use aj_primitives::{lookup, prefix_sum, sum_by_key, OwnedTable};
 use aj_relation::classify::is_hierarchical;
 use aj_relation::semiring::{AnnRelation, Semiring};
@@ -302,7 +302,7 @@ pub fn count_by_group(
 /// rounds with load `O(IN/p + √(IN·OUT)/p)` (Theorem 9); when the residual
 /// output query is r-hierarchical, the instance-optimal Theorem-3 algorithm
 /// takes over (Theorem 10).
-pub fn join_aggregate<S: Semiring>(
+pub fn join_aggregate<S: Semiring<T: Wire>>(
     net: &mut Net,
     q: &Query,
     db: &[AnnRelation<S>],
@@ -499,7 +499,7 @@ pub fn join_aggregate<S: Semiring>(
 /// The annotated **reduce** procedure (Section 6): while some edge `e` is
 /// contained in another `e'`, replace `R(e')` by `R(e) ⋈ R(e')`
 /// (⊗-multiplying annotations) and discard `R(e)`.
-fn ann_reduce<S: Semiring>(
+fn ann_reduce<S: Semiring<T: Wire>>(
     net: &mut Net,
     q: Query,
     db: DistDatabase,

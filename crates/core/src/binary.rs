@@ -46,7 +46,7 @@ use aj_primitives::FxHashMap;
 
 use aj_mpc::{
     detect_heavy_hitters, hash_mix, hash_to_server, HashKey, Net, Partitioned, RowOutbox, ServerId,
-    TupleBlock,
+    TupleBlock, Wire, WireReader,
 };
 use aj_primitives::{
     lookup, multi_numbering, parallel_packing, prefix_sum, sum_by_key, OwnedTable,
@@ -64,6 +64,26 @@ enum Directive {
     /// Grid of `rows × cols` virtual servers starting at `start` (in the
     /// heavy virtual space).
     Heavy { start: u64, rows: u64, cols: u64 },
+}
+
+impl Wire for Directive {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match *self {
+            Directive::Light { group } => out.extend([0, group]),
+            Directive::Heavy { start, rows, cols } => out.extend([1, start, rows, cols]),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.word() {
+            0 => Directive::Light { group: r.word() },
+            1 => Directive::Heavy {
+                start: r.word(),
+                rows: r.word(),
+                cols: r.word(),
+            },
+            other => panic!("wire: bad Directive tag {other}"),
+        }
+    }
 }
 
 /// Virtual cell id: light groups occupy `[0, G)`; heavy cells `[G, G+H)`.

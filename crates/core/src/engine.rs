@@ -185,6 +185,14 @@ impl QueryEngine {
         QueryEngine::with_cluster(Cluster::new_parallel(p), EngineConfig::default())
     }
 
+    /// An engine over the **network backend**: one worker thread per server,
+    /// every cross-server payload serialized through wire frames. Results
+    /// and per-query loads are bit-identical to [`QueryEngine::new`] — the
+    /// property the cross-backend conformance suite enforces.
+    pub fn new_net(p: usize) -> Self {
+        QueryEngine::with_cluster(Cluster::new_net(p), EngineConfig::default())
+    }
+
     /// An engine over an explicit cluster and configuration. The cluster's
     /// measurements are reset: from here on the cumulative stats cover
     /// exactly the queries this engine serves, so per-query epochs always

@@ -25,7 +25,7 @@
 
 use aj_primitives::FxHashMap;
 
-use aj_mpc::{Net, Partitioned, ServerId};
+use aj_mpc::{Net, Partitioned, ServerId, Wire, WireReader};
 use aj_primitives::{lookup, parallel_packing, prefix_sum, sum_by_key, Key, OwnedTable};
 use aj_relation::classify::AttributeForest;
 use aj_relation::{Attr, EdgeSet, Query, Tuple};
@@ -119,6 +119,25 @@ fn l_instance_from_counts(cnt: &FxHashMap<u64, u64>, p: usize) -> f64 {
 enum Directive {
     Light { group: u64 },
     Heavy { start: u64, len: u64 },
+}
+
+impl Wire for Directive {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match *self {
+            Directive::Light { group } => out.extend([0, group]),
+            Directive::Heavy { start, len } => out.extend([1, start, len]),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.word() {
+            0 => Directive::Light { group: r.word() },
+            1 => Directive::Heavy {
+                start: r.word(),
+                len: r.word(),
+            },
+            other => panic!("wire: bad Directive tag {other}"),
+        }
+    }
 }
 
 /// Case 1: the attribute forest is a single tree; recurse on the root

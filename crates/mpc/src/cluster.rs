@@ -3,9 +3,14 @@
 
 use aj_relation::TupleBlock;
 
-use crate::executor::{run_consuming, run_indexed, Execute, ParExecutor, SeqExecutor};
+use crate::executor::{
+    run_consuming, run_consuming_at, run_indexed, run_indexed_at, Execute, ParExecutor, SeqExecutor,
+};
+use crate::net_executor::NetExecutor;
 use crate::rows::{DeltaBlock, DeltaOutbox, RowOutbox};
 use crate::stats::{EpochStats, Stats};
+use crate::transport::Transport;
+use crate::wire::{Frame, FrameKind, Wire};
 use crate::Partitioned;
 
 /// Identifier of a server. Within a [`Net`] view, server ids are *local*:
@@ -43,6 +48,28 @@ impl Cluster {
     /// Panics if `p == 0`.
     pub fn new_parallel(p: usize) -> Self {
         Cluster::with_executor(p, Box::new(ParExecutor::new()))
+    }
+
+    /// Create a cluster of `p >= 1` servers on the **network backend**: one
+    /// independent worker thread per server, all cross-server data movement
+    /// serialized through wire frames over the default in-process
+    /// [`crate::ChanTransport`]. Results and [`Stats`] are bit-identical to
+    /// [`Cluster::new`] (the conformance suite's oracle).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new_net(p: usize) -> Self {
+        Cluster::with_executor(p, Box::new(NetExecutor::new(p)))
+    }
+
+    /// Like [`Cluster::new_net`], with an explicit frame transport (e.g.
+    /// [`crate::UdsTransport`] for real unix-domain sockets, or a test
+    /// wrapper such as [`crate::ShuffleTransport`]).
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or the transport's endpoint count differs from `p`.
+    pub fn new_net_with_transport(p: usize, transport: std::sync::Arc<dyn Transport>) -> Self {
+        Cluster::with_executor(p, Box::new(NetExecutor::with_transport(p, transport)))
     }
 
     /// Create a cluster with an explicit execution backend.
@@ -217,7 +244,7 @@ impl Net<'_> {
     /// # Panics
     /// Panics if `outbox.len() != self.p()` or any destination is out of
     /// range.
-    pub fn exchange<T: Send>(&mut self, outbox: Vec<Vec<(ServerId, T)>>) -> Vec<Vec<T>> {
+    pub fn exchange<T: Send + Wire>(&mut self, outbox: Vec<Vec<(ServerId, T)>>) -> Vec<Vec<T>> {
         assert_eq!(
             outbox.len(),
             self.len,
@@ -226,17 +253,105 @@ impl Net<'_> {
         // Parallel routing stages O(p²) buckets; for control rounds carrying
         // only a handful of units (prefix sums, packing trees) the sequential
         // path is strictly cheaper. The routing result is identical either
-        // way, so this is a pure wall-clock decision.
+        // way, so this is a pure wall-clock decision. The network backend
+        // has no such choice: everything goes through the wire.
         let total_messages: usize = outbox.iter().map(Vec::len).sum();
         let parallel_worthwhile = total_messages >= 4 * self.len.max(64);
-        let (inbox, counts) =
-            if self.cluster.executor.is_parallel() && self.len > 1 && parallel_worthwhile {
-                self.route_parallel(outbox)
-            } else {
-                self.route_sequential(outbox)
-            };
+        let (inbox, counts) = if self.cluster.executor.as_net().is_some() {
+            self.route_items_wire(outbox)
+        } else if self.cluster.executor.is_parallel() && self.len > 1 && parallel_worthwhile {
+            self.route_parallel(outbox)
+        } else {
+            self.route_sequential(outbox)
+        };
         self.cluster.record_round(self.lo, self.stride, &counts);
         inbox
+    }
+
+    /// Wire routing ([`NetExecutor`] only): every server of the view —
+    /// concurrently, each on its own thread — serializes its per-destination
+    /// buckets into [`Frame`]s (one frame per destination, empty buckets
+    /// included), pushes them through the transport, then receives exactly
+    /// `p` frames and assembles its inbox **by sender id**, so the delivery
+    /// order is (sender, send-order) — bit-identical to the shared-memory
+    /// paths — no matter in which order frames arrived. Frames carry the
+    /// cluster's exchange counter as a sequence number, asserted on receive.
+    ///
+    /// Received-unit counts are computed per receiver on its worker and
+    /// merged into [`Stats`] by the coordinator at the round barrier.
+    fn route_items_wire<T: Send + Wire>(
+        &self,
+        outbox: Vec<Vec<(ServerId, T)>>,
+    ) -> (Vec<Vec<T>>, Vec<u64>) {
+        let nx = self
+            .cluster
+            .executor
+            .as_net()
+            .expect("wire routing requires the network backend");
+        let p = self.len;
+        let (lo, stride) = (self.lo, self.stride);
+        let seq = self.cluster.stats.exchanges;
+        // Validate destinations before the round starts: a server that dies
+        // before sending would leave its peers blocked in `recv`.
+        for msgs in &outbox {
+            for (dest, _) in msgs {
+                assert!(*dest < p, "destination {dest} out of range (p = {p})");
+            }
+        }
+        let delivered: Vec<(Vec<T>, u64)> =
+            run_consuming_at(nx, outbox, &|i| lo + i * stride, |s, msgs| {
+                let abs_s = lo + s * stride;
+                let transport = nx.transport();
+                let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+                for (dest, item) in msgs {
+                    buckets[dest].push(item);
+                }
+                for (d, bucket) in buckets.into_iter().enumerate() {
+                    let frame = Frame::new(FrameKind::Items, seq, abs_s as u64, &bucket);
+                    nx.add_wire_bytes(frame.wire_bytes());
+                    transport.send(abs_s, lo + d * stride, frame);
+                }
+                let mut by_sender: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+                for _ in 0..p {
+                    let frame = transport.recv(abs_s);
+                    let sender = self.frame_sender(&frame, FrameKind::Items, seq);
+                    assert!(
+                        by_sender[sender].is_none(),
+                        "wire: duplicate frame from server {sender}"
+                    );
+                    by_sender[sender] = Some(frame.decode_body());
+                }
+                let mut inbox = Vec::new();
+                for bucket in by_sender {
+                    inbox.append(&mut bucket.expect("every sender sends one frame"));
+                }
+                let count = inbox.len() as u64;
+                (inbox, count)
+            });
+        let counts = delivered.iter().map(|(_, c)| *c).collect();
+        (delivered.into_iter().map(|(v, _)| v).collect(), counts)
+    }
+
+    /// Validate a received frame's header against the current round and
+    /// translate its absolute sender id to this view's local id.
+    fn frame_sender(&self, frame: &Frame, kind: FrameKind, seq: u64) -> usize {
+        assert_eq!(frame.kind, kind, "wire: wrong frame kind for this round");
+        assert_eq!(
+            frame.seq, seq,
+            "wire: frame from exchange {} received in exchange {seq}",
+            frame.seq
+        );
+        let from = frame.from as usize;
+        assert!(
+            from >= self.lo
+                && (from - self.lo).is_multiple_of(self.stride)
+                && (from - self.lo) / self.stride < self.len,
+            "wire: frame from server {from} outside view (lo={}, stride={}, len={})",
+            self.lo,
+            self.stride,
+            self.len
+        );
+        (from - self.lo) / self.stride
     }
 
     /// Sequential routing: count first (to pre-size receive buffers), then
@@ -326,7 +441,9 @@ impl Net<'_> {
         }
         let total_rows: usize = outbox.iter().map(RowOutbox::len).sum();
         let parallel_worthwhile = total_rows >= 4 * self.len.max(64);
-        let (inbox, counts) = if self.cluster.executor.is_parallel()
+        let (inbox, counts) = if self.cluster.executor.as_net().is_some() {
+            self.route_rows_wire(arity, outbox)
+        } else if self.cluster.executor.is_parallel()
             && self.len > 1
             && parallel_worthwhile
             && arity > 0
@@ -337,6 +454,81 @@ impl Net<'_> {
         };
         self.cluster.record_round(self.lo, self.stride, &counts);
         inbox
+    }
+
+    /// Wire routing for blocks ([`NetExecutor`] only): each sender radix-
+    /// partitions its rows into one [`TupleBlock`] per destination locally,
+    /// ships each block as a [`FrameKind::Rows`] frame, and each receiver
+    /// concatenates the decoded blocks in sender order — the same
+    /// (sender, send-order) delivery the shared-memory radix exchange
+    /// produces. See [`Net::route_items_wire`] for the protocol details.
+    fn route_rows_wire(&self, arity: usize, outbox: Vec<RowOutbox>) -> (Vec<TupleBlock>, Vec<u64>) {
+        let nx = self
+            .cluster
+            .executor
+            .as_net()
+            .expect("wire routing requires the network backend");
+        let p = self.len;
+        let (lo, stride) = (self.lo, self.stride);
+        let seq = self.cluster.stats.exchanges;
+        // Validate before the round starts (see route_items_wire).
+        for ob in &outbox {
+            for &d in &ob.dests {
+                assert!(d < p, "destination {d} out of range (p = {p})");
+            }
+        }
+        let delivered: Vec<(TupleBlock, u64)> =
+            run_consuming_at(nx, outbox, &|i| lo + i * stride, |s, ob: RowOutbox| {
+                let abs_s = lo + s * stride;
+                let transport = nx.transport();
+                // Local radix scatter into per-destination blocks.
+                let mut per_dest = vec![0usize; p];
+                for &d in &ob.dests {
+                    per_dest[d] += 1;
+                }
+                let mut blocks: Vec<TupleBlock> = per_dest
+                    .iter()
+                    .map(|&c| TupleBlock::with_capacity(arity, c))
+                    .collect();
+                if arity == 0 {
+                    for &d in &ob.dests {
+                        blocks[d].push_empty_rows(1);
+                    }
+                } else {
+                    for (i, &d) in ob.dests.iter().enumerate() {
+                        blocks[d].push_row(ob.rows.row(i));
+                    }
+                }
+                for (d, block) in blocks.into_iter().enumerate() {
+                    let frame = Frame::new(FrameKind::Rows, seq, abs_s as u64, &block);
+                    nx.add_wire_bytes(frame.wire_bytes());
+                    transport.send(abs_s, lo + d * stride, frame);
+                }
+                let mut by_sender: Vec<Option<TupleBlock>> = (0..p).map(|_| None).collect();
+                for _ in 0..p {
+                    let frame = transport.recv(abs_s);
+                    let sender = self.frame_sender(&frame, FrameKind::Rows, seq);
+                    assert!(
+                        by_sender[sender].is_none(),
+                        "wire: duplicate frame from server {sender}"
+                    );
+                    let block: TupleBlock = frame.decode_body();
+                    assert_eq!(block.arity(), arity, "wire: block arity mismatch");
+                    by_sender[sender] = Some(block);
+                }
+                let total: usize = by_sender
+                    .iter()
+                    .map(|b| b.as_ref().map_or(0, TupleBlock::len))
+                    .sum();
+                let mut inbox = TupleBlock::with_capacity(arity, total);
+                for block in by_sender {
+                    inbox.extend_from_block(&block.expect("every sender sends one frame"));
+                }
+                let count = inbox.len() as u64;
+                (inbox, count)
+            });
+        let counts = delivered.iter().map(|(_, c)| *c).collect();
+        (delivered.into_iter().map(|(b, _)| b).collect(), counts)
     }
 
     /// Sequential radix routing: one counting pass to pre-size every
@@ -481,11 +673,17 @@ impl Net<'_> {
     /// This is the per-server-closure form of a round: `work` must only read
     /// shared state (it runs once per server, possibly on different threads)
     /// and emit `(destination, item)` messages with `destination < self.p()`.
-    pub fn round<T: Send>(
+    pub fn round<T: Send + Wire>(
         &mut self,
         work: impl Fn(ServerId) -> Vec<(ServerId, T)> + Sync,
     ) -> Vec<Vec<T>> {
-        let outbox = run_indexed(self.cluster.executor.as_ref(), self.len, work);
+        let (lo, stride) = (self.lo, self.stride);
+        let outbox = run_indexed_at(
+            self.cluster.executor.as_ref(),
+            self.len,
+            &|i| lo + i * stride,
+            work,
+        );
         self.exchange(outbox)
     }
 
@@ -494,13 +692,19 @@ impl Net<'_> {
     ///
     /// # Panics
     /// Panics if `inputs.len() != self.p()`.
-    pub fn round_map<S: Send, T: Send>(
+    pub fn round_map<S: Send, T: Send + Wire>(
         &mut self,
         inputs: Vec<S>,
         work: impl Fn(ServerId, S) -> Vec<(ServerId, T)> + Sync,
     ) -> Vec<Vec<T>> {
         assert_eq!(inputs.len(), self.len, "one input per server");
-        let outbox = run_consuming(self.cluster.executor.as_ref(), inputs, work);
+        let (lo, stride) = (self.lo, self.stride);
+        let outbox = run_consuming_at(
+            self.cluster.executor.as_ref(),
+            inputs,
+            &|i| lo + i * stride,
+            work,
+        );
         self.exchange(outbox)
     }
 
@@ -508,7 +712,13 @@ impl Net<'_> {
     /// charge): `work(s)` runs once per local server — concurrently under a
     /// [`ParExecutor`] — and the results are returned in server order.
     pub fn run_each<T: Send>(&self, work: impl Fn(ServerId) -> T + Sync) -> Vec<T> {
-        run_indexed(self.cluster.executor.as_ref(), self.len, work)
+        let (lo, stride) = (self.lo, self.stride);
+        run_indexed_at(
+            self.cluster.executor.as_ref(),
+            self.len,
+            &|i| lo + i * stride,
+            work,
+        )
     }
 
     /// Like [`Net::run_each`], but each server's closure consumes an owned
@@ -522,12 +732,22 @@ impl Net<'_> {
         work: impl Fn(ServerId, S) -> T + Sync,
     ) -> Vec<T> {
         assert_eq!(inputs.len(), self.len, "one input per server");
-        run_consuming(self.cluster.executor.as_ref(), inputs, work)
+        let (lo, stride) = (self.lo, self.stride);
+        run_consuming_at(
+            self.cluster.executor.as_ref(),
+            inputs,
+            &|i| lo + i * stride,
+            work,
+        )
     }
 
     /// Broadcast `items` from local server `src` to every server of the view
     /// (including `src`). Each server receives `items.len()` units.
-    pub fn broadcast<T: Clone + Send>(&mut self, src: ServerId, items: Vec<T>) -> Vec<Vec<T>> {
+    pub fn broadcast<T: Clone + Send + Wire>(
+        &mut self,
+        src: ServerId,
+        items: Vec<T>,
+    ) -> Vec<Vec<T>> {
         assert!(src < self.len);
         let mut outbox: Vec<Vec<(ServerId, T)>> = vec![Vec::new(); self.len];
         for dest in 0..self.len {
@@ -541,7 +761,7 @@ impl Net<'_> {
     /// Gather one item from every server onto local server `dest`.
     /// `items[s]` is the contribution of server `s`; the result (only
     /// meaningful at `dest`) preserves server order.
-    pub fn gather_to<T: Send>(&mut self, dest: ServerId, items: Vec<T>) -> Vec<T> {
+    pub fn gather_to<T: Send + Wire>(&mut self, dest: ServerId, items: Vec<T>) -> Vec<T> {
         assert_eq!(items.len(), self.len);
         let mut outbox: Vec<Vec<(ServerId, T)>> = (0..self.len).map(|_| Vec::new()).collect();
         for (s, item) in items.into_iter().enumerate() {
@@ -553,7 +773,7 @@ impl Net<'_> {
 
     /// Repartition a distributed collection: `route(s, &item)` gives the
     /// destination of each item currently on server `s`.
-    pub fn repartition<T: Send>(
+    pub fn repartition<T: Send + Wire>(
         &mut self,
         parts: Partitioned<T>,
         route: impl Fn(usize, &T) -> ServerId + Sync,
@@ -583,8 +803,13 @@ mod tests {
         {
             let mut net = cluster.net();
             // server 0 sends 2 items to server 1; server 2 sends 1 item to server 1.
-            let inbox = net.exchange(vec![vec![(1, "a"), (1, "b")], vec![], vec![(1, "c")]]);
-            assert_eq!(inbox[1], vec!["a", "b", "c"]);
+            let msg = |s: &str| s.to_string();
+            let inbox = net.exchange(vec![
+                vec![(1, msg("a")), (1, msg("b"))],
+                vec![],
+                vec![(1, msg("c"))],
+            ]);
+            assert_eq!(inbox[1], vec![msg("a"), msg("b"), msg("c")]);
             assert!(inbox[0].is_empty() && inbox[2].is_empty());
         }
         let s = cluster.stats();
@@ -764,6 +989,92 @@ mod tests {
         let (b, sb) = run(Cluster::new_parallel(6));
         assert_eq!(a, b);
         assert_eq!(sa, sb);
+    }
+
+    /// The network backend (frames over channels) must agree bit-for-bit
+    /// with the sequential simulator on items, rows, deltas, and stats.
+    #[test]
+    fn net_backend_agrees_with_seq() {
+        let build_items = || -> Vec<Vec<(ServerId, u64)>> {
+            (0..6)
+                .map(|s: usize| {
+                    (0..40u64)
+                        .map(|i| ((((s as u64) * 17 + i * 5) % 6) as usize, s as u64 * 100 + i))
+                        .collect()
+                })
+                .collect()
+        };
+        let build_rows = || -> Vec<RowOutbox> {
+            (0..6)
+                .map(|s| {
+                    let mut ob = RowOutbox::new(2);
+                    for i in 0..35u64 {
+                        ob.push(((s as u64 + i * 7) % 6) as usize, &[s as u64, i]);
+                    }
+                    ob
+                })
+                .collect()
+        };
+        let mut seq = Cluster::new(6);
+        let mut net = Cluster::new_net(6);
+        let a_items = seq.net().exchange(build_items());
+        let b_items = net.net().exchange(build_items());
+        assert_eq!(a_items, b_items);
+        let a_rows = seq.net().exchange_rows(2, build_rows());
+        let b_rows = net.net().exchange_rows(2, build_rows());
+        assert_eq!(a_rows, b_rows);
+        assert_eq!(seq.stats(), net.stats());
+        let nx = net.executor().as_net().unwrap();
+        assert!(nx.wire_bytes() > 0, "frames must have crossed the wire");
+    }
+
+    /// Wire routing through sub-views and strided sub-views: absolute
+    /// accounting and delivery order must match the simulator.
+    #[test]
+    fn net_backend_agrees_on_sub_views() {
+        let drive = |mut cluster: Cluster| -> (Vec<Vec<u64>>, Vec<Vec<u64>>, Stats) {
+            let (a, b) = {
+                let mut net = cluster.net();
+                let a = {
+                    let mut g = net.sub(1, 3);
+                    g.round(|s| {
+                        (0..10u64)
+                            .map(|i| (((s as u64 + i) % 3) as usize, i))
+                            .collect()
+                    })
+                };
+                let b = {
+                    let mut g = net.sub_strided(0, 2, 2);
+                    g.round(|s| vec![((s + 1) % 2, s as u64)])
+                };
+                (a, b)
+            };
+            (a, b, cluster.stats().clone())
+        };
+        let (a1, b1, s1) = drive(Cluster::new(4));
+        let (a2, b2, s2) = drive(Cluster::new_net(4));
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn net_backend_single_server_self_loop() {
+        let mut cluster = Cluster::new_net(1);
+        {
+            let mut net = cluster.net();
+            let inbox = net.exchange(vec![vec![(0, 7u64), (0, 8)]]);
+            assert_eq!(inbox, vec![vec![7, 8]]);
+        }
+        assert_eq!(cluster.stats().max_load, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn net_backend_bad_destination_panics() {
+        let mut cluster = Cluster::new_net(2);
+        let mut net = cluster.net();
+        net.exchange(vec![vec![(5, 1u64)], vec![]]);
     }
 
     #[test]

@@ -43,10 +43,32 @@ pub trait Execute: Send + Sync + std::fmt::Debug {
     /// Invoke `task` once per index in `0..n`.
     fn run(&self, n: usize, task: &(dyn Fn(usize) + Sync));
 
+    /// Like [`Execute::run`], with a placement hint: `abs(i)` is the
+    /// *absolute server* whose work `task(i)` is (a view passes its
+    /// `lo + i·stride` mapping). Simulated backends ignore the hint; the
+    /// network backend ([`crate::NetExecutor`]) pins `task(i)` to absolute
+    /// server `abs(i)`'s thread.
+    fn run_at(
+        &self,
+        n: usize,
+        abs: &(dyn Fn(usize) -> usize + Sync),
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        let _ = abs;
+        self.run(n, task);
+    }
+
     /// Whether tasks may run concurrently (lets callers skip synchronization
     /// in the sequential case).
     fn is_parallel(&self) -> bool {
         false
+    }
+
+    /// Downcast to the network backend, if that is what this executor is.
+    /// The cluster uses this to route exchanges through the wire instead of
+    /// shared buffers.
+    fn as_net(&self) -> Option<&crate::net_executor::NetExecutor> {
+        None
     }
 
     /// Short backend name for reports.
@@ -92,8 +114,10 @@ struct PoolState {
     region: Option<RegionTask>,
     /// Workers still inside the active region.
     active: usize,
-    /// First panic payload raised by a worker in the active region.
-    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// Panic payloads raised in the active region, tagged with the index
+    /// whose task raised them. Re-raised lowest-index-first so a
+    /// multi-worker failure is deterministic.
+    panics: Vec<(usize, Box<dyn std::any::Any + Send + 'static>)>,
     /// Set once, on drop: workers exit their park loop.
     shutdown: bool,
 }
@@ -117,7 +141,7 @@ impl Pool {
                 generation: 0,
                 region: None,
                 active: 0,
-                panic: None,
+                panics: Vec::new(),
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -156,17 +180,21 @@ impl Pool {
             // worker reports completion below, so the task outlives this
             // dereference.
             let task = unsafe { &*region.task };
-            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| loop {
+            // Catch panics **per index**, not per drain loop: the worker
+            // keeps draining after a failed task, so every index still runs
+            // and the region's panic set is the same no matter how indices
+            // were distributed over threads — which is what makes the
+            // lowest-index re-raise below deterministic.
+            loop {
                 let i = self.cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= region.n {
                     break;
                 }
-                task(i);
-            }));
-            let mut st = self.state.lock().unwrap();
-            if let Err(payload) = outcome {
-                st.panic.get_or_insert(payload);
+                if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
+                    self.state.lock().unwrap().panics.push((i, payload));
+                }
             }
+            let mut st = self.state.lock().unwrap();
             st.active -= 1;
             if st.active == 0 {
                 self.done_cv.notify_all();
@@ -205,12 +233,16 @@ impl Pool {
             st = self.done_cv.wait(st).unwrap();
         }
         st.region = None;
-        let panic = st.panic.take();
+        let mut panics = std::mem::take(&mut st.panics);
         drop(st);
         // Wake any coordinator parked above waiting to publish its region.
         self.done_cv.notify_all();
-        if let Some(payload) = panic {
-            std::panic::resume_unwind(payload);
+        if !panics.is_empty() {
+            // Deterministic re-raise: the lowest index (= lowest server id
+            // in a cluster round) wins, regardless of which worker finished
+            // when.
+            panics.sort_by_key(|(i, _)| *i);
+            std::panic::resume_unwind(panics.swap_remove(0).1);
         }
     }
 }
@@ -235,8 +267,9 @@ impl Drop for PoolGuard {
 /// `(closure, n)` pair, drained via an atomic index cursor (work stealing —
 /// uneven per-server workloads, exactly what skewed instances produce, still
 /// keep every worker busy), and closed by a completion barrier. Worker
-/// panics are caught and re-raised on the coordinating thread with their
-/// original payload.
+/// panics are caught per index and re-raised on the coordinating thread
+/// with their original payload; if several indices panic in one region, the
+/// lowest index wins deterministically.
 ///
 /// Cloning shares the pool. Dropping the last clone parks no more work and
 /// shuts the worker threads down.
@@ -347,12 +380,23 @@ pub(crate) fn run_indexed<T: Send>(
     n: usize,
     f: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    run_indexed_at(exec, n, &|i| i, f)
+}
+
+/// [`run_indexed`] with a placement hint: `abs(i)` names the absolute
+/// server whose work index `i` is (see [`Execute::run_at`]).
+pub(crate) fn run_indexed_at<T: Send>(
+    exec: &dyn Execute,
+    n: usize,
+    abs: &(dyn Fn(usize) -> usize + Sync),
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     if !exec.is_parallel() {
         return (0..n).map(f).collect();
     }
     let slots = SlotVec((0..n).map(|_| UnsafeCell::new(None)).collect());
     let slots_ref = &slots;
-    exec.run(n, &move |i| {
+    exec.run_at(n, abs, &move |i| {
         let value = f(i);
         // SAFETY: slot `i` is written exactly once (Execute contract), and
         // nothing reads it before the region barrier.
@@ -375,6 +419,16 @@ pub(crate) fn run_consuming<S: Send, T: Send>(
     inputs: Vec<S>,
     f: impl Fn(usize, S) -> T + Sync,
 ) -> Vec<T> {
+    run_consuming_at(exec, inputs, &|i| i, f)
+}
+
+/// [`run_consuming`] with a placement hint (see [`Execute::run_at`]).
+pub(crate) fn run_consuming_at<S: Send, T: Send>(
+    exec: &dyn Execute,
+    inputs: Vec<S>,
+    abs: &(dyn Fn(usize) -> usize + Sync),
+    f: impl Fn(usize, S) -> T + Sync,
+) -> Vec<T> {
     if !exec.is_parallel() {
         return inputs
             .into_iter()
@@ -390,7 +444,7 @@ pub(crate) fn run_consuming<S: Send, T: Send>(
     );
     let n = cells.0.len();
     let cells_ref = &cells;
-    run_indexed(exec, n, move |i| {
+    run_indexed_at(exec, n, abs, move |i| {
         // SAFETY: cell `i` is consumed exactly once, by the unique task(i).
         let input = unsafe { &mut *cells_ref.slot(i) }
             .take()
@@ -499,6 +553,34 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    /// Regression: with several panicking indices in one region, the
+    /// re-raised payload used to be whichever worker *finished* last — a
+    /// race. It must always be the lowest index's payload.
+    #[test]
+    fn multi_worker_panic_reraises_lowest_index() {
+        let exec = ParExecutor::with_threads(4);
+        for round in 0..100 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.run(64, &|i| {
+                    // Indices 5, 21, 37, 53 panic; stagger finish times so a
+                    // first-finisher policy would pick different winners.
+                    if i % 16 == 5 {
+                        if i > 5 {
+                            std::thread::sleep(std::time::Duration::from_micros(i as u64));
+                        }
+                        panic!("failed at {i}");
+                    }
+                });
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "failed at 5", "round {round}");
+        }
     }
 
     #[test]

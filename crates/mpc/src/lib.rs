@@ -47,19 +47,27 @@
 mod cluster;
 pub mod executor;
 mod hashing;
+pub mod net_executor;
 mod partitioned;
 mod rows;
 pub mod skew;
 mod stats;
+pub mod transport;
+pub mod wire;
 
 pub use aj_relation::TupleBlock;
 pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
+pub use net_executor::NetExecutor;
 pub use partitioned::Partitioned;
 pub use rows::{BlockPartitioned, DeltaBlock, DeltaOutbox, RowOutbox};
 pub use skew::detect_heavy_hitters;
 pub use stats::{EpochStats, LoadReport, Stats};
+#[cfg(all(unix, feature = "uds"))]
+pub use transport::UdsTransport;
+pub use transport::{ChanTransport, ShuffleTransport, Transport};
+pub use wire::{Frame, FrameKind, Wire, WireReader};
 
 /// Convenience: run `f` against a fresh sequentially-simulated cluster of
 /// `p` servers and return the result together with the measured load
@@ -78,6 +86,18 @@ pub fn run<R>(p: usize, f: impl FnOnce(&mut Net) -> R) -> (R, Stats) {
 /// wall-clock time is not.
 pub fn run_parallel<R>(p: usize, f: impl FnOnce(&mut Net) -> R) -> (R, Stats) {
     let mut cluster = Cluster::new_parallel(p);
+    let out = {
+        let mut net = cluster.net();
+        f(&mut net)
+    };
+    (out, cluster.stats().clone())
+}
+
+/// Like [`run`], but on the **network backend**: one worker thread per
+/// server, all cross-server traffic serialized through wire frames over
+/// in-process channels. Results and stats are identical to [`run`].
+pub fn run_net<R>(p: usize, f: impl FnOnce(&mut Net) -> R) -> (R, Stats) {
+    let mut cluster = Cluster::new_net(p);
     let out = {
         let mut net = cluster.net();
         f(&mut net)

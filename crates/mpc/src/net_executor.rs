@@ -1,0 +1,395 @@
+//! The network backend: one independent worker thread per server,
+//! message-passing only.
+//!
+//! [`NetExecutor`] is the third [`Execute`] backend. Where [`SeqExecutor`]
+//! and [`ParExecutor`][crate::ParExecutor] simulate servers by slicing
+//! shared buffers, a `NetExecutor` cluster is a real (single-machine)
+//! distributed system:
+//!
+//! * **Thread per server.** `p` persistent worker threads are spawned at
+//!   construction, one per absolute server. A round pins local server `i`'s
+//!   closure to the worker of its *absolute* server (the cluster passes the
+//!   view's `lo + i·stride` mapping through [`Execute::run_at`]), so server
+//!   `s`'s work always executes on thread `s` — and every server of a round
+//!   runs **concurrently**, which is what lets closures block on
+//!   [`Transport::recv`] without deadlocking.
+//! * **Message passing only.** Under this backend, `Net::exchange` /
+//!   `exchange_rows` / `exchange_deltas` do not touch shared routing
+//!   buffers; each server serializes its outgoing payloads into
+//!   [`crate::wire::Frame`]s and pushes them through the executor's
+//!   [`Transport`]. The receiving server decodes and assembles its inbox
+//!   locally. The only cross-server channel is the transport.
+//! * **Round barrier.** The coordinating thread publishes a round, blocks
+//!   until every worker has finished, and only then merges the per-server
+//!   received-unit shards into [`crate::Stats`] — so measured loads are
+//!   bit-identical to the simulated backends (the conformance suite's
+//!   differential oracle).
+//!
+//! Worker panics are caught per server and re-raised on the coordinating
+//! thread; when several servers panic in one round, the **lowest absolute
+//! server id's** payload wins, deterministically (same policy as
+//! [`crate::ParExecutor`]).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::executor::Execute;
+use crate::transport::{ChanTransport, Transport};
+
+/// The active round, type-erased so parked workers can pick it up. Raw
+/// pointers are only dereferenced between publication and the round's
+/// completion barrier, during which the coordinator keeps both referents
+/// alive on its stack.
+#[derive(Clone, Copy)]
+struct NetRegion {
+    task: *const (dyn Fn(usize) + Sync),
+    /// Per worker: the task index assigned to it, or `usize::MAX`.
+    assign: *const [usize],
+}
+
+// SAFETY: the pointers are only shared with workers while the coordinating
+// thread blocks inside `NetPool::run_region`, which outlives every worker's
+// use of them (the completion barrier). The task is `Sync`.
+unsafe impl Send for NetRegion {}
+
+struct NetState {
+    /// Round sequence number; workers use it to detect fresh work.
+    generation: u64,
+    region: Option<NetRegion>,
+    /// Workers that have not yet passed the current round's barrier.
+    active: usize,
+    /// Panics raised by workers this round, tagged with the task index.
+    panics: Vec<(usize, Box<dyn std::any::Any + Send + 'static>)>,
+    shutdown: bool,
+}
+
+struct NetPool {
+    state: Mutex<NetState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    workers: usize,
+}
+
+impl NetPool {
+    fn new(workers: usize) -> Arc<NetPool> {
+        let pool = Arc::new(NetPool {
+            state: Mutex::new(NetState {
+                generation: 0,
+                region: None,
+                active: 0,
+                panics: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            workers,
+        });
+        for w in 0..workers {
+            let p = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("aj-server-{w}"))
+                .spawn(move || p.worker_loop(w))
+                .expect("net: spawn server thread");
+        }
+        pool
+    }
+
+    fn worker_loop(&self, me: usize) {
+        let mut seen_generation = 0u64;
+        loop {
+            let region = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.generation != seen_generation {
+                        if let Some(r) = st.region {
+                            seen_generation = st.generation;
+                            break r;
+                        }
+                    }
+                    st = self.work_cv.wait(st).unwrap();
+                }
+            };
+            // SAFETY: the coordinator blocks in `run_region` until this
+            // worker reports completion below, so both referents outlive
+            // these dereferences.
+            let index = unsafe { &*region.assign }[me];
+            if index != usize::MAX {
+                let task = unsafe { &*region.task };
+                if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
+                    self.state.lock().unwrap().panics.push((index, payload));
+                }
+            }
+            let mut st = self.state.lock().unwrap();
+            st.active -= 1;
+            if st.active == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Publish one round with an explicit task→worker assignment, wait for
+    /// the barrier, and deterministically re-raise the lowest-index panic.
+    fn run_region(&self, assign: &[usize], task: &(dyn Fn(usize) + Sync)) {
+        assert_eq!(assign.len(), self.workers);
+        // SAFETY: lifetime erasure as in `ParExecutor`; the barrier below
+        // guarantees no worker touches either pointer after this returns.
+        let region = NetRegion {
+            task: unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    task,
+                )
+            },
+            assign: assign as *const [usize],
+        };
+        let mut st = self.state.lock().unwrap();
+        while st.region.is_some() {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        st.region = Some(region);
+        st.active = self.workers;
+        st.generation = st.generation.wrapping_add(1);
+        self.work_cv.notify_all();
+        while st.active > 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        st.region = None;
+        let mut panics = std::mem::take(&mut st.panics);
+        drop(st);
+        self.done_cv.notify_all();
+        if !panics.is_empty() {
+            // Deterministic even if several servers failed: the lowest
+            // task index (= lowest absolute server) wins.
+            panics.sort_by_key(|(i, _)| *i);
+            std::panic::resume_unwind(panics.swap_remove(0).1);
+        }
+    }
+}
+
+/// Shuts the pool down when the owning executor drops (workers hold
+/// `Arc<NetPool>`, never the guard).
+struct NetPoolGuard(Arc<NetPool>);
+
+impl Drop for NetPoolGuard {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        st.shutdown = true;
+        self.0.work_cv.notify_all();
+    }
+}
+
+/// An [`Execute`] backend with one persistent worker thread per server and a
+/// pluggable frame [`Transport`] (see the module docs).
+pub struct NetExecutor {
+    p: usize,
+    pool: NetPoolGuard,
+    transport: Arc<dyn Transport>,
+    /// Bytes that crossed the transport, as counted at frame granularity by
+    /// the cluster's wire routing.
+    wire_bytes: AtomicU64,
+}
+
+impl std::fmt::Debug for NetExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetExecutor")
+            .field("p", &self.p)
+            .field("transport", &self.transport.name())
+            .finish()
+    }
+}
+
+impl NetExecutor {
+    /// A network backend of `p` servers over the default in-process
+    /// [`ChanTransport`].
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        NetExecutor::with_transport(p, Arc::new(ChanTransport::new(p)))
+    }
+
+    /// A network backend of `p` servers over an explicit transport.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or the transport's endpoint count differs from `p`.
+    pub fn with_transport(p: usize, transport: Arc<dyn Transport>) -> Self {
+        assert!(p >= 1, "a network backend needs at least one server");
+        assert_eq!(
+            transport.endpoints(),
+            p,
+            "transport endpoints must match the server count"
+        );
+        NetExecutor {
+            p,
+            pool: NetPoolGuard(NetPool::new(p)),
+            transport,
+            wire_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of servers (= worker threads = transport endpoints).
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The frame transport connecting the servers.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Total bytes shipped across the transport so far (frame byte form,
+    /// header and length prefix included — what a socket actually carries).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_wire_bytes(&self, bytes: u64) {
+        self.wire_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn region(
+        &self,
+        n: usize,
+        abs: &(dyn Fn(usize) -> usize + Sync),
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        assert!(
+            n <= self.p,
+            "round of {n} servers on a {}-server network backend",
+            self.p
+        );
+        let mut assign = vec![usize::MAX; self.p];
+        for i in 0..n {
+            let w = abs(i);
+            assert!(w < self.p, "absolute server {w} out of range");
+            assert!(
+                assign[w] == usize::MAX,
+                "two round indices pinned to server {w}"
+            );
+            assign[w] = i;
+        }
+        self.pool.0.run_region(&assign, task);
+    }
+}
+
+impl Execute for NetExecutor {
+    fn run(&self, n: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.region(n, &|i| i, task);
+    }
+
+    fn run_at(
+        &self,
+        n: usize,
+        abs: &(dyn Fn(usize) -> usize + Sync),
+        task: &(dyn Fn(usize) + Sync),
+    ) {
+        self.region(n, abs, task);
+    }
+
+    fn is_parallel(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    fn as_net(&self) -> Option<&NetExecutor> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Frame, FrameKind};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        let exec = NetExecutor::new(8);
+        let hits: Vec<AtomicU64> = (0..8).map(|_| AtomicU64::new(0)).collect();
+        for _ in 0..200 {
+            exec.run(8, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 200);
+        }
+    }
+
+    #[test]
+    fn pins_index_to_absolute_server_thread() {
+        let exec = NetExecutor::new(4);
+        // A strided view {1, 3}: index i must run on thread `1 + 2i`.
+        exec.run_at(2, &|i| 1 + 2 * i, &|i| {
+            let name = std::thread::current().name().unwrap().to_string();
+            assert_eq!(name, format!("aj-server-{}", 1 + 2 * i), "index {i}");
+        });
+    }
+
+    #[test]
+    fn servers_run_concurrently_and_can_block_on_recv() {
+        // Every server sends one frame to its successor and then blocks
+        // receiving from its predecessor — impossible unless all servers of
+        // the round truly run at the same time.
+        let p = 6;
+        let exec = NetExecutor::new(p);
+        exec.run(p, &|s| {
+            let t = exec.transport();
+            t.send(
+                s,
+                (s + 1) % p,
+                Frame::new(FrameKind::Items, 1, s as u64, &(s as u64)),
+            );
+            let got = t.recv(s);
+            assert_eq!(got.decode_body::<u64>(), ((s + p - 1) % p) as u64);
+        });
+    }
+
+    #[test]
+    fn lowest_server_panic_wins_deterministically() {
+        let exec = NetExecutor::new(8);
+        for _ in 0..50 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                exec.run(8, &|i| {
+                    if i % 2 == 1 {
+                        panic!("server {i} failed");
+                    }
+                });
+            }));
+            let payload = result.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "server 1 failed");
+        }
+        // The pool survives panicked rounds.
+        let hits = AtomicU64::new(0);
+        exec.run(3, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "two round indices pinned")]
+    fn double_assignment_is_rejected() {
+        let exec = NetExecutor::new(4);
+        exec.run_at(2, &|_| 0, &|_| {});
+    }
+
+    #[test]
+    fn wire_byte_counter_accumulates() {
+        let exec = NetExecutor::new(2);
+        assert_eq!(exec.wire_bytes(), 0);
+        exec.add_wire_bytes(48);
+        exec.add_wire_bytes(8);
+        assert_eq!(exec.wire_bytes(), 56);
+    }
+}

@@ -41,6 +41,29 @@ enum Report {
     Total(u64),
 }
 
+impl crate::wire::Wire for Report {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            Report::Count(key, c) => {
+                out.push(0);
+                key.encode(out);
+                out.push(*c);
+            }
+            Report::Total(t) => {
+                out.push(1);
+                out.push(*t);
+            }
+        }
+    }
+    fn decode(r: &mut crate::wire::WireReader<'_>) -> Self {
+        match r.word() {
+            0 => Report::Count(Tuple::decode(r), r.word()),
+            1 => Report::Total(r.word()),
+            other => panic!("wire: bad Report tag {other}"),
+        }
+    }
+}
+
 /// Detect the heavy hitters of a distributed collection of tuples projected
 /// onto `key_pos`, nominating at most `k` keys per server (see the module
 /// docs for rounds, loads and the approximation guarantee).

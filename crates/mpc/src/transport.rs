@@ -1,0 +1,407 @@
+//! Frame routing for the network backend: the [`Transport`] trait and its
+//! implementations.
+//!
+//! A transport is the only path between two servers of a
+//! [`crate::NetExecutor`] cluster. It moves opaque [`Frame`]s; it knows
+//! nothing about rounds, queries, or blocks. Three implementations:
+//!
+//! * [`ChanTransport`] — in-process queues (mutex + condvar per receiving
+//!   endpoint). The default: deterministic, allocation-only, no file
+//!   descriptors.
+//! * [`UdsTransport`] — real unix-domain socket pairs, one per unordered
+//!   server pair, with a reader thread per connection draining
+//!   length-prefixed byte frames into per-endpoint queues. Feature-gated on
+//!   `uds` (on by default, unix only); exercised by the conformance suite.
+//! * [`ShuffleTransport`] — a test wrapper that adversarially reorders
+//!   frame arrival per receiver with a seeded permutation, proving that no
+//!   code path depends on delivery order.
+//!
+//! # Delivery contract
+//!
+//! * `send` never blocks indefinitely (queues are unbounded; socket writes
+//!   are drained by an always-running reader on the far side). This is what
+//!   makes the exchange protocol deadlock-free: every server can finish all
+//!   of its sends before starting to receive.
+//! * Frames between one (sender, receiver) pair arrive in send order.
+//!   Frames from *different* senders may interleave arbitrarily — receivers
+//!   must not (and, per the [`ShuffleTransport`] test, do not) rely on
+//!   cross-sender arrival order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::wire::Frame;
+
+/// A frame router connecting `p` endpoints (one per absolute server).
+pub trait Transport: Send + Sync {
+    /// Number of endpoints.
+    fn endpoints(&self) -> usize;
+
+    /// Deliver `frame` from endpoint `from` to endpoint `to`. Must not
+    /// block indefinitely (see the module-level delivery contract).
+    fn send(&self, from: usize, to: usize, frame: Frame);
+
+    /// Block until a frame is available at endpoint `at` and take it.
+    fn recv(&self, at: usize) -> Frame;
+
+    /// Take a frame at endpoint `at` if one is already available.
+    fn try_recv(&self, at: usize) -> Option<Frame>;
+
+    /// Short name for diagnostics and bench labels.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: Transport + ?Sized> Transport for std::sync::Arc<T> {
+    fn endpoints(&self) -> usize {
+        (**self).endpoints()
+    }
+    fn send(&self, from: usize, to: usize, frame: Frame) {
+        (**self).send(from, to, frame)
+    }
+    fn recv(&self, at: usize) -> Frame {
+        (**self).recv(at)
+    }
+    fn try_recv(&self, at: usize) -> Option<Frame> {
+        (**self).try_recv(at)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// One receiving endpoint: an unbounded queue plus a wakeup signal.
+///
+/// `std::sync::mpsc` channels are not `Sync` on the sending side, so the
+/// queue is a plain mutex-protected deque — contention is negligible (one
+/// lock per frame, and frames are round-granular).
+#[derive(Default)]
+struct Endpoint {
+    queue: Mutex<VecDeque<Frame>>,
+    ready: Condvar,
+}
+
+impl Endpoint {
+    fn push(&self, frame: Frame) {
+        self.queue.lock().unwrap().push_back(frame);
+        self.ready.notify_one();
+    }
+
+    fn pop_blocking(&self) -> Frame {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(f) = q.pop_front() {
+                return f;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn pop(&self) -> Option<Frame> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// The default transport: per-endpoint in-process queues.
+pub struct ChanTransport {
+    endpoints: Vec<Endpoint>,
+}
+
+impl ChanTransport {
+    /// A transport connecting `p` endpoints.
+    pub fn new(p: usize) -> Self {
+        ChanTransport {
+            endpoints: (0..p).map(|_| Endpoint::default()).collect(),
+        }
+    }
+}
+
+impl Transport for ChanTransport {
+    fn endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn send(&self, _from: usize, to: usize, frame: Frame) {
+        self.endpoints[to].push(frame);
+    }
+
+    fn recv(&self, at: usize) -> Frame {
+        self.endpoints[at].pop_blocking()
+    }
+
+    fn try_recv(&self, at: usize) -> Option<Frame> {
+        self.endpoints[at].pop()
+    }
+
+    fn name(&self) -> &'static str {
+        "chan"
+    }
+}
+
+/// Unix-domain-socket transport: every frame really crosses a kernel
+/// socket as length-prefixed little-endian bytes.
+#[cfg(all(unix, feature = "uds"))]
+pub use uds::UdsTransport;
+
+#[cfg(all(unix, feature = "uds"))]
+mod uds {
+    use super::{Endpoint, Frame, Transport};
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex;
+
+    /// A [`Transport`] over real unix-domain socketpairs.
+    ///
+    /// Topology: one `UnixStream::pair` per unordered server pair, so p
+    /// servers use p·(p−1)/2 connections (self-sends short-circuit through
+    /// the local queue — the kernel would only add latency). Each stream end
+    /// gets a reader thread that drains incoming byte frames into the
+    /// owning endpoint's queue; `send` writes the frame's byte form under a
+    /// per-destination stream lock. Frame bytes therefore make a genuine
+    /// user→kernel→user round trip, which is exactly what the conformance
+    /// suite wants to exercise.
+    ///
+    /// Keep `p` modest (the conformance suite uses p ≤ 8): connections cost
+    /// two file descriptors each.
+    pub struct UdsTransport {
+        /// `streams[from][to]`: the write end `from` uses to reach `to`
+        /// (`None` on the diagonal).
+        streams: Vec<Vec<Option<Mutex<UnixStream>>>>,
+        endpoints: Vec<Endpoint>,
+        readers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    }
+
+    impl UdsTransport {
+        /// Connect `p` endpoints with socketpairs and start the reader
+        /// threads.
+        ///
+        /// # Panics
+        /// Panics if socketpair creation fails (e.g. fd exhaustion).
+        pub fn new(p: usize) -> std::sync::Arc<Self> {
+            let mut streams: Vec<Vec<Option<Mutex<UnixStream>>>> =
+                (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+            let mut reader_ends: Vec<(usize, UnixStream)> = Vec::new();
+            // Symmetric (i, j) pairing: both sides of each socketpair are
+            // placed by index, so a range loop reads better than enumerate.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..p {
+                for j in (i + 1)..p {
+                    let (a, b) = UnixStream::pair().expect("uds: socketpair");
+                    // `a` lives at server i (writes i→j, reads j→i);
+                    // `b` at server j.
+                    reader_ends.push((i, a.try_clone().expect("uds: clone")));
+                    reader_ends.push((j, b.try_clone().expect("uds: clone")));
+                    streams[i][j] = Some(Mutex::new(a));
+                    streams[j][i] = Some(Mutex::new(b));
+                }
+            }
+            let transport = std::sync::Arc::new(UdsTransport {
+                streams,
+                endpoints: (0..p).map(|_| Endpoint::default()).collect(),
+                readers: Mutex::new(Vec::new()),
+            });
+            let mut readers = Vec::with_capacity(reader_ends.len());
+            for (owner, mut stream) in reader_ends {
+                let t = std::sync::Arc::clone(&transport);
+                readers.push(
+                    std::thread::Builder::new()
+                        .name(format!("aj-uds-rx-{owner}"))
+                        .spawn(move || loop {
+                            match Frame::read_from(&mut stream) {
+                                Ok(Some(frame)) => t.endpoints[owner].push(frame),
+                                // Clean shutdown, or the far side dropped
+                                // mid-teardown — either way, stop draining.
+                                Ok(None) | Err(_) => return,
+                            }
+                        })
+                        .expect("uds: spawn reader"),
+                );
+            }
+            *transport.readers.lock().unwrap() = readers;
+            transport
+        }
+    }
+
+    impl Transport for UdsTransport {
+        fn endpoints(&self) -> usize {
+            self.endpoints.len()
+        }
+
+        fn send(&self, from: usize, to: usize, frame: Frame) {
+            if from == to {
+                self.endpoints[to].push(frame);
+                return;
+            }
+            let stream = self.streams[from][to]
+                .as_ref()
+                .expect("uds: no stream for pair");
+            let bytes = frame.to_bytes();
+            stream
+                .lock()
+                .unwrap()
+                .write_all(&bytes)
+                .expect("uds: write");
+        }
+
+        fn recv(&self, at: usize) -> Frame {
+            self.endpoints[at].pop_blocking()
+        }
+
+        fn try_recv(&self, at: usize) -> Option<Frame> {
+            self.endpoints[at].pop()
+        }
+
+        fn name(&self) -> &'static str {
+            "uds"
+        }
+    }
+
+    impl Drop for UdsTransport {
+        fn drop(&mut self) {
+            // Shut the sockets down so every reader thread sees EOF and
+            // exits; reader clones keep the fds alive otherwise.
+            for row in &self.streams {
+                for s in row.iter().flatten() {
+                    let _ = s.lock().unwrap().shutdown(std::net::Shutdown::Both);
+                }
+            }
+            for h in self.readers.lock().unwrap().drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Splitmix64 step (matches `aj_mpc::hash_mix`'s quality needs; local copy
+/// to keep this module self-contained).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A test wrapper that delivers frames in a seeded adversarial order.
+///
+/// `recv` first drains everything already available at the endpoint into a
+/// stash, blocking for one frame only if the stash is empty, then returns a
+/// seeded-random stash element. Per-sender FIFO order is deliberately *not*
+/// preserved across `recv` calls within a round — the receiver-side
+/// assembly must reorder by sender id and in-frame sequence numbers, and
+/// the conformance suite asserts outputs and `Stats` stay bit-identical
+/// under this wrapper.
+pub struct ShuffleTransport<T> {
+    inner: T,
+    stashes: Vec<Mutex<(Vec<Frame>, u64)>>,
+}
+
+impl<T: Transport> ShuffleTransport<T> {
+    /// Wrap `inner`, shuffling deliveries with the given seed.
+    pub fn new(inner: T, seed: u64) -> Self {
+        let p = inner.endpoints();
+        ShuffleTransport {
+            inner,
+            stashes: (0..p)
+                .map(|at| Mutex::new((Vec::new(), seed ^ (at as u64).wrapping_mul(0x9e37))))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Transport> Transport for ShuffleTransport<T> {
+    fn endpoints(&self) -> usize {
+        self.inner.endpoints()
+    }
+
+    fn send(&self, from: usize, to: usize, frame: Frame) {
+        self.inner.send(from, to, frame);
+    }
+
+    fn recv(&self, at: usize) -> Frame {
+        let mut stash = self.stashes[at].lock().unwrap();
+        while let Some(f) = self.inner.try_recv(at) {
+            stash.0.push(f);
+        }
+        if stash.0.is_empty() {
+            stash.0.push(self.inner.recv(at));
+        }
+        let idx = (splitmix(&mut stash.1) % stash.0.len() as u64) as usize;
+        stash.0.swap_remove(idx)
+    }
+
+    fn try_recv(&self, at: usize) -> Option<Frame> {
+        let mut stash = self.stashes[at].lock().unwrap();
+        while let Some(f) = self.inner.try_recv(at) {
+            stash.0.push(f);
+        }
+        if stash.0.is_empty() {
+            return None;
+        }
+        let idx = (splitmix(&mut stash.1) % stash.0.len() as u64) as usize;
+        Some(stash.0.swap_remove(idx))
+    }
+
+    fn name(&self) -> &'static str {
+        "shuffle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Frame, FrameKind};
+
+    fn frame(seq: u64, from: u64, payload: u64) -> Frame {
+        Frame::new(FrameKind::Items, seq, from, &payload)
+    }
+
+    #[test]
+    fn chan_delivers_fifo_per_sender() {
+        let t = ChanTransport::new(2);
+        t.send(0, 1, frame(1, 0, 10));
+        t.send(0, 1, frame(2, 0, 20));
+        assert_eq!(t.recv(1).seq, 1);
+        assert_eq!(t.recv(1).seq, 2);
+        assert!(t.try_recv(1).is_none());
+        assert!(t.try_recv(0).is_none());
+    }
+
+    #[test]
+    fn chan_recv_blocks_until_send() {
+        let t = std::sync::Arc::new(ChanTransport::new(2));
+        let t2 = std::sync::Arc::clone(&t);
+        let h = std::thread::spawn(move || t2.recv(0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        t.send(1, 0, frame(7, 1, 0));
+        assert_eq!(h.join().unwrap().seq, 7);
+    }
+
+    #[test]
+    fn shuffle_reorders_but_loses_nothing() {
+        let t = ShuffleTransport::new(ChanTransport::new(2), 42);
+        for i in 0..20u64 {
+            t.send(0, 1, frame(i, 0, i));
+        }
+        let mut seqs: Vec<u64> = (0..20).map(|_| t.recv(1).seq).collect();
+        assert_ne!(seqs, (0..20).collect::<Vec<_>>(), "seed 42 should shuffle");
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+    }
+
+    #[cfg(all(unix, feature = "uds"))]
+    #[test]
+    fn uds_round_trips_across_sockets() {
+        let t = UdsTransport::new(3);
+        let mut b = crate::TupleBlock::new(2);
+        b.push_row(&[5, 6]);
+        t.send(0, 2, Frame::new(FrameKind::Rows, 3, 0, &b));
+        t.send(1, 2, frame(3, 1, 99));
+        t.send(2, 2, frame(3, 2, 1)); // self-send
+        let mut got: Vec<Frame> = (0..3).map(|_| t.recv(2)).collect();
+        got.sort_by_key(|f| f.from);
+        assert_eq!(got[0].decode_body::<crate::TupleBlock>(), b);
+        assert_eq!(got[1].decode_body::<u64>(), 99);
+        assert_eq!(got[2].decode_body::<u64>(), 1);
+        assert!(t.try_recv(2).is_none());
+    }
+}

@@ -1,0 +1,536 @@
+//! The wire format of the network backend: every payload that crosses a
+//! server boundary under a [`crate::NetExecutor`] is serialized here.
+//!
+//! The simulated executors ([`crate::SeqExecutor`], [`crate::ParExecutor`])
+//! move exchange payloads by slicing shared buffers — nothing is ever
+//! serialized. The network backend is different: each server is an
+//! independent worker and the only thing that may cross between two servers
+//! is a **frame**, a length-prefixed flat `u64` buffer produced by the
+//! [`Wire`] codec. This module defines:
+//!
+//! * [`Wire`] — the codec trait. A type that implements `Wire` can be
+//!   encoded into a flat word stream and decoded back, and the encoding is
+//!   **canonical**: encoding the same value twice yields byte-identical
+//!   output (asserted by property tests). `Net::exchange` requires its
+//!   payload type to be `Wire`, so the type system proves that every
+//!   message of every algorithm has a wire format — a backend swap can
+//!   never hit an unserializable payload at runtime.
+//! * [`WireReader`] — a cursor over a received word stream; decoding is
+//!   self-delimiting (every `Wire` impl knows how many words it consumes).
+//! * [`Frame`] — one unit of transmission: a fixed header (magic, kind,
+//!   round sequence number, absolute sender) plus a `Wire`-encoded body.
+//!   [`Frame::to_bytes`] / [`Frame::read_from`] give the length-prefixed
+//!   little-endian byte form used by socket transports.
+//!
+//! # Format
+//!
+//! A frame on the wire (words; one word = 8 bytes little-endian):
+//!
+//! | word | content |
+//! |------|---------|
+//! | 0    | [`FRAME_MAGIC`] |
+//! | 1    | kind ([`FrameKind`] discriminant) |
+//! | 2    | round sequence number (the cluster's exchange counter) |
+//! | 3    | absolute sender id |
+//! | 4    | body length in words |
+//! | 5..  | body |
+//!
+//! The byte form prepends one word holding the total frame length in words.
+//! Scalars encode as one word (`i64`/`f64` via their bit patterns); vectors
+//! as a length word followed by the elements; a [`TupleBlock`] as
+//! `[arity, rows, values…]` (the explicit row count keeps 0-ary blocks
+//! exact). Weights of delta rows travel inside their block's trailing
+//! column, already encoded by `aj_relation::delta::encode_weight` — a delta
+//! frame is just a rows frame of arity + 1.
+
+use aj_relation::{Tuple, TupleBlock};
+
+/// Magic word opening every frame (detects protocol/framing bugs early).
+pub const FRAME_MAGIC: u64 = 0x414a_5749_5245_0001; // "AJWIRE" v1
+
+/// What a frame's body holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A `Vec<T>` of [`Wire`]-encoded items (the generic
+    /// [`crate::Net::exchange`] path: control messages, heavy-hitter
+    /// nominations, prefix-sum tree values, …).
+    Items = 1,
+    /// A [`TupleBlock`] (the columnar [`crate::Net::exchange_rows`] path;
+    /// delta rounds ship blocks of payload arity + 1 with the weight
+    /// column trailing).
+    Rows = 2,
+}
+
+impl FrameKind {
+    fn from_word(w: u64) -> FrameKind {
+        match w {
+            1 => FrameKind::Items,
+            2 => FrameKind::Rows,
+            other => panic!("wire: unknown frame kind {other}"),
+        }
+    }
+}
+
+/// One unit of transmission between two servers of the network backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Body discriminant.
+    pub kind: FrameKind,
+    /// Round sequence number: the cluster's exchange counter at send time.
+    /// Receivers assert it, so a frame can never leak across rounds.
+    pub seq: u64,
+    /// Absolute id of the sending server.
+    pub from: u64,
+    /// The `Wire`-encoded body.
+    pub body: Vec<u64>,
+}
+
+impl Frame {
+    /// Build a frame by encoding `payload`.
+    pub fn new(kind: FrameKind, seq: u64, from: u64, payload: &impl Wire) -> Frame {
+        let mut body = Vec::new();
+        payload.encode(&mut body);
+        Frame {
+            kind,
+            seq,
+            from,
+            body,
+        }
+    }
+
+    /// Decode the body back into a payload, asserting every word is used.
+    ///
+    /// # Panics
+    /// Panics if the body is malformed or has trailing words.
+    pub fn decode_body<T: Wire>(&self) -> T {
+        let mut r = WireReader::new(&self.body);
+        let value = T::decode(&mut r);
+        assert!(
+            r.is_exhausted(),
+            "wire: {} trailing words after decoding frame body",
+            r.remaining()
+        );
+        value
+    }
+
+    /// The frame as a flat word stream (header + body).
+    pub fn encode_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(5 + self.body.len());
+        words.push(FRAME_MAGIC);
+        words.push(self.kind as u64);
+        words.push(self.seq);
+        words.push(self.from);
+        words.push(self.body.len() as u64);
+        words.extend_from_slice(&self.body);
+        words
+    }
+
+    /// Rebuild a frame from its word stream.
+    ///
+    /// # Panics
+    /// Panics on a bad magic, kind, or length.
+    pub fn decode_words(words: &[u64]) -> Frame {
+        assert!(words.len() >= 5, "wire: truncated frame header");
+        assert_eq!(words[0], FRAME_MAGIC, "wire: bad frame magic");
+        let kind = FrameKind::from_word(words[1]);
+        let body_len = words[4] as usize;
+        assert_eq!(words.len(), 5 + body_len, "wire: frame length mismatch");
+        Frame {
+            kind,
+            seq: words[2],
+            from: words[3],
+            body: words[5..].to_vec(),
+        }
+    }
+
+    /// Size of the frame on a byte transport: the length-prefix word plus
+    /// header and body, 8 bytes each.
+    pub fn wire_bytes(&self) -> u64 {
+        8 * (1 + 5 + self.body.len() as u64)
+    }
+
+    /// The length-prefixed little-endian byte form used by socket
+    /// transports: one `u64` holding the frame length in words, then the
+    /// frame words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let words = self.encode_words();
+        let mut bytes = Vec::with_capacity(8 * (1 + words.len()));
+        bytes.extend_from_slice(&(words.len() as u64).to_le_bytes());
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Read one length-prefixed frame from a byte stream. Returns `None` on
+    /// a clean end-of-stream at a frame boundary (the peer shut down).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; a stream ending mid-frame is an error.
+    pub fn read_from(r: &mut impl std::io::Read) -> std::io::Result<Option<Frame>> {
+        let mut len_buf = [0u8; 8];
+        // A clean EOF before any length byte means the peer closed.
+        let mut filled = 0;
+        while filled < 8 {
+            match r.read(&mut len_buf[filled..])? {
+                0 if filled == 0 => return Ok(None),
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "stream ended inside a frame length prefix",
+                    ))
+                }
+                n => filled += n,
+            }
+        }
+        let n_words = u64::from_le_bytes(len_buf) as usize;
+        let mut bytes = vec![0u8; 8 * n_words];
+        r.read_exact(&mut bytes)?;
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Ok(Some(Frame::decode_words(&words)))
+    }
+}
+
+/// A cursor over a received word stream.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `words`, positioned at the start.
+    pub fn new(words: &'a [u64]) -> Self {
+        WireReader { words, pos: 0 }
+    }
+
+    /// Consume one word.
+    ///
+    /// # Panics
+    /// Panics if the stream is exhausted.
+    #[inline]
+    pub fn word(&mut self) -> u64 {
+        assert!(
+            self.pos < self.words.len(),
+            "wire: read past the end of a frame body"
+        );
+        let w = self.words[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Consume `n` words as a slice.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` words remain.
+    #[inline]
+    pub fn words(&mut self, n: usize) -> &'a [u64] {
+        assert!(
+            self.pos + n <= self.words.len(),
+            "wire: read past the end of a frame body"
+        );
+        let s = &self.words[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Words not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    /// True once every word has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.words.len()
+    }
+}
+
+/// A type with a canonical flat-`u64` wire encoding.
+///
+/// Every payload type of [`crate::Net::exchange`] must implement `Wire`;
+/// the simulated executors never call the codec, so the bound costs them
+/// nothing, but it guarantees the network backend can ship any round any
+/// algorithm performs. Implementations must be **canonical** (equal values
+/// encode identically) and **self-delimiting** (decode consumes exactly
+/// what encode produced).
+pub trait Wire: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u64>);
+    /// Decode one value, consuming exactly its encoding.
+    fn decode(r: &mut WireReader<'_>) -> Self;
+}
+
+macro_rules! impl_wire_scalar {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn encode(&self, out: &mut Vec<u64>) {
+                out.push(*self as u64);
+            }
+            #[inline]
+            fn decode(r: &mut WireReader<'_>) -> Self {
+                r.word() as $t
+            }
+        }
+    )*};
+}
+
+impl_wire_scalar!(u8, u16, u32, u64, usize);
+
+impl Wire for i64 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.word() as i64
+    }
+}
+
+impl Wire for i32 {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self as i64 as u64);
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.word() as i64 as i32
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(*self));
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        r.word() != 0
+    }
+}
+
+impl Wire for f64 {
+    /// Bit-pattern encoding: the round trip is bit-identical, NaNs included.
+    #[inline]
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.to_bits());
+    }
+    #[inline]
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        f64::from_bits(r.word())
+    }
+}
+
+impl Wire for () {
+    #[inline]
+    fn encode(&self, _out: &mut Vec<u64>) {}
+    #[inline]
+    fn decode(_r: &mut WireReader<'_>) -> Self {}
+}
+
+impl Wire for String {
+    /// One word per byte is wasteful but keeps the format uniform; strings
+    /// only cross the wire in diagnostics, never on the data plane.
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.len() as u64);
+        out.extend(self.bytes().map(u64::from));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let len = r.word() as usize;
+        let bytes: Vec<u8> = r.words(len).iter().map(|&w| w as u8).collect();
+        String::from_utf8(bytes).expect("wire: invalid UTF-8 in string payload")
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Wire),+> Wire for ($($t,)+) {
+            fn encode(&self, out: &mut Vec<u64>) {
+                $(self.$n.encode(out);)+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Self {
+                ($($t::decode(r),)+)
+            }
+        }
+    )*};
+}
+
+impl_wire_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let len = r.word() as usize;
+        (0..len).map(|_| T::decode(r)).collect()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.word() {
+            0 => None,
+            1 => Some(T::decode(r)),
+            other => panic!("wire: bad Option tag {other}"),
+        }
+    }
+}
+
+impl Wire for Tuple {
+    /// `[arity, values…]`. Inline and boxed representations encode
+    /// identically (the codec sees only the values), so the round trip is
+    /// representation-agnostic.
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.arity() as u64);
+        out.extend_from_slice(self.values());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let arity = r.word() as usize;
+        Tuple::from_slice(r.words(arity))
+    }
+}
+
+impl Wire for TupleBlock {
+    /// `[arity, rows, values…]` — the explicit row count keeps 0-ary blocks
+    /// exact (their value buffer is empty regardless of the row count).
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.arity() as u64);
+        out.push(self.len() as u64);
+        out.extend_from_slice(self.values());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let arity = r.word() as usize;
+        let rows = r.word() as usize;
+        if arity == 0 {
+            let mut b = TupleBlock::new(0);
+            b.push_empty_rows(rows);
+            b
+        } else {
+            TupleBlock::from_values(arity, r.words(arity * rows).to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let mut words = Vec::new();
+        value.encode(&mut words);
+        let mut r = WireReader::new(&words);
+        let back = T::decode(&mut r);
+        assert!(r.is_exhausted(), "decode left {} words", r.remaining());
+        assert_eq!(back, value);
+        // Canonical: a second encode is word-identical.
+        let mut again = Vec::new();
+        back.encode(&mut again);
+        assert_eq!(words, again);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(42usize);
+        round_trip(7u8);
+        round_trip(-3i64);
+        round_trip(i64::MIN);
+        round_trip(-1i32);
+        round_trip(true);
+        round_trip(());
+        round_trip(1.5f64);
+        round_trip(f64::NEG_INFINITY);
+        round_trip("héllo".to_string());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip((1u64, -2i64));
+        round_trip((1u64, 2usize, 3u8));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(vec![(1u64, 2u64)]));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![(0usize, 0.25f64), (3, 1.0)]);
+    }
+
+    #[test]
+    fn tuples_and_blocks_round_trip() {
+        round_trip(Tuple::new(vec![]));
+        round_trip(Tuple::new(vec![1, 2, 3])); // inline repr
+        round_trip(Tuple::new(vec![9; 8])); // boxed repr
+        let mut b = TupleBlock::new(2);
+        b.push_row(&[1, 2]);
+        b.push_row(&[3, 4]);
+        round_trip(b);
+        round_trip(TupleBlock::new(5));
+        let mut z = TupleBlock::new(0);
+        z.push_empty_rows(7);
+        round_trip(z);
+    }
+
+    #[test]
+    fn frames_round_trip_words_and_bytes() {
+        let mut b = TupleBlock::new(3);
+        b.push_row(&[10, 20, 30]);
+        let f = Frame::new(FrameKind::Rows, 99, 4, &b);
+        assert_eq!(f.decode_body::<TupleBlock>(), b);
+        let words = f.encode_words();
+        assert_eq!(Frame::decode_words(&words), f);
+        assert_eq!(f.wire_bytes(), 8 * (1 + words.len() as u64));
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len() as u64, f.wire_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        let back = Frame::read_from(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, f);
+        // Clean EOF at a frame boundary.
+        assert!(Frame::read_from(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let f = Frame::new(FrameKind::Items, 0, 0, &Vec::<u64>::new());
+        let mut cursor = std::io::Cursor::new(f.to_bytes());
+        assert_eq!(Frame::read_from(&mut cursor).unwrap().unwrap(), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad frame magic")]
+    fn bad_magic_is_rejected() {
+        let f = Frame::new(FrameKind::Items, 0, 0, &1u64);
+        let mut words = f.encode_words();
+        words[0] ^= 1;
+        Frame::decode_words(&words);
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing words")]
+    fn trailing_words_are_rejected() {
+        let mut f = Frame::new(FrameKind::Items, 0, 0, &1u64);
+        f.body.push(7);
+        let _: u64 = f.decode_body();
+    }
+}

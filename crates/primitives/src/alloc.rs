@@ -3,7 +3,7 @@
 //! `max_j p2(j) ≤ Σ_j p(j)`; tuples learn their subproblem's range via
 //! [`crate::lookup`].
 
-use aj_mpc::{Net, Partitioned};
+use aj_mpc::{Net, Partitioned, Wire, WireReader};
 
 use crate::key::Key;
 use crate::prefix::prefix_sum;
@@ -25,6 +25,19 @@ impl Allocation {
     }
 }
 
+impl Wire for Allocation {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.start);
+        out.push(self.len);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        Allocation {
+            start: r.word(),
+            len: r.word(),
+        }
+    }
+}
+
 /// Allocate disjoint server ranges to subproblems.
 ///
 /// `demands` holds `(subproblem id, p(j))` pairs with globally distinct ids
@@ -32,7 +45,7 @@ impl Allocation {
 /// mapping each id to its [`Allocation`], plus the total number of servers
 /// demanded. Rounds: O(1); load: linear in the number of subproblems per
 /// server plus `O(√p)` control units.
-pub fn allocate_servers<K: Key>(
+pub fn allocate_servers<K: Key + Wire>(
     net: &mut Net,
     demands: Partitioned<(K, u64)>,
     seed: u64,

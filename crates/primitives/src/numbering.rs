@@ -4,7 +4,7 @@
 
 use crate::fxhash::FxHashMap;
 
-use aj_mpc::{Net, Partitioned, ServerId};
+use aj_mpc::{Net, Partitioned, ServerId, Wire};
 
 use crate::key::Key;
 
@@ -13,7 +13,7 @@ use crate::key::Key;
 /// disjoint offset ranges back; numbering finishes locally. All per-server
 /// phases run through the round API, so a parallel executor overlaps them
 /// across servers.
-pub fn multi_numbering<K: Key, T: Send + Sync>(
+pub fn multi_numbering<K: Key + Wire, T: Send + Sync>(
     net: &mut Net,
     items: Partitioned<(K, T)>,
     seed: u64,

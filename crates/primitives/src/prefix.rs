@@ -4,7 +4,7 @@
 //! than `O(√p)` control units in a round (the BSP prefix-sums of Goodrich et
 //! al. cited by the paper achieve `O(1)` rounds similarly).
 
-use aj_mpc::{Net, ServerId};
+use aj_mpc::{Net, ServerId, Wire};
 
 /// Exclusive prefix sums: server `s` contributed `values[s]`; the result at
 /// index `s` is `values\[0\] + … + values[s-1]`, available to server `s`.
@@ -74,7 +74,7 @@ pub fn prefix_sum(net: &mut Net, values: &[u64]) -> (Vec<u64>, u64) {
 
 /// Broadcast one value from server `src` to all servers (1 unit received
 /// each). Returns the value for convenience.
-pub fn broadcast_value<T: Clone + Send>(net: &mut Net, src: ServerId, value: T) -> T {
+pub fn broadcast_value<T: Clone + Send + Wire>(net: &mut Net, src: ServerId, value: T) -> T {
     let got = net.broadcast(src, vec![value]);
     got.into_iter()
         .next()

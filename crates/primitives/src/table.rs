@@ -17,7 +17,7 @@
 
 use crate::fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet};
 
-use aj_mpc::{Net, Partitioned, ServerId};
+use aj_mpc::{Net, Partitioned, ServerId, Wire};
 
 use crate::key::Key;
 
@@ -36,7 +36,7 @@ pub struct OwnedTable<K: Key, V> {
 ///
 /// This is the paper's **sum-by-key** primitive: local pre-aggregation, then
 /// one exchange to the key owner, then owner-side aggregation. One round.
-pub fn sum_by_key<K: Key, V: Clone + Send>(
+pub fn sum_by_key<K: Key + Wire, V: Clone + Send + Wire>(
     net: &mut Net,
     pairs: Partitioned<(K, V)>,
     seed: u64,
@@ -89,7 +89,7 @@ pub fn sum_by_key<K: Key, V: Clone + Send>(
 
 /// Build an [`OwnedTable`] from `(key, value)` pairs assumed to have globally
 /// distinct keys (one exchange; panics in debug if duplicates collide).
-pub fn own_by_key<K: Key, V: Send>(
+pub fn own_by_key<K: Key + Wire, V: Send + Wire>(
     net: &mut Net,
     pairs: Partitioned<(K, V)>,
     seed: u64,
@@ -118,7 +118,7 @@ pub fn own_by_key<K: Key, V: Send>(
 /// `requests` and receives a local map answering them (keys absent from the
 /// table are absent from the map). Two rounds; the paper's **multi-search**
 /// specialised to equality lookups.
-pub fn lookup<K: Key, V: Clone + Send + Sync>(
+pub fn lookup<K: Key + Wire, V: Clone + Send + Sync + Wire>(
     net: &mut Net,
     table: &OwnedTable<K, V>,
     requests: &Partitioned<K>,
@@ -151,7 +151,7 @@ pub fn lookup<K: Key, V: Clone + Send + Sync>(
 
 /// The **semi-join** primitive: keep the items of `items` whose key occurs in
 /// `right_keys`. Three rounds total, linear load.
-pub fn semi_join<T: Send + Sync, K: Key>(
+pub fn semi_join<T: Send + Sync, K: Key + Wire>(
     net: &mut Net,
     items: Partitioned<T>,
     key_of: impl Fn(&T) -> K + Sync,
@@ -220,14 +220,21 @@ mod tests {
         let mut net = cluster.net();
         let table = own_by_key(
             &mut net,
-            Partitioned::distribute(vec![(1u64, "a"), (2, "b"), (3, "c")], 3),
+            Partitioned::distribute(
+                vec![
+                    (1u64, "a".to_string()),
+                    (2, "b".to_string()),
+                    (3, "c".to_string()),
+                ],
+                3,
+            ),
             11,
         );
         let requests = Partitioned::from_parts(vec![vec![1u64, 99], vec![2, 2, 2], vec![]]);
         let ans = lookup(&mut net, &table, &requests);
-        assert_eq!(ans[0].get(&1), Some(&"a"));
+        assert_eq!(ans[0].get(&1).map(String::as_str), Some("a"));
         assert_eq!(ans[0].get(&99), None);
-        assert_eq!(ans[1].get(&2), Some(&"b"));
+        assert_eq!(ans[1].get(&2).map(String::as_str), Some("b"));
         assert!(ans[2].is_empty());
     }
 

@@ -9,9 +9,13 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** On failure the test panics with the sampled arguments
-//!   so the case can be replayed by hand (every generator in this repo is
-//!   seed-addressable anyway).
+//! * **Greedy shrinking.** On failure the runner repeatedly asks each
+//!   argument's strategy for simpler candidates ([`Strategy::shrink`]) and
+//!   keeps any candidate that still fails, within a fixed budget of re-runs.
+//!   Integer ranges shrink toward their lower bound, `Vec`s drop halves and
+//!   single elements before shrinking elements in place, tuples shrink one
+//!   component at a time. The panic reports both the originally sampled and
+//!   the shrunk arguments.
 //! * **Deterministic.** The RNG seed is derived from the test name, so a
 //!   failing case fails on every run and in CI — there is no `proptest-regressions`
 //!   file to manage.
@@ -33,6 +37,73 @@ impl Default for ProptestConfig {
         ProptestConfig {
             cases: 256,
             max_reject_ratio: 50,
+        }
+    }
+}
+
+/// Outcome of one sampled case after [`__run_and_shrink`].
+#[doc(hidden)]
+#[derive(Debug)]
+pub enum CaseOutcome<V> {
+    /// The property held.
+    Pass,
+    /// `prop_assume!` rejected the case.
+    Reject,
+    /// The property failed; `shrunk` is the simplest still-failing value
+    /// found within the shrink budget.
+    Fail {
+        /// Simplest failing case found.
+        shrunk: V,
+        /// Number of successful shrink steps taken.
+        steps: u32,
+        /// Failure message of the shrunk case.
+        msg: String,
+    },
+}
+
+/// Run one case body, and on failure greedily shrink it: adopt any candidate
+/// from [`Strategy::shrink`] that still fails, restarting from the most
+/// aggressive candidates, until no candidate fails or the re-run budget is
+/// exhausted. A free function (not macro-generated code) so the `proptest!`
+/// macro can pass its case-destructuring closure in argument position, where
+/// the closure's parameter type is pinned to the strategy's `Value`.
+#[doc(hidden)]
+pub fn __run_and_shrink<S, F>(strat: &S, case: S::Value, body: F) -> CaseOutcome<S::Value>
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    match body(case.clone()) {
+        Ok(()) => CaseOutcome::Pass,
+        Err(TestCaseError::Reject) => CaseOutcome::Reject,
+        Err(TestCaseError::Fail(msg)) => {
+            let mut case = case;
+            let mut msg = msg;
+            let mut steps = 0u32;
+            let mut budget = 256u32;
+            let mut improved = true;
+            while improved && budget > 0 {
+                improved = false;
+                for cand in strat.shrink(&case) {
+                    if budget == 0 {
+                        break;
+                    }
+                    budget -= 1;
+                    if let Err(TestCaseError::Fail(m)) = body(cand.clone()) {
+                        case = cand;
+                        msg = m;
+                        steps += 1;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            CaseOutcome::Fail {
+                shrunk: case,
+                steps,
+                msg,
+            }
         }
     }
 }
@@ -88,6 +159,35 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps a candidate only if the property still fails
+    /// on it. Strategies with no meaningful notion of "simpler" return none.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Shared integer shrinker: toward the range's lower bound, halving the
+/// distance first (aggressive), then decrementing (fine-grained).
+macro_rules! int_shrink_body {
+    ($lo:expr, $v:expr, $t:ty) => {{
+        let lo: $t = $lo;
+        let v: $t = *$v;
+        let mut out: Vec<$t> = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo {
+                out.push(mid);
+            }
+            let dec = v - 1;
+            if dec != lo && dec != mid {
+                out.push(dec);
+            }
+        }
+        out
+    }};
 }
 
 macro_rules! impl_int_strategy {
@@ -98,6 +198,9 @@ macro_rules! impl_int_strategy {
                 assert!(self.start < self.end, "empty strategy range");
                 self.start + rng.below((self.end - self.start) as u64) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_body!(self.start, value, $t)
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -106,25 +209,50 @@ macro_rules! impl_int_strategy {
                 assert!(lo <= hi, "empty strategy range");
                 lo + rng.below((hi - lo) as u64 + 1) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_body!(*self.start(), value, $t)
+            }
         }
     )*};
 }
 
 impl_int_strategy!(u8, u16, u32, u64, usize, i32);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+/// Tuple strategies (arity 1–6): sample component-wise, shrink one
+/// component at a time with the others held fixed. The `proptest!` runner
+/// folds every argument list into one such tuple, so per-argument shrinking
+/// falls out of this impl.
+macro_rules! impl_tuple_strategy {
+    ($($A:ident . $idx:tt),+) => {
+        impl<$($A: Strategy),+> Strategy for ($($A,)+)
+        where
+            $($A::Value: Clone),+
+        {
+            type Value = ($($A::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut w = value.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
-}
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 
 /// Collection strategies (`prop::collection::*`).
 pub mod collection {
@@ -143,11 +271,41 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.size.sample(rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        /// Delta-debugging style: drop a half, then single elements, then
+        /// shrink elements in place — never below the strategy's minimum
+        /// length, so every candidate is a value `sample` could have drawn.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let min = self.size.start;
+            let n = value.len();
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            if n / 2 >= min && n / 2 < n {
+                out.push(value[..n / 2].to_vec());
+                out.push(value[n - n / 2..].to_vec());
+            }
+            if n > min {
+                for i in 0..n.min(16) {
+                    let mut w = value.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            for i in 0..n.min(16) {
+                for cand in self.element.shrink(&value[i]).into_iter().take(3) {
+                    let mut w = value.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -273,20 +431,25 @@ macro_rules! __proptest_fns {
                     attempts < config.cases.saturating_mul(config.max_reject_ratio) + 1000,
                     "prop_assume! rejected too many cases"
                 );
-                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
-                let case_desc = ::std::format!("{:?}", ($(&$arg,)+));
-                let outcome: $crate::TestCaseResult = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
+                let strat = ($(($strat),)+);
+                let case = $crate::Strategy::sample(&strat, &mut rng);
+                let case_desc = ::std::format!("{:?}", case);
+                let outcome = $crate::__run_and_shrink(&strat, case, |($($arg,)+)| {
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
                 match outcome {
-                    ::std::result::Result::Ok(()) => accepted += 1,
-                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
-                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                    $crate::CaseOutcome::Pass => accepted += 1,
+                    $crate::CaseOutcome::Reject => {}
+                    $crate::CaseOutcome::Fail { shrunk, steps, msg } => {
                         ::std::panic!(
-                            "property '{}' failed (no shrinking in this shim)\n args: {}\n {}",
+                            "property '{}' failed\n sampled args: {}\n shrunk args ({} shrink steps): {:?}\n {}",
                             ::std::stringify!($name),
                             case_desc,
+                            steps,
+                            shrunk,
                             msg
                         );
                     }
@@ -330,6 +493,95 @@ mod tests {
         let mut a = TestRng::deterministic("t");
         let mut b = TestRng::deterministic("t");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_shrink_toward_start() {
+        let s = 3u64..100;
+        let c = s.shrink(&40);
+        assert_eq!(c, vec![3, 21, 39]);
+        assert!(s.shrink(&3).is_empty(), "lower bound has no shrinks");
+        let si = 2usize..=9;
+        assert_eq!(si.shrink(&4), vec![2, 3]);
+        let neg = -10i32..10;
+        assert_eq!(neg.shrink(&-10), Vec::<i32>::new());
+        assert_eq!(neg.shrink(&0), vec![-10, -5, -1]);
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0u64..10, 5usize..8);
+        for (a, b) in s.shrink(&(4, 7)) {
+            assert!((a, b) != (4, 7), "candidate must differ");
+            assert!(a == 4 || b == 7, "only one component may move");
+            assert!(a <= 4 && b <= 7, "shrinks move toward the start");
+        }
+        assert!(!s.shrink(&(4, 7)).is_empty());
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len_and_get_smaller() {
+        let s = prop::collection::vec(0u64..100, 2..10);
+        let v = vec![50u64, 60, 70, 80];
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.len() >= 2, "candidate below min length: {c:?}");
+            assert!(c != &v);
+        }
+        // Halves come first (most aggressive).
+        assert_eq!(cands[0], vec![50, 60]);
+        assert_eq!(cands[1], vec![70, 80]);
+        // A vec already at min length only shrinks elements in place.
+        let at_min = vec![9u64, 0];
+        assert!(s.shrink(&at_min).iter().all(|c| c.len() == 2));
+    }
+
+    /// End-to-end: a property failing for every `x >= 7` must shrink to the
+    /// minimal counterexample 7, and the panic must report it.
+    #[test]
+    fn shrinks_to_minimal_counterexample() {
+        let result = ::std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+                fn fails_at_seven(x in 0u64..1000) {
+                    prop_assert!(x < 7, "x = {}", x);
+                }
+            }
+            fails_at_seven();
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("property 'fails_at_seven' failed"), "{msg}");
+        assert!(
+            msg.contains("shrunk args") && msg.contains("(7,)"),
+            "minimal counterexample not reached:\n{msg}"
+        );
+    }
+
+    /// Vec shrinking drives a failing collection property down to the
+    /// smallest failing instance: one offending element, minimal value.
+    #[test]
+    fn shrinks_vec_to_single_offender() {
+        let result = ::std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+                fn no_large_elements(v in prop::collection::vec(0u64..100, 0..12)) {
+                    prop_assert!(v.iter().all(|&x| x < 42), "large element in {:?}", v);
+                }
+            }
+            no_large_elements();
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(
+            msg.contains("([42],)"),
+            "expected the minimal failing vec [42]:\n{msg}"
+        );
     }
 
     #[test]

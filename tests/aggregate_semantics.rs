@@ -104,7 +104,7 @@ fn free_connex_y(q: &Query, seed: u64) -> Vec<usize> {
 
 fn check<S: Semiring>(q: &Query, db: &Database, y: &[usize], seed: u64, mk: impl Fn(u64) -> S::T)
 where
-    S::T: std::fmt::Debug + PartialEq,
+    S::T: std::fmt::Debug + PartialEq + aj_mpc::Wire,
 {
     let ann = annotated::<S>(db, seed, mk);
     let want = reference::<S>(q, &ann, y);

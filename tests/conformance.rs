@@ -1,0 +1,251 @@
+//! Cross-backend conformance oracle: every query shape, the skew path, and
+//! registered-view update streams must produce **bit-identical** outputs and
+//! `Stats` on every execution backend — `SeqExecutor`, `ParExecutor`, and
+//! `NetExecutor` over every transport (in-process channels, Unix-domain
+//! sockets, and an adversarial reordering wrapper).
+//!
+//! This is the differential harness that makes the message-passing backend
+//! trustworthy: the sequential executor is the reference semantics, and any
+//! divergence — one tuple, one load unit, one epoch — fails loudly with the
+//! backend's label. Because the wire path serializes every payload through
+//! frames, agreement here also certifies the `Wire` codecs for every type
+//! the algorithms exchange.
+
+use std::sync::Arc;
+
+use acyclic_joins::core::engine::QueryEngine;
+use acyclic_joins::instancegen::{fig3, fig6, line_query, random, shapes, updates};
+use acyclic_joins::mpc::{ChanTransport, Cluster, ParExecutor, ShuffleTransport, Stats};
+use acyclic_joins::prelude::*;
+use acyclic_joins::relation::delta::CountedSnapshot;
+use acyclic_joins::relation::ram;
+
+const P: usize = 4;
+
+/// A named recipe for building a fresh cluster on one backend.
+type Backend = (&'static str, Box<dyn Fn() -> Cluster>);
+
+/// Every backend under test, by label. The shuffle backend wraps the
+/// channel transport in [`ShuffleTransport`], which delivers frames in a
+/// seeded adversarial order — per-sender FIFO is all a receiver may rely on.
+fn backends() -> Vec<Backend> {
+    let mut v: Vec<Backend> = vec![
+        ("seq", Box::new(|| Cluster::new(P))),
+        (
+            "par",
+            Box::new(|| Cluster::with_executor(P, Box::new(ParExecutor::with_threads(4)))),
+        ),
+        ("net-chan", Box::new(|| Cluster::new_net(P))),
+        (
+            "net-shuffle",
+            Box::new(|| {
+                Cluster::new_net_with_transport(
+                    P,
+                    Arc::new(ShuffleTransport::new(ChanTransport::new(P), 0xc0ff_ee00)),
+                )
+            }),
+        ),
+    ];
+    #[cfg(unix)]
+    v.push((
+        "net-uds",
+        Box::new(|| Cluster::new_net_with_transport(P, acyclic_joins::mpc::UdsTransport::new(P))),
+    ));
+    v
+}
+
+/// The query shapes the suite drives: every Table-1 class plus both OUT
+/// regimes of the line-3 query.
+fn cases() -> Vec<(&'static str, Query, Database)> {
+    let dedup = |mut db: Database| {
+        db.dedup_all();
+        db
+    };
+    let line = line_query(3);
+    vec![
+        (
+            "star3",
+            shapes::star_query(3),
+            dedup(random::random_instance(&shapes::star_query(3), 40, 10, 11)),
+        ),
+        (
+            "r-hier",
+            shapes::rh_example_query(),
+            dedup(random::random_instance(
+                &shapes::rh_example_query(),
+                40,
+                8,
+                22,
+            )),
+        ),
+        (
+            "tall-flat",
+            shapes::tall_flat_q1(),
+            dedup(random::random_instance(&shapes::tall_flat_q1(), 36, 4, 33)),
+        ),
+        (
+            "line3-out-large",
+            line.clone(),
+            fig3::one_sided(24, 24 * 8).db,
+        ),
+        ("line3-out-small", line, fig3::sparse_small_out(48, 3).db),
+        (
+            "triangle",
+            fig6::generate(24, 40, 5).query,
+            fig6::generate(24, 40, 5).db,
+        ),
+    ]
+}
+
+/// The RAM-model reference answer.
+fn oracle(q: &Query, db: &Database) -> Vec<Tuple> {
+    let mut t = if q.is_acyclic() {
+        ram::join(q, db).1
+    } else {
+        ram::naive_join(q, db)
+    };
+    t.sort_unstable();
+    t
+}
+
+/// Run `q` on `db` through a full engine on one backend; return the sorted
+/// output and the cumulative cluster stats.
+fn engine_run(make: &dyn Fn() -> Cluster, q: &Query, db: &Database) -> (Vec<Tuple>, Stats) {
+    let mut engine = QueryEngine::with_cluster(make(), Default::default());
+    let outcome = engine.run(q, db);
+    let mut tuples = outcome.output.gather_free().tuples;
+    tuples.sort_unstable();
+    (tuples, engine.stats().clone())
+}
+
+/// The acceptance differential: identical outputs, identical `Stats` (max
+/// load, per-server peaks, message totals, exchange counts) on every shape
+/// across every backend — and correct against the RAM oracle.
+#[test]
+fn every_shape_is_bit_identical_across_backends() {
+    for (label, q, db) in cases() {
+        let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+        for (backend, make) in backends() {
+            let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+            match &reference {
+                None => {
+                    assert_eq!(tuples, oracle(&q, &db), "{label}/{backend}: wrong answer");
+                    reference = Some((tuples, stats));
+                }
+                Some((ref_tuples, ref_stats)) => {
+                    assert_eq!(&tuples, ref_tuples, "{label}/{backend}: outputs differ");
+                    assert_eq!(&stats, ref_stats, "{label}/{backend}: stats differ");
+                }
+            }
+        }
+    }
+}
+
+/// The skew path: a binary join whose join key is dominated by heavy
+/// hitters routes through heavy-hitter detection and hybrid routing; the
+/// detection rounds and the skew routing must replay identically on the
+/// wire backends.
+#[test]
+fn skewed_workloads_are_bit_identical_across_backends() {
+    let mut b = acyclic_joins::relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    let q = b.build();
+    // 70% of both sides on one key: a genuinely skewed workload.
+    let r1: Vec<Vec<u64>> = (0..80)
+        .map(|i| vec![i, if i < 56 { 7 } else { i % 9 }])
+        .collect();
+    let r2: Vec<Vec<u64>> = (0..60)
+        .map(|i| vec![if i < 42 { 7 } else { i % 9 }, 1000 + i])
+        .collect();
+    let db = acyclic_joins::relation::database_from_rows(&q, &[r1, r2]);
+    let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+    for (backend, make) in backends() {
+        let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+        match &reference {
+            None => {
+                assert_eq!(tuples, oracle(&q, &db), "skew/{backend}: wrong answer");
+                reference = Some((tuples, stats));
+            }
+            Some((ref_tuples, ref_stats)) => {
+                assert_eq!(&tuples, ref_tuples, "skew/{backend}: outputs differ");
+                assert_eq!(&stats, ref_stats, "skew/{backend}: stats differ");
+            }
+        }
+    }
+}
+
+/// Incremental maintenance over the wire: register a view, apply a 10-batch
+/// update stream, and require the per-batch snapshots, strategies, and
+/// maintenance epochs to agree across every backend bit for bit.
+#[test]
+fn update_streams_are_bit_identical_across_backends() {
+    for (label, q, db) in [cases().remove(0), cases().remove(3)] {
+        let mut mirror = db.clone();
+        mirror.dedup_all();
+        let batches = updates::update_stream(&q, &mirror, 10, 0.05, 0.0, 0xfeed);
+        let drive = |make: &dyn Fn() -> Cluster| {
+            let mut engine = QueryEngine::with_cluster(make(), Default::default());
+            let view = engine.register_view(&q, &db);
+            let mut trace: Vec<(CountedSnapshot, String, u64)> = vec![(
+                engine.view(view).snapshot(),
+                "register".to_string(),
+                engine.stats().max_load,
+            )];
+            for batch in &batches {
+                let outcome = engine.apply_update(view, batch);
+                trace.push((
+                    engine.view(view).snapshot(),
+                    format!("{}", outcome.strategy),
+                    outcome.maintenance.max_load,
+                ));
+            }
+            trace
+        };
+        let mut reference = None;
+        for (backend, make) in backends() {
+            let trace = drive(make.as_ref());
+            match &reference {
+                None => reference = Some(trace),
+                Some(ref_trace) => {
+                    assert_eq!(&trace, ref_trace, "{label}/{backend}: update trace differs");
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial delivery order in isolation: the same query on two shuffle
+/// seeds and on the plain channel transport — three different physical
+/// arrival orders — must yield one logical result and one `Stats`.
+#[test]
+fn shuffled_delivery_order_never_changes_results() {
+    let (label, q, db) = cases().remove(3); // line3, OUT >> IN: heavy traffic
+    let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+    for seed in [1u64, 0x5eed, u64::MAX] {
+        let make = || {
+            Cluster::new_net_with_transport(
+                P,
+                Arc::new(ShuffleTransport::new(ChanTransport::new(P), seed)),
+            )
+        };
+        let (tuples, stats) = engine_run(&make, &q, &db);
+        match &reference {
+            None => {
+                assert_eq!(
+                    tuples,
+                    oracle(&q, &db),
+                    "{label}/shuffle-{seed}: wrong answer"
+                );
+                reference = Some((tuples, stats));
+            }
+            Some((ref_tuples, ref_stats)) => {
+                assert_eq!(
+                    &tuples, ref_tuples,
+                    "{label}/shuffle-{seed}: outputs differ"
+                );
+                assert_eq!(&stats, ref_stats, "{label}/shuffle-{seed}: stats differ");
+            }
+        }
+    }
+}

@@ -279,3 +279,123 @@ fn skew_free_hybrid_routing_is_bit_identical_to_hash() {
         assert_eq!(stats, hash_stats, "parallel={parallel} hybrid={hybrid}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire codec: every frame that crosses the network backend must round-trip
+// exactly, and encoding must be canonical (repeated encodes byte-identical),
+// or the conformance oracle's bit-identity guarantee has no foundation.
+// ---------------------------------------------------------------------------
+
+use acyclic_joins::mpc::{Frame, FrameKind, Wire};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Rows frames round-trip `TupleBlock`s of every arity 0–8 — through
+    /// words, through bytes, and through the stream reader — and repeated
+    /// encodes of the same frame are byte-identical.
+    #[test]
+    fn wire_rows_frames_round_trip(
+        seed in 0u64..10_000,
+        n in 0usize..200,
+        arity in 0usize..9,
+        seq in 0u64..1_000,
+        from in 0u64..16,
+    ) {
+        let rows = random_rows(seed, n, arity, 50);
+        let mut block = TupleBlock::new(arity);
+        for r in &rows {
+            block.push_row(r);
+        }
+        let frame = Frame::new(FrameKind::Rows, seq, from, &block);
+        // Word-level round trip.
+        let back = Frame::decode_words(&frame.encode_words());
+        prop_assert_eq!(&back, &frame);
+        let decoded: TupleBlock = back.decode_body();
+        prop_assert_eq!(decoded.to_tuples(), block.to_tuples());
+        // Canonical: two encodes of one logical frame are byte-identical.
+        prop_assert_eq!(frame.to_bytes(), back.to_bytes());
+        prop_assert_eq!(frame.wire_bytes() as usize, frame.to_bytes().len());
+        // Stream round trip: one frame, then clean EOF.
+        let bytes = frame.to_bytes();
+        let mut cursor = std::io::Cursor::new(bytes);
+        let streamed = Frame::read_from(&mut cursor).unwrap();
+        prop_assert_eq!(streamed, Some(frame));
+        prop_assert_eq!(Frame::read_from(&mut cursor).unwrap(), None);
+    }
+
+    /// Signed delta-weight payloads — the incremental engine's update
+    /// traffic — round-trip with their signs intact, including `i64::MIN`
+    /// magnitudes mixed in.
+    #[test]
+    fn wire_signed_deltas_round_trip(
+        seed in 0u64..10_000,
+        n in 0usize..100,
+        arity in 0usize..5,
+        extreme in 0usize..3,
+    ) {
+        let rows = random_rows(seed, n, arity, 20);
+        let mut deltas: Vec<(Tuple, i64)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let w = (i as i64 - n as i64 / 2) * 3;
+                (Tuple::new(r), w)
+            })
+            .collect();
+        if extreme > 0 && !deltas.is_empty() {
+            deltas[0].1 = i64::MIN;
+        }
+        if extreme > 1 && deltas.len() > 1 {
+            deltas[1].1 = i64::MAX;
+        }
+        let frame = Frame::new(FrameKind::Items, seed, 0, &deltas);
+        let back = Frame::decode_words(&frame.encode_words());
+        let decoded: Vec<(Tuple, i64)> = back.decode_body();
+        prop_assert_eq!(decoded, deltas);
+    }
+}
+
+/// Empty frames are legal traffic (every view member sends to every view
+/// member each exchange, most frames carry nothing) — they must round-trip
+/// and cost exactly the fixed header.
+#[test]
+fn wire_empty_frames_round_trip() {
+    let empty_items = Frame::new(FrameKind::Items, 7, 3, &Vec::<(Tuple, u64)>::new());
+    let back = Frame::decode_words(&empty_items.encode_words());
+    assert_eq!(back, empty_items);
+    let decoded: Vec<(Tuple, u64)> = back.decode_body();
+    assert!(decoded.is_empty());
+    // length-prefix word + (magic, kind, seq, from, body_len) + 1 body word
+    // for the Vec length.
+    assert_eq!(empty_items.wire_bytes(), 8 * (1 + 5 + 1));
+
+    let empty_rows = Frame::new(FrameKind::Rows, 0, 0, &TupleBlock::new(4));
+    let back = Frame::decode_words(&empty_rows.encode_words());
+    let decoded: TupleBlock = back.decode_body();
+    assert_eq!(decoded.len(), 0);
+    assert_eq!(decoded.arity(), 4);
+}
+
+/// Tuples at the inline/heap representation boundary (arity 3 is the widest
+/// inline tuple) encode identically regardless of which representation the
+/// sender held: the codec sees values, not storage.
+#[test]
+fn wire_tuples_cross_inline_boundary() {
+    for arity in 0..=6usize {
+        let values: Vec<u64> = (0..arity as u64).map(|i| i * 1_000_003).collect();
+        let t = Tuple::new(&values);
+        let mut words = Vec::new();
+        t.encode(&mut words);
+        assert_eq!(words[0], arity as u64, "arity prefix");
+        assert_eq!(words.len(), 1 + arity);
+        let mut r = acyclic_joins::mpc::WireReader::new(&words);
+        let back = Tuple::decode(&mut r);
+        assert!(r.is_exhausted());
+        assert_eq!(back, t);
+        // Canonical across re-encodes of the decoded value.
+        let mut words2 = Vec::new();
+        back.encode(&mut words2);
+        assert_eq!(words2, words);
+    }
+}
