@@ -1,0 +1,91 @@
+//! Pass 1 — determinism lints.
+//!
+//! Everything this reproduction claims (paper load bounds, incremental
+//! maintenance pricing, cross-backend conformance) rests on seq/par/net
+//! execution being bit-identical. Two lexically checkable hazards can break
+//! that silently:
+//!
+//! * **`det-map`** — `std::collections::HashMap`/`HashSet` iterate in
+//!   `RandomState` order, different on every run. In result-affecting crates
+//!   every map must be the deterministic [`FxHashMap`] family
+//!   (`aj_relation::fxhash`) or its iteration order must provably not reach
+//!   results (then waive the site with `// aj:allow(det-map): why`).
+//! * **`wall-clock`** — `Instant`, `SystemTime` and
+//!   `thread::current().id()` are per-run state; outside `aj_bench` (and
+//!   test code) nothing may read them.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+use crate::lexer::TokKind;
+
+/// Crates whose data structures affect query results or Stats.
+const RESULT_CRATES: &[&str] = &["aj_relation", "aj_core", "aj_mpc", "aj_primitives"];
+
+/// Run the `det-map` rule on one file.
+pub fn det_map(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !RESULT_CRATES.contains(&f.crate_name.as_str()) || f.is_test_file {
+        return out;
+    }
+    for t in &f.tokens {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if f.is_test_line(t.line) || f.is_allowed("det-map", t.line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "det-map",
+            path: f.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "std::collections::{name} in result-affecting crate {}: use Fx{name} \
+                 (aj_relation::fxhash) or sort before iterating",
+                f.crate_name
+            ),
+        });
+    }
+    out
+}
+
+/// Run the `wall-clock` rule on one file.
+pub fn wall_clock(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if f.crate_name == "aj_bench" || f.is_test_file {
+        return out;
+    }
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let TokKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let flagged = match name.as_str() {
+            "Instant" | "SystemTime" => true,
+            // thread::current().id()
+            "current" => {
+                matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('(')))
+                    && matches!(toks.get(i + 2).map(|t| &t.kind), Some(TokKind::Punct(')')))
+                    && matches!(toks.get(i + 3).map(|t| &t.kind), Some(TokKind::Punct('.')))
+                    && matches!(toks.get(i + 4).map(|t| &t.kind), Some(TokKind::Ident(s)) if s == "id")
+            }
+            _ => false,
+        };
+        if !flagged || f.is_test_line(t.line) || f.is_allowed("wall-clock", t.line) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "wall-clock",
+            path: f.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "wall-clock/thread-identity source `{name}` outside aj_bench: results must not \
+                 depend on per-run state"
+            ),
+        });
+    }
+    out
+}

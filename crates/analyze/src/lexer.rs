@@ -1,0 +1,327 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The analyzer needs a faithful *lexical* view of a source file — which
+//! identifiers appear outside strings and comments, on which lines, and what
+//! the comments say — without a full parser. This scanner produces exactly
+//! that: a flat token stream (identifiers, single-character punctuation,
+//! opaque literals, lifetimes) plus a per-line comment table.
+//!
+//! Faithfulness requirements, in rough order of how often naive scanners get
+//! them wrong:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments, including doc
+//!   comments (`///`, `//!`, `/** */` — all comments here);
+//! * string, raw-string (`r#"…"#`), byte-string and char literals — an
+//!   `unsafe` or `HashMap` inside one must not become a token;
+//! * lifetimes vs char literals (`'a` vs `'a'`);
+//! * multi-character operators are emitted as their constituent characters
+//!   (`::` is two `:` tokens); rules match short character sequences, so
+//!   nothing is lost and the scanner stays trivially correct.
+
+/// What a scanned token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident(String),
+    /// A single punctuation character (`{`, `.`, `=`, …).
+    Punct(char),
+    /// A string, char, byte or numeric literal; contents are irrelevant to
+    /// every rule, so they are not kept.
+    Lit,
+    /// A lifetime (`'a`). Distinguished from char literals during scanning.
+    Lifetime,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+/// One comment line: block comments spanning several lines produce one entry
+/// per line so rules can reason about "the comment on line N".
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    /// The comment text of that line (delimiters included for line comments).
+    pub text: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// Comment lines, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Scan `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: src[start..i].to_string(),
+            });
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            let mut depth = 1usize;
+            let mut seg = i;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else if b[i] == b'\n' {
+                    out.comments.push(Comment {
+                        line,
+                        text: src[seg..i].to_string(),
+                    });
+                    line += 1;
+                    i += 1;
+                    seg = i;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                text: src[seg..i].to_string(),
+            });
+        } else if c == b'"' {
+            let start_line = line;
+            i = skip_string(b, i + 1, &mut line);
+            out.tokens.push(Tok {
+                line: start_line,
+                kind: TokKind::Lit,
+            });
+        } else if c == b'\'' {
+            let start_line = line;
+            i += 1;
+            if i < b.len() && b[i] == b'\\' {
+                // Escaped char literal: skip the escape, then to the quote.
+                i += 2;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1;
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+            } else if i < b.len() && is_ident_start(b[i]) {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'\'' {
+                    // 'a' — a char literal.
+                    i = j + 1;
+                    out.tokens.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    // 'a — a lifetime.
+                    i = j;
+                    out.tokens.push(Tok {
+                        line: start_line,
+                        kind: TokKind::Lifetime,
+                    });
+                }
+            } else {
+                // '(' and friends: a one-character char literal.
+                i += 1;
+                if i < b.len() && b[i] == b'\'' {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+            }
+        } else if is_ident_start(c) {
+            let start = i;
+            let start_line = line;
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            let word = &src[start..i];
+            // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+            if (word == "r" || word == "br") && i < b.len() && (b[i] == b'"' || b[i] == b'#') {
+                i = skip_raw_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+            } else if word == "b" && i < b.len() && b[i] == b'"' {
+                i = skip_string(b, i + 1, &mut line);
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Lit,
+                });
+            } else {
+                out.tokens.push(Tok {
+                    line: start_line,
+                    kind: TokKind::Ident(word.to_string()),
+                });
+            }
+        } else if c.is_ascii_digit() {
+            // Numbers, loosely: digits plus alphanumeric suffix/base chars.
+            // `.` is left as punctuation (`1.5` lexes as Lit '.' Lit), which
+            // keeps ranges (`0..n`) unambiguous and loses nothing the rules
+            // care about.
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Lit,
+            });
+        } else {
+            out.tokens.push(Tok {
+                line,
+                kind: TokKind::Punct(c as char),
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Skip a (possibly escaped, possibly multi-line) string body; `i` points
+/// just past the opening quote. Returns the index past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string starting at `i` (at the first `#` or `"` after the `r`
+/// prefix). Returns the index past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b.len() - i > hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+// unsafe HashMap in a comment
+/* nested /* unsafe */ block */
+let s = "unsafe { HashMap }";
+let r = r#"HashMap"#;
+let c = 'u';
+fn real() {}
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'a'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "/* a\nb */\nlet x = \"s\ns\";\nfn g() {}\n";
+        let lexed = lex(src);
+        let g = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("g".into()))
+            .unwrap();
+        assert_eq!(g.line, 5);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn block_comment_lines_are_split() {
+        let lexed = lex("/* one\ntwo\nthree */");
+        let lines: Vec<u32> = lexed.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,446 @@
+//! Pass 3 — static concurrency analysis of `aj_mpc`.
+//!
+//! **Lock-acquisition graph (`lock-cycle`).** The pass walks every non-test
+//! function in `aj_mpc`, tracks which Mutex guards are held at each point
+//! (`let`-bound guards to end of scope or `drop(g)`, statement temporaries
+//! to end of statement, `for`/`while`-header temporaries to end of loop),
+//! and records an edge `A → B` whenever lock `B` is acquired — directly or
+//! through a called function — while `A` is held. Calls are resolved by bare
+//! name across the crate (an over-approximation: `x.push(...)` resolves to
+//! every `fn push`), and the callee's transitively acquirable lock set is
+//! computed to a fixpoint. Lock identity is `file.rs:name` where `name` is
+//! the field or variable the guard came from — also an approximation, but a
+//! *conservative* labeling: distinct locks may get distinct names, never
+//! merged edges dropped. Any cycle among edges not vetted in
+//! `crates/analyze/lock_order.allow` is reported as a potential lock-order
+//! inversion.
+//!
+//! **`condvar-wait-loop`.** Every `.wait(guard)` must sit inside a `loop` /
+//! `while` / `for` so spurious wakeups re-check the predicate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::report::Violation;
+use crate::source::{match_brace, SourceFile};
+
+/// Keywords that are followed by `(`-like tokens but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "let", "fn", "move", "unsafe", "else", "in",
+    "as", "ref", "mut", "box", "dyn", "impl", "pub", "use", "where", "break", "continue", "Some",
+    "Ok", "Err", "None",
+];
+
+/// An edge of the lock graph with one piece of evidence.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock held.
+    pub from: String,
+    /// Lock acquired (possibly through calls) while `from` was held.
+    pub to: String,
+    /// Evidence file.
+    pub path: String,
+    /// Evidence line (the acquisition or call site).
+    pub line: u32,
+}
+
+/// The assembled lock-acquisition graph.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// All edges, deduplicated by (from, to); first evidence wins.
+    pub edges: Vec<LockEdge>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HoldKind {
+    /// `let g = x.lock()…` — held until the scope at `depth` closes.
+    Scope(u32),
+    /// Temporary — held until the end of the statement.
+    Stmt,
+    /// `for`/`while` header temporary — held until token index `close`.
+    Loop(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Held {
+    lock: String,
+    kind: HoldKind,
+    var: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct FnRecord {
+    /// Locks acquired directly anywhere in the function.
+    direct: BTreeSet<String>,
+    /// Every call name in the function (for the transitive closure).
+    calls: BTreeSet<String>,
+    /// (held lock, callee, path, line) — calls made while holding.
+    held_calls: Vec<(String, String, String, u32)>,
+    /// (held lock, acquired lock, path, line) — direct nesting.
+    held_pairs: Vec<(String, String, String, u32)>,
+}
+
+fn ident_of(t: &TokKind) -> Option<&str> {
+    match t {
+        TokKind::Ident(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// The lock name behind `<expr>.lock()`: walk back from the `.` skipping
+/// balanced `[…]` / `(…)` groups to the nearest identifier.
+fn lock_name(toks: &[TokKind], dot: usize) -> String {
+    let mut j = dot as isize - 1;
+    while j >= 0 {
+        match &toks[j as usize] {
+            TokKind::Punct(']') => {
+                let mut depth = 0;
+                while j >= 0 {
+                    match toks[j as usize] {
+                        TokKind::Punct(']') => depth += 1,
+                        TokKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            TokKind::Punct(')') => {
+                let mut depth = 0;
+                while j >= 0 {
+                    match toks[j as usize] {
+                        TokKind::Punct(')') => depth += 1,
+                        TokKind::Punct('(') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1;
+            }
+            TokKind::Punct('.') => j -= 1,
+            TokKind::Ident(s) => return s.clone(),
+            TokKind::Lit => j -= 1, // tuple index: self.0.state
+            _ => break,
+        }
+    }
+    "<expr>".to_string()
+}
+
+/// Start of the statement containing token `i`: the token just after the
+/// previous `;`, `{` or `}` at the current nesting.
+fn stmt_start(toks: &[TokKind], i: usize, body_open: usize) -> usize {
+    let mut j = i;
+    while j > body_open {
+        match toks[j - 1] {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => return j,
+            _ => j -= 1,
+        }
+    }
+    j
+}
+
+/// Walk one function body; fill `rec` and append condvar violations.
+#[allow(clippy::too_many_lines)]
+fn walk_fn(
+    f: &SourceFile,
+    body_open: usize,
+    body_close: usize,
+    rec: &mut FnRecord,
+    condvar: &mut Vec<Violation>,
+) {
+    let toks: Vec<TokKind> = f.tokens.iter().map(|t| t.kind.clone()).collect();
+    let file = f.file_name().to_string();
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut loop_stack: Vec<u32> = Vec::new(); // depths at which a loop body opened
+    let mut pending_loop = false;
+    let mut i = body_open;
+    while i <= body_close && i < toks.len() {
+        match &toks[i] {
+            TokKind::Punct('{') => {
+                depth += 1;
+                if pending_loop {
+                    loop_stack.push(depth);
+                    pending_loop = false;
+                }
+            }
+            TokKind::Punct('}') => {
+                held.retain(|h| !matches!(h.kind, HoldKind::Scope(d) if d >= depth));
+                if loop_stack.last() == Some(&depth) {
+                    loop_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') => {
+                held.retain(|h| h.kind != HoldKind::Stmt);
+                pending_loop = false;
+            }
+            TokKind::Ident(name) => {
+                if name == "loop" || name == "while" || name == "for" {
+                    pending_loop = true;
+                } else if name == "drop" && matches!(toks.get(i + 1), Some(TokKind::Punct('('))) {
+                    if let Some(v) = toks.get(i + 2).and_then(ident_of) {
+                        held.retain(|h| h.var.as_deref() != Some(v));
+                    }
+                } else if name == "lock"
+                    && i > 0
+                    && toks[i - 1] == TokKind::Punct('.')
+                    && matches!(toks.get(i + 1), Some(TokKind::Punct('(')))
+                    && matches!(toks.get(i + 2), Some(TokKind::Punct(')')))
+                {
+                    let line = f.tokens[i].line;
+                    let lock = format!("{file}:{}", lock_name(&toks, i - 1));
+                    for h in &held {
+                        rec.held_pairs.push((
+                            h.lock.clone(),
+                            lock.clone(),
+                            f.rel_path.clone(),
+                            line,
+                        ));
+                    }
+                    rec.direct.insert(lock.clone());
+                    // Binding: let-bound guard, loop-header temporary, or
+                    // statement temporary.
+                    let start = stmt_start(&toks, i, body_open);
+                    let (kind, var) = if ident_of(&toks[start]) == Some("let") {
+                        let mut k = start + 1;
+                        if ident_of(&toks[k]) == Some("mut") {
+                            k += 1;
+                        }
+                        match ident_of(&toks[k]) {
+                            Some("_") | None => (HoldKind::Stmt, None),
+                            Some(v) => (HoldKind::Scope(depth), Some(v.to_string())),
+                        }
+                    } else if matches!(ident_of(&toks[start]), Some("for" | "while")) {
+                        // Held through the loop body: find its `{`.
+                        let mut k = i;
+                        while k <= body_close && toks[k] != TokKind::Punct('{') {
+                            k += 1;
+                        }
+                        (HoldKind::Loop(match_brace(&f.tokens, k)), None)
+                    } else {
+                        (HoldKind::Stmt, None)
+                    };
+                    held.push(Held { lock, kind, var });
+                } else if name == "wait"
+                    && i > 0
+                    && toks[i - 1] == TokKind::Punct('.')
+                    && matches!(toks.get(i + 1), Some(TokKind::Punct('(')))
+                {
+                    let line = f.tokens[i].line;
+                    if loop_stack.is_empty()
+                        && !f.is_test_line(line)
+                        && !f.is_allowed("condvar-wait-loop", line)
+                    {
+                        condvar.push(Violation {
+                            rule: "condvar-wait-loop",
+                            path: f.rel_path.clone(),
+                            line,
+                            message: "Condvar .wait() outside a loop: spurious wakeups \
+                                      require re-checking the predicate in a loop"
+                                .to_string(),
+                        });
+                    }
+                } else if matches!(toks.get(i + 1), Some(TokKind::Punct('(')))
+                    && !NON_CALL_KEYWORDS.contains(&name.as_str())
+                {
+                    // A call site (function or method). Macro invocations
+                    // (`assert!`) have a `!` before the `(` and never reach
+                    // this branch.
+                    let line = f.tokens[i].line;
+                    rec.calls.insert(name.clone());
+                    for h in &held {
+                        rec.held_calls.push((
+                            h.lock.clone(),
+                            name.clone(),
+                            f.rel_path.clone(),
+                            line,
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Release loop-header temporaries whose loop body has closed.
+        held.retain(|h| !matches!(h.kind, HoldKind::Loop(close) if i >= close));
+        i += 1;
+    }
+}
+
+/// Analyze all `aj_mpc` files: condvar violations plus the lock graph.
+pub fn analyze(files: &[SourceFile]) -> (Vec<Violation>, LockGraph) {
+    let mut condvar = Vec::new();
+    // Function records merged by bare name across the crate.
+    let mut fns: BTreeMap<String, FnRecord> = BTreeMap::new();
+    for f in files {
+        if f.crate_name != "aj_mpc" || f.is_test_file {
+            continue;
+        }
+        for span in &f.fns {
+            if f.is_test_line(span.line) {
+                continue;
+            }
+            let rec = fns.entry(span.name.clone()).or_default();
+            walk_fn(f, span.body_open, span.body_close, rec, &mut condvar);
+        }
+    }
+    // Nested functions are walked by both their own span and the enclosing
+    // one; report each wait site once.
+    condvar.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    condvar.dedup_by(|a, b| a.path == b.path && a.line == b.line);
+    // Fixpoint: locks transitively acquirable from each function name.
+    let mut eventually: BTreeMap<String, BTreeSet<String>> = fns
+        .iter()
+        .map(|(n, r)| (n.clone(), r.direct.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, rec) in &fns {
+            let mut acc = eventually[name].clone();
+            for callee in &rec.calls {
+                if let Some(locks) = eventually.get(callee) {
+                    for l in locks {
+                        acc.insert(l.clone());
+                    }
+                }
+            }
+            if acc.len() != eventually[name].len() {
+                eventually.insert(name.clone(), acc);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Edges: direct nesting plus call-mediated acquisition.
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut graph = LockGraph::default();
+    let add = |seen: &mut BTreeSet<(String, String)>,
+               graph: &mut LockGraph,
+               from: &str,
+               to: &str,
+               path: &str,
+               line: u32| {
+        if seen.insert((from.to_string(), to.to_string())) {
+            graph.edges.push(LockEdge {
+                from: from.to_string(),
+                to: to.to_string(),
+                path: path.to_string(),
+                line,
+            });
+        }
+    };
+    for rec in fns.values() {
+        for (a, b, path, line) in &rec.held_pairs {
+            add(&mut seen, &mut graph, a, b, path, *line);
+        }
+        for (a, callee, path, line) in &rec.held_calls {
+            if let Some(locks) = eventually.get(callee) {
+                for b in locks {
+                    add(&mut seen, &mut graph, a, b, path, *line);
+                }
+            }
+        }
+    }
+    (condvar, graph)
+}
+
+/// Parse `lock_order.allow`: one `from -> to` edge per line; `#` comments.
+pub fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = line.split_once("->") {
+            out.push((a.trim().to_string(), b.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// Report every cycle among non-allowlisted edges as a violation.
+pub fn cycle_check(graph: &LockGraph, allow: &[(String, String)]) -> Vec<Violation> {
+    let edges: Vec<&LockEdge> = graph
+        .edges
+        .iter()
+        .filter(|e| !allow.iter().any(|(a, b)| *a == e.from && *b == e.to))
+        .collect();
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    // DFS with an explicit color map; report each cycle once, rotated to
+    // start at its smallest node.
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    for &start in &nodes {
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        while let Some((node, next)) = stack.last_mut() {
+            let succ = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *next < succ.len() {
+                let e = succ[*next];
+                *next += 1;
+                if let Some(pos) = path.iter().position(|n| *n == e.to) {
+                    let mut cyc: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                    let min = cyc
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.cmp(b.1))
+                        .map(|(i, _)| i);
+                    if let Some(mi) = min {
+                        cyc.rotate_left(mi);
+                    }
+                    cycles.insert(cyc);
+                } else if path.len() < 16 {
+                    path.push(e.to.as_str());
+                    stack.push((e.to.as_str(), 0));
+                }
+            } else {
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    cycles
+        .into_iter()
+        .map(|cyc| {
+            let display = {
+                let mut d = cyc.clone();
+                d.push(cyc[0].clone());
+                d.join(" -> ")
+            };
+            let evidence = graph
+                .edges
+                .iter()
+                .find(|e| e.from == cyc[0])
+                .map(|e| (e.path.clone(), e.line))
+                .unwrap_or_else(|| ("crates/mpc/src".to_string(), 1));
+            Violation {
+                rule: "lock-cycle",
+                path: evidence.0,
+                line: evidence.1,
+                message: format!(
+                    "potential lock-order inversion: {display}; vet and add the edge to \
+                     crates/analyze/lock_order.allow if the nesting is sound"
+                ),
+            }
+        })
+        .collect()
+}

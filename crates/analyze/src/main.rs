@@ -1,0 +1,103 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p aj_analyze -- --check            # lint the workspace, exit 1 on violations
+//! cargo run -p aj_analyze -- --write-unsafety   # regenerate UNSAFETY.md
+//! cargo run -p aj_analyze -- --list-rules       # print the rule table
+//! cargo run -p aj_analyze -- --lock-graph       # dump the lock-acquisition graph
+//! cargo run -p aj_analyze -- --check --root X   # lint a different tree
+//! ```
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Workspace root: `--root` if given, else the grandparent of this crate's
+/// manifest dir (`crates/analyze` → the repository), else the current dir.
+fn find_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    let mut write_unsafety = false;
+    let mut list_rules = false;
+    let mut lock_graph = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--write-unsafety" => write_unsafety = true,
+            "--list-rules" => list_rules = true,
+            "--lock-graph" => lock_graph = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: aj_analyze [--check] [--write-unsafety] [--list-rules] \
+                     [--lock-graph] [--root DIR]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for (id, desc) in aj_analyze::RULES {
+            println!("{id:18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = find_root(root);
+    let analysis = aj_analyze::analyze_root(&root);
+
+    if write_unsafety {
+        let path = root.join("UNSAFETY.md");
+        if let Err(e) = std::fs::write(&path, &analysis.unsafety_md) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+        // Re-run so a fresh inventory does not count as a violation.
+        let analysis = aj_analyze::analyze_root(&root);
+        return report(&analysis, lock_graph);
+    }
+
+    report(&analysis, lock_graph)
+}
+
+fn report(analysis: &aj_analyze::Analysis, dump_graph: bool) -> ExitCode {
+    if dump_graph {
+        println!(
+            "lock-acquisition graph ({} edges):",
+            analysis.lock_graph.edges.len()
+        );
+        for e in &analysis.lock_graph.edges {
+            println!("  {} -> {}   ({}:{})", e.from, e.to, e.path, e.line);
+        }
+    }
+    for v in &analysis.violations {
+        println!("{v}");
+    }
+    println!(
+        "aj_analyze: {} file(s) scanned, {} rule(s), {} violation(s)",
+        analysis.files_scanned,
+        aj_analyze::RULES.len(),
+        analysis.violations.len()
+    );
+    if analysis.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,318 @@
+//! The per-file analysis model built on top of the token stream.
+//!
+//! A [`SourceFile`] knows which crate a file belongs to (from its path),
+//! which lines are test code (`#[cfg(test)]` module spans plus whole files
+//! under `tests/` / `benches/`), where every function body is, and which
+//! lines carry `// aj:allow(rule-id)` waivers.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// A function found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `{` opening the body.
+    pub body_open: usize,
+    /// Token index of the matching `}`.
+    pub body_close: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One scanned source file plus everything the rules need to know about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Package the file belongs to (`aj_mpc`, `acyclic_joins`, …).
+    pub crate_name: String,
+    /// Whether the whole file is test/bench code by location.
+    pub is_test_file: bool,
+    /// The token stream.
+    pub tokens: Vec<Tok>,
+    /// The comment table.
+    pub comments: Vec<Comment>,
+    /// Functions, in source order (nested functions appear after their
+    /// enclosing function).
+    pub fns: Vec<FnSpan>,
+    test_spans: Vec<(u32, u32)>,
+    allows: Vec<(String, u32)>,
+}
+
+/// Map a workspace-relative path to (package name, is-test-code).
+fn classify_path(rel: &str) -> (String, bool) {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 3 {
+        let pkg = match parts[1] {
+            "rand" => "rand".to_string(),
+            "proptest" => "proptest".to_string(),
+            dir => format!("aj_{dir}"),
+        };
+        let test = matches!(parts[2], "tests" | "benches");
+        (pkg, test)
+    } else {
+        let test = parts.first() == Some(&"tests");
+        ("acyclic_joins".to_string(), test)
+    }
+}
+
+/// Find the token index of the `}` matching the `{` at `open`.
+pub fn match_brace(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Find the token index of the `]` / `)` matching the opener at `open`.
+fn match_pair(tokens: &[Tok], open: usize, o: char, c: char) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct(o) {
+            depth += 1;
+        } else if t.kind == TokKind::Punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+fn ident_at(tokens: &[Tok], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokKind::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// `#[cfg(test)] mod … { … }` line spans. Attribute chains between the cfg
+/// and the `mod` keyword are skipped.
+fn find_test_spans(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Punct('#')
+            && tokens.get(i + 1).map(|t| &t.kind) == Some(&TokKind::Punct('['))
+        {
+            let close = match_pair(tokens, i + 1, '[', ']');
+            let mut is_cfg_test = false;
+            let mut saw_cfg = false;
+            for t in &tokens[i + 1..close] {
+                if let TokKind::Ident(s) = &t.kind {
+                    if s == "cfg" {
+                        saw_cfg = true;
+                    }
+                    if saw_cfg && s == "test" {
+                        is_cfg_test = true;
+                    }
+                }
+            }
+            let mut j = close + 1;
+            // Skip any further attributes before the item.
+            while tokens.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('#'))
+                && tokens.get(j + 1).map(|t| &t.kind) == Some(&TokKind::Punct('['))
+            {
+                j = match_pair(tokens, j + 1, '[', ']') + 1;
+            }
+            if is_cfg_test && ident_at(tokens, j) == Some("mod") {
+                // mod name { … }  (skip to the brace; `mod name;` has none).
+                let mut k = j + 1;
+                while k < tokens.len()
+                    && tokens[k].kind != TokKind::Punct('{')
+                    && tokens[k].kind != TokKind::Punct(';')
+                {
+                    k += 1;
+                }
+                if k < tokens.len() && tokens[k].kind == TokKind::Punct('{') {
+                    let end = match_brace(tokens, k);
+                    spans.push((tokens[k].line, tokens[end].line));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Every `fn name(…) { … }` with a body. Trait method declarations (ending
+/// in `;`) are skipped. Nested functions are found too.
+fn find_fns(tokens: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) != Some("fn") {
+            continue;
+        }
+        let Some(name) = ident_at(tokens, i + 1) else {
+            continue; // `fn(…)` pointer type
+        };
+        // The body `{` is the first `{` after the signature; a `;` first
+        // means a bodyless declaration. Braces cannot occur inside the
+        // signature itself (no brace-bearing const generics in this
+        // workspace).
+        let mut j = i + 2;
+        while j < tokens.len()
+            && tokens[j].kind != TokKind::Punct('{')
+            && tokens[j].kind != TokKind::Punct(';')
+        {
+            j += 1;
+        }
+        if j < tokens.len() && tokens[j].kind == TokKind::Punct('{') {
+            fns.push(FnSpan {
+                name: name.to_string(),
+                body_open: j,
+                body_close: match_brace(tokens, j),
+                line: tokens[i].line,
+            });
+        }
+    }
+    fns
+}
+
+/// Extract `aj:allow(rule-id)` waivers. A waiver covers its own line and the
+/// next line, so it works both trailing and as a line above the code.
+fn find_allows(comments: &[Comment]) -> Vec<(String, u32)> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("aj:allow(") {
+            rest = &rest[pos + "aj:allow(".len()..];
+            if let Some(end) = rest.find(')') {
+                let rule = rest[..end].trim().to_string();
+                allows.push((rule.clone(), c.line));
+                allows.push((rule, c.line + 1));
+                rest = &rest[end..];
+            } else {
+                break;
+            }
+        }
+    }
+    allows
+}
+
+impl SourceFile {
+    /// Scan `text` as the file at `rel_path` (workspace-relative).
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let (crate_name, is_test_file) = classify_path(rel_path);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let fns = find_fns(&lexed.tokens);
+        let allows = find_allows(&lexed.comments);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            is_test_file,
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            fns,
+            test_spans,
+            allows,
+        }
+    }
+
+    /// The file's name without directories (`cluster.rs`).
+    pub fn file_name(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
+    }
+
+    /// Whether `line` is test code — the whole file is, or the line falls in
+    /// a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_spans
+                .iter()
+                .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Whether `rule` is waived on `line` by an `aj:allow` comment.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(r, l)| r == rule && *l == line)
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open <= idx && idx <= f.body_close)
+            .max_by_key(|f| f.body_open)
+    }
+
+    /// The comment text on `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comments
+            .iter()
+            .find(|c| c.line == line)
+            .map(|c| c.text.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_classify_to_packages() {
+        assert_eq!(
+            classify_path("crates/mpc/src/cluster.rs"),
+            ("aj_mpc".to_string(), false)
+        );
+        assert_eq!(
+            classify_path("crates/relation/tests/x.rs"),
+            ("aj_relation".to_string(), true)
+        );
+        assert_eq!(
+            classify_path("crates/rand/src/lib.rs"),
+            ("rand".to_string(), false)
+        );
+        assert_eq!(
+            classify_path("tests/conformance.rs"),
+            ("acyclic_joins".to_string(), true)
+        );
+        assert_eq!(
+            classify_path("src/lib.rs"),
+            ("acyclic_joins".to_string(), false)
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_spans_cover_their_lines() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n";
+        let f = SourceFile::parse("crates/mpc/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn fn_spans_skip_declarations_and_find_nested() {
+        let src = "trait T { fn decl(&self) -> u32; }\nfn outer() {\n    fn inner() {}\n}\n";
+        let f = SourceFile::parse("crates/mpc/src/x.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn allows_cover_trailing_and_preceding() {
+        let src = "// aj:allow(det-map): vetted\nlet x = 1;\nlet y = 2; // aj:allow(wall-clock)\n";
+        let f = SourceFile::parse("crates/mpc/src/x.rs", src);
+        assert!(f.is_allowed("det-map", 2));
+        assert!(f.is_allowed("wall-clock", 3));
+        assert!(!f.is_allowed("det-map", 3));
+    }
+}

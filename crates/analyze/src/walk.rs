@@ -1,0 +1,63 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under `crates/`, `src/`, `tests/` and
+//! `examples/` of the workspace root, in sorted order for deterministic
+//! reports. Skips build output (`target/`) and the analyzer's own lint
+//! fixtures (`crates/analyze/tests/fixtures/` — they contain deliberate
+//! violations).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories walked relative to the workspace root.
+const ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Path suffixes never walked.
+fn skipped(rel: &str) -> bool {
+    rel.starts_with("crates/analyze/tests/fixtures")
+        || rel
+            .split('/')
+            .any(|seg| seg == "target" || seg.starts_with('.'))
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(&path, root);
+        if skipped(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            visit(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, with forward slashes.
+pub fn rel_path(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// All workspace source files under `root`, sorted.
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for r in ROOTS {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            visit(&dir, root, &mut out);
+        }
+    }
+    out.sort();
+    out
+}

@@ -1,0 +1,40 @@
+//! Fixture: a clean `aj_mpc`-style file — every rule must pass.
+
+use aj_relation::fxhash::FxHashMap;
+
+impl Clean {
+    fn build(&self) {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(1, 2);
+    }
+
+    fn pop_blocking(&self) -> Frame {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(f) = q.pop_front() {
+                return f;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    fn recv(&self, at: usize) -> Frame {
+        self.inner.recv(at)
+    }
+
+    fn pull(&self, seq: u64) {
+        let frame = self.transport.recv(0);
+        let _from = self.frame_sender(&frame, FrameKind::Items, seq);
+    }
+
+    fn scatter(&self) {
+        // SAFETY: fixture — slot written exactly once before the barrier.
+        unsafe {
+            self.write_slot();
+        }
+    }
+
+    fn charge(&mut self, counts: &[u64]) {
+        self.stats.record_round(0, 1, counts);
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: `condvar-wait-loop` — a bare wait and a correct one.
+
+impl P {
+    fn bad(&self) {
+        let mut g = self.state.lock().unwrap();
+        g = self.cv.wait(g).unwrap();
+        g.touch();
+    }
+
+    fn good(&self) {
+        let mut g = self.state.lock().unwrap();
+        while g.pending {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `det-map` — std map in a result-affecting crate.
+
+use std::collections::HashMap;
+
+fn build() {
+    // Vetted: collected and sorted before iteration. aj:allow(det-map)
+    let _ok: HashMap<u64, u64> = HashMap::new();
+    let _bad = HashMap::<u64, u64>::new();
+}

@@ -1,0 +1,26 @@
+//! Fixture: `lock-cycle` — opposite nesting orders plus a call-mediated
+//! acquisition.
+
+impl S {
+    fn alpha(&self) {
+        let a = self.m1.lock().unwrap();
+        let b = self.m2.lock().unwrap();
+        a.use_with(b);
+    }
+
+    fn beta(&self) {
+        let b = self.m2.lock().unwrap();
+        let a = self.m1.lock().unwrap();
+        b.use_with(a);
+    }
+
+    fn gamma(&self) {
+        let g = self.m3.lock().unwrap();
+        self.delta();
+        g.done();
+    }
+
+    fn delta(&self) {
+        let _q = self.m4.lock().unwrap();
+    }
+}

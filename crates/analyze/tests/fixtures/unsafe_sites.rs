@@ -1,0 +1,10 @@
+//! Fixture: `safety-comment` — one justified site, one bare.
+
+fn ok() {
+    // SAFETY: fixture justification.
+    let _x = unsafe { core::mem::transmute::<u32, i32>(1) };
+}
+
+fn bad() {
+    let _y = unsafe { core::mem::transmute::<u32, i32>(2) };
+}

@@ -1,0 +1,6 @@
+//! Fixture: `wall-clock` — per-run state outside aj_bench.
+
+fn t() {
+    let _t = std::time::Instant::now();
+    let _id = std::thread::current().id();
+}

@@ -1,0 +1,19 @@
+//! Fixture: `frame-recv` — an unvalidated pull and two valid ones.
+
+impl C {
+    fn bad_pull(&self) {
+        let frame = self.transport.recv(0);
+        self.consume(frame);
+    }
+
+    fn good_pull(&self) {
+        let frame = self.transport.recv(0);
+        let _from = self.frame_sender(&frame, FrameKind::Items, 7);
+    }
+
+    fn asserted_pull(&self) {
+        let frame = self.transport.recv(0);
+        assert_eq!(frame.kind, FrameKind::Items);
+        assert_eq!(frame.seq, 9);
+    }
+}

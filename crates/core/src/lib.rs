@@ -30,6 +30,7 @@
 //! `executor_equivalence` test suite); only wall-clock time differs.
 
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod acyclic;
 pub mod aggregate;

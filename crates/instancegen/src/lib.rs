@@ -26,6 +26,8 @@
 //! assert_eq!(line_query(3).n_edges(), 3);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod cartesian;
 pub mod fig3;
 pub mod fig4;

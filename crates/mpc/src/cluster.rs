@@ -584,6 +584,10 @@ impl Net<'_> {
         // offset construction), and reads happen only after the region
         // barrier.
         unsafe impl Send for RawBufs {}
+        // SAFETY: shared by reference across sender tasks, which only read
+        // the base pointers; the pointed-to ranges they write are disjoint
+        // per (sender, destination) as above, so concurrent `&RawBufs` use
+        // never races.
         unsafe impl Sync for RawBufs {}
         impl RawBufs {
             #[inline]

@@ -118,6 +118,9 @@ impl NetPool {
             // these dereferences.
             let index = unsafe { &*region.assign }[me];
             if index != usize::MAX {
+                // SAFETY: same lifetime argument as `assign` above — the
+                // task closure is borrowed for the whole `run_region` call,
+                // which cannot return before this worker signals done.
                 let task = unsafe { &*region.task };
                 if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
                     self.state.lock().unwrap().panics.push((index, payload));

@@ -25,8 +25,7 @@
 //! to be nominated somewhere. With `k ≥` the number of distinct keys the
 //! counts are exact. The profile's `total` is always exact.
 
-use std::collections::HashMap;
-
+use aj_relation::fxhash::FxHashMap;
 use aj_relation::{SkewProfile, Tuple};
 
 use crate::{Net, Partitioned};
@@ -83,7 +82,7 @@ pub fn detect_heavy_hitters(
     assert!(k >= 1, "need room for at least one candidate");
     // Local pass: exact counts, top-k nominations (deterministic order).
     let nominations: Vec<Vec<(Tuple, u64)>> = net.run_each(|s| {
-        let mut counts: HashMap<Tuple, u64> = HashMap::new();
+        let mut counts: FxHashMap<Tuple, u64> = FxHashMap::default();
         for t in &parts[s] {
             *counts.entry(t.project(key_pos)).or_insert(0) += 1;
         }
@@ -103,7 +102,7 @@ pub fn detect_heavy_hitters(
     });
     // Merge at the barrier (coordinator-local, free).
     let mut total = 0u64;
-    let mut merged: HashMap<Tuple, u64> = HashMap::new();
+    let mut merged: FxHashMap<Tuple, u64> = FxHashMap::default();
     for report in &inbox[0] {
         match report {
             Report::Count(key, c) => *merged.entry(key.clone()).or_insert(0) += c,

@@ -42,17 +42,20 @@
 #![deny(missing_docs)]
 
 mod alloc;
-pub mod fxhash;
 mod key;
 mod numbering;
 mod packing;
 mod prefix;
 mod table;
 
-pub use alloc::{allocate_servers, Allocation};
-pub use fxhash::{
+/// Deterministic Fx hashing, re-exported from the base crate (the module
+/// moved to `aj_relation` so `aj_mpc` and `aj_relation` itself can use it
+/// without a dependency cycle; these paths are kept for compatibility).
+pub use aj_relation::fxhash;
+pub use aj_relation::fxhash::{
     fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet, FxHasher,
 };
+pub use alloc::{allocate_servers, Allocation};
 pub use key::Key;
 pub use numbering::multi_numbering;
 pub use packing::{parallel_packing, Packing};

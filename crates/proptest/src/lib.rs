@@ -20,6 +20,8 @@
 //!   failing case fails on every run and in CI — there is no `proptest-regressions`
 //!   file to manage.
 
+#![deny(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Runner configuration.

@@ -15,6 +15,8 @@
 //! The generator is splitmix64 — 64-bit state, full period, passes the
 //! statistical bar required for test workloads by a wide margin.
 
+#![deny(unsafe_code)]
+
 /// Pseudo-random generators.
 pub mod rngs {
     /// A deterministic 64-bit generator (splitmix64).

@@ -147,8 +147,8 @@ impl UpdateBatch {
             if !delta.deletes.is_empty() {
                 // One occurrence removed per listed tuple: count the victims,
                 // then retain in one linear pass.
-                let mut dead: std::collections::HashMap<&Tuple, usize> =
-                    std::collections::HashMap::with_capacity(delta.deletes.len());
+                let mut dead: crate::fxhash::FxHashMap<&Tuple, usize> =
+                    crate::fxhash::fx_map_with_capacity(delta.deletes.len());
                 for t in &delta.deletes {
                     *dead.entry(t).or_insert(0) += 1;
                 }

@@ -9,10 +9,14 @@
 //!
 //! [`FxHasher`] is the Firefox/rustc "Fx" multiply-rotate hash over 64-bit
 //! words: one rotate, one xor, one multiply per word. [`FxHashMap`] /
-//! [`FxHashSet`] are the drop-in aliases every hot index in `aj_primitives`
-//! and `aj_core` uses; combined with `Tuple`'s `Borrow<[Value]>` impl,
-//! probes take a bare value slice and allocate nothing.
+//! [`FxHashSet`] are the drop-in aliases every hot index in the workspace
+//! uses (this module lives in the dependency-free base crate so `aj_mpc` and
+//! `aj_relation` itself can use it; `aj_primitives` re-exports it under its
+//! historical paths); combined with `Tuple`'s `Borrow<[Value]>` impl, probes
+//! take a bare value slice and allocate nothing.
 
+// This module defines the deterministic aliases — the std types are
+// re-exported here with a fixed, non-random hasher. aj:allow(det-map)
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -98,9 +102,11 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` with deterministic Fx hashing — the build-side index type of
 /// the hot join loops.
+// aj:allow(det-map): alias definition with the deterministic FxBuildHasher.
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
 /// A `HashSet` with deterministic Fx hashing.
+// aj:allow(det-map): alias definition with the deterministic FxBuildHasher.
 pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
 
 /// An empty [`FxHashMap`] with room for `n` entries (`with_capacity` needs
@@ -140,15 +146,15 @@ mod tests {
     fn tuple_and_slice_agree() {
         // The Borrow<[Value]> lookup contract: Tuple and its value slice
         // must hash identically under the same builder.
-        let t = aj_relation::Tuple::from([7, 8, 9]);
+        let t = crate::Tuple::from([7, 8, 9]);
         let s: &[u64] = &[7, 8, 9];
         assert_eq!(hash_of(&t), FxBuildHasher::default().hash_one(s));
     }
 
     #[test]
     fn map_probes_by_slice() {
-        let mut m: FxHashMap<aj_relation::Tuple, u32> = fx_map_with_capacity(4);
-        m.insert(aj_relation::Tuple::from([1, 2]), 5);
+        let mut m: FxHashMap<crate::Tuple, u32> = fx_map_with_capacity(4);
+        m.insert(crate::Tuple::from([1, 2]), 5);
         assert_eq!(m.get([1u64, 2].as_slice()), Some(&5));
     }
 

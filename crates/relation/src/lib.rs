@@ -16,6 +16,8 @@
 //!   planning artifacts ([`signature`]);
 //! * heavy-hitter skew profiles and the grid math of hybrid routing
 //!   ([`skew`]);
+//! * deterministic Fx hashing — the workspace-wide `HashMap` replacement
+//!   ([`fxhash`]);
 //! * signed update batches and counted materializations — the data model of
 //!   incremental view maintenance ([`delta`]);
 //! * Lemma 2's minimal-path-of-length-3 witness ([`minpath`]);
@@ -46,6 +48,7 @@ pub mod block;
 pub mod classify;
 pub mod cover;
 pub mod delta;
+pub mod fxhash;
 pub mod ghd;
 pub mod minpath;
 pub mod query;

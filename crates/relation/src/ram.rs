@@ -7,8 +7,7 @@
 //! All functions assume **set semantics**; [`count`] and friends deduplicate
 //! defensively.
 
-use std::collections::{HashMap, HashSet};
-
+use crate::fxhash::{fx_map_with_capacity, FxHashMap, FxHashSet};
 use crate::query::{Attr, Database, Query, Relation};
 use crate::sets::EdgeSet;
 use crate::tuple::Tuple;
@@ -30,7 +29,7 @@ pub fn semi_join(r1: &Relation, r2: &Relation) -> Relation {
         };
     }
     let pos2 = r2.positions_of(&shared);
-    let keys: HashSet<Tuple> = r2.tuples.iter().map(|t| t.project(&pos2)).collect();
+    let keys: FxHashSet<Tuple> = r2.tuples.iter().map(|t| t.project(&pos2)).collect();
     let pos1 = r1.positions_of(&shared);
     Relation::new(
         r1.attrs.clone(),
@@ -98,7 +97,7 @@ pub fn join(q: &Query, db: &Database) -> (Vec<Attr>, Vec<Tuple>) {
             .map(|a| acc_attrs.iter().position(|x| x == a).unwrap())
             .collect();
         // Index the relation by the shared key.
-        let mut index: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+        let mut index: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
         for t in &rel.tuples {
             index
                 .entry(t.project(&rel_key_pos))
@@ -133,11 +132,11 @@ pub fn join(q: &Query, db: &Database) -> (Vec<Attr>, Vec<Tuple>) {
 pub fn count(q: &Query, db: &Database) -> u64 {
     let tree = q.join_tree().expect("count requires an acyclic query");
     // weights[e]: tuple -> weight, deduplicated (set semantics).
-    let mut weights: Vec<HashMap<Tuple, u64>> = db
+    let mut weights: Vec<FxHashMap<Tuple, u64>> = db
         .relations
         .iter()
         .map(|r| {
-            let mut m = HashMap::with_capacity(r.len());
+            let mut m = fx_map_with_capacity(r.len());
             for t in &r.tuples {
                 m.insert(t.clone(), 1u64);
             }
@@ -155,7 +154,7 @@ pub fn count(q: &Query, db: &Database) -> u64 {
         let pos_e = db.relations[e].positions_of(&shared);
         let pos_p = db.relations[p].positions_of(&shared);
         // Message: key -> Σ weights of child tuples.
-        let mut msg: HashMap<Tuple, u64> = HashMap::new();
+        let mut msg: FxHashMap<Tuple, u64> = FxHashMap::default();
         for (t, w) in &weights[e] {
             *msg.entry(t.project(&pos_e)).or_insert(0) = msg
                 .get(&t.project(&pos_e))
@@ -198,7 +197,7 @@ pub fn q_r_s_sizes(q: &Query, db: &Database, subsets: &[EdgeSet]) -> Vec<u64> {
                 .filter(|(_, a)| attrs.contains(**a))
                 .map(|(i, _)| i)
                 .collect();
-            let distinct: HashSet<Tuple> = results.iter().map(|t| t.project(&pos)).collect();
+            let distinct: FxHashSet<Tuple> = results.iter().map(|t| t.project(&pos)).collect();
             distinct.len() as u64
         })
         .collect()

@@ -186,8 +186,8 @@ impl<S: Semiring> AnnRelation<S> {
 
     /// ⊕-combine duplicate tuples (normalization under set semantics).
     pub fn combine_duplicates(&mut self) {
-        use std::collections::HashMap;
-        let mut agg: HashMap<Tuple, S::T> = HashMap::with_capacity(self.tuples.len());
+        use crate::fxhash::{fx_map_with_capacity, FxHashMap};
+        let mut agg: FxHashMap<Tuple, S::T> = fx_map_with_capacity(self.tuples.len());
         for (t, w) in self.tuples.drain(..) {
             agg.entry(t)
                 .and_modify(|acc| *acc = S::add(*acc, w))

@@ -267,8 +267,8 @@ mod tests {
 
     #[test]
     fn hash_lookup_by_borrowed_slice() {
-        use std::collections::HashMap;
-        let mut m: HashMap<Tuple, u32> = HashMap::new();
+        use crate::fxhash::FxHashMap;
+        let mut m: FxHashMap<Tuple, u32> = FxHashMap::default();
         m.insert(Tuple::from([1, 2]), 7);
         assert_eq!(m.get([1u64, 2].as_slice()), Some(&7));
         assert_eq!(m.get([9u64].as_slice()), None);
@@ -285,8 +285,8 @@ mod tests {
         // A boxed projection down to inline width equals a fresh inline tuple.
         assert_eq!(big.project(&[0, 1, 2]), small);
         // Hashing matches the slice hash in both representations.
-        use std::collections::HashMap;
-        let mut m: HashMap<Tuple, u8> = HashMap::new();
+        use crate::fxhash::FxHashMap;
+        let mut m: FxHashMap<Tuple, u8> = FxHashMap::default();
         m.insert(big.clone(), 1);
         m.insert(small.clone(), 2);
         assert_eq!(m.get([1u64, 2, 3, 4].as_slice()), Some(&1));
