@@ -10,9 +10,11 @@
 //!   every map must be the deterministic [`FxHashMap`] family
 //!   (`aj_relation::fxhash`) or its iteration order must provably not reach
 //!   results (then waive the site with `// aj:allow(det-map): why`).
-//! * **`wall-clock`** — `Instant`, `SystemTime` and
+//! * **`wall-clock`** — `Instant`, `SystemTime`, the timed blocking
+//!   primitives (`recv_timeout`, `wait_timeout`, `park_timeout`) and
 //!   `thread::current().id()` are per-run state; outside `aj_bench` (and
-//!   test code) nothing may read them.
+//!   test code) nothing may read them. In particular the reliable-delivery
+//!   retransmit backoff must be driven by logical step counters, not clocks.
 
 use crate::report::Violation;
 use crate::source::SourceFile;
@@ -53,6 +55,12 @@ pub fn det_map(f: &SourceFile) -> Vec<Violation> {
 }
 
 /// Run the `wall-clock` rule on one file.
+///
+/// Besides the clock *types*, the rule flags the timed blocking primitives
+/// (`recv_timeout`, `wait_timeout`, `park_timeout`): a timeout that expires
+/// is a wall-clock *observation*, so retransmit/backoff logic must count
+/// logical steps (empty polls) instead — or carry an explicit
+/// `aj:allow(wall-clock)` waiver arguing the expiry cannot reach results.
 pub fn wall_clock(f: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     if f.crate_name == "aj_bench" || f.is_test_file {
@@ -65,6 +73,7 @@ pub fn wall_clock(f: &SourceFile) -> Vec<Violation> {
         };
         let flagged = match name.as_str() {
             "Instant" | "SystemTime" => true,
+            "recv_timeout" | "wait_timeout" | "wait_timeout_while" | "park_timeout" => true,
             // thread::current().id()
             "current" => {
                 matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Punct('(')))

@@ -9,6 +9,12 @@
 //!                            #   backend (message passing over wire frames):
 //!                            #   assert equal loads, report wire bytes
 //! repro --backend par        # alias for --parallel; --backend seq is a no-op
+//! repro --backend net --transport uds
+//!                            # route the network backend over real
+//!                            #   unix-domain sockets (default: chan, the
+//!                            #   in-process transport); prints a clear error
+//!                            #   if uds support is compiled out or sockets
+//!                            #   cannot be created
 //! repro --json BENCH.json    # additionally write the benchmark trajectory
 //!                            #   (per-experiment wall clocks, loads,
 //!                            #   throughput) as JSON
@@ -18,12 +24,14 @@
 //! ```
 
 use aj_bench::{
-    run_experiment, set_net, set_parallel, take_records, ExperimentRun, ALL_EXPERIMENTS,
+    probe_net_transport, run_experiment, set_net, set_net_uds, set_parallel, take_records,
+    ExperimentRun, ALL_EXPERIMENTS,
 };
 
 fn main() {
     let mut parallel = false;
     let mut net = false;
+    let mut uds = false;
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -45,6 +53,20 @@ fn main() {
                     }
                 }
             }
+            "--transport" => {
+                let transport = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --transport needs one of: chan, uds");
+                    std::process::exit(2);
+                });
+                match transport.as_str() {
+                    "chan" => uds = false,
+                    "uds" => uds = true,
+                    other => {
+                        eprintln!("error: unknown transport '{other}' (expected chan or uds)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--json" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("error: --json needs a file path");
@@ -60,8 +82,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--parallel] [--backend seq|par|net] [--json PATH] \
-                     [list | EXPERIMENT...]"
+                    "usage: repro [--parallel] [--backend seq|par|net] [--transport chan|uds] \
+                     [--json PATH] [list | EXPERIMENT...]"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return;
@@ -69,8 +91,20 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+    if uds && !net {
+        eprintln!("error: --transport uds requires --backend net");
+        std::process::exit(2);
+    }
     set_parallel(parallel);
     set_net(net);
+    set_net_uds(uds);
+    // Fail fast with a clean diagnostic (not a mid-experiment panic) if the
+    // requested transport cannot be built — uds compiled out, or socketpair
+    // creation failing outright.
+    if let Err(e) = probe_net_transport() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let ids: Vec<&str> = if ids.is_empty() {
         ALL_EXPERIMENTS.to_vec()
     } else {
@@ -91,7 +125,8 @@ fn main() {
     if net {
         println!(
             "network backend ON: every measurement re-runs on NetExecutor \
-             (message passing over wire frames, same L asserted)"
+             (message passing over wire frames, same L asserted; transport: {})",
+            if uds { "unix-domain sockets" } else { "chan" }
         );
     }
     println!();

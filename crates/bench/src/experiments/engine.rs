@@ -201,6 +201,9 @@ pub fn run() -> Vec<ExpTable> {
         par_ms,
         net_ms: None,
         wire_bytes: None,
+        wire_payload: None,
+        wire_retransmit: None,
+        wire_ack: None,
     });
 
     let mut t = ExpTable::new(

@@ -10,6 +10,7 @@
 //! wall time plus the speedup.
 
 pub mod engine;
+pub mod faults;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -40,6 +41,7 @@ use crate::table::fmt_f;
 
 static PARALLEL: AtomicBool = AtomicBool::new(false);
 static NET: AtomicBool = AtomicBool::new(false);
+static NET_UDS: AtomicBool = AtomicBool::new(false);
 
 /// One measured cell recorded for the `--json` benchmark trajectory
 /// (`repro --json BENCH_repro.json`): wall clocks, the simulated load, and a
@@ -64,6 +66,13 @@ pub struct BenchRecord {
     /// Bytes serialized through wire frames on the network backend
     /// (only with [`set_net`]).
     pub wire_bytes: Option<u64>,
+    /// First-copy payload bytes of [`BenchRecord::wire_bytes`] (only on
+    /// reliable-mode network runs, where the breakdown is metered).
+    pub wire_payload: Option<u64>,
+    /// Retransmitted payload bytes (reliable mode only).
+    pub wire_retransmit: Option<u64>,
+    /// Acknowledgement bytes (reliable mode only).
+    pub wire_ack: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -102,6 +111,65 @@ pub fn set_net(enabled: bool) {
 /// Is the network-backend comparison enabled?
 pub fn net_enabled() -> bool {
     NET.load(Ordering::Relaxed)
+}
+
+/// Route the network-backend comparison over unix-domain sockets instead of
+/// in-process channels (the `repro --transport uds` flag). Callers should
+/// verify availability first with [`probe_net_transport`].
+pub fn set_net_uds(enabled: bool) {
+    NET_UDS.store(enabled, Ordering::Relaxed);
+}
+
+/// Is the network comparison routed over unix-domain sockets?
+pub fn net_uds_enabled() -> bool {
+    NET_UDS.load(Ordering::Relaxed)
+}
+
+/// Build the network-backend cluster on the selected transport, or explain
+/// why it cannot be built (uds support compiled out, socketpair creation
+/// failed). `measure` calls this per cell; the `repro` binary probes it once
+/// at startup so users get the diagnostic before any experiment runs.
+pub fn try_net_cluster(p: usize) -> Result<Cluster, String> {
+    if !net_uds_enabled() {
+        return Ok(Cluster::new_net(p));
+    }
+    if !aj_mpc::uds_supported() {
+        return Err(
+            "unix-domain-socket transport is not available in this build \
+             (non-unix platform or the aj_mpc `uds` feature is disabled); \
+             rerun with `--transport chan` or rebuild with default features"
+                .to_string(),
+        );
+    }
+    net_cluster_uds(p)
+}
+
+#[cfg(all(unix, feature = "uds"))]
+fn net_cluster_uds(p: usize) -> Result<Cluster, String> {
+    let transport = aj_mpc::UdsTransport::try_new(p).map_err(|e| {
+        format!(
+            "cannot set up unix-domain sockets for p = {p} \
+             ({} fds needed): {e}; rerun with `--transport chan` \
+             or raise the fd limit",
+            p * (p - 1)
+        )
+    })?;
+    Ok(Cluster::new_net_with_transport(p, transport))
+}
+
+#[cfg(not(all(unix, feature = "uds")))]
+fn net_cluster_uds(_p: usize) -> Result<Cluster, String> {
+    unreachable!("guarded by uds_supported()")
+}
+
+/// Startup probe for the `repro` binary: can the configured network
+/// transport actually be built? Returns the user-facing diagnostic if not.
+pub fn probe_net_transport() -> Result<(), String> {
+    if net_enabled() {
+        try_net_cluster(2).map(|_| ())
+    } else {
+        Ok(())
+    }
 }
 
 /// Wall-clock measurements of one experiment cell.
@@ -196,7 +264,10 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     };
     let (net_ms, wire_bytes) = if net_enabled() {
         let t2 = Instant::now();
-        let mut net_cluster = Cluster::new_net(p);
+        // The startup probe in `repro` already validated the transport, so
+        // a failure here is exceptional (e.g. fd exhaustion mid-run).
+        let mut net_cluster =
+            try_net_cluster(p).unwrap_or_else(|e| panic!("network transport: {e}"));
         let net_out = {
             let mut net = net_cluster.net();
             f(&mut net)
@@ -229,6 +300,9 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
         par_ms,
         net_ms,
         wire_bytes,
+        wire_payload: None,
+        wire_retransmit: None,
+        wire_ack: None,
     });
     (
         out,

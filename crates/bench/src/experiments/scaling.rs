@@ -96,6 +96,9 @@ pub fn run() -> Vec<ExpTable> {
             par_ms: Some(par_ms),
             net_ms: None,
             wire_bytes: None,
+            wire_payload: None,
+            wire_retransmit: None,
+            wire_ack: None,
         });
         t.row(vec![
             p.to_string(),

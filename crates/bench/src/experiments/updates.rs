@@ -176,6 +176,9 @@ pub fn run() -> Vec<ExpTable> {
                 par_ms: None,
                 net_ms: None,
                 wire_bytes: None,
+                wire_payload: None,
+                wire_retransmit: None,
+                wire_ack: None,
             });
             super::record(super::BenchRecord {
                 label: format!("updates:{label}@{:.1}%-recompute", fraction * 100.0),
@@ -186,6 +189,9 @@ pub fn run() -> Vec<ExpTable> {
                 par_ms: None,
                 net_ms: None,
                 wire_bytes: None,
+                wire_payload: None,
+                wire_retransmit: None,
+                wire_ack: None,
             });
             t.row(vec![
                 label.to_string(),

@@ -89,11 +89,17 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
             } else {
                 None
             };
-        let wire_bytes: Option<u64> = if run.cells.iter().any(|c| c.wire_bytes.is_some()) {
-            Some(run.cells.iter().filter_map(|c| c.wire_bytes).sum())
-        } else {
-            None
+        let sum_opt = |get: fn(&BenchRecord) -> Option<u64>| -> Option<u64> {
+            if run.cells.iter().any(|c| get(c).is_some()) {
+                Some(run.cells.iter().filter_map(get).sum())
+            } else {
+                None
+            }
         };
+        let wire_bytes = sum_opt(|c| c.wire_bytes);
+        let wire_payload = sum_opt(|c| c.wire_payload);
+        let wire_retransmit = sum_opt(|c| c.wire_retransmit);
+        let wire_ack = sum_opt(|c| c.wire_ack);
         let max_load = run.cells.iter().map(|c| c.max_load).max().unwrap_or(0);
         let units: u64 = run.cells.iter().map(|c| c.units).sum();
         out.push_str("    {\n");
@@ -102,12 +108,20 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
         out.push_str(&format!("      \"seq_ms\": {},\n", f(seq_ms)));
         out.push_str(&format!("      \"par_ms\": {},\n", opt_f(par_ms)));
         out.push_str(&format!("      \"net_ms\": {},\n", opt_f(net_ms)));
-        out.push_str(&format!(
-            "      \"wire_bytes\": {},\n",
-            wire_bytes
-                .map(|b| b.to_string())
+        let opt_u = |b: Option<u64>| {
+            b.map(|b| b.to_string())
                 .unwrap_or_else(|| "null".to_string())
+        };
+        out.push_str(&format!("      \"wire_bytes\": {},\n", opt_u(wire_bytes)));
+        out.push_str(&format!(
+            "      \"wire_payload\": {},\n",
+            opt_u(wire_payload)
         ));
+        out.push_str(&format!(
+            "      \"wire_retransmit\": {},\n",
+            opt_u(wire_retransmit)
+        ));
+        out.push_str(&format!("      \"wire_ack\": {},\n", opt_u(wire_ack)));
         out.push_str(&format!("      \"max_load\": {max_load},\n"));
         out.push_str(&format!("      \"units\": {units},\n"));
         out.push_str(&format!(
@@ -121,7 +135,7 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
         out.push_str("      \"cells\": [\n");
         for (j, c) in run.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}, \"net_ms\": {}, \"wire_bytes\": {}}}{}\n",
+                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}, \"net_ms\": {}, \"wire_bytes\": {}, \"wire_payload\": {}, \"wire_retransmit\": {}, \"wire_ack\": {}}}{}\n",
                 esc(&c.label),
                 c.p,
                 c.max_load,
@@ -129,9 +143,10 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
                 f(c.seq_ms),
                 opt_f(c.par_ms),
                 opt_f(c.net_ms),
-                c.wire_bytes
-                    .map(|b| b.to_string())
-                    .unwrap_or_else(|| "null".to_string()),
+                opt_u(c.wire_bytes),
+                opt_u(c.wire_payload),
+                opt_u(c.wire_retransmit),
+                opt_u(c.wire_ack),
                 if j + 1 == run.cells.len() { "" } else { "," }
             ));
         }
@@ -163,6 +178,9 @@ mod tests {
                 par_ms: Some(2.5),
                 net_ms: None,
                 wire_bytes: None,
+                wire_payload: None,
+                wire_retransmit: None,
+                wire_ack: None,
             }],
         }];
         let s = render(true, false, &runs);
@@ -189,6 +207,9 @@ mod tests {
                 par_ms: None,
                 net_ms: Some(3.0),
                 wire_bytes: Some(4096),
+                wire_payload: None,
+                wire_retransmit: None,
+                wire_ack: None,
             }],
         }];
         let s = render(false, true, &runs);
@@ -217,10 +238,40 @@ mod tests {
                 par_ms: None,
                 net_ms: None,
                 wire_bytes: None,
+                wire_payload: None,
+                wire_retransmit: None,
+                wire_ack: None,
             }],
         }];
         let s = render(false, false, &runs);
         assert!(s.contains("\"par_ms\": null"));
         assert!(s.contains("\"units_per_sec_par\": null"));
+    }
+
+    #[test]
+    fn wire_breakdown_fields_render() {
+        let runs = vec![ExperimentRun {
+            id: "faults".to_string(),
+            wall_ms: 1.0,
+            cells: vec![BenchRecord {
+                label: "drop1pct".to_string(),
+                p: 8,
+                max_load: 9516,
+                units: 10,
+                seq_ms: 1.0,
+                par_ms: None,
+                net_ms: Some(3.0),
+                wire_bytes: Some(700),
+                wire_payload: Some(500),
+                wire_retransmit: Some(50),
+                wire_ack: Some(150),
+            }],
+        }];
+        let s = render(false, true, &runs);
+        // Experiment-level sums and the per-cell line both carry the split.
+        assert_eq!(s.matches("\"wire_payload\": 500").count(), 2);
+        assert_eq!(s.matches("\"wire_retransmit\": 50").count(), 2);
+        assert_eq!(s.matches("\"wire_ack\": 150").count(), 2);
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 }

@@ -15,7 +15,8 @@ pub mod microbench;
 pub mod table;
 
 pub use experiments::{
-    net_enabled, parallel_enabled, set_net, set_parallel, take_records, BenchRecord, Wall,
+    net_enabled, net_uds_enabled, parallel_enabled, probe_net_transport, set_net, set_net_uds,
+    set_parallel, take_records, try_net_cluster, BenchRecord, Wall,
 };
 pub use jsonout::ExperimentRun;
 pub use table::ExpTable;
@@ -23,7 +24,7 @@ pub use table::ExpTable;
 /// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6", "scaling", "engine", "skew", "updates",
+    "thm7", "thm9", "fig6", "scaling", "engine", "skew", "updates", "faults",
 ];
 
 /// Run one experiment by id.
@@ -50,6 +51,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "engine" => experiments::engine::run(),
         "skew" => experiments::skew::run(),
         "updates" => experiments::updates::run(),
+        "faults" => experiments::faults::run(),
         other => panic!("unknown experiment '{other}'; known: {ALL_EXPERIMENTS:?}"),
     }
 }

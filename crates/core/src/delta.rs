@@ -50,13 +50,13 @@
 
 use aj_primitives::FxHashMap;
 
-use aj_mpc::{hash_to_server, Cluster, DeltaBlock, DeltaOutbox, EpochStats, RowOutbox};
+use aj_mpc::{hash_to_server, Cluster, DeltaBlock, DeltaOutbox, EpochStats, RowOutbox, Wire};
 use aj_relation::classify::{classify, JoinClass};
-use aj_relation::delta::{CountedSnapshot, UpdateBatch};
+use aj_relation::delta::{decode_snapshot, encode_snapshot, CountedSnapshot, UpdateBatch};
 use aj_relation::semiring::{Semiring, ZRing};
 use aj_relation::signature::QuerySignature;
-use aj_relation::skew::JoinSkew;
-use aj_relation::{Attr, Database, Query, Tuple, Value};
+use aj_relation::skew::{JoinSkew, SkewProfile};
+use aj_relation::{Attr, Database, Query, Relation, Tuple, Value};
 
 use crate::binary::detect_join_skew;
 use crate::dist::distribute_db;
@@ -1119,6 +1119,208 @@ fn update_caches(
             );
         }
     }
+}
+
+/// A crash-consistent snapshot of one registered view's recoverable state:
+/// the counted materialization ([`CountedSnapshot`] — already a flat,
+/// canonically sorted buffer), the base mirror, the staleness counters the
+/// planner prices with, and the maintained skew profile. Everything a
+/// supervisor needs to rebuild the view on a respawned cluster without
+/// re-running the original join: the caches (tree shards / grid fragments)
+/// are *derived* state and are reconstructed from the base during
+/// [`crate::engine::QueryEngine::restore`].
+///
+/// A checkpoint is [`Wire`]-serializable (canonical flat `u64` stream), so
+/// it can be shipped to stable storage or a standby exactly like any other
+/// exchange payload.
+#[derive(Debug, Clone)]
+pub struct ViewCheckpoint {
+    snapshot: CountedSnapshot,
+    base: Database,
+    cum_delta: u64,
+    rebuilds: u64,
+    skew: Option<JoinSkew>,
+}
+
+impl ViewCheckpoint {
+    /// The counted materialization at checkpoint time.
+    pub fn snapshot(&self) -> &CountedSnapshot {
+        &self.snapshot
+    }
+
+    /// The base instance at checkpoint time.
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// `Σ|Δ|` absorbed since the last full build, at checkpoint time.
+    pub fn cum_delta(&self) -> u64 {
+        self.cum_delta
+    }
+
+    /// Rebuild count at checkpoint time.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// The maintained skew profile, if the view keeps one.
+    pub fn skew(&self) -> Option<&JoinSkew> {
+        self.skew.as_ref()
+    }
+}
+
+fn encode_profile(p: &SkewProfile, out: &mut Vec<u64>) {
+    (p.key_arity() as u64).encode(out);
+    p.total().encode(out);
+    p.entries().to_vec().encode(out);
+}
+
+fn decode_profile(r: &mut aj_mpc::WireReader<'_>) -> SkewProfile {
+    let key_arity = u64::decode(r) as usize;
+    let total = u64::decode(r);
+    let entries: Vec<(Tuple, u64)> = Vec::decode(r);
+    SkewProfile::from_counts(key_arity, total, entries)
+}
+
+impl Wire for ViewCheckpoint {
+    fn encode(&self, out: &mut Vec<u64>) {
+        encode_snapshot(&self.snapshot).encode(out);
+        (self.base.relations.len() as u64).encode(out);
+        for rel in &self.base.relations {
+            let attrs: Vec<u64> = rel.attrs.iter().map(|&a| a as u64).collect();
+            attrs.encode(out);
+            rel.tuples.encode(out);
+        }
+        self.cum_delta.encode(out);
+        self.rebuilds.encode(out);
+        match &self.skew {
+            None => 0u64.encode(out),
+            Some(s) => {
+                1u64.encode(out);
+                encode_profile(&s.left, out);
+                encode_profile(&s.right, out);
+            }
+        }
+    }
+
+    fn decode(r: &mut aj_mpc::WireReader<'_>) -> Self {
+        let snapshot = decode_snapshot(&Vec::<u64>::decode(r));
+        let n_rel = u64::decode(r) as usize;
+        let relations = (0..n_rel)
+            .map(|_| {
+                let attrs: Vec<Attr> = Vec::<u64>::decode(r).iter().map(|&a| a as Attr).collect();
+                let tuples: Vec<Tuple> = Vec::decode(r);
+                Relation::new(attrs, tuples)
+            })
+            .collect();
+        let base = Database::new(relations);
+        let cum_delta = u64::decode(r);
+        let rebuilds = u64::decode(r);
+        let skew = match u64::decode(r) {
+            0 => None,
+            1 => Some(JoinSkew {
+                left: decode_profile(r),
+                right: decode_profile(r),
+            }),
+            tag => panic!("checkpoint: bad skew tag {tag}"),
+        };
+        ViewCheckpoint {
+            snapshot,
+            base,
+            cum_delta,
+            rebuilds,
+            skew,
+        }
+    }
+}
+
+/// Capture a view's recoverable state. Pure driver-side bookkeeping: the
+/// snapshot gather is communication-free (like every result inspection), so
+/// checkpointing never perturbs the logical [`aj_mpc::Stats`].
+pub(crate) fn checkpoint(view: &MaterializedView) -> ViewCheckpoint {
+    ViewCheckpoint {
+        snapshot: view.snapshot(),
+        base: view.base.clone(),
+        cum_delta: view.cum_delta,
+        rebuilds: view.rebuilds,
+        skew: view.skew.clone(),
+    }
+}
+
+/// Restore a view from a checkpoint on a (possibly respawned) cluster: the
+/// base mirror, counters, and skew profile come straight from the
+/// checkpoint; the caches are rebuilt from the restored base with the same
+/// seed stream a fresh build at this rebuild count would use; and the
+/// counted materialization is **installed from the snapshot** — routed to
+/// its hash owners in one delta round — instead of re-running the join.
+/// Because the materialization sharding is a pure function of
+/// `(tuple, mat_seed, p)`, the restored view is bit-identical (as observed
+/// through [`MaterializedView::snapshot`]) to the view at checkpoint time.
+///
+/// Runs in its own stats epoch, returned to the caller; recovery load is
+/// attributed like any other maintenance work.
+pub(crate) fn restore(
+    cluster: &mut Cluster,
+    view: &mut MaterializedView,
+    ckpt: &ViewCheckpoint,
+) -> EpochStats {
+    assert!(
+        ckpt.base.matches(&view.query),
+        "checkpoint does not match the view's query layout"
+    );
+    view.base = ckpt.base.clone();
+    view.cum_delta = ckpt.cum_delta;
+    view.rebuilds = ckpt.rebuilds;
+    view.skew = ckpt.skew.clone();
+    cluster.begin_epoch();
+    let p = cluster.p();
+    let exec_seed = mix(view.seed_base, view.rebuilds);
+    match view.class {
+        JoinClass::Cyclic => {
+            let sizes: Vec<u64> = view.base.relations.iter().map(|r| r.len() as u64).collect();
+            let shares = worst_case_shares(&view.query, &sizes, p);
+            // Same grid seed as `build` at this rebuild count: the restored
+            // fragments land exactly where the crashed run placed them.
+            let grid = build_grid(cluster, view, shares, mix(exec_seed, 0x9e1d));
+            view.cache = ViewCache::Grid(grid);
+        }
+        _ => {
+            // The original build derives the tree seed from the seed stream
+            // *after* the plan execution advanced it; a restore skips the
+            // join, so its shard seeds differ from the crashed run's. That
+            // is sound: shard routing seeds only decide *where* cached
+            // partner tuples live, and every later delta round re-derives
+            // the owner from the shard's own stored seed.
+            view.cache = ViewCache::Tree(build_tree(cluster, view, mix(exec_seed, 0x7ee5)));
+        }
+    }
+    // Install the counted materialization from the snapshot: each entry is
+    // routed to its hash owner carrying its exact count as the weight.
+    let arity = view.out_attrs.len();
+    let mat_seed = view.mat_seed;
+    view.mat = (0..p).map(|_| FxHashMap::default()).collect();
+    let entries: Vec<(Tuple, i64)> = ckpt
+        .snapshot
+        .iter()
+        .map(|(t, c)| (t.clone(), *c as i64))
+        .collect();
+    let parts = place_signed(&entries, p);
+    let received = {
+        let mut net = cluster.net();
+        let outbox: Vec<DeltaOutbox> = net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
+            let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+            for (t, w) in &rows {
+                ob.push(hash_to_server(t.values(), mat_seed, p), t.values(), *w);
+            }
+            ob
+        });
+        net.exchange_deltas(arity, outbox)
+    };
+    merge_outputs(cluster, view, received);
+    view.out_size = view.mat.iter().map(|m| m.len() as u64).sum();
+    let stats = cluster.epoch();
+    cluster.trim_round_log();
+    stats
 }
 
 /// Apply one signed row to a key-indexed shard (insert appends, delete

@@ -49,7 +49,7 @@ use aj_relation::{Database, JoinTree, Query};
 
 use crate::aggregate::output_size_with_tree;
 use crate::binary::detect_join_skew;
-use crate::delta::{self, MaterializedView, UpdateOutcome, ViewId};
+use crate::delta::{self, MaterializedView, UpdateOutcome, ViewCheckpoint, ViewId};
 use crate::dist::distribute_db;
 use crate::planner::{choose_plan_skew, execute_plan_skew, Plan};
 use crate::DistRelation;
@@ -414,6 +414,141 @@ impl QueryEngine {
     pub fn n_views(&self) -> usize {
         self.views.len()
     }
+
+    /// Capture a crash-consistent checkpoint of a registered view (see
+    /// [`ViewCheckpoint`]): communication-free driver-side bookkeeping, so
+    /// checkpointing never perturbs the logical [`Stats`].
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`].
+    pub fn checkpoint(&self, id: ViewId) -> ViewCheckpoint {
+        delta::checkpoint(&self.views[id.0])
+    }
+
+    /// Restore a registered view from a checkpoint: base mirror, counters,
+    /// and skew profile from the checkpoint, caches rebuilt from the
+    /// restored base, materialization installed from the snapshot in one
+    /// delta round (no join re-run). Returns the restore pass's own stats
+    /// epoch.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`] or a checkpoint whose layout does not
+    /// match the view's query.
+    pub fn restore(&mut self, id: ViewId, ckpt: &ViewCheckpoint) -> EpochStats {
+        let view = self.views.get_mut(id.0).expect("unknown view id");
+        delta::restore(&mut self.cluster, view, ckpt)
+    }
+
+    /// Crash recovery: fence the aborted exchange (so in-flight frames of
+    /// the crashed round are retired instead of corrupting the next one —
+    /// see [`Cluster::fence_round`]), [`QueryEngine::restore`] the view
+    /// from `ckpt`, then replay the `pending` batches that had been applied
+    /// since the checkpoint was taken. On the network backend the dead
+    /// server thread has already been respawned by the executor's pool; by
+    /// the restore argument plus determinism of the delta passes, the
+    /// recovered view converges to exactly the pre-crash state.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`], a mismatched checkpoint, or a
+    /// replay batch whose shape does not match the view.
+    pub fn recover(
+        &mut self,
+        id: ViewId,
+        ckpt: &ViewCheckpoint,
+        pending: &[UpdateBatch],
+    ) -> RecoveryReport {
+        self.cluster.fence_round();
+        let restore = self.restore(id, ckpt);
+        let replayed = pending
+            .iter()
+            .map(|batch| self.apply_update(id, batch))
+            .collect();
+        RecoveryReport { restore, replayed }
+    }
+
+    /// Apply a batch stream under supervision: a fresh checkpoint is taken
+    /// every `checkpoint_every` applied batches (and before the first), and
+    /// when an `apply_update` panics — e.g. an injected server-thread crash
+    /// on a faulty network backend — the supervisor runs
+    /// [`QueryEngine::recover`] from the latest checkpoint (replaying the
+    /// batches applied since it was taken) and retries the failed batch.
+    /// A batch that keeps failing after `MAX_RETRIES` consecutive recovery
+    /// attempts has a persistent (non-transient) cause, and its panic is
+    /// propagated.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`], on a batch whose shape does not
+    /// match the view, and on any fault that recovery cannot clear.
+    pub fn apply_updates_supervised(
+        &mut self,
+        id: ViewId,
+        batches: &[UpdateBatch],
+        checkpoint_every: usize,
+    ) -> SupervisedRun {
+        /// Consecutive failures of one batch before giving up: injected
+        /// crashes are one-shot, so a genuine fault clears in one recovery;
+        /// a few extra attempts tolerate stacked fault plans.
+        const MAX_RETRIES: u32 = 3;
+        assert!(checkpoint_every >= 1, "checkpoint interval must be >= 1");
+        let mut ckpt = self.checkpoint(id);
+        let mut since: Vec<UpdateBatch> = Vec::new();
+        let mut applied = Vec::with_capacity(batches.len());
+        let mut recoveries = 0u64;
+        let mut i = 0usize;
+        let mut attempts = 0u32;
+        while i < batches.len() {
+            let batch = &batches[i];
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.apply_update(id, batch)
+            })) {
+                Ok(outcome) => {
+                    applied.push(outcome);
+                    since.push(batch.clone());
+                    i += 1;
+                    attempts = 0;
+                    if since.len() >= checkpoint_every {
+                        ckpt = self.checkpoint(id);
+                        since.clear();
+                    }
+                }
+                Err(payload) => {
+                    attempts += 1;
+                    if attempts > MAX_RETRIES {
+                        std::panic::resume_unwind(payload);
+                    }
+                    recoveries += 1;
+                    let report = self.recover(id, &ckpt, &since);
+                    // The replay outcomes supersede the originals recorded
+                    // for those batches; keep the originals (they describe
+                    // the same logical transitions) and drop the report —
+                    // callers needing per-recovery detail use `recover`.
+                    drop(report);
+                }
+            }
+        }
+        SupervisedRun {
+            applied,
+            recoveries,
+        }
+    }
+}
+
+/// What one [`QueryEngine::recover`] call did.
+#[derive(Debug)]
+pub struct RecoveryReport {
+    /// Stats epoch of the restore pass (cache rebuild + snapshot install).
+    pub restore: EpochStats,
+    /// Outcomes of the replayed pending batches, in order.
+    pub replayed: Vec<UpdateOutcome>,
+}
+
+/// What one [`QueryEngine::apply_updates_supervised`] call did.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// One outcome per input batch (the last successful application).
+    pub applied: Vec<UpdateOutcome>,
+    /// How many crash recoveries ran during the stream.
+    pub recoveries: u64,
 }
 
 /// Do per-query epochs reconcile with cumulative `stats`? Messages and

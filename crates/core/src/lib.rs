@@ -47,9 +47,9 @@ pub mod planner;
 pub mod triangle;
 pub mod yannakakis;
 
-pub use delta::{MaterializedView, UpdateOutcome, ViewId};
+pub use delta::{MaterializedView, UpdateOutcome, ViewCheckpoint, ViewId};
 pub use dist::{DistDatabase, DistRelation};
-pub use engine::{EngineConfig, QueryEngine, QueryOutcome};
+pub use engine::{EngineConfig, QueryEngine, QueryOutcome, RecoveryReport, SupervisedRun};
 pub use planner::{
     choose_maintenance, choose_plan, choose_plan_skew, execute_best, execute_plan,
     execute_plan_dist, execute_plan_skew, plan_for, MaintenanceChoice, Plan,

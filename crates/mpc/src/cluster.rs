@@ -6,10 +6,11 @@ use aj_relation::TupleBlock;
 use crate::executor::{
     run_consuming, run_consuming_at, run_indexed, run_indexed_at, Execute, ParExecutor, SeqExecutor,
 };
-use crate::net_executor::NetExecutor;
+use crate::fault::{FaultPlan, FaultyTransport};
+use crate::net_executor::{NetExecutor, RoundSync};
 use crate::rows::{DeltaBlock, DeltaOutbox, RowOutbox};
 use crate::stats::{EpochStats, Stats};
-use crate::transport::Transport;
+use crate::transport::{ChanTransport, Transport};
 use crate::wire::{Frame, FrameKind, Wire};
 use crate::Partitioned;
 
@@ -70,6 +71,47 @@ impl Cluster {
     /// Panics if `p == 0` or the transport's endpoint count differs from `p`.
     pub fn new_net_with_transport(p: usize, transport: std::sync::Arc<dyn Transport>) -> Self {
         Cluster::with_executor(p, Box::new(NetExecutor::with_transport(p, transport)))
+    }
+
+    /// Like [`Cluster::new_net`], but every exchange runs the **reliable**
+    /// ack/retransmit protocol (see `net_executor`): dropped, duplicated,
+    /// delayed, and reordered frames are tolerated, logical [`Stats`] stay
+    /// bit-identical to the fault-free run, and the recovery traffic is
+    /// metered separately ([`crate::NetExecutor::wire_breakdown`]).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new_net_reliable(p: usize) -> Self {
+        Cluster::new_net_with_transport_reliable(p, std::sync::Arc::new(ChanTransport::new(p)))
+    }
+
+    /// Like [`Cluster::new_net_reliable`], with an explicit frame transport
+    /// (e.g. a [`crate::FaultyTransport`] wrapper, or [`crate::UdsTransport`]
+    /// for real unix-domain sockets).
+    ///
+    /// # Panics
+    /// Panics if `p == 0` or the transport's endpoint count differs from `p`.
+    pub fn new_net_with_transport_reliable(
+        p: usize,
+        transport: std::sync::Arc<dyn Transport>,
+    ) -> Self {
+        Cluster::with_executor(
+            p,
+            Box::new(NetExecutor::with_transport_reliable(p, transport)),
+        )
+    }
+
+    /// A reliable network cluster whose in-process transport injects the
+    /// faults of `plan` (see [`crate::FaultPlan`]): the standard harness of
+    /// the fault conformance matrix.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new_net_faulty(p: usize, plan: FaultPlan) -> Self {
+        Cluster::new_net_with_transport_reliable(
+            p,
+            std::sync::Arc::new(FaultyTransport::new(ChanTransport::new(p), plan)),
+        )
     }
 
     /// Create a cluster with an explicit execution backend.
@@ -151,6 +193,19 @@ impl Cluster {
     /// concurrently) by whichever thread assembled each inbox.
     fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
         self.stats.record_round(lo, stride, counts);
+    }
+
+    /// Retire the current exchange sequence number after an **aborted**
+    /// round (a server panicked mid-exchange, so [`Stats::exchanges`] was
+    /// never advanced): records an empty zero-load round, burning the
+    /// sequence number the aborted exchange used. Frames of the aborted
+    /// exchange still in flight then carry a stale `seq` and are silently
+    /// discarded by the reliable exchange protocol instead of corrupting
+    /// the next round. Crash-recovery supervisors call this once per
+    /// detected failure before resuming work; on a healthy cluster it is a
+    /// harmless no-op round.
+    pub fn fence_round(&mut self) {
+        self.record_round(0, 1, &[]);
     }
 }
 
@@ -298,60 +353,32 @@ impl Net<'_> {
                 assert!(*dest < p, "destination {dest} out of range (p = {p})");
             }
         }
+        let sync = RoundSync::new(p);
         let delivered: Vec<(Vec<T>, u64)> =
             run_consuming_at(nx, outbox, &|i| lo + i * stride, |s, msgs| {
                 let abs_s = lo + s * stride;
-                let transport = nx.transport();
                 let mut buckets: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
                 for (dest, item) in msgs {
                     buckets[dest].push(item);
                 }
-                for (d, bucket) in buckets.into_iter().enumerate() {
-                    let frame = Frame::new(FrameKind::Items, seq, abs_s as u64, &bucket);
-                    nx.add_wire_bytes(frame.wire_bytes());
-                    transport.send(abs_s, lo + d * stride, frame);
-                }
-                let mut by_sender: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
-                for _ in 0..p {
-                    let frame = transport.recv(abs_s);
-                    let sender = self.frame_sender(&frame, FrameKind::Items, seq);
-                    assert!(
-                        by_sender[sender].is_none(),
-                        "wire: duplicate frame from server {sender}"
-                    );
-                    by_sender[sender] = Some(frame.decode_body());
-                }
+                let outgoing: Vec<Frame> = buckets
+                    .into_iter()
+                    .map(|bucket| Frame::new(FrameKind::Items, seq, abs_s as u64, &bucket))
+                    .collect();
+                // Send, (reliably) receive, validate, and order by sender —
+                // all inside the executor's exchange protocol.
+                let frames =
+                    nx.exchange_frames(&sync, lo, stride, p, s, FrameKind::Items, seq, outgoing);
                 let mut inbox = Vec::new();
-                for bucket in by_sender {
-                    inbox.append(&mut bucket.expect("every sender sends one frame"));
+                for frame in frames {
+                    let mut bucket: Vec<T> = frame.decode_body();
+                    inbox.append(&mut bucket);
                 }
                 let count = inbox.len() as u64;
                 (inbox, count)
             });
         let counts = delivered.iter().map(|(_, c)| *c).collect();
         (delivered.into_iter().map(|(v, _)| v).collect(), counts)
-    }
-
-    /// Validate a received frame's header against the current round and
-    /// translate its absolute sender id to this view's local id.
-    fn frame_sender(&self, frame: &Frame, kind: FrameKind, seq: u64) -> usize {
-        assert_eq!(frame.kind, kind, "wire: wrong frame kind for this round");
-        assert_eq!(
-            frame.seq, seq,
-            "wire: frame from exchange {} received in exchange {seq}",
-            frame.seq
-        );
-        let from = frame.from as usize;
-        assert!(
-            from >= self.lo
-                && (from - self.lo).is_multiple_of(self.stride)
-                && (from - self.lo) / self.stride < self.len,
-            "wire: frame from server {from} outside view (lo={}, stride={}, len={})",
-            self.lo,
-            self.stride,
-            self.len
-        );
-        (from - self.lo) / self.stride
     }
 
     /// Sequential routing: count first (to pre-size receive buffers), then
@@ -477,10 +504,10 @@ impl Net<'_> {
                 assert!(d < p, "destination {d} out of range (p = {p})");
             }
         }
+        let sync = RoundSync::new(p);
         let delivered: Vec<(TupleBlock, u64)> =
             run_consuming_at(nx, outbox, &|i| lo + i * stride, |s, ob: RowOutbox| {
                 let abs_s = lo + s * stride;
-                let transport = nx.transport();
                 // Local radix scatter into per-destination blocks.
                 let mut per_dest = vec![0usize; p];
                 for &d in &ob.dests {
@@ -499,30 +526,24 @@ impl Net<'_> {
                         blocks[d].push_row(ob.rows.row(i));
                     }
                 }
-                for (d, block) in blocks.into_iter().enumerate() {
-                    let frame = Frame::new(FrameKind::Rows, seq, abs_s as u64, &block);
-                    nx.add_wire_bytes(frame.wire_bytes());
-                    transport.send(abs_s, lo + d * stride, frame);
-                }
-                let mut by_sender: Vec<Option<TupleBlock>> = (0..p).map(|_| None).collect();
-                for _ in 0..p {
-                    let frame = transport.recv(abs_s);
-                    let sender = self.frame_sender(&frame, FrameKind::Rows, seq);
-                    assert!(
-                        by_sender[sender].is_none(),
-                        "wire: duplicate frame from server {sender}"
-                    );
-                    let block: TupleBlock = frame.decode_body();
-                    assert_eq!(block.arity(), arity, "wire: block arity mismatch");
-                    by_sender[sender] = Some(block);
-                }
-                let total: usize = by_sender
+                let outgoing: Vec<Frame> = blocks
+                    .into_iter()
+                    .map(|block| Frame::new(FrameKind::Rows, seq, abs_s as u64, &block))
+                    .collect();
+                let frames =
+                    nx.exchange_frames(&sync, lo, stride, p, s, FrameKind::Rows, seq, outgoing);
+                let decoded: Vec<TupleBlock> = frames
                     .iter()
-                    .map(|b| b.as_ref().map_or(0, TupleBlock::len))
-                    .sum();
+                    .map(|frame| {
+                        let block: TupleBlock = frame.decode_body();
+                        assert_eq!(block.arity(), arity, "wire: block arity mismatch");
+                        block
+                    })
+                    .collect();
+                let total: usize = decoded.iter().map(TupleBlock::len).sum();
                 let mut inbox = TupleBlock::with_capacity(arity, total);
-                for block in by_sender {
-                    inbox.extend_from_block(&block.expect("every sender sends one frame"));
+                for block in &decoded {
+                    inbox.extend_from_block(block);
                 }
                 let count = inbox.len() as u64;
                 (inbox, count)

@@ -46,6 +46,7 @@
 
 mod cluster;
 pub mod executor;
+pub mod fault;
 mod hashing;
 pub mod net_executor;
 mod partitioned;
@@ -58,15 +59,16 @@ pub mod wire;
 pub use aj_relation::TupleBlock;
 pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
+pub use fault::{CrashPoint, FaultPlan, FaultyTransport, InjectedCrash, LinkPartition};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
-pub use net_executor::NetExecutor;
+pub use net_executor::{NetExecutor, PeerAbort, WireBytes};
 pub use partitioned::Partitioned;
 pub use rows::{BlockPartitioned, DeltaBlock, DeltaOutbox, RowOutbox};
 pub use skew::detect_heavy_hitters;
 pub use stats::{EpochStats, LoadReport, Stats};
 #[cfg(all(unix, feature = "uds"))]
 pub use transport::UdsTransport;
-pub use transport::{ChanTransport, ShuffleTransport, Transport};
+pub use transport::{uds_supported, ChanTransport, ShuffleTransport, Transport};
 pub use wire::{Frame, FrameKind, Wire, WireReader};
 
 /// Convenience: run `f` against a fresh sequentially-simulated cluster of

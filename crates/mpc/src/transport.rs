@@ -137,6 +137,14 @@ impl Transport for ChanTransport {
     }
 }
 
+/// Is the unix-domain-socket transport compiled into this build? `false`
+/// off-unix or with the `uds` feature disabled. Front-ends check this to
+/// print a clean diagnostic ("rebuild with the uds feature") instead of
+/// gating their whole CLI on a `cfg`.
+pub fn uds_supported() -> bool {
+    cfg!(all(unix, feature = "uds"))
+}
+
 /// Unix-domain-socket transport: every frame really crosses a kernel
 /// socket as length-prefixed little-endian bytes.
 #[cfg(all(unix, feature = "uds"))]
@@ -175,8 +183,19 @@ mod uds {
         /// threads.
         ///
         /// # Panics
-        /// Panics if socketpair creation fails (e.g. fd exhaustion).
+        /// Panics if socketpair creation fails (e.g. fd exhaustion). CLI
+        /// front-ends that want a clean error instead should use
+        /// [`UdsTransport::try_new`].
         pub fn new(p: usize) -> std::sync::Arc<Self> {
+            UdsTransport::try_new(p).expect("uds: socketpair setup")
+        }
+
+        /// Fallible variant of [`UdsTransport::new`]: surfaces socketpair
+        /// creation, fd cloning, and reader-thread spawn failures as an
+        /// `io::Error` instead of panicking, so callers can print a clean
+        /// diagnostic (fd exhaustion is the realistic failure: `p` servers
+        /// cost `p·(p−1)` descriptors).
+        pub fn try_new(p: usize) -> std::io::Result<std::sync::Arc<Self>> {
             let mut streams: Vec<Vec<Option<Mutex<UnixStream>>>> =
                 (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
             let mut reader_ends: Vec<(usize, UnixStream)> = Vec::new();
@@ -185,11 +204,11 @@ mod uds {
             #[allow(clippy::needless_range_loop)]
             for i in 0..p {
                 for j in (i + 1)..p {
-                    let (a, b) = UnixStream::pair().expect("uds: socketpair");
+                    let (a, b) = UnixStream::pair()?;
                     // `a` lives at server i (writes i→j, reads j→i);
                     // `b` at server j.
-                    reader_ends.push((i, a.try_clone().expect("uds: clone")));
-                    reader_ends.push((j, b.try_clone().expect("uds: clone")));
+                    reader_ends.push((i, a.try_clone()?));
+                    reader_ends.push((j, b.try_clone()?));
                     streams[i][j] = Some(Mutex::new(a));
                     streams[j][i] = Some(Mutex::new(b));
                 }
@@ -212,12 +231,11 @@ mod uds {
                                 // mid-teardown — either way, stop draining.
                                 Ok(None) | Err(_) => return,
                             }
-                        })
-                        .expect("uds: spawn reader"),
+                        })?,
                 );
             }
             *transport.readers.lock().unwrap() = readers;
-            transport
+            Ok(transport)
         }
     }
 

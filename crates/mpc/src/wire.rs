@@ -59,6 +59,12 @@ pub enum FrameKind {
     /// delta rounds ship blocks of payload arity + 1 with the weight
     /// column trailing).
     Rows = 2,
+    /// A reliable-delivery acknowledgment: empty body, `seq` names the
+    /// exchange whose data frame from the *receiver of this ack* has been
+    /// accepted by `from`. Acks carry no payload units and never enter load
+    /// accounting — they are control traffic of the reliable exchange
+    /// protocol (see `net_executor`).
+    Ack = 3,
 }
 
 impl FrameKind {
@@ -66,6 +72,7 @@ impl FrameKind {
         match w {
             1 => FrameKind::Items,
             2 => FrameKind::Rows,
+            3 => FrameKind::Ack,
             other => panic!("wire: unknown frame kind {other}"),
         }
     }
@@ -95,6 +102,17 @@ impl Frame {
             seq,
             from,
             body,
+        }
+    }
+
+    /// An acknowledgment frame: empty body, `from` is the acknowledging
+    /// server, `seq` the exchange being acknowledged.
+    pub fn ack(seq: u64, from: u64) -> Frame {
+        Frame {
+            kind: FrameKind::Ack,
+            seq,
+            from,
+            body: Vec::new(),
         }
     }
 

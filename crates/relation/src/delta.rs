@@ -172,6 +172,48 @@ impl UpdateBatch {
 /// bit-for-bit against a full recompute.
 pub type CountedSnapshot = Vec<(Tuple, u64)>;
 
+/// Flatten a [`CountedSnapshot`] into a canonical `u64` buffer:
+/// `[n, then per entry: arity, values…, count]`, entries in snapshot order.
+/// The format is self-delimiting and byte-stable (encoding the same
+/// snapshot twice yields identical buffers), which makes it suitable both
+/// for wire transfer and for checkpoint storage. Inverse:
+/// [`decode_snapshot`].
+pub fn encode_snapshot(snap: &CountedSnapshot) -> Vec<u64> {
+    let total_values: usize = snap.iter().map(|(t, _)| t.arity()).sum();
+    let mut words = Vec::with_capacity(1 + 2 * snap.len() + total_values);
+    words.push(snap.len() as u64);
+    for (t, c) in snap {
+        words.push(t.arity() as u64);
+        words.extend_from_slice(t.values());
+        words.push(*c);
+    }
+    words
+}
+
+/// Rebuild a [`CountedSnapshot`] from its [`encode_snapshot`] buffer.
+///
+/// # Panics
+/// Panics if the buffer is truncated or has trailing words.
+pub fn decode_snapshot(words: &[u64]) -> CountedSnapshot {
+    let mut pos = 0usize;
+    let mut next = |n: usize| {
+        assert!(pos + n <= words.len(), "snapshot buffer truncated");
+        let s = &words[pos..pos + n];
+        pos += n;
+        s
+    };
+    let n = next(1)[0] as usize;
+    let mut snap = CountedSnapshot::with_capacity(n);
+    for _ in 0..n {
+        let arity = next(1)[0] as usize;
+        let values = next(arity);
+        let count = next(1)[0];
+        snap.push((Tuple::new(values), count));
+    }
+    assert_eq!(pos, words.len(), "snapshot buffer has trailing words");
+    snap
+}
+
 /// Encode a signed weight into a `u64` column (two's-complement bit cast) so
 /// it can ride through the join algorithms as a trailing annotation column.
 #[inline]

@@ -61,7 +61,7 @@ pub mod tuple;
 
 pub use block::TupleBlock;
 pub use classify::JoinClass;
-pub use delta::{RelationDelta, UpdateBatch};
+pub use delta::{decode_snapshot, encode_snapshot, RelationDelta, UpdateBatch};
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
 pub use sets::{AttrSet, EdgeSet};
 pub use signature::QuerySignature;

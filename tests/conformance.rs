@@ -15,7 +15,10 @@ use std::sync::Arc;
 
 use acyclic_joins::core::engine::QueryEngine;
 use acyclic_joins::instancegen::{fig3, fig6, line_query, random, shapes, updates};
-use acyclic_joins::mpc::{ChanTransport, Cluster, ParExecutor, ShuffleTransport, Stats};
+use acyclic_joins::mpc::{
+    ChanTransport, Cluster, CrashPoint, FaultPlan, FaultyTransport, LinkPartition, ParExecutor,
+    ShuffleTransport, Stats,
+};
 use acyclic_joins::prelude::*;
 use acyclic_joins::relation::delta::CountedSnapshot;
 use acyclic_joins::relation::ram;
@@ -213,6 +216,247 @@ fn update_streams_are_bit_identical_across_backends() {
             }
         }
     }
+}
+
+/// The seeded fault plans of the conformance matrix: every injectable
+/// network pathology short of a crash (crashes need the recovery supervisor
+/// and get their own test below). Per-mille rates; distinct seeds so the
+/// plans exercise different frame subsets.
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("drop1pct", FaultPlan::dropping(0xfa01, 10)),
+        ("drop10pct", FaultPlan::dropping(0xfa02, 100)),
+        ("dup5pct", FaultPlan::duplicating(0xfa03, 50)),
+        ("delay", FaultPlan::delaying(0xfa04, 150, 3)),
+        (
+            "partition",
+            FaultPlan {
+                seed: 0xfa05,
+                partition: Some(LinkPartition {
+                    a: 0,
+                    b: 2,
+                    after: 3,
+                    len: 10,
+                }),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "combined",
+            FaultPlan {
+                seed: 0xfa06,
+                drop_per_mille: 50,
+                dup_per_mille: 50,
+                delay_per_mille: 50,
+                delay_steps: 2,
+                partition: Some(LinkPartition {
+                    a: 1,
+                    b: 3,
+                    after: 5,
+                    len: 6,
+                }),
+                crash: None,
+            },
+        ),
+    ]
+}
+
+/// Reliable-mode network backends with `plan`'s faults injected underneath:
+/// the in-process channel transport always, real unix-domain sockets where
+/// available.
+fn faulty_backends(plan: FaultPlan, uds: bool) -> Vec<Backend> {
+    let mut v: Vec<Backend> = vec![(
+        "net-chan-faulty",
+        Box::new(move || Cluster::new_net_faulty(P, plan)),
+    )];
+    #[cfg(unix)]
+    if uds {
+        v.push((
+            "net-uds-faulty",
+            Box::new(move || {
+                Cluster::new_net_with_transport_reliable(
+                    P,
+                    Arc::new(FaultyTransport::new(
+                        acyclic_joins::mpc::UdsTransport::new(P),
+                        plan,
+                    )),
+                )
+            }),
+        ));
+    }
+    #[cfg(not(unix))]
+    let _ = uds;
+    v
+}
+
+/// The fault acceptance differential: every query shape under every fault
+/// plan must produce the *same* outputs and the same logical `Stats` as the
+/// fault-free sequential reference — the retransmit/ack machinery may cost
+/// physical wire bytes but must be invisible to the measured model. The
+/// heavier uds (real socket) backend runs on the two harshest plans.
+#[test]
+fn every_shape_is_bit_identical_under_faults() {
+    for (label, q, db) in cases() {
+        let (ref_tuples, ref_stats) = engine_run(&|| Cluster::new(P), &q, &db);
+        assert_eq!(ref_tuples, oracle(&q, &db), "{label}/seq: wrong answer");
+        for (plan_label, plan) in fault_plans() {
+            let uds = matches!(plan_label, "drop10pct" | "combined");
+            for (backend, make) in faulty_backends(plan, uds) {
+                let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+                assert_eq!(
+                    tuples, ref_tuples,
+                    "{label}/{backend}/{plan_label}: outputs differ"
+                );
+                assert_eq!(
+                    stats, ref_stats,
+                    "{label}/{backend}/{plan_label}: stats differ"
+                );
+            }
+        }
+    }
+}
+
+/// Registered-view maintenance under faults: a 10-batch update stream on the
+/// lossy reliable backends must replay the fault-free per-batch snapshots,
+/// strategies, and maintenance loads bit for bit.
+#[test]
+fn update_streams_are_bit_identical_under_faults() {
+    for (label, q, db) in [cases().remove(0), cases().remove(3)] {
+        let mut mirror = db.clone();
+        mirror.dedup_all();
+        let batches = updates::update_stream(&q, &mirror, 10, 0.05, 0.0, 0xfeed);
+        let drive = |make: &dyn Fn() -> Cluster| {
+            let mut engine = QueryEngine::with_cluster(make(), Default::default());
+            let view = engine.register_view(&q, &db);
+            let mut trace: Vec<(CountedSnapshot, String, u64)> = vec![(
+                engine.view(view).snapshot(),
+                "register".to_string(),
+                engine.stats().max_load,
+            )];
+            for batch in &batches {
+                let outcome = engine.apply_update(view, batch);
+                trace.push((
+                    engine.view(view).snapshot(),
+                    format!("{}", outcome.strategy),
+                    outcome.maintenance.max_load,
+                ));
+            }
+            trace
+        };
+        let reference = drive(&|| Cluster::new(P));
+        for (plan_label, plan) in fault_plans() {
+            for (backend, make) in faulty_backends(plan, false) {
+                let trace = drive(make.as_ref());
+                assert_eq!(
+                    trace, reference,
+                    "{label}/{backend}/{plan_label}: update trace differs"
+                );
+            }
+        }
+    }
+}
+
+/// The recovery traffic really is metered out-of-band: a lossy link forces
+/// retransmissions, and the wire-byte breakdown separates payload,
+/// retransmit, and ack bytes while the logical inbox stays identical to the
+/// fault-free sequential exchange.
+#[test]
+fn retransmit_and_ack_traffic_is_metered_separately() {
+    let outbox = |p: usize| -> Vec<Vec<(usize, u64)>> {
+        (0..p)
+            .map(|s| (0..p).map(|d| (d, (s * 100 + d) as u64)).collect())
+            .collect()
+    };
+    let mut reference = Cluster::new(P);
+    let want = reference.net().exchange(outbox(P));
+
+    let mut lossy = Cluster::new_net_faulty(P, FaultPlan::dropping(0xbeef, 200));
+    let got = lossy.net().exchange(outbox(P));
+    assert_eq!(got, want, "lossy exchange corrupted the inbox");
+    assert_eq!(lossy.stats(), reference.stats(), "lossy exchange load");
+    let b = lossy
+        .executor()
+        .as_net()
+        .expect("faulty cluster runs the net executor")
+        .wire_breakdown();
+    assert!(b.payload > 0, "payload bytes metered");
+    assert!(b.ack > 0, "ack bytes metered");
+    assert!(
+        b.retransmit > 0,
+        "a 20% drop rate must force at least one retransmission"
+    );
+    assert_eq!(b.total(), b.payload + b.retransmit + b.ack);
+}
+
+/// The tentpole acceptance: a server crash mid-update-stream. The injected
+/// crash kills one server thread during a batch; the supervisor detects the
+/// dead round, restores the view from its checkpoint, replays the pending
+/// batches, and the stream converges to the oracle — on the same engine,
+/// without re-registering.
+#[test]
+fn mid_stream_crash_recovers_from_checkpoint() {
+    let (_, q, db) = cases().remove(0); // star3
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    let batches = updates::update_stream(&q, &mirror, 10, 0.05, 0.0, 0xfeed);
+
+    // Dry run, fault-free: find the exchange-sequence window of the update
+    // stream so the crash can be timed to fire mid-stream. Logical stats are
+    // deterministic across backends, so the window transfers exactly.
+    let (reference, seq_after_register, seq_after_stream) = {
+        let mut engine = QueryEngine::with_cluster(Cluster::new(P), Default::default());
+        let view = engine.register_view(&q, &db);
+        let after_register = engine.stats().exchanges;
+        for batch in &batches {
+            engine.apply_update(view, batch);
+        }
+        (
+            engine.view(view).snapshot(),
+            after_register,
+            engine.stats().exchanges,
+        )
+    };
+    assert!(
+        seq_after_stream > seq_after_register + 4,
+        "stream too short to crash into"
+    );
+    let crash_seq = (seq_after_register + seq_after_stream) / 2;
+
+    let plan = FaultPlan {
+        seed: 0xc4a5,
+        crash: Some(CrashPoint {
+            server: 2,
+            at_seq: crash_seq,
+        }),
+        ..FaultPlan::default()
+    };
+    let mut engine =
+        QueryEngine::with_cluster(Cluster::new_net_faulty(P, plan), Default::default());
+    let view = engine.register_view(&q, &db);
+    let run = engine.apply_updates_supervised(view, &batches, 3);
+    assert_eq!(run.applied.len(), batches.len());
+    assert!(
+        run.recoveries >= 1,
+        "the injected crash at seq {crash_seq} never fired \
+         (stream spans [{seq_after_register}, {seq_after_stream}])"
+    );
+    for batch in &batches {
+        batch.apply_to(&mut mirror);
+    }
+    let mut want = ram::naive_join(&q, &mirror);
+    want.sort_unstable();
+    want.dedup();
+    let want: CountedSnapshot = want.into_iter().map(|t| (t, 1)).collect();
+    assert_eq!(
+        engine.view(view).snapshot(),
+        want,
+        "recovered view diverged from the oracle"
+    );
+    assert_eq!(
+        engine.view(view).snapshot(),
+        reference,
+        "recovered view diverged from the fault-free run"
+    );
 }
 
 /// Adversarial delivery order in isolation: the same query on two shuffle

@@ -327,3 +327,177 @@ fn view_epochs_attribute_maintenance_load() {
         reg.max_load.max(outcome.maintenance.max_load)
     );
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint / recovery satellites: the snapshot codec and `ViewCheckpoint`
+// must round-trip losslessly, and restoring a checkpoint must land the view
+// exactly where the oracle says the checkpointed state was.
+// ---------------------------------------------------------------------------
+
+use aj_core::ViewCheckpoint;
+use aj_mpc::{Wire, WireReader};
+use aj_relation::delta::{decode_snapshot, encode_snapshot};
+use proptest::prelude::*;
+
+/// Splitmix64 step: deterministic pseudo-random streams for the generators.
+fn mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded snapshot of `n` entries with per-entry arity in `0..=max_arity`
+/// (mixed widths in one snapshot — the codec is self-delimiting) and counts
+/// spanning the full `u64` range on occasion.
+fn random_snapshot(seed: u64, n: usize, max_arity: usize) -> CountedSnapshot {
+    let mut s = seed ^ 0x5eed_cafe;
+    (0..n)
+        .map(|_| {
+            let arity = (mix64(&mut s) as usize) % (max_arity + 1);
+            let values: Vec<u64> = (0..arity).map(|_| mix64(&mut s)).collect();
+            let count = mix64(&mut s) | 1; // positive, occasionally huge
+            (Tuple::new(&values), count)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `encode_snapshot` → `decode_snapshot` is the identity for every
+    /// arity below, at, and above the inline tuple boundary (3), and the
+    /// encoding is canonical: re-encoding yields the identical buffer.
+    #[test]
+    fn snapshot_codec_round_trips(seed in 0u64..10_000, n in 0usize..120, max_arity in 0usize..6) {
+        let snap = random_snapshot(seed, n, max_arity);
+        let words = encode_snapshot(&snap);
+        let expect_len = 1 + snap.iter().map(|(t, _)| t.arity() + 2).sum::<usize>();
+        prop_assert_eq!(words.len(), expect_len);
+        prop_assert_eq!(decode_snapshot(&words), snap.clone());
+        prop_assert_eq!(encode_snapshot(&snap), words);
+    }
+}
+
+/// The empty snapshot is one word and survives the round trip.
+#[test]
+fn empty_snapshot_round_trips() {
+    let snap: CountedSnapshot = Vec::new();
+    let words = encode_snapshot(&snap);
+    assert_eq!(words, vec![0]);
+    assert_eq!(decode_snapshot(&words), snap);
+}
+
+/// A truncated snapshot buffer must fail loudly, not decode garbage.
+#[test]
+#[should_panic(expected = "snapshot buffer truncated")]
+fn truncated_snapshot_buffer_panics() {
+    let snap = random_snapshot(7, 20, 4);
+    let words = encode_snapshot(&snap);
+    decode_snapshot(&words[..words.len() - 1]);
+}
+
+/// Trailing words after the last entry must fail loudly too.
+#[test]
+#[should_panic(expected = "snapshot buffer has trailing words")]
+fn trailing_snapshot_words_panic() {
+    let mut words = encode_snapshot(&random_snapshot(9, 10, 3));
+    words.push(42);
+    decode_snapshot(&words);
+}
+
+/// For every view shape: advance a stream, checkpoint, diverge, then
+/// restore from the checkpoint's **wire round-trip** — the view must land
+/// bit-identically on the checkpointed (oracle-verified) state, and
+/// replaying the tail from there must reconverge with the oracle.
+#[test]
+fn checkpoint_restore_matches_oracle_on_every_shape() {
+    for (label, q, db) in shapes() {
+        let mut engine = QueryEngine::new(8);
+        let view = engine.register_view(&q, &db);
+        let mut mirror = db.clone();
+        mirror.dedup_all();
+        let batches = aj_instancegen::updates::update_stream(&q, &mirror, 4, 0.05, 0.0, 0xabcd);
+        for batch in &batches[..2] {
+            engine.apply_update(view, batch);
+            batch.apply_to(&mut mirror);
+        }
+        let ckpt = engine.checkpoint(view);
+        let at_ckpt = engine.view(view).snapshot();
+        assert_eq!(
+            at_ckpt,
+            oracle_snapshot(&q, &mirror),
+            "{label}: checkpointed state is wrong before any recovery"
+        );
+        // Diverge past the checkpoint.
+        for batch in &batches[2..] {
+            engine.apply_update(view, batch);
+        }
+        assert_ne!(
+            engine.view(view).snapshot(),
+            at_ckpt,
+            "{label}: stream tail must actually change the view"
+        );
+        // Serialize → deserialize → restore from the decoded copy: the wire
+        // form carries everything restore needs.
+        let mut words = Vec::new();
+        ckpt.encode(&mut words);
+        let decoded = ViewCheckpoint::decode(&mut WireReader::new(&words));
+        assert_eq!(
+            decoded.snapshot(),
+            ckpt.snapshot(),
+            "{label}: wire snapshot"
+        );
+        assert_eq!(decoded.base(), ckpt.base(), "{label}: wire base");
+        assert_eq!(decoded.cum_delta(), ckpt.cum_delta());
+        assert_eq!(decoded.rebuilds(), ckpt.rebuilds());
+        engine.restore(view, &decoded);
+        assert_eq!(
+            engine.view(view).snapshot(),
+            at_ckpt,
+            "{label}: restore must be bit-identical to the checkpointed state"
+        );
+        // Replay the tail and reconverge.
+        for batch in &batches[2..] {
+            engine.apply_update(view, batch);
+            batch.apply_to(&mut mirror);
+        }
+        assert_eq!(
+            engine.view(view).snapshot(),
+            oracle_snapshot(&q, &mirror),
+            "{label}: replay after restore diverged from the oracle"
+        );
+    }
+}
+
+/// `recover` is restore + replay in one call: its report must account for
+/// every pending batch and leave the view on the oracle state.
+#[test]
+fn recover_replays_pending_batches() {
+    let (_, q, db) = shapes().remove(1); // line3
+    let mut engine = QueryEngine::new(8);
+    let view = engine.register_view(&q, &db);
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    let batches = aj_instancegen::updates::update_stream(&q, &mirror, 3, 0.05, 0.0, 0xf00d);
+    let ckpt = engine.checkpoint(view);
+    // Simulate losing the first two batches to a crash mid-stream: the view
+    // applied them, the checkpoint predates them.
+    for batch in &batches[..2] {
+        engine.apply_update(view, batch);
+        batch.apply_to(&mut mirror);
+    }
+    let report = engine.recover(view, &ckpt, &batches[..2]);
+    assert_eq!(report.replayed.len(), 2);
+    assert_eq!(
+        engine.view(view).snapshot(),
+        oracle_snapshot(&q, &mirror),
+        "recovery left the view off the oracle state"
+    );
+    // The engine keeps serving normally afterwards.
+    let tail = &batches[2];
+    engine.apply_update(view, tail);
+    tail.apply_to(&mut mirror);
+    assert_eq!(engine.view(view).snapshot(), oracle_snapshot(&q, &mirror));
+}
