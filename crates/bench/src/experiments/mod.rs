@@ -17,6 +17,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod general;
 pub mod scaling;
 pub mod sec13;
 pub mod skew;

@@ -24,7 +24,7 @@ pub use table::ExpTable;
 /// All experiment ids, in paper order (plus the executor `scaling` check).
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "table1", "sec13", "thm12", "thm3", "thm4", "fig3", "thm5", "fig4", "fig5",
-    "thm7", "thm9", "fig6", "scaling", "engine", "skew", "updates", "faults",
+    "thm7", "thm9", "fig6", "general", "scaling", "engine", "skew", "updates", "faults",
 ];
 
 /// Run one experiment by id.
@@ -47,6 +47,7 @@ pub fn run_experiment(id: &str) -> Vec<ExpTable> {
         "thm7" => experiments::thm7::run(),
         "thm9" => experiments::thm9::run(),
         "fig6" => experiments::fig6::run(),
+        "general" => experiments::general::run(),
         "scaling" => experiments::scaling::run(),
         "engine" => experiments::engine::run(),
         "skew" => experiments::skew::run(),

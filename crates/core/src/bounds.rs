@@ -225,6 +225,69 @@ pub fn l_binhc(q: &Query, db: &Database, p: usize) -> f64 {
     best
 }
 
+/// The load HyperCube's worst-case-optimal placement promises on an
+/// instance with the given relation sizes: the share-search objective
+/// `Σ_e N_e / Π_{x∈e} s_x` evaluated at the shares
+/// [`crate::hypercube::worst_case_shares`] actually returns — so the
+/// estimate and the execution optimize the identical quantity and the
+/// planner's comparison is communication-free (sizes are driver-visible
+/// metadata).
+pub fn wc_share_cost(q: &Query, sizes: &[u64], p: usize) -> f64 {
+    let shares = crate::hypercube::worst_case_shares(q, sizes, p);
+    q.edges()
+        .iter()
+        .zip(sizes)
+        .map(|(e, &n)| {
+            let denom: f64 = e.attrs.iter().map(|&a| shares.0[a] as f64).product();
+            n as f64 / denom
+        })
+        .sum()
+}
+
+/// AGM-style integral bound on a join's output size: the minimum over edge
+/// covers of the product of the covering relations' sizes (the integral
+/// relaxation of the AGM bound; exact enough for constant-size bags).
+pub fn min_cover_product(q: &Query, sizes: &[u64]) -> f64 {
+    let m = q.n_edges();
+    let target = q.all_attrs();
+    let mut best = f64::INFINITY;
+    for s in aj_relation::EdgeSet::all(m).subsets() {
+        if s.is_empty() || q.attrs_of_edges(s) != target {
+            continue;
+        }
+        let product: f64 = s.iter().map(|e| sizes[e].max(1) as f64).product();
+        best = best.min(product);
+    }
+    best
+}
+
+/// The closed-form price of serving a cyclic query through a GHD
+/// ([`crate::general`]): one WCOJ round per multi-edge bag (priced like
+/// [`wc_share_cost`] on the bag's sub-query) plus the acyclic finish over
+/// the materialized bags, whose shipped volume is bounded per bag by the
+/// AGM-style cover product ([`min_cover_product`]; a single-edge bag is
+/// just its relation). Compared against [`wc_share_cost`] of the whole
+/// query by [`crate::planner::choose_plan_cyclic`]: whole-query HyperCube
+/// replicates every relation across the grid dimensions it does not fix, so
+/// the GHD route wins exactly on cyclic cores with large acyclic
+/// appendages.
+pub fn ghd_cost(q: &Query, ghd: &aj_relation::Ghd, sizes: &[u64], p: usize) -> f64 {
+    let pf = p as f64;
+    let mut cost = 0.0;
+    for es in &ghd.edges_of {
+        if let [e] = es[..] {
+            cost += sizes[e] as f64 / pf;
+        } else {
+            let set = aj_relation::EdgeSet::from_iter(es.iter().copied());
+            let (sub_q, kept) = q.restrict(set);
+            let sub_sizes: Vec<u64> = kept.iter().map(|&e| sizes[e]).collect();
+            cost += wc_share_cost(&sub_q, &sub_sizes, p);
+            cost += min_cover_product(&sub_q, &sub_sizes) / pf;
+        }
+    }
+    cost
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

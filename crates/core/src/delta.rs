@@ -29,6 +29,13 @@
 //!   against the resident fragments of the other relations. A matching
 //!   output assignment meets its delta row in exactly one cell, so counts
 //!   stay exact.
+//! * **GHD-planned cyclic views** (cyclic cores with acyclic appendages,
+//!   where [`crate::planner::choose_plan_cyclic`] picks [`Plan::Ghd`])
+//!   compose the two: each multi-edge bag keeps its own delta-HyperCube
+//!   grid, the materialized bag relations are plain sets (λ partitions the
+//!   edges, so bag derivation counts are exactly 1), and an acyclic tree
+//!   cache over the *bag query* carries lifted bag deltas to the output —
+//!   a base delta pays the bag's replication, not the whole query's.
 //! * **Counted deletions** — every routed row carries a signed weight
 //!   (`-1` per delete, `+1` per insert; products through joins, ⊕-sums at
 //!   the materialization), so a deletion is a pure decrement: no
@@ -136,10 +143,49 @@ struct GridCache {
     repl: f64,
 }
 
+/// One multi-edge GHD bag's delta-HyperCube state: the restricted sub-query
+/// (full attribute space, the bag's edges only) and the shares grid its base
+/// fragments live on.
+#[derive(Debug)]
+struct BagGrid {
+    /// The bag's edges as a query of their own (attribute space preserved).
+    sub_q: Query,
+    /// Original edge ids of the sub-query's edges, ascending.
+    sub_edges: Vec<usize>,
+    /// Resident fragments of the bag's edges on the bag's own shares grid.
+    grid: GridCache,
+}
+
+/// Cached state of a GHD-planned cyclic view: each multi-edge bag keeps its
+/// own delta-HyperCube grid (the bag's cyclic core), the *materialized bag
+/// relations* are mirrored driver-side, and an acyclic [`TreeCache`] over
+/// the bag query carries bag deltas to the output — the bag layer is where
+/// the cyclic view becomes an acyclic one.
+#[derive(Debug)]
+struct BagsCache {
+    /// The acyclic query over the materialized bags.
+    bag_query: Query,
+    /// `bag_of[e]` = the bag owning base edge `e` (λ partitions the edges).
+    bag_of: Vec<usize>,
+    /// Per bag: the grid state (`None` for single-edge bags, whose bag
+    /// relation is the base relation itself, permuted).
+    grids: Vec<Option<BagGrid>>,
+    /// Driver-side mirror of the materialized bag relations (sorted sets —
+    /// a bag tuple's derivation count is exactly 1 because λ partitions the
+    /// edges, so plain sets suffice).
+    bag_base: Database,
+    /// Bag-level join-tree shards over `bag_query`.
+    tree: TreeCache,
+    /// Weighted per-tuple replication factor across the bag grids (the
+    /// planner's pricing input).
+    repl: f64,
+}
+
 #[derive(Debug)]
 enum ViewCache {
     Tree(TreeCache),
     Grid(GridCache),
+    Bags(BagsCache),
 }
 
 /// A query registered for incremental maintenance: the counted
@@ -306,15 +352,30 @@ fn build(cluster: &mut Cluster, view: &mut MaterializedView) {
     view.skew = None;
     match view.class {
         JoinClass::Cyclic => {
-            // Delta-HyperCube state: place every relation on the shares grid
-            // and cache the per-cell fragments; the materialization is the
-            // per-cell local join of those fragments.
+            // Cyclic builds are re-priced from the current sizes (a pure
+            // driver-side function, so rebuilds and restores agree): the
+            // whole-query delta-HyperCube grid against the GHD bag route.
             let sizes: Vec<u64> = view.base.relations.iter().map(|r| r.len() as u64).collect();
-            let shares = worst_case_shares(&view.query, &sizes, p);
-            let grid = build_grid(cluster, view, shares, mix(exec_seed, 0x9e1d));
-            let outputs = grid_full_join(cluster, view, &grid);
-            view.cache = ViewCache::Grid(grid);
-            merge_outputs(cluster, view, outputs);
+            let (plan, _est) = crate::planner::choose_plan_cyclic(&view.query, &sizes, p);
+            view.plan = plan;
+            if plan == Plan::Ghd {
+                build_bags(cluster, view, exec_seed);
+            } else {
+                // Delta-HyperCube state: place every relation on the shares
+                // grid and cache the per-cell fragments; the materialization
+                // is the per-cell local join of those fragments.
+                let shares = worst_case_shares(&view.query, &sizes, p);
+                let grid = build_grid(
+                    cluster,
+                    &view.query,
+                    &view.base.relations,
+                    shares,
+                    mix(exec_seed, 0x9e1d),
+                );
+                let outputs = grid_full_join(cluster, view, &grid);
+                view.cache = ViewCache::Grid(grid);
+                merge_outputs(cluster, view, outputs);
+            }
         }
         _ => {
             // Acyclic: the class plan computes the view, then the output is
@@ -341,7 +402,12 @@ fn build(cluster: &mut Cluster, view: &mut MaterializedView) {
                 net.exchange_deltas(arity, outbox)
             };
             merge_outputs(cluster, view, received);
-            view.cache = ViewCache::Tree(build_tree(cluster, view, mix(exec_seed, 0x7ee5)));
+            view.cache = ViewCache::Tree(build_tree(
+                cluster,
+                &view.query,
+                &view.base,
+                mix(exec_seed, 0x7ee5),
+            ));
             view.skew = detect_view_skew(cluster, view);
         }
     }
@@ -368,9 +434,9 @@ fn detect_view_skew(cluster: &mut Cluster, view: &MaterializedView) -> Option<Jo
     ))
 }
 
-/// Build the directed-tree-edge shards of an acyclic view.
-fn build_tree(cluster: &mut Cluster, view: &MaterializedView, seed: u64) -> TreeCache {
-    let q = &view.query;
+/// Build the directed-tree-edge shards of an acyclic query over `base`
+/// (the view query itself, or the bag query of a GHD view).
+fn build_tree(cluster: &mut Cluster, q: &Query, base: &Database, seed: u64) -> TreeCache {
     let p = cluster.p();
     let tree = q.join_tree().expect("acyclic view has a join tree");
     let m = q.n_edges();
@@ -401,13 +467,8 @@ fn build_tree(cluster: &mut Cluster, view: &MaterializedView, seed: u64) -> Tree
             key.sort_unstable();
             let key_pos = q.edge(to).positions_of(&key);
             let shard_seed = mix(seed, ((from as u64) << 32) | to as u64);
-            let index = shard_relation(
-                cluster,
-                &view.base.relations[to].tuples,
-                &key_pos,
-                shard_seed,
-                p,
-            );
+            let index =
+                shard_relation(cluster, &base.relations[to].tuples, &key_pos, shard_seed, p);
             shard_of.insert((from, to), shards.len());
             shards.push(EdgeShard {
                 to,
@@ -476,16 +537,17 @@ fn shard_relation(
     })
 }
 
-/// Build the grid cache of a cyclic view: place every relation's tuples on
-/// the shares grid (one block-exchange round per relation) and keep the
-/// sorted per-cell fragments resident.
+/// Build the grid cache of a cyclic query over `relations` (the view query
+/// itself, or one multi-edge bag of a GHD view): place every relation's
+/// tuples on the shares grid (one block-exchange round per relation) and
+/// keep the sorted per-cell fragments resident.
 fn build_grid(
     cluster: &mut Cluster,
-    view: &MaterializedView,
+    q: &Query,
+    relations: &[Relation],
     shares: Shares,
     seed: u64,
 ) -> GridCache {
-    let q = &view.query;
     let p = cluster.p();
     let n_attrs = q.n_attrs();
     let mut stride = vec![1usize; n_attrs];
@@ -505,7 +567,7 @@ fn build_grid(
         .map(|_| (0..q.n_edges()).map(|_| Vec::new()).collect())
         .collect();
     let mut weighted_repl = 0f64;
-    for (e, rel) in view.base.relations.iter().enumerate() {
+    for (e, rel) in relations.iter().enumerate() {
         let repl_e: usize = free[e].iter().map(|&a| shares.0[a]).product();
         weighted_repl += rel.len() as f64 * repl_e as f64;
         let arity = rel
@@ -538,7 +600,8 @@ fn build_grid(
             frags[s][e] = frag;
         }
     }
-    let repl = weighted_repl / view.base.input_size().max(1) as f64;
+    let input: usize = relations.iter().map(Relation::len).sum();
+    let repl = weighted_repl / input.max(1) as f64;
     GridCache {
         shares,
         stride,
@@ -619,6 +682,165 @@ fn grid_full_join(
     net.exchange_deltas(arity, outbox)
 }
 
+/// Salt of the per-bag grid seed stream within one build.
+const BAG_SALT: u64 = 0x6a9d_ba95_0000_0001;
+
+/// Full build of a GHD-planned cyclic view: materialize every bag on its
+/// own shares grid (single-edge bags are free permutations of their base
+/// relation), join the bags acyclically for the output, and keep the bag
+/// grids plus the bag-level tree shards as the view's caches.
+fn build_bags(cluster: &mut Cluster, view: &mut MaterializedView, exec_seed: u64) {
+    let p = cluster.p();
+    let q = view.query.clone();
+    let ghd = aj_relation::Ghd::build(&q).expect("GHD-planned view query is connected");
+    let (bags, bag_dist) = build_bag_state(cluster, &q, &ghd, &view.base, exec_seed);
+    // The output join over the materialized bags (acyclic by construction),
+    // then one delta round to the count owners — same as the acyclic arm.
+    let bag_query = bags.bag_query.clone();
+    let out = {
+        let mut net = cluster.net();
+        let mut join_seed = mix(exec_seed, 0x0ba6);
+        crate::yannakakis::yannakakis(&mut net, &bag_query, bag_dist, None, &mut join_seed)
+    }
+    .normalized();
+    debug_assert_eq!(out.attrs, view.out_attrs);
+    let arity = view.out_attrs.len();
+    let mat_seed = view.mat_seed;
+    let received = {
+        let mut net = cluster.net();
+        let outbox: Vec<DeltaOutbox> =
+            net.run_local(out.parts.into_parts(), |_, part: Vec<Tuple>| {
+                let mut ob = DeltaOutbox::with_capacity(arity, part.len());
+                for t in &part {
+                    ob.push(hash_to_server(t.values(), mat_seed, p), t.values(), 1);
+                }
+                ob
+            });
+        net.exchange_deltas(arity, outbox)
+    };
+    merge_outputs(cluster, view, received);
+    view.cache = ViewCache::Bags(bags);
+}
+
+/// Build the bag-layer state of a GHD view from the current base: per bag,
+/// the grid placement plus the materialized bag relation (distributed and
+/// as a driver mirror), plus the bag-level tree shards. Shared by full
+/// builds and checkpoint restores (which skip the output join).
+fn build_bag_state(
+    cluster: &mut Cluster,
+    q: &Query,
+    ghd: &aj_relation::Ghd,
+    base: &Database,
+    exec_seed: u64,
+) -> (BagsCache, crate::dist::DistDatabase) {
+    let p = cluster.p();
+    let bag_query = ghd.bag_query(q);
+    let mut bag_of = vec![0usize; q.n_edges()];
+    for (b, es) in ghd.edges_of.iter().enumerate() {
+        for &e in es {
+            bag_of[e] = b;
+        }
+    }
+    let mut grids: Vec<Option<BagGrid>> = Vec::with_capacity(ghd.n_bags());
+    let mut bag_rels: Vec<Relation> = Vec::with_capacity(ghd.n_bags());
+    let mut bag_dist: crate::dist::DistDatabase = Vec::with_capacity(ghd.n_bags());
+    let mut weighted_repl = 0f64;
+    for b in 0..ghd.n_bags() {
+        let bag_attrs = bag_query.edge(b).attrs.clone();
+        if let [e] = ghd.edges_of[b][..] {
+            // A single-edge bag IS its base relation: permuting columns to
+            // the canonical ascending layout is free local work, and the
+            // round-robin spread is the free initial placement.
+            let pos = q.edge(e).positions_of(&bag_attrs);
+            let mut tuples: Vec<Tuple> = base.relations[e]
+                .tuples
+                .iter()
+                .map(|t| t.project(&pos))
+                .collect();
+            weighted_repl += tuples.len() as f64;
+            bag_dist.push(crate::dist::DistRelation {
+                attrs: bag_attrs.clone(),
+                parts: aj_mpc::Partitioned::distribute(tuples.clone(), p),
+            });
+            tuples.sort_unstable();
+            tuples.dedup();
+            bag_rels.push(Relation::new(bag_attrs, tuples));
+            grids.push(None);
+        } else {
+            // A multi-edge bag (a cyclic core): place its edges on the bag's
+            // own worst-case-optimal grid and materialize the bag by a
+            // per-cell generic join — each output assignment lands in
+            // exactly one cell, so the cell joins partition the bag.
+            let es = aj_relation::EdgeSet::from_iter(ghd.edges_of[b].iter().copied());
+            let (sub_q, sub_edges) = q.restrict(es);
+            let sub_rels: Vec<Relation> = sub_edges
+                .iter()
+                .map(|&e| base.relations[e].clone())
+                .collect();
+            let sub_sizes: Vec<u64> = sub_rels.iter().map(|r| r.len() as u64).collect();
+            let shares = worst_case_shares(&sub_q, &sub_sizes, p);
+            let grid = build_grid(
+                cluster,
+                &sub_q,
+                &sub_rels,
+                shares,
+                mix(mix(exec_seed, BAG_SALT), b as u64),
+            );
+            let sub_input: usize = sub_rels.iter().map(Relation::len).sum();
+            weighted_repl += grid.repl * sub_input as f64;
+            let parts = {
+                let frags = &grid.frags;
+                let (sub_ref, bag_ref) = (&sub_q, &bag_attrs);
+                let net = cluster.net();
+                net.run_local((0..p).collect::<Vec<_>>(), |s, _| {
+                    if frags[s].iter().any(Vec::is_empty) {
+                        return Vec::new();
+                    }
+                    let locals: Vec<LocalRel> = sub_ref
+                        .edges()
+                        .iter()
+                        .enumerate()
+                        .map(|(j, edge)| LocalRel {
+                            attrs: edge.attrs.clone(),
+                            tuples: frags[s][j].clone(),
+                        })
+                        .collect();
+                    let (attrs, tuples) = crate::wcoj::generic_join(&locals);
+                    debug_assert_eq!(&attrs, bag_ref);
+                    tuples
+                })
+            };
+            let mut tuples: Vec<Tuple> = parts.iter().flatten().cloned().collect();
+            tuples.sort_unstable();
+            bag_dist.push(crate::dist::DistRelation {
+                attrs: bag_attrs.clone(),
+                parts: aj_mpc::Partitioned::from_parts(parts),
+            });
+            bag_rels.push(Relation::new(bag_attrs, tuples));
+            grids.push(Some(BagGrid {
+                sub_q,
+                sub_edges,
+                grid,
+            }));
+        }
+    }
+    let bag_base = Database::new(bag_rels);
+    let tree = build_tree(cluster, &bag_query, &bag_base, mix(exec_seed, 0x7ee5));
+    let input: usize = base.relations.iter().map(Relation::len).sum();
+    let repl = weighted_repl / input.max(1) as f64;
+    (
+        BagsCache {
+            bag_query,
+            bag_of,
+            grids,
+            bag_base,
+            tree,
+            repl,
+        },
+        bag_dist,
+    )
+}
+
 /// Fold routed signed output rows into the per-server counted
 /// materialization: counts ⊕-sum in the signed counting ring, zero-count
 /// tuples leave.
@@ -678,6 +900,7 @@ pub(crate) fn apply_update(
     let repl = match &view.cache {
         ViewCache::Tree(_) => 1.0,
         ViewCache::Grid(g) => g.repl,
+        ViewCache::Bags(b) => b.repl,
     };
     let (strategy, maintain_est, recompute_est) = choose_maintenance(
         view.class,
@@ -733,14 +956,124 @@ fn maintain(cluster: &mut Cluster, view: &mut MaterializedView, batch: &UpdateBa
             .signed()
             .map(|(t, w)| (t.clone(), w))
             .collect();
+        // GHD views lift the base delta to a *bag* delta first; the bag
+        // delta then walks the bag-level tree exactly like an acyclic
+        // view's delta walks its own.
+        let dbag: Option<Vec<(Tuple, i64)>> = match &view.cache {
+            ViewCache::Bags(_) => Some(bag_delta(cluster, view, e, &signed)),
+            _ => None,
+        };
         let outputs = match &view.cache {
             ViewCache::Tree(_) => propagate_tree(cluster, view, e, &signed),
             ViewCache::Grid(_) => propagate_grid(cluster, view, e, &signed),
+            ViewCache::Bags(bags) => tree_walk(
+                cluster,
+                &bags.bag_query,
+                &bags.tree,
+                bags.bag_of[e],
+                dbag.as_deref().expect("bag delta computed above"),
+                &view.out_attrs,
+                view.mat_seed,
+            ),
         };
         merge_outputs(cluster, view, outputs);
-        update_caches(cluster, view, e, &signed);
+        update_caches(cluster, view, e, &signed, dbag.as_deref());
         update_view_skew(view, e, &signed);
     }
+}
+
+/// Lift one base relation's signed delta to its bag's signed delta: a
+/// single-edge bag's delta is the base delta permuted to the bag layout
+/// (free local work); a multi-edge bag routes the delta through the bag's
+/// cached grid and joins it against the resident fragments of the bag's
+/// other edges — exactly delta-HyperCube, scoped to the bag. Because λ
+/// partitions the edges, every derived bag tuple projects to exactly one
+/// delta row, so the weights stay ±1 and the bag relations stay sets.
+fn bag_delta(
+    cluster: &mut Cluster,
+    view: &MaterializedView,
+    e: usize,
+    signed: &[(Tuple, i64)],
+) -> Vec<(Tuple, i64)> {
+    let ViewCache::Bags(bags) = &view.cache else {
+        unreachable!("bag delta on a bag-cached view");
+    };
+    let b = bags.bag_of[e];
+    match &bags.grids[b] {
+        None => {
+            let bag_attrs = &bags.bag_query.edge(b).attrs;
+            let pos = view.query.edge(e).positions_of(bag_attrs);
+            signed.iter().map(|(t, w)| (t.project(&pos), *w)).collect()
+        }
+        Some(bg) => {
+            let local_e = bg
+                .sub_edges
+                .iter()
+                .position(|&x| x == e)
+                .expect("edge belongs to its bag");
+            bag_grid_delta(cluster, &bg.sub_q, &bg.grid, local_e, signed)
+        }
+    }
+}
+
+/// Delta-HyperCube within one bag: route the signed rows through the bag's
+/// cached grid, join each cell's delta fragment against the resident
+/// fragments of the bag's other edges, and return the signed bag tuples
+/// (canonical ascending layout), collected driver-side — the collection is
+/// free result inspection; every movement was charged by the exchange.
+fn bag_grid_delta(
+    cluster: &mut Cluster,
+    sub_q: &Query,
+    grid: &GridCache,
+    e: usize,
+    signed: &[(Tuple, i64)],
+) -> Vec<(Tuple, i64)> {
+    let p = cluster.p();
+    let edge_attrs = &sub_q.edge(e).attrs;
+    let arity = edge_attrs.len();
+    let acc = place_signed(signed, p);
+    let order = grid_join_order(sub_q, e);
+    let schema = grid_join_schema(sub_q, e, &order);
+    let mut bag_attrs = schema.clone();
+    bag_attrs.sort_unstable();
+    let out_pos: Vec<usize> = bag_attrs
+        .iter()
+        .map(|a| schema.iter().position(|x| x == a).expect("attr in schema"))
+        .collect();
+    let mut net = cluster.net();
+    let outbox: Vec<DeltaOutbox> = net.run_local(acc, |_, rows: Vec<(Tuple, i64)>| {
+        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+        for (t, w) in &rows {
+            for cell in grid_cells(
+                t.values(),
+                edge_attrs,
+                &grid.free[e],
+                &grid.shares,
+                &grid.stride,
+                grid.seed,
+            ) {
+                ob.push(cell, t.values(), *w);
+            }
+        }
+        ob
+    });
+    let received = net.exchange_deltas(arity, outbox);
+    let frags = &grid.frags;
+    let derived: Vec<Vec<(Tuple, i64)>> = net.run_local(received, |s, block: DeltaBlock| {
+        if block.is_empty() {
+            return Vec::new();
+        }
+        let mut out_row: Vec<Value> = Vec::with_capacity(out_pos.len());
+        grid_cell_join(sub_q, e, &order, &block, &frags[s])
+            .into_iter()
+            .map(|(vals, w)| {
+                out_row.clear();
+                out_row.extend(out_pos.iter().map(|&c| vals[c]));
+                (Tuple::from_slice(&out_row), w)
+            })
+            .collect()
+    });
+    derived.into_iter().flatten().collect()
 }
 
 /// Fold a relation's signed key counts into the maintained profile.
@@ -789,8 +1122,30 @@ fn propagate_tree(
     let ViewCache::Tree(tree) = &view.cache else {
         unreachable!("tree propagation on a tree-cached view");
     };
+    tree_walk(
+        cluster,
+        &view.query,
+        tree,
+        e,
+        signed,
+        &view.out_attrs,
+        view.mat_seed,
+    )
+}
+
+/// Walk signed rows from edge `e` through an acyclic query's cached tree
+/// shards (the view query of a tree view, or the bag query of a GHD view)
+/// and route the projected signed outputs to their count owners.
+fn tree_walk(
+    cluster: &mut Cluster,
+    q: &Query,
+    tree: &TreeCache,
+    e: usize,
+    signed: &[(Tuple, i64)],
+    out_attrs: &[Attr],
+    mat_seed: u64,
+) -> Vec<DeltaBlock> {
     let p = cluster.p();
-    let q = &view.query;
     let mut acc = place_signed(signed, p);
     let mut acc_attrs: Vec<Attr> = q.edge(e).attrs.clone();
     for &si in &tree.paths[e] {
@@ -842,25 +1197,23 @@ fn propagate_tree(
         acc_attrs.extend(append_pos.iter().map(|&c| partner.attrs[c]));
     }
     // Project to the canonical output order and route to the count owners.
-    let out_pos: Vec<usize> = view
-        .out_attrs
+    let out_pos: Vec<usize> = out_attrs
         .iter()
         .map(|a| acc_attrs.iter().position(|x| x == a).expect("attr covered"))
         .collect();
-    route_to_counts(cluster, view, acc, &out_pos)
+    route_to_counts(cluster, out_attrs.len(), mat_seed, acc, &out_pos)
 }
 
 /// Project signed rows onto the view's output order and route them to their
 /// materialization owners (one delta round).
 fn route_to_counts(
     cluster: &mut Cluster,
-    view: &MaterializedView,
+    arity: usize,
+    mat_seed: u64,
     acc: Vec<Vec<(Tuple, i64)>>,
     out_pos: &[usize],
 ) -> Vec<DeltaBlock> {
     let p = cluster.p();
-    let arity = view.out_attrs.len();
-    let mat_seed = view.mat_seed;
     let mut net = cluster.net();
     let outbox: Vec<DeltaOutbox> = net.run_local(acc, |_, rows: Vec<(Tuple, i64)>| {
         let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
@@ -1032,93 +1385,144 @@ fn grid_cell_join(
 
 /// Apply one relation's signed delta to every cache that shards it: the
 /// tree shards with `to == e` (one delta round each, routed by that shard's
-/// key) and, on grid views, the cell fragments of edge `e` (one delta round
-/// through the grid placement).
+/// key), on grid views the cell fragments of edge `e` (one delta round
+/// through the grid placement), and on GHD views the owning bag's grid
+/// fragments plus — via the lifted bag delta `dbag` — the bag-level tree
+/// shards and the driver-side bag mirror.
 fn update_caches(
     cluster: &mut Cluster,
     view: &mut MaterializedView,
     e: usize,
     signed: &[(Tuple, i64)],
+    dbag: Option<&[(Tuple, i64)]>,
 ) {
     let p = cluster.p();
     let edge_attrs = view.query.edge(e).attrs.clone();
     let arity = edge_attrs.len();
     match &mut view.cache {
-        ViewCache::Tree(tree) => {
-            for shard in tree.shards.iter_mut().filter(|s| s.to == e) {
-                let parts = place_signed(signed, p);
-                let (seed, key_pos) = (shard.seed, shard.key_pos.clone());
-                let mut net = cluster.net();
-                let key_ref = &key_pos;
-                let outbox: Vec<DeltaOutbox> =
-                    net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
-                        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
-                        let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
-                        for (t, w) in &rows {
-                            t.project_into(key_ref, &mut key);
-                            ob.push(hash_to_server(key.as_slice(), seed, p), t.values(), *w);
-                        }
-                        ob
-                    });
-                let received = net.exchange_deltas(arity, outbox);
-                let idx_shards = std::mem::take(&mut shard.index);
-                let inputs: Vec<_> = idx_shards.into_iter().zip(received).collect();
-                shard.index = net.run_local(
-                    inputs,
-                    |_, (mut idx, block): (FxHashMap<Tuple, Vec<Tuple>>, DeltaBlock)| {
-                        let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
-                        for (payload, w) in block.iter() {
-                            key.clear();
-                            key.extend(key_ref.iter().map(|&c| payload[c]));
-                            apply_signed_row(&mut idx, &key, payload, w);
-                        }
-                        idx
-                    },
-                );
+        ViewCache::Tree(tree) => update_tree_shards(cluster, tree, e, arity, signed, p),
+        ViewCache::Grid(grid) => update_grid_frags(cluster, &edge_attrs, e, grid, signed, p),
+        ViewCache::Bags(bags) => {
+            let b = bags.bag_of[e];
+            let dbag = dbag.expect("bag delta computed before the cache update");
+            if let Some(bg) = &mut bags.grids[b] {
+                let local_e = bg
+                    .sub_edges
+                    .iter()
+                    .position(|&x| x == e)
+                    .expect("edge belongs to its bag");
+                update_grid_frags(cluster, &edge_attrs, local_e, &mut bg.grid, signed, p);
+            }
+            let bag_arity = bags.bag_query.edge(b).attrs.len();
+            update_tree_shards(cluster, &mut bags.tree, b, bag_arity, dbag, p);
+            // Driver-side bag mirror: free bookkeeping, kept sorted.
+            let tuples = &mut bags.bag_base.relations[b].tuples;
+            for (t, w) in dbag {
+                match tuples.binary_search(t) {
+                    Ok(i) if *w < 0 => {
+                        tuples.remove(i);
+                    }
+                    Err(i) if *w > 0 => {
+                        tuples.insert(i, t.clone());
+                    }
+                    _ => {}
+                }
             }
         }
-        ViewCache::Grid(grid) => {
-            let parts = place_signed(signed, p);
-            let (free_e, shares, stride, seed) =
-                (&grid.free[e], &grid.shares, &grid.stride, grid.seed);
-            let mut net = cluster.net();
-            let attrs_ref = &edge_attrs;
-            let outbox: Vec<DeltaOutbox> = net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
-                let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
-                for (t, w) in &rows {
-                    for cell in grid_cells(t.values(), attrs_ref, free_e, shares, stride, seed) {
-                        ob.push(cell, t.values(), *w);
-                    }
-                }
-                ob
-            });
-            let received = net.exchange_deltas(arity, outbox);
-            let frag_shards = std::mem::take(&mut grid.frags);
-            let inputs: Vec<_> = frag_shards.into_iter().zip(received).collect();
-            grid.frags = net.run_local(
-                inputs,
-                |_, (mut cell_frags, block): (Vec<Vec<Tuple>>, DeltaBlock)| {
-                    for (payload, w) in block.iter() {
-                        let t = Tuple::from_slice(payload);
-                        let frag = &mut cell_frags[e];
-                        match frag.binary_search(&t) {
-                            Ok(i) if w < 0 => {
-                                frag.remove(i);
-                            }
-                            Err(i) if w > 0 => {
-                                frag.insert(i, t);
-                            }
-                            // Inserting a resident tuple / deleting an
-                            // absent one: the set reading keeps one copy /
-                            // none.
-                            _ => {}
-                        }
-                    }
-                    cell_frags
-                },
-            );
-        }
     }
+}
+
+/// Fold a signed delta of relation `e` (tuple arity `arity`) into every
+/// tree shard caching it (one delta round per shard, routed by that shard's
+/// key).
+fn update_tree_shards(
+    cluster: &mut Cluster,
+    tree: &mut TreeCache,
+    e: usize,
+    arity: usize,
+    signed: &[(Tuple, i64)],
+    p: usize,
+) {
+    for shard in tree.shards.iter_mut().filter(|s| s.to == e) {
+        let parts = place_signed(signed, p);
+        let (seed, key_pos) = (shard.seed, shard.key_pos.clone());
+        let mut net = cluster.net();
+        let key_ref = &key_pos;
+        let outbox: Vec<DeltaOutbox> = net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
+            let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+            let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
+            for (t, w) in &rows {
+                t.project_into(key_ref, &mut key);
+                ob.push(hash_to_server(key.as_slice(), seed, p), t.values(), *w);
+            }
+            ob
+        });
+        let received = net.exchange_deltas(arity, outbox);
+        let idx_shards = std::mem::take(&mut shard.index);
+        let inputs: Vec<_> = idx_shards.into_iter().zip(received).collect();
+        shard.index = net.run_local(
+            inputs,
+            |_, (mut idx, block): (FxHashMap<Tuple, Vec<Tuple>>, DeltaBlock)| {
+                let mut key: Vec<Value> = Vec::with_capacity(key_ref.len());
+                for (payload, w) in block.iter() {
+                    key.clear();
+                    key.extend(key_ref.iter().map(|&c| payload[c]));
+                    apply_signed_row(&mut idx, &key, payload, w);
+                }
+                idx
+            },
+        );
+    }
+}
+
+/// Fold a signed delta of (local) edge `e` into a grid cache's resident
+/// cell fragments: one delta round through the same grid placement the
+/// resident tuples took.
+fn update_grid_frags(
+    cluster: &mut Cluster,
+    edge_attrs: &[Attr],
+    e: usize,
+    grid: &mut GridCache,
+    signed: &[(Tuple, i64)],
+    p: usize,
+) {
+    let arity = edge_attrs.len();
+    let parts = place_signed(signed, p);
+    let (free_e, shares, stride, seed) = (&grid.free[e], &grid.shares, &grid.stride, grid.seed);
+    let mut net = cluster.net();
+    let outbox: Vec<DeltaOutbox> = net.run_local(parts, |_, rows: Vec<(Tuple, i64)>| {
+        let mut ob = DeltaOutbox::with_capacity(arity, rows.len());
+        for (t, w) in &rows {
+            for cell in grid_cells(t.values(), edge_attrs, free_e, shares, stride, seed) {
+                ob.push(cell, t.values(), *w);
+            }
+        }
+        ob
+    });
+    let received = net.exchange_deltas(arity, outbox);
+    let frag_shards = std::mem::take(&mut grid.frags);
+    let inputs: Vec<_> = frag_shards.into_iter().zip(received).collect();
+    grid.frags = net.run_local(
+        inputs,
+        |_, (mut cell_frags, block): (Vec<Vec<Tuple>>, DeltaBlock)| {
+            for (payload, w) in block.iter() {
+                let t = Tuple::from_slice(payload);
+                let frag = &mut cell_frags[e];
+                match frag.binary_search(&t) {
+                    Ok(i) if w < 0 => {
+                        frag.remove(i);
+                    }
+                    Err(i) if w > 0 => {
+                        frag.insert(i, t);
+                    }
+                    // Inserting a resident tuple / deleting an absent one:
+                    // the set reading keeps one copy / none.
+                    _ => {}
+                }
+            }
+            cell_frags
+        },
+    );
 }
 
 /// A crash-consistent snapshot of one registered view's recoverable state:
@@ -1277,12 +1681,35 @@ pub(crate) fn restore(
     let exec_seed = mix(view.seed_base, view.rebuilds);
     match view.class {
         JoinClass::Cyclic => {
+            // Re-price exactly like a build at this rebuild count would:
+            // pricing is a pure function of the restored base sizes, so the
+            // restored cache type always matches the crashed run's.
             let sizes: Vec<u64> = view.base.relations.iter().map(|r| r.len() as u64).collect();
-            let shares = worst_case_shares(&view.query, &sizes, p);
-            // Same grid seed as `build` at this rebuild count: the restored
-            // fragments land exactly where the crashed run placed them.
-            let grid = build_grid(cluster, view, shares, mix(exec_seed, 0x9e1d));
-            view.cache = ViewCache::Grid(grid);
+            let (plan, _est) = crate::planner::choose_plan_cyclic(&view.query, &sizes, p);
+            view.plan = plan;
+            if plan == Plan::Ghd {
+                let ghd =
+                    aj_relation::Ghd::build(&view.query).expect("GHD-planned view is connected");
+                let q = view.query.clone();
+                // The bag state (grids, mirrors, tree shards) is re-derived
+                // from the restored base; the output join is skipped — the
+                // materialization is installed from the snapshot below.
+                let (bags, _bag_dist) = build_bag_state(cluster, &q, &ghd, &view.base, exec_seed);
+                view.cache = ViewCache::Bags(bags);
+            } else {
+                let shares = worst_case_shares(&view.query, &sizes, p);
+                // Same grid seed as `build` at this rebuild count: the
+                // restored fragments land exactly where the crashed run
+                // placed them.
+                let grid = build_grid(
+                    cluster,
+                    &view.query,
+                    &view.base.relations,
+                    shares,
+                    mix(exec_seed, 0x9e1d),
+                );
+                view.cache = ViewCache::Grid(grid);
+            }
         }
         _ => {
             // The original build derives the tree seed from the seed stream
@@ -1291,7 +1718,12 @@ pub(crate) fn restore(
             // is sound: shard routing seeds only decide *where* cached
             // partner tuples live, and every later delta round re-derives
             // the owner from the shard's own stored seed.
-            view.cache = ViewCache::Tree(build_tree(cluster, view, mix(exec_seed, 0x7ee5)));
+            view.cache = ViewCache::Tree(build_tree(
+                cluster,
+                &view.query,
+                &view.base,
+                mix(exec_seed, 0x7ee5),
+            ));
         }
     }
     // Install the counted materialization from the snapshot: each entry is

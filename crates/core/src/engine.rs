@@ -308,6 +308,14 @@ impl QueryEngine {
             };
             let (plan, est) = choose_plan_skew(class, in_size, out, p, skew.as_ref());
             (plan, Some(out), Some(est), skew)
+        } else if self.config.cost_based && class == JoinClass::Cyclic {
+            // Cyclic cost-based planning is communication-free: per-relation
+            // sizes are driver-visible metadata, and both candidate prices
+            // (whole-query HyperCube vs the GHD bag route) are closed forms
+            // over them — the planning epoch stays empty.
+            let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
+            let (plan, est) = crate::planner::choose_plan_cyclic(q, &sizes, p);
+            (plan, None, Some(est), None)
         } else {
             (Plan::for_class(class), None, None, None)
         };

@@ -174,7 +174,31 @@ pub fn hypercube_join_dist(
     shares: &Shares,
     seed: u64,
 ) -> DistRelation {
-    hypercube_impl(net, q, dist, shares, seed, None)
+    hypercube_impl(net, q, dist, shares, seed, None, LocalAlgo::Pairwise)
+}
+
+/// HyperCube routing with the cardinality-guided generic join as the
+/// per-cell local phase (used by [`crate::wcoj::leapfrog_join`]). Identical
+/// placement, rounds and load accounting to [`hypercube_join_dist`]; only
+/// the (free) local computation differs.
+pub(crate) fn hypercube_join_generic(
+    net: &mut Net,
+    q: &Query,
+    dist: crate::dist::DistDatabase,
+    shares: &Shares,
+    seed: u64,
+) -> DistRelation {
+    hypercube_impl(net, q, dist, shares, seed, None, LocalAlgo::Generic)
+}
+
+/// Which local join finishes each grid cell (local computation is free in
+/// the MPC cost model, so this never affects loads).
+#[derive(Debug, Clone, Copy)]
+enum LocalAlgo {
+    /// Pairwise hash joins ([`multiway_join`]).
+    Pairwise,
+    /// Cardinality-guided generic join ([`crate::wcoj::generic_join`]).
+    Generic,
 }
 
 /// Skew-aware HyperCube: identical to [`hypercube_join_dist`] except that
@@ -194,7 +218,7 @@ pub fn hypercube_join_skew(
     skew: &HypercubeSkew,
     seed: u64,
 ) -> DistRelation {
-    hypercube_impl(net, q, dist, shares, seed, Some(skew))
+    hypercube_impl(net, q, dist, shares, seed, Some(skew), LocalAlgo::Pairwise)
 }
 
 fn hypercube_impl(
@@ -204,6 +228,7 @@ fn hypercube_impl(
     shares: &Shares,
     seed: u64,
     skew: Option<&HypercubeSkew>,
+    local: LocalAlgo,
 ) -> DistRelation {
     let p = net.p();
     assert_eq!(shares.0.len(), q.n_attrs(), "one share per attribute");
@@ -333,8 +358,13 @@ fn hypercube_impl(
         if locals.iter().any(|l| l.tuples.is_empty()) {
             return Vec::new();
         }
-        let (attrs, tuples) = multiway_join(&locals);
-        let (attrs, tuples) = normalize(&attrs, tuples);
+        let (attrs, tuples) = match local {
+            LocalAlgo::Pairwise => {
+                let (attrs, tuples) = multiway_join(&locals);
+                normalize(&attrs, tuples)
+            }
+            LocalAlgo::Generic => crate::wcoj::generic_join(&locals),
+        };
         debug_assert_eq!(attrs, out_attrs);
         tuples
     });

@@ -14,6 +14,8 @@
 //! | [`acyclic`] | Theorem 7 (any acyclic join) | `O(IN/p + √(IN·OUT)/p)` |
 //! | [`aggregate`] | Theorem 9 / Corollary 4 (free-connex join-aggregate) | `O(IN/p + √(IN·OUT)/p)` |
 //! | [`triangle`] | Section 7 comparison point | `O(IN/p^{2/3})` (worst-case opt.) |
+//! | [`wcoj`] | cardinality-guided WCOJ (generic join at worst-case shares) | `Σ_e N_e/Π s + AGM/p` |
+//! | [`general`] | general cyclic queries: GHD bag materialization + acyclic finish | bag WCOJ + Yannakakis over bags |
 //! | [`bounds`] | Eq. (1), Eq. (2), Theorem 4, lower-bound formulas | — |
 //! | [`planner`] | class dispatch + cost-based plan choice + maintain-vs-recompute pricing | — |
 //! | [`engine`] | long-lived serving layer: plan cache, cost-based planning, per-query stats epochs | — |
@@ -39,18 +41,20 @@ pub mod bounds;
 pub mod delta;
 pub mod dist;
 pub mod engine;
+pub mod general;
 pub mod hierarchical;
 pub mod hypercube;
 pub mod line3;
 pub mod local;
 pub mod planner;
 pub mod triangle;
+pub mod wcoj;
 pub mod yannakakis;
 
 pub use delta::{MaterializedView, UpdateOutcome, ViewCheckpoint, ViewId};
 pub use dist::{DistDatabase, DistRelation};
 pub use engine::{EngineConfig, QueryEngine, QueryOutcome, RecoveryReport, SupervisedRun};
 pub use planner::{
-    choose_maintenance, choose_plan, choose_plan_skew, execute_best, execute_plan,
-    execute_plan_dist, execute_plan_skew, plan_for, MaintenanceChoice, Plan,
+    choose_maintenance, choose_plan, choose_plan_cyclic, choose_plan_skew, execute_best,
+    execute_plan, execute_plan_dist, execute_plan_skew, plan_for, MaintenanceChoice, Plan,
 };

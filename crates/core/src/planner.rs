@@ -28,6 +28,12 @@ pub enum Plan {
     Yannakakis,
     /// Cyclic: worst-case-optimal HyperCube shares.
     WorstCase,
+    /// Cyclic with a non-trivial GHD: materialize each decomposition bag
+    /// worst-case-optimally ([`crate::wcoj`]), then run the acyclic
+    /// pipeline over the bag tree ([`crate::general`]). Priced by
+    /// [`crate::bounds::ghd_cost`] against whole-query HyperCube; wins on
+    /// cyclic cores with acyclic appendages.
+    Ghd,
     /// Binary joins on a skew-aware engine: the one-round
     /// [`crate::binary::hybrid_hash_join`] — light keys hash-routed, heavy
     /// keys (from a [`JoinSkew`] profile) grid-partitioned. Load
@@ -56,6 +62,7 @@ impl std::fmt::Display for Plan {
             Plan::OutputOptimal => "thm7",
             Plan::Yannakakis => "yann",
             Plan::WorstCase => "hcube",
+            Plan::Ghd => "ghd",
             Plan::SkewHybrid => "hybrid",
         };
         f.write_str(s)
@@ -100,7 +107,10 @@ pub fn estimated_load(plan: Plan, in_size: u64, out_size: u64, p: usize) -> f64 
         Plan::OutputOptimal => bounds::acyclic_bound(in_size, out_size, p),
         Plan::Yannakakis => bounds::yannakakis_bound(in_size, out_size, p),
         Plan::WorstCase => {
-            panic!("HyperCube has no (IN, OUT) closed form; it is the only cyclic candidate")
+            panic!("HyperCube has no (IN, OUT) closed form; cyclic plans are priced per-relation (choose_plan_cyclic)")
+        }
+        Plan::Ghd => {
+            panic!("the GHD plan is priced from per-relation sizes (choose_plan_cyclic)")
         }
         Plan::SkewHybrid => {
             panic!("the hybrid plan is priced from a JoinSkew profile (choose_plan_skew)")
@@ -179,6 +189,45 @@ pub fn choose_plan(class: JoinClass, in_size: u64, out_size: u64, p: usize) -> P
         .find(|(_, &c)| tied(c))
         .map(|(&plan, _)| plan)
         .expect("nonempty candidate set")
+}
+
+/// Cost-based plan choice for **cyclic** queries, from per-relation sizes
+/// alone (driver-visible metadata, so planning stays communication-free —
+/// cyclic queries never run the counting pass).
+///
+/// Candidates: whole-query HyperCube at worst-case-optimal shares
+/// (priced by [`bounds::wc_share_cost`], the exact objective the share
+/// search minimizes) versus the GHD bag route (priced by
+/// [`bounds::ghd_cost`]) when the query admits a non-trivial decomposition.
+/// The GHD must win *strictly*; ties keep the class answer
+/// ([`Plan::WorstCase`]), mirroring [`choose_plan`]'s tie rule. Returns the
+/// plan and its estimate.
+///
+/// ```
+/// use aj_core::planner::{choose_plan_cyclic, Plan};
+/// use aj_relation::QueryBuilder;
+///
+/// // A bare triangle: one covering bag, HyperCube stays the answer.
+/// let mut b = QueryBuilder::new();
+/// b.relation("R1", &["B", "C"]);
+/// b.relation("R2", &["A", "C"]);
+/// b.relation("R3", &["A", "B"]);
+/// let (plan, _) = choose_plan_cyclic(&b.build(), &[256, 256, 256], 16);
+/// assert_eq!(plan, Plan::WorstCase);
+/// ```
+pub fn choose_plan_cyclic(q: &Query, sizes: &[u64], p: usize) -> (Plan, f64) {
+    let wc = bounds::wc_share_cost(q, sizes, p);
+    if let Some(ghd) = aj_relation::Ghd::build(q) {
+        if !ghd.is_trivial() {
+            let gc = bounds::ghd_cost(q, &ghd, sizes, p);
+            // Strict-improvement rule with the same hair-width tolerance as
+            // choose_plan: a tie is not evidence against the class answer.
+            if gc < wc * (1.0 - 1e-9) - 1e-9 {
+                return (Plan::Ghd, gc);
+            }
+        }
+    }
+    (Plan::WorstCase, wc)
 }
 
 /// How a registered view should absorb one update batch — the output of the
@@ -345,6 +394,7 @@ pub fn execute_plan_skew(
             let shares = crate::hypercube::worst_case_shares(q, &sizes, net.p());
             crate::hypercube::hypercube_join_dist(net, q, dist, &shares, local)
         }
+        Plan::Ghd => crate::general::solve(net, q, dist, &mut local),
         Plan::SkewHybrid => {
             assert_eq!(q.n_edges(), 2, "the hybrid plan serves binary joins");
             let mut it = dist.into_iter();
@@ -600,6 +650,104 @@ mod tests {
             seed
         };
         assert_eq!(advance(Plan::SkewHybrid), advance(Plan::Yannakakis));
+    }
+
+    /// Tie-breaking and repeated attribute sets: the cyclic plan choice is
+    /// a pure function of `(signature, sizes, p)` — duplicate-edge queries
+    /// (where join-tree edge keys could conflate the twins) plan
+    /// identically on every call and on a structurally identical rebuild —
+    /// and ties go to the class answer (`WorstCase`), which is also what a
+    /// trivial single-bag GHD degenerates to.
+    #[test]
+    fn cyclic_plan_choice_is_deterministic_on_duplicate_edges() {
+        // Triangle with one side doubled: two edges over identical attrs.
+        let build = || {
+            let mut b = aj_relation::QueryBuilder::new();
+            b.relation("R1", &["A", "B"]);
+            b.relation("R2", &["A", "B"]);
+            b.relation("R3", &["B", "C"]);
+            b.relation("R4", &["C", "A"]);
+            b.build()
+        };
+        let q = build();
+        let sizes = vec![40u64, 24, 40, 40];
+        let first = choose_plan_cyclic(&q, &sizes, 8);
+        // Same call again, and on an independently built copy: bit-equal.
+        assert_eq!(choose_plan_cyclic(&q, &sizes, 8), first);
+        assert_eq!(choose_plan_cyclic(&build(), &sizes, 8), first);
+        // A bare triangle admits only the trivial single-bag GHD, which is
+        // priced as a tie by construction — the class answer must hold.
+        let mut b = aj_relation::QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "A"]);
+        let tri = b.build();
+        let (plan, _) = choose_plan_cyclic(&tri, &[32, 32, 32], 8);
+        assert_eq!(plan, Plan::WorstCase);
+    }
+
+    /// The GHD plan wins exactly on cyclic cores with acyclic appendages —
+    /// whole-query HyperCube replicates appendage relations across the grid
+    /// dimensions they do not fix — and executes to the oracle output with
+    /// the uniform seed discipline.
+    #[test]
+    fn cyclic_cost_model_picks_ghd_for_appendages() {
+        // Triangle + 6-path tail hanging off attribute C.
+        let mut b = aj_relation::QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "A"]);
+        for i in 0..6 {
+            b.relation(
+                &format!("T{i}"),
+                &[&format!("X{i}"), &format!("X{}", i + 1)],
+            );
+        }
+        b.relation("T6", &["C", "X0"]);
+        let q = b.build();
+        let sizes = vec![32u64; q.n_edges()];
+        let (plan, est) = choose_plan_cyclic(&q, &sizes, 16);
+        assert_eq!(plan, Plan::Ghd);
+        assert!(est < crate::bounds::wc_share_cost(&q, &sizes, 16));
+
+        // Execution matches the oracle and advances the seed like any arm.
+        let rows = |k: u64| -> Vec<Vec<u64>> {
+            (0..24u64).map(|i| vec![i % 6, (i * k + 1) % 6]).collect()
+        };
+        let mut db = aj_relation::database_from_rows(
+            &q,
+            &(0..q.n_edges())
+                .map(|e| rows(e as u64 + 2))
+                .collect::<Vec<_>>(),
+        );
+        db.dedup_all();
+        let want = ram::naive_join(&q, &db);
+        let mut cluster = Cluster::new(8);
+        let out = {
+            let mut net = cluster.net();
+            let mut seed = 5;
+            execute_plan(&mut net, Plan::Ghd, &q, &db, &mut seed)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+        let advance = |plan: Plan| -> u64 {
+            let mut cluster = Cluster::new(4);
+            let mut net = cluster.net();
+            let mut seed = 4321;
+            execute_plan(&mut net, plan, &q, &db, &mut seed);
+            seed
+        };
+        assert_eq!(advance(Plan::Ghd), advance(Plan::WorstCase));
+    }
+
+    /// Plain cyclic benchmark shapes keep their HyperCube plan: the GHD
+    /// route must never displace the pinned triangle behavior.
+    #[test]
+    fn cyclic_cost_model_keeps_hypercube_for_tight_cycles() {
+        let tri = shapes::triangle_query();
+        let (plan, _) = choose_plan_cyclic(&tri, &[64, 64, 64], 8);
+        assert_eq!(plan, Plan::WorstCase);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Cardinality-guided worst-case-optimal multiway join (WCOJ), used to
+//! materialize GHD bags ([`crate::general`]).
+//!
+//! The distributed half ([`leapfrog_join`]) is one round of HyperCube
+//! routing at worst-case-optimal shares — bit-identical placement and load
+//! accounting to [`crate::hypercube`]. The local half ([`generic_join`])
+//! finishes each grid cell attribute-by-attribute instead of
+//! relation-by-relation: at every step it binds the variable whose cheapest
+//! containing relation has the fewest live tuples, in the spirit of the
+//! Atreides family of cardinality estimators — a constant-time maintained
+//! per-relation size estimate replaces query optimization, and the
+//! "smallest number of matching rows" relation proposes the candidate
+//! values. Local computation is free in the MPC cost model, so the ordering
+//! affects wall clock only; the *load* guarantee comes from the shares.
+
+use aj_primitives::FxHashMap;
+use aj_relation::{Attr, Query, Tuple};
+
+use crate::dist::{DistDatabase, DistRelation};
+use crate::hypercube::{hypercube_join_generic, worst_case_shares};
+use crate::local::LocalRel;
+
+/// Distributed WCOJ: one HyperCube round at [`worst_case_shares`] computed
+/// from the (driver-visible) relation sizes, then [`generic_join`] per grid
+/// cell. Output columns are the occurring attributes in ascending order —
+/// the same format as [`crate::hypercube::hypercube_join_dist`].
+///
+/// Works for any query, cyclic or not; `aj_core::general` calls it once per
+/// multi-edge GHD bag.
+pub fn leapfrog_join(
+    net: &mut aj_mpc::Net,
+    q: &Query,
+    dist: DistDatabase,
+    seed: u64,
+) -> DistRelation {
+    let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
+    let shares = worst_case_shares(q, &sizes, net.p());
+    hypercube_join_generic(net, q, dist, &shares, seed)
+}
+
+/// Local generic join over a set of fragments, guided by live-set
+/// cardinalities.
+///
+/// Search: depth-first over attributes. At each node the unbound attribute
+/// with the smallest estimate — `min` over its containing fragments of the
+/// fragment's *live* tuple count (tuples consistent with the current
+/// binding) — is bound next; the fragment achieving that minimum proposes
+/// the candidate values in ascending order. Ties break to the lowest
+/// attribute id, then the lowest fragment index, so the traversal is fully
+/// deterministic.
+///
+/// Returns the schema (occurring attributes, ascending) and the result
+/// tuples. Equivalent to [`crate::local::multiway_join`] +
+/// [`crate::local::normalize`] under set semantics (asserted by the
+/// property suite); fragments must not carry annotation columns.
+pub fn generic_join(rels: &[LocalRel]) -> (Vec<Attr>, Vec<Tuple>) {
+    assert!(!rels.is_empty());
+    debug_assert!(
+        rels.iter()
+            .all(|r| r.tuples.iter().all(|t| t.arity() == r.attrs.len())),
+        "generic_join takes plain tuples (no annotation columns)"
+    );
+    let mut out_attrs: Vec<Attr> = rels.iter().flat_map(|r| r.attrs.iter().copied()).collect();
+    out_attrs.sort_unstable();
+    out_attrs.dedup();
+    if rels.iter().any(|r| r.tuples.is_empty()) {
+        return (out_attrs, Vec::new());
+    }
+    let live: Vec<Vec<usize>> = rels.iter().map(|r| (0..r.tuples.len()).collect()).collect();
+    let mut bound: FxHashMap<Attr, u64> = FxHashMap::default();
+    let mut out = Vec::new();
+    dfs(rels, &out_attrs, &mut bound, &live, &mut out);
+    (out_attrs, out)
+}
+
+fn dfs(
+    rels: &[LocalRel],
+    out_attrs: &[Attr],
+    bound: &mut FxHashMap<Attr, u64>,
+    live: &[Vec<usize>],
+    out: &mut Vec<Tuple>,
+) {
+    if bound.len() == out_attrs.len() {
+        let row: Vec<u64> = out_attrs.iter().map(|a| bound[a]).collect();
+        out.push(Tuple::new(row));
+        return;
+    }
+    // Jessica's-estimate selection: cheapest (attr, fragment) pair; the
+    // ascending scan plus strict `<` gives the deterministic tie-breaks.
+    let mut pick: Option<(usize, usize, Attr)> = None;
+    for &a in out_attrs.iter().filter(|a| !bound.contains_key(a)) {
+        for (r, rel) in rels.iter().enumerate() {
+            if rel.attrs.contains(&a) {
+                let est = live[r].len();
+                if pick.map(|(e, _, _)| est < e).unwrap_or(true) {
+                    pick = Some((est, r, a));
+                }
+            }
+        }
+    }
+    let (_, r_pick, a) = pick.expect("some fragment contains every unbound attribute");
+    let pos = rels[r_pick].attrs.iter().position(|&x| x == a).unwrap();
+    let mut cands: Vec<u64> = live[r_pick]
+        .iter()
+        .map(|&i| rels[r_pick].tuples[i].get(pos))
+        .collect();
+    cands.sort_unstable();
+    cands.dedup();
+    'values: for v in cands {
+        let mut next_live = live.to_vec();
+        for (r, rel) in rels.iter().enumerate() {
+            if let Some(p) = rel.attrs.iter().position(|&x| x == a) {
+                next_live[r].retain(|&i| rel.tuples[i].get(p) == v);
+                if next_live[r].is_empty() {
+                    continue 'values;
+                }
+            }
+        }
+        bound.insert(a, v);
+        dfs(rels, out_attrs, bound, &next_live, out);
+        bound.remove(&a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::distribute_db;
+    use crate::local::{multiway_join, normalize};
+    use aj_mpc::Cluster;
+    use aj_relation::{database_from_rows, ram, QueryBuilder};
+
+    fn rel(attrs: &[Attr], rows: &[&[u64]]) -> LocalRel {
+        LocalRel {
+            attrs: attrs.to_vec(),
+            tuples: rows.iter().map(|&r| Tuple::new(r)).collect(),
+        }
+    }
+
+    fn sorted(mut v: Vec<Tuple>) -> Vec<Tuple> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn generic_join_triangle_matches_pairwise() {
+        // R1(B,C) ⋈ R2(A,C) ⋈ R3(A,B) with attrs A=0,B=1,C=2.
+        let rels = vec![
+            rel(&[1, 2], &[&[1, 2], &[1, 3], &[4, 2]]),
+            rel(&[0, 2], &[&[0, 2], &[0, 3], &[9, 2]]),
+            rel(&[0, 1], &[&[0, 1], &[9, 4]]),
+        ];
+        let (ga, gt) = generic_join(&rels);
+        let (ma, mt) = multiway_join(&rels);
+        let (ma, mt) = normalize(&ma, mt);
+        assert_eq!(ga, ma);
+        assert_eq!(sorted(gt), sorted(mt));
+    }
+
+    #[test]
+    fn generic_join_handles_cross_products() {
+        let rels = vec![rel(&[0], &[&[1], &[2]]), rel(&[1], &[&[7], &[8]])];
+        let (attrs, tuples) = generic_join(&rels);
+        assert_eq!(attrs, vec![0, 1]);
+        assert_eq!(tuples.len(), 4);
+    }
+
+    #[test]
+    fn generic_join_empty_fragment_short_circuits() {
+        let rels = vec![rel(&[0], &[]), rel(&[0], &[&[1]])];
+        let (_, tuples) = generic_join(&rels);
+        assert!(tuples.is_empty());
+    }
+
+    #[test]
+    fn generic_join_output_is_sorted_schema() {
+        // Schemas arrive in arbitrary column order; output is ascending.
+        let rels = vec![rel(&[2, 0], &[&[5, 1]]), rel(&[1], &[&[3]])];
+        let (attrs, tuples) = generic_join(&rels);
+        assert_eq!(attrs, vec![0, 1, 2]);
+        assert_eq!(tuples, vec![Tuple::from([1, 3, 5])]);
+    }
+
+    #[test]
+    fn leapfrog_matches_oracle_on_four_cycle() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "D"]);
+        b.relation("R4", &["D", "A"]);
+        let q = b.build();
+        let n = 16u64;
+        let pair = |k: u64| -> Vec<Vec<u64>> {
+            (0..n)
+                .flat_map(|x| {
+                    (0..n)
+                        .filter(move |y| (x * k + y).is_multiple_of(3))
+                        .map(move |y| vec![x, y])
+                })
+                .collect()
+        };
+        let db = database_from_rows(&q, &[pair(2), pair(3), pair(5), pair(7)]);
+        let want = ram::naive_join(&q, &db);
+        let p = 8;
+        let mut cluster = Cluster::new(p);
+        let out = {
+            let mut net = cluster.net();
+            let dist = distribute_db(&db, p);
+            leapfrog_join(&mut net, &q, dist, 13)
+        };
+        let mut got = out.gather_free().tuples;
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leapfrog_load_is_backend_deterministic() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        let edges: Vec<Vec<u64>> = (0..12u64)
+            .flat_map(|x| {
+                (0..12u64)
+                    .filter(move |y| (x + 2 * y) % 4 != 0)
+                    .map(move |y| vec![x, y])
+            })
+            .collect();
+        let db = database_from_rows(&q, &[edges.clone(), edges.clone(), edges]);
+        let run = |parallel: bool| {
+            let mut cluster = if parallel {
+                Cluster::new_parallel(4)
+            } else {
+                Cluster::new(4)
+            };
+            let out = {
+                let mut net = cluster.net();
+                let dist = distribute_db(&db, 4);
+                leapfrog_join(&mut net, &q, dist, 99)
+            };
+            (out.gather_free().tuples, cluster.stats().clone())
+        };
+        let (seq_out, seq_stats) = run(false);
+        let (par_out, par_stats) = run(true);
+        assert_eq!(seq_out, par_out);
+        assert_eq!(seq_stats, par_stats);
+    }
+}

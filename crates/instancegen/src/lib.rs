@@ -13,6 +13,7 @@
 //! | [`fig6`] | the randomized triangle lower-bound instance | Figure 6, Theorem 11 |
 //! | [`cartesian`] | Cartesian-product instances for the Eq. (1) bound | Section 1.3 |
 //! | [`random`] | random acyclic queries + instances for differential tests | — |
+//! | [`randquery`] | random connected hypergraphs (trees, cycles, cliques, thetas) + uniform/Zipf instances for the general-query fuzz | Section 6 |
 //! | [`skew`] | Zipf-parameterised binary/star/triangle instances for the skew experiments | — |
 //! | [`updates`] | signed insert/delete streams (uniform and Zipf mixes) for the maintenance experiments | — |
 //!
@@ -33,10 +34,15 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod random;
+pub mod randquery;
 pub mod shapes;
 pub mod skew;
 pub mod updates;
 
+pub use randquery::{
+    random_connected_query, random_query_of, random_tree_query, uniform_instance, zipf_instance,
+    QueryShape,
+};
 pub use shapes::{line_query, star_query};
 pub use skew::{zipf_binary, zipf_star, zipf_triangle, SkewInstance, Zipf};
 pub use updates::update_stream;

@@ -1,0 +1,304 @@
+//! Seeded random **connected** query hypergraphs — acyclic and cyclic —
+//! with matched instance generators, for the general-query differential
+//! fuzz ([`aj_relation::Ghd`] bag evaluation vs. the RAM oracle).
+//!
+//! Every generator is a pure function of its seed. Queries are bounded to
+//! what the oracle can evaluate comfortably (≤ 8 relations, ≤ 12
+//! attributes, arity ≤ 4), but span the structural space the general
+//! planner has to serve: join trees, even and odd cycles, cliques,
+//! theta-shapes (two vertices joined by several disjoint paths), and any of
+//! those with random higher-arity attachments — including duplicate
+//! attribute sets, which stress the signature/canonicalization path.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, RngExt, SeedableRng};
+
+use aj_relation::{Database, Edge, Query, Relation, Tuple};
+
+use crate::skew::Zipf;
+
+/// Attribute budget of a generated query (keeps the oracle tractable).
+const MAX_ATTRS: usize = 12;
+/// Relation budget of a generated query.
+const MAX_EDGES: usize = 8;
+
+/// The skeleton family of a generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryShape {
+    /// A random join tree (connected, acyclic).
+    Tree,
+    /// An even cycle of binary edges (4 or 6).
+    EvenCycle,
+    /// An odd cycle of binary edges (3 or 5).
+    OddCycle,
+    /// All pairs over 3 or 4 vertices (triangle / K4).
+    Clique,
+    /// Two hub vertices joined by 2–3 internally disjoint paths.
+    Theta,
+}
+
+impl QueryShape {
+    /// All families, in generation order.
+    pub const ALL: [QueryShape; 5] = [
+        QueryShape::Tree,
+        QueryShape::EvenCycle,
+        QueryShape::OddCycle,
+        QueryShape::Clique,
+        QueryShape::Theta,
+    ];
+}
+
+/// Append one fresh attribute and return its id.
+fn fresh(attr_names: &mut Vec<String>) -> usize {
+    attr_names.push(format!("x{}", attr_names.len()));
+    attr_names.len() - 1
+}
+
+/// Append a binary edge between two existing attributes.
+fn binary_edge(edges: &mut Vec<Edge>, a: usize, b: usize) {
+    edges.push(Edge {
+        name: format!("R{}", edges.len() + 1),
+        attrs: vec![a, b],
+    });
+}
+
+/// Grow `extra` random attachment edges: each shares 1–2 attributes with a
+/// random existing edge (so the query stays connected) and adds up to 2
+/// fresh ones, total arity ≤ 4. Attachments may reproduce an existing
+/// attribute set verbatim — duplicate edges are part of the servable space.
+fn attach_random_edges(
+    rng: &mut StdRng,
+    attr_names: &mut Vec<String>,
+    edges: &mut Vec<Edge>,
+    extra: usize,
+) {
+    for _ in 0..extra {
+        if edges.len() >= MAX_EDGES {
+            return;
+        }
+        let host = rng.random_range(0..edges.len());
+        let hattrs = edges[host].attrs.clone();
+        let take = rng.random_range(1..=hattrs.len().min(2));
+        let mut attrs: Vec<usize> = Vec::with_capacity(4);
+        let start = rng.random_range(0..hattrs.len());
+        for i in 0..take {
+            attrs.push(hattrs[(start + i) % hattrs.len()]);
+        }
+        let budget = MAX_ATTRS
+            .saturating_sub(attr_names.len())
+            .min(4 - attrs.len());
+        if budget > 0 {
+            let fresh_n = rng.random_range(0..=budget.min(2));
+            for _ in 0..fresh_n {
+                attrs.push(fresh(attr_names));
+            }
+        }
+        edges.push(Edge {
+            name: format!("R{}", edges.len() + 1),
+            attrs,
+        });
+    }
+}
+
+/// A random connected query of the given shape family. Deterministic per
+/// `(shape, seed)`; `attachments` extra random edges ride on the skeleton.
+pub fn random_query_of(shape: QueryShape, attachments: usize, seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a4d_71e3_55b1_0c2f);
+    let mut attr_names: Vec<String> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    match shape {
+        QueryShape::Tree => {
+            let m = rng.random_range(2..=5);
+            let k0 = rng.random_range(2..=3);
+            let attrs: Vec<usize> = (0..k0).map(|_| fresh(&mut attr_names)).collect();
+            edges.push(Edge {
+                name: "R1".into(),
+                attrs,
+            });
+            for i in 1..m {
+                let parent = rng.random_range(0..edges.len());
+                let pattrs = edges[parent].attrs.clone();
+                let take = rng.random_range(1..=pattrs.len().min(2));
+                let start = rng.random_range(0..pattrs.len());
+                let mut attrs: Vec<usize> = (0..take)
+                    .map(|j| pattrs[(start + j) % pattrs.len()])
+                    .collect();
+                let fresh_n = rng.random_range(1..=2);
+                for _ in 0..fresh_n {
+                    if attr_names.len() < MAX_ATTRS {
+                        attrs.push(fresh(&mut attr_names));
+                    }
+                }
+                edges.push(Edge {
+                    name: format!("R{}", i + 1),
+                    attrs,
+                });
+            }
+        }
+        QueryShape::EvenCycle | QueryShape::OddCycle => {
+            let k = if shape == QueryShape::EvenCycle {
+                2 * rng.random_range(2..=3usize) // 4 or 6
+            } else {
+                2 * rng.random_range(1..=2usize) + 1 // 3 or 5
+            };
+            let ring: Vec<usize> = (0..k).map(|_| fresh(&mut attr_names)).collect();
+            for i in 0..k {
+                binary_edge(&mut edges, ring[i], ring[(i + 1) % k]);
+            }
+        }
+        QueryShape::Clique => {
+            let n = rng.random_range(3..=4usize);
+            let verts: Vec<usize> = (0..n).map(|_| fresh(&mut attr_names)).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    binary_edge(&mut edges, verts[i], verts[j]);
+                }
+            }
+        }
+        QueryShape::Theta => {
+            let u = fresh(&mut attr_names);
+            let v = fresh(&mut attr_names);
+            let paths = rng.random_range(2..=3usize);
+            for p in 0..paths {
+                // Each path spends `inner + 1` edges; reserve one edge per
+                // remaining path so the whole theta fits in MAX_EDGES.
+                let reserve = paths - 1 - p;
+                let cap = (MAX_EDGES - edges.len() - reserve - 1).min(2);
+                // The first path always has an interior vertex: two bare
+                // parallel (u,v) edges would be GYO-acyclic (one absorbs
+                // the other), not a theta.
+                let inner = if p == 0 {
+                    rng.random_range(1..=cap.max(1))
+                } else {
+                    rng.random_range(0..=cap)
+                };
+                let mut prev = u;
+                for _ in 0..inner {
+                    let mid = fresh(&mut attr_names);
+                    binary_edge(&mut edges, prev, mid);
+                    prev = mid;
+                }
+                binary_edge(&mut edges, prev, v);
+            }
+        }
+    }
+    attach_random_edges(&mut rng, &mut attr_names, &mut edges, attachments);
+    Query::from_parts(attr_names, edges)
+}
+
+/// A random connected query: the family, the attachment count, and the
+/// skeleton are all drawn from the seed. The distribution covers acyclic
+/// and cyclic shapes with and without appendages.
+pub fn random_connected_query(seed: u64) -> Query {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shape = QueryShape::ALL[rng.random_range(0..QueryShape::ALL.len())];
+    let attachments = rng.random_range(0..=2usize);
+    random_query_of(shape, attachments, rng.next_u64())
+}
+
+/// A random connected **acyclic** query (the [`QueryShape::Tree`] family,
+/// no attachments — attachments can close cycles).
+pub fn random_tree_query(seed: u64) -> Query {
+    random_query_of(QueryShape::Tree, 0, seed)
+}
+
+/// A uniform instance matched to `q`: `size` draws per relation over
+/// `[0, domain)` per attribute, set semantics. Identical distribution to
+/// [`crate::random::random_instance`]; re-exported here so the fuzz has
+/// one import surface.
+pub fn uniform_instance(q: &Query, size: usize, domain: u64, seed: u64) -> Database {
+    crate::random::random_instance(q, size, domain, seed)
+}
+
+/// A Zipf(`s`) instance matched to `q`: every attribute value of every
+/// tuple is an independent Zipf(`s`) rank over `[0, domain)` (rank 0
+/// heaviest), so low ranks become heavy join keys on every relation at
+/// once. `s = 0` degenerates to the uniform instance distribution.
+pub fn zipf_instance(q: &Query, size: usize, domain: u64, s: f64, seed: u64) -> Database {
+    let zipf = Zipf::new(domain, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels = q
+        .edges()
+        .iter()
+        .map(|e| {
+            let mut tuples: Vec<Tuple> = (0..size)
+                .map(|_| {
+                    Tuple::new(
+                        e.attrs
+                            .iter()
+                            .map(|_| zipf.sample(&mut rng))
+                            .collect::<Vec<u64>>(),
+                    )
+                })
+                .collect();
+            tuples.sort_unstable();
+            tuples.dedup();
+            Relation::new(e.attrs.clone(), tuples)
+        })
+        .collect();
+    Database::new(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for seed in 0..20 {
+            let a = random_connected_query(seed);
+            let b = random_connected_query(seed);
+            assert_eq!(a.attr_names(), b.attr_names());
+            assert_eq!(a.edges(), b.edges());
+            let q = a;
+            let u1 = uniform_instance(&q, 30, 8, seed);
+            let u2 = uniform_instance(&q, 30, 8, seed);
+            assert_eq!(u1.relations, u2.relations);
+            let z1 = zipf_instance(&q, 30, 8, 1.1, seed);
+            let z2 = zipf_instance(&q, 30, 8, 1.1, seed);
+            assert_eq!(z1.relations, z2.relations);
+        }
+    }
+
+    #[test]
+    fn every_generated_query_is_connected_and_bounded() {
+        for seed in 0..200 {
+            let q = random_connected_query(seed);
+            assert_eq!(q.connected_components().len(), 1, "seed {seed}");
+            assert!(q.n_edges() >= 2 && q.n_edges() <= MAX_EDGES, "seed {seed}");
+            assert!(q.n_attrs() <= MAX_ATTRS, "seed {seed}");
+            assert!(
+                q.edges().iter().all(|e| (1..=4).contains(&e.attrs.len())),
+                "seed {seed}: arity out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_families_have_their_advertised_cyclicity() {
+        for seed in 0..30 {
+            assert!(random_query_of(QueryShape::Tree, 0, seed).is_acyclic());
+            assert!(!random_query_of(QueryShape::EvenCycle, 0, seed).is_acyclic());
+            assert!(!random_query_of(QueryShape::OddCycle, 0, seed).is_acyclic());
+            assert!(!random_query_of(QueryShape::Clique, 0, seed).is_acyclic());
+            assert!(!random_query_of(QueryShape::Theta, 0, seed).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn zipf_instances_skew_toward_rank_zero() {
+        let q = random_tree_query(7);
+        let db = zipf_instance(&q, 200, 16, 1.5, 9);
+        let zeros: usize = db
+            .relations
+            .iter()
+            .flat_map(|r| r.tuples.iter())
+            .filter(|t| t.values().contains(&0))
+            .count();
+        let total: usize = db.relations.iter().map(|r| r.len()).sum();
+        assert!(
+            zeros * 3 > total,
+            "rank 0 should appear in well over a third of tuples ({zeros}/{total})"
+        );
+    }
+}

@@ -17,6 +17,230 @@ use crate::query::{Attr, Query};
 use crate::sets::AttrSet;
 use crate::Edge;
 
+/// A generalized hypertree decomposition of an arbitrary *connected* join
+/// query, built by [`Ghd::build`].
+///
+/// Unlike [`FreeConnexGhd`] (width 1, acyclic queries only), a `Ghd`
+/// *partitions* the query's edges into bags: bag `b` is assigned the edge
+/// list `λ(b) = edges_of[b]` and covers the attribute set `χ(b) = bags[b]`
+/// (the union of its edges' attributes). The bags, viewed as a hypergraph
+/// over the same attribute space, form an α-acyclic query — so once every
+/// bag is materialized (worst-case-optimally, by `aj-core`'s WCOJ), the
+/// remaining join is served by the existing acyclic machinery.
+///
+/// Because `λ` is a partition (every edge assigned to exactly one bag, no
+/// projections), each bag tuple has derivation count exactly 1 under set
+/// semantics: bag materializations are plain sets, which is what makes the
+/// counted delta-maintenance argument go through unchanged.
+#[derive(Debug, Clone)]
+pub struct Ghd {
+    /// `χ(b)`: the attribute set covered by each bag.
+    pub bags: Vec<AttrSet>,
+    /// `λ(b)`: the query edges assigned to each bag (a partition of
+    /// `0..q.n_edges()`, each list in increasing edge order).
+    pub edges_of: Vec<Vec<usize>>,
+    /// Parent pointers of the bag join tree (`None` for the root only).
+    pub parent: Vec<Option<usize>>,
+    /// Bottom-up bag order (leaves first, root last), as produced by GYO
+    /// ear removal on the bag hypergraph.
+    pub order: Vec<usize>,
+}
+
+impl Ghd {
+    /// Decompose a connected query into an acyclic tree of bags.
+    ///
+    /// Returns `None` for disconnected queries (callers split on
+    /// [`Query::connected_components`] first). Always succeeds on connected
+    /// queries: the single-bag decomposition is a universal fallback.
+    ///
+    /// Construction is a deterministic greedy merge: start with one bag per
+    /// edge; while the bag hypergraph is cyclic, merge the pair of bags
+    /// sharing the most attributes, breaking ties towards the smallest
+    /// merged attribute set and then the lowest bag indices. Sharing-first
+    /// keeps bags tight (a 4-cycle splits into two 3-attribute bags rather
+    /// than one 4-attribute bag); on an already-acyclic query the loop
+    /// never runs and the decomposition is exactly one bag per edge with
+    /// the query's own join tree.
+    pub fn build(q: &Query) -> Option<Ghd> {
+        if q.connected_components().len() != 1 {
+            return None;
+        }
+        let mut groups: Vec<Vec<usize>> = (0..q.n_edges()).map(|e| vec![e]).collect();
+        let mut chi: Vec<AttrSet> = q.edges().iter().map(Edge::attr_set).collect();
+        let tree = loop {
+            if let Some(t) = bag_join_tree(q, &chi) {
+                break t;
+            }
+            // Pick the pair to merge: max shared attrs, then smallest
+            // union, then lowest (i, j).
+            let mut best: Option<(usize, usize)> = None;
+            let mut best_key = (0usize, usize::MAX);
+            for i in 0..chi.len() {
+                for j in (i + 1)..chi.len() {
+                    let shared = chi[i].intersect(chi[j]).len();
+                    if shared == 0 {
+                        continue;
+                    }
+                    let union = chi[i].union(chi[j]).len();
+                    if shared > best_key.0 || (shared == best_key.0 && union < best_key.1) {
+                        best_key = (shared, union);
+                        best = Some((i, j));
+                    }
+                }
+            }
+            let (i, j) = best.expect("connected cyclic hypergraph has a sharing pair");
+            let absorbed = groups.remove(j);
+            groups[i].extend(absorbed);
+            groups[i].sort_unstable();
+            let cj = chi.remove(j);
+            chi[i] = chi[i].union(cj);
+        };
+        let ghd = Ghd {
+            bags: chi,
+            edges_of: groups,
+            parent: tree.parent,
+            order: tree.order,
+        };
+        debug_assert!(ghd.validate(q), "greedy GHD violates an invariant");
+        Some(ghd)
+    }
+
+    /// Number of bags.
+    pub fn n_bags(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Whether the decomposition is the trivial single bag (the whole
+    /// query); evaluating it through the bag tree degenerates to one
+    /// whole-query WCOJ, so planners skip the GHD route in that case.
+    pub fn is_trivial(&self) -> bool {
+        self.bags.len() == 1
+    }
+
+    /// Width of the decomposition: the largest number of edges assigned to
+    /// one bag (an integral bound on each bag's edge cover; 1 on acyclic
+    /// queries).
+    pub fn width(&self) -> usize {
+        self.edges_of.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The bag-level query: one synthetic edge `B{b}` per bag over the same
+    /// attribute space, attributes in increasing order. α-acyclic by
+    /// construction — callers run the acyclic pipeline on it.
+    pub fn bag_query(&self, q: &Query) -> Query {
+        let edges = self
+            .bags
+            .iter()
+            .enumerate()
+            .map(|(b, &chi)| Edge {
+                name: format!("B{b}"),
+                attrs: chi.to_vec(),
+            })
+            .collect();
+        Query::from_parts(q.attr_names().to_vec(), edges)
+    }
+
+    /// Check the GHD invariants against `q` (used by tests and debug
+    /// assertions): `λ` partitions the edge set, `χ(b)` is the union of
+    /// `λ(b)`'s attributes (hence every edge is covered by its own bag),
+    /// the bag tree is a tree satisfying coherence (running intersection),
+    /// and the bag hypergraph is α-acyclic.
+    pub fn validate(&self, q: &Query) -> bool {
+        let n = self.bags.len();
+        if self.edges_of.len() != n || self.parent.len() != n || self.order.len() != n {
+            return false;
+        }
+        // λ partitions the edges.
+        let mut seen = vec![false; q.n_edges()];
+        for es in &self.edges_of {
+            for &e in es {
+                if e >= q.n_edges() || seen[e] {
+                    return false;
+                }
+                seen[e] = true;
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return false;
+        }
+        // χ(b) = union of assigned edges' attributes (covers each of them).
+        for (b, es) in self.edges_of.iter().enumerate() {
+            let union = es
+                .iter()
+                .fold(AttrSet::EMPTY, |acc, &e| acc.union(q.edge(e).attr_set()));
+            if union != self.bags[b] {
+                return false;
+            }
+        }
+        // Tree shape: exactly one root.
+        if self.parent.iter().filter(|p| p.is_none()).count() != 1 {
+            return false;
+        }
+        // Coherence: bags containing any attribute form a subtree.
+        for a in 0..q.n_attrs() {
+            let members: Vec<usize> = (0..n).filter(|&b| self.bags[b].contains(a)).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let inner = members
+                .iter()
+                .filter(|&&b| {
+                    self.parent[b]
+                        .map(|p| self.bags[p].contains(a))
+                        .unwrap_or(false)
+                })
+                .count();
+            if inner != members.len() - 1 {
+                return false;
+            }
+        }
+        // The bag hypergraph is acyclic (the tree above witnesses it, but
+        // re-derive independently through GYO).
+        self.bag_query(q).is_acyclic()
+    }
+
+    /// Pretty-print the bag tree with attribute and relation names.
+    pub fn render(&self, q: &Query) -> String {
+        fn rec(g: &Ghd, q: &Query, b: usize, depth: usize, out: &mut String) {
+            let attrs: Vec<&str> = g.bags[b].iter().map(|a| q.attr_name(a)).collect();
+            let rels: Vec<&str> = g.edges_of[b]
+                .iter()
+                .map(|&e| q.edge(e).name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "{}{{{}}} ⟵ {}\n",
+                "  ".repeat(depth),
+                attrs.join(","),
+                rels.join(" ⋈ ")
+            ));
+            for c in 0..g.n_bags() {
+                if g.parent[c] == Some(b) {
+                    rec(g, q, c, depth + 1, out);
+                }
+            }
+        }
+        let root = (0..self.n_bags())
+            .find(|&b| self.parent[b].is_none())
+            .expect("tree has a root");
+        let mut out = String::new();
+        rec(self, q, root, 0, &mut out);
+        out
+    }
+}
+
+/// GYO ear removal over the bag hypergraph (attribute sets only).
+fn bag_join_tree(q: &Query, chi: &[AttrSet]) -> Option<crate::JoinTree> {
+    let edges = chi
+        .iter()
+        .enumerate()
+        .map(|(b, &s)| Edge {
+            name: format!("B{b}"),
+            attrs: s.to_vec(),
+        })
+        .collect();
+    Query::from_parts(q.attr_names().to_vec(), edges).join_tree()
+}
+
 /// A width-1 GHD with an explicit free-connex subset for output set `y`.
 ///
 /// Width-1 witnesses are edges of the *extended* query `E ∪ {ŷ}` — the
@@ -335,6 +559,99 @@ mod tests {
         let s = g.render(&q);
         assert!(s.contains('*'));
         assert!(s.contains("free-connex subset"));
+    }
+
+    fn four_cycle() -> Query {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "C"]);
+        b.relation("R3", &["C", "D"]);
+        b.relation("R4", &["D", "A"]);
+        b.build()
+    }
+
+    #[test]
+    fn general_ghd_four_cycle_splits_into_two_bags() {
+        let q = four_cycle();
+        let g = Ghd::build(&q).expect("connected");
+        assert!(g.validate(&q));
+        assert_eq!(g.n_bags(), 2);
+        let mut bags: Vec<Vec<usize>> = g.bags.iter().map(|b| b.to_vec()).collect();
+        bags.sort();
+        // {A,B,C} (from R1 ⋈ R2) and {A,C,D} (from R3 ⋈ R4).
+        assert_eq!(bags, vec![vec![0, 1, 2], vec![0, 2, 3]]);
+        assert!(g.bag_query(&q).is_acyclic());
+        assert_eq!(g.width(), 2);
+    }
+
+    #[test]
+    fn general_ghd_clique_k4() {
+        let mut b = QueryBuilder::new();
+        for (i, (x, y)) in [
+            ("A", "B"),
+            ("A", "C"),
+            ("A", "D"),
+            ("B", "C"),
+            ("B", "D"),
+            ("C", "D"),
+        ]
+        .iter()
+        .enumerate()
+        {
+            b.relation(&format!("R{i}"), &[x, y]);
+        }
+        let q = b.build();
+        let g = Ghd::build(&q).expect("connected");
+        assert!(g.validate(&q));
+        assert!(g.bag_query(&q).is_acyclic());
+        // Every edge lands in exactly one bag.
+        let assigned: usize = g.edges_of.iter().map(Vec::len).sum();
+        assert_eq!(assigned, q.n_edges());
+    }
+
+    #[test]
+    fn general_ghd_triangle_has_a_covering_bag() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["B", "C"]);
+        b.relation("R2", &["A", "C"]);
+        b.relation("R3", &["A", "B"]);
+        let q = b.build();
+        let g = Ghd::build(&q).expect("connected");
+        assert!(g.validate(&q));
+        // Some bag covers all three attributes (the cyclic core is not
+        // splittable), and the multi-edge bag has width ≥ 2.
+        assert!(g.bags.iter().any(|b| b.len() == 3));
+        assert!(g.width() >= 2);
+    }
+
+    #[test]
+    fn general_ghd_acyclic_is_one_bag_per_edge() {
+        let q = line3();
+        let g = Ghd::build(&q).expect("connected");
+        assert!(g.validate(&q));
+        assert_eq!(g.n_bags(), q.n_edges());
+        assert_eq!(g.width(), 1);
+        for (b, es) in g.edges_of.iter().enumerate() {
+            assert_eq!(es.len(), 1);
+            assert_eq!(q.edge(es[0]).attr_set(), g.bags[b]);
+        }
+    }
+
+    #[test]
+    fn general_ghd_rejects_disconnected() {
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["X", "Y"]);
+        assert!(Ghd::build(&b.build()).is_none());
+    }
+
+    #[test]
+    fn general_ghd_render_shows_bags() {
+        let q = four_cycle();
+        let g = Ghd::build(&q).unwrap();
+        let s = g.render(&q);
+        assert!(s.contains('⟵'));
+        assert!(s.contains("R1"));
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod tuple;
 pub use block::TupleBlock;
 pub use classify::JoinClass;
 pub use delta::{decode_snapshot, encode_snapshot, RelationDelta, UpdateBatch};
+pub use ghd::{FreeConnexGhd, Ghd};
 pub use query::{database_from_rows, Attr, Database, Edge, Query, QueryBuilder, Relation};
 pub use sets::{AttrSet, EdgeSet};
 pub use signature::QuerySignature;

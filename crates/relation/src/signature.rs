@@ -125,6 +125,42 @@ mod tests {
     }
 
     #[test]
+    fn repeated_attribute_sets_are_canonical() {
+        // Two edges over identical attrs are structurally distinct from one
+        // edge (the twin constrains the join) and from the reduced query.
+        let one = {
+            let mut b = QueryBuilder::new();
+            b.relation("R1", &["A", "B"]);
+            QuerySignature::of(&b.build())
+        };
+        let build_twins = |n1: &str, n2: &str| {
+            let mut b = QueryBuilder::new();
+            b.relation(n1, &["A", "B"]);
+            b.relation(n2, &["A", "B"]);
+            b.build()
+        };
+        let twins = build_twins("R1", "R2");
+        let sig = QuerySignature::of(&twins);
+        assert_ne!(sig, one);
+        assert_ne!(sig.fingerprint(), one.fingerprint());
+        // Naming / listing the twins the other way round is the same
+        // structure: identical signature, identical fingerprint — so every
+        // per-shape artifact (join tree, seed stream) is shared, and the
+        // delta cache keys tree edges by index, never by attribute set.
+        let swapped = QuerySignature::of(&build_twins("R2", "R1"));
+        assert_eq!(sig, swapped);
+        assert_eq!(sig.fingerprint(), swapped.fingerprint());
+        // A reversed *layout* on the twin is a different structure (the
+        // twin's tuple columns transpose).
+        let mut b = QueryBuilder::new();
+        b.relation("R1", &["A", "B"]);
+        b.relation("R2", &["B", "A"]);
+        let reversed = QuerySignature::of(&b.build());
+        assert_ne!(sig, reversed);
+        assert_ne!(sig.fingerprint(), reversed.fingerprint());
+    }
+
+    #[test]
     fn accessors() {
         let sig = QuerySignature::of(&star());
         assert_eq!(sig.n_attrs(), 3);

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use acyclic_joins::core::engine::QueryEngine;
-use acyclic_joins::instancegen::{fig3, fig6, line_query, random, shapes, updates};
+use acyclic_joins::instancegen::{fig3, fig6, line_query, random, randquery, shapes, updates};
 use acyclic_joins::mpc::{
     ChanTransport, Cluster, CrashPoint, FaultPlan, FaultyTransport, LinkPartition, ParExecutor,
     ShuffleTransport, Stats,
@@ -97,7 +97,77 @@ fn cases() -> Vec<(&'static str, Query, Database)> {
             fig6::generate(24, 40, 5).query,
             fig6::generate(24, 40, 5).db,
         ),
+        // General cyclic shapes (appended; earlier indices are pinned by
+        // the update-stream tests). These route through the GHD/WCOJ
+        // pipeline or whole-query HyperCube, whichever the planner prices
+        // cheaper — either way the backends must agree bit for bit.
+        cyclic_case("cycle4", cycle_query(4), 24, 6, 0x901),
+        cyclic_case("cycle5", cycle_query(5), 24, 6, 0x902),
+        cyclic_case("k4", clique4_query(), 22, 6, 0x903),
+        cyclic_case("grid2x3", grid2x3_query(), 24, 6, 0x904),
     ]
+}
+
+/// A `k`-cycle of binary relations `R1(A0,A1), …, Rk(A{k-1},A0)`.
+fn cycle_query(k: usize) -> Query {
+    let mut b = acyclic_joins::relation::QueryBuilder::new();
+    for i in 0..k {
+        b.relation(
+            &format!("R{}", i + 1),
+            &[&format!("A{i}"), &format!("A{}", (i + 1) % k)],
+        );
+    }
+    b.build()
+}
+
+/// All six pairs over four vertices: the K4 clique.
+fn clique4_query() -> Query {
+    let mut b = acyclic_joins::relation::QueryBuilder::new();
+    for (i, (x, y)) in [
+        ("A", "B"),
+        ("A", "C"),
+        ("A", "D"),
+        ("B", "C"),
+        ("B", "D"),
+        ("C", "D"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        b.relation(&format!("E{i}"), &[x, y]);
+    }
+    b.build()
+}
+
+/// The 2×3 grid graph: vertices `V{r}{c}`, one binary relation per
+/// horizontal and vertical adjacency (7 edges, two chordless 4-cycles).
+fn grid2x3_query() -> Query {
+    let mut b = acyclic_joins::relation::QueryBuilder::new();
+    let v = |r: usize, c: usize| format!("V{r}{c}");
+    let mut i = 0;
+    for r in 0..2 {
+        for c in 0..2 {
+            i += 1;
+            b.relation(&format!("H{i}"), &[&v(r, c), &v(r, c + 1)]);
+        }
+    }
+    for c in 0..3 {
+        b.relation(&format!("W{c}"), &[&v(0, c), &v(1, c)]);
+    }
+    b.build()
+}
+
+/// A cyclic conformance case with a matched uniform instance (dense enough
+/// that the join output is non-empty, so the differential bites).
+fn cyclic_case(
+    label: &'static str,
+    q: Query,
+    size: usize,
+    domain: u64,
+    seed: u64,
+) -> (&'static str, Query, Database) {
+    let db = randquery::uniform_instance(&q, size, domain, seed);
+    (label, q, db)
 }
 
 /// The RAM-model reference answer.

@@ -51,7 +51,102 @@ fn shapes() -> Vec<(&'static str, Query, Database)> {
     let inst = aj_instancegen::fig6::generate(40, 90, 5);
     cases.push(("triangle", inst.query, inst.db));
 
+    // Triangle + 6-path appendage (cyclic → GHD bag caches).
+    let (q, db) = ghd_shape();
+    cases.push(("ghd", q, db));
+
     cases
+}
+
+/// A triangle with a 6-path tail hanging off attribute `C`: the cyclic
+/// cost model prices the GHD bag route below whole-query HyperCube, so a
+/// registered view takes the `ViewCache::Bags` path.
+fn ghd_shape() -> (Query, Database) {
+    let mut b = aj_relation::QueryBuilder::new();
+    b.relation("R1", &["A", "B"]);
+    b.relation("R2", &["B", "C"]);
+    b.relation("R3", &["C", "A"]);
+    for i in 0..6 {
+        b.relation(
+            &format!("T{i}"),
+            &[&format!("X{i}"), &format!("X{}", i + 1)],
+        );
+    }
+    b.relation("T6", &["C", "X0"]);
+    let q = b.build();
+    // Two images per key (branching 2, not a function graph): the join
+    // output stays comfortably non-empty under 5% update batches.
+    let rows = |k: u64| -> Vec<Vec<u64>> {
+        (0..24u64)
+            .map(|i| vec![i % 6, (i * k + i / 12 + 1) % 6])
+            .collect()
+    };
+    let mut db = aj_relation::database_from_rows(
+        &q,
+        &(0..q.n_edges())
+            .map(|e| rows(e as u64 + 2))
+            .collect::<Vec<_>>(),
+    );
+    db.dedup_all();
+    (q, db)
+}
+
+/// The GHD shape really registers through the bag caches (not a silent
+/// fall-back to whole-query delta-HyperCube), and the update stream
+/// exercises the lifted bag-delta maintenance path, not just rebuilds.
+#[test]
+fn ghd_planned_view_maintains_through_bag_caches() {
+    let (q, db) = ghd_shape();
+    let mut engine = QueryEngine::new(8);
+    let view = engine.register_view(&q, &db);
+    assert_eq!(
+        engine.view(view).plan(),
+        aj_core::planner::Plan::Ghd,
+        "the appendage shape must price to the GHD plan"
+    );
+    let mut mirror = db.clone();
+    mirror.dedup_all();
+    assert!(
+        !engine.view(view).snapshot().is_empty(),
+        "the GHD shape must have a non-empty output"
+    );
+    // One small batch per relation, each touching exactly one relation:
+    // single-relation deltas price to the maintenance pass, covering both
+    // bag-delta routes — the grid route (triangle edges, a multi-edge bag)
+    // and the free permutation route (path edges, single-edge bags).
+    for e in 0..q.n_edges() {
+        let mut batch = UpdateBatch::empty(q.n_edges());
+        batch.delete(e, mirror.relations[e].tuples[0].clone());
+        let fresh = (0..36u64)
+            .map(|v| Tuple::from([v / 6, v % 6]))
+            .find(|t| !mirror.relations[e].tuples.contains(t))
+            .expect("a 24-row relation leaves free pairs in a 6x6 domain");
+        batch.insert(e, fresh);
+        let outcome = engine.apply_update(view, &batch);
+        batch.apply_to(&mut mirror);
+        assert_eq!(
+            outcome.strategy,
+            MaintenanceChoice::Maintain,
+            "ghd: relation {e} batch must maintain"
+        );
+        assert_eq!(
+            engine.view(view).snapshot(),
+            oracle_snapshot(&q, &mirror),
+            "ghd: relation {e} bag-delta pass diverged from the oracle"
+        );
+    }
+    // A mixed stream (whatever the planner picks per batch) reconverges too.
+    let batches = aj_instancegen::updates::update_stream(&q, &mirror, 3, 0.05, 0.0, 0x6d9);
+    for (i, batch) in batches.iter().enumerate() {
+        let outcome = engine.apply_update(view, batch);
+        batch.apply_to(&mut mirror);
+        assert_eq!(
+            engine.view(view).snapshot(),
+            oracle_snapshot(&q, &mirror),
+            "ghd: batch {i} snapshot (strategy {})",
+            outcome.strategy
+        );
+    }
 }
 
 /// Drive one engine through registration + a generated update stream;
