@@ -18,14 +18,18 @@
 //! repro --json BENCH.json    # additionally write the benchmark trajectory
 //!                            #   (per-experiment wall clocks, loads,
 //!                            #   throughput) as JSON
+//! repro --trace TRACE.json   # record the structured trace of every
+//!                            #   sequential measurement and write the whole
+//!                            #   run as one Chrome trace-event file
+//!                            #   (load in Perfetto / chrome://tracing)
 //! repro list                 # list experiment ids
 //! repro fig3 thm5            # run selected experiments
 //! repro --parallel fig3 thm5 # flags and ids combine
 //! ```
 
 use aj_bench::{
-    probe_net_transport, run_experiment, set_net, set_net_uds, set_parallel, take_records,
-    ExperimentRun, ALL_EXPERIMENTS,
+    probe_net_transport, run_experiment, set_net, set_net_uds, set_parallel, set_trace,
+    take_records, take_traces, ExperimentRun, ALL_EXPERIMENTS,
 };
 
 fn main() {
@@ -33,6 +37,7 @@ fn main() {
     let mut net = false;
     let mut uds = false;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +79,13 @@ fn main() {
                 });
                 json_path = Some(path);
             }
+            "--trace" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace needs a file path");
+                    std::process::exit(2);
+                });
+                trace_path = Some(path);
+            }
             "list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -83,7 +95,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--parallel] [--backend seq|par|net] [--transport chan|uds] \
-                     [--json PATH] [list | EXPERIMENT...]"
+                     [--json PATH] [--trace PATH] [list | EXPERIMENT...]"
                 );
                 println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
                 return;
@@ -98,6 +110,7 @@ fn main() {
     set_parallel(parallel);
     set_net(net);
     set_net_uds(uds);
+    set_trace(trace_path.is_some());
     // Fail fast with a clean diagnostic (not a mid-experiment panic) if the
     // requested transport cannot be built — uds compiled out, or socketpair
     // creation failing outright.
@@ -129,6 +142,12 @@ fn main() {
             if uds { "unix-domain sockets" } else { "chan" }
         );
     }
+    if trace_path.is_some() {
+        println!(
+            "structured tracing ON: every sequential measurement records its logical \
+             event trace (exported as Chrome trace-event JSON at the end of the run)"
+        );
+    }
     println!();
     let mut runs: Vec<ExperimentRun> = Vec::new();
     for id in ids {
@@ -152,5 +171,20 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("[benchmark trajectory written to {path}]");
+    }
+    if let Some(path) = trace_path {
+        let traces = take_traces();
+        let refs: Vec<(String, &aj_obs::Trace)> =
+            traces.iter().map(|(l, t)| (l.clone(), t)).collect();
+        let events: u64 = traces.iter().map(|(_, t)| t.recorded()).sum();
+        let doc = aj_obs::chrome::render_many(&refs);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[{events} trace events across {} traces written to {path}]",
+            traces.len()
+        );
     }
 }

@@ -135,12 +135,13 @@ fn dedup(mut db: Database) -> Database {
     db
 }
 
-/// Serve the whole batch on a fresh engine; returns outcomes + wall ms.
+/// Serve the whole batch on a fresh engine; returns outcomes, wall ms, and
+/// the structured-trace event count (only with `--trace`).
 fn serve(
     batch: &[(Query, Database)],
     cost_based: bool,
     parallel: bool,
-) -> (Vec<QueryOutcome>, f64) {
+) -> (Vec<QueryOutcome>, f64, Option<u64>) {
     let cluster = if parallel {
         Cluster::new_parallel(P)
     } else {
@@ -151,6 +152,9 @@ fn serve(
         ..EngineConfig::default()
     };
     let mut engine = QueryEngine::with_cluster(cluster, cfg);
+    if super::trace_enabled() {
+        engine.enable_tracing(aj_obs::ObsConfig::default());
+    }
     let t0 = Instant::now();
     let outcomes = engine.run_batch(batch);
     let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -160,7 +164,14 @@ fn serve(
         aj_core::engine::epochs_reconcile(&outcomes, engine.stats()),
         "per-query epochs must reconcile with the cumulative stats"
     );
-    (outcomes, ms)
+    let trace_events = engine.take_trace().map(|t| {
+        let n = t.recorded();
+        let planner = if cost_based { "cost" } else { "class" };
+        let exec = if parallel { "par" } else { "seq" };
+        super::stash_trace(format!("engine-batch-{planner}-{exec}"), t);
+        n
+    });
+    (outcomes, ms, trace_events)
 }
 
 pub fn run() -> Vec<ExpTable> {
@@ -171,11 +182,11 @@ pub fn run() -> Vec<ExpTable> {
         .collect();
     let n_queries = batch.len();
 
-    let (cost, cost_ms) = serve(&batch, true, false);
-    let (class, class_ms) = serve(&batch, false, false);
+    let (cost, cost_ms, trace_events) = serve(&batch, true, false);
+    let (class, class_ms, _) = serve(&batch, false, false);
 
     let par_ms = if super::parallel_enabled() {
-        let (par, ms) = serve(&batch, true, true);
+        let (par, ms, _) = serve(&batch, true, true);
         for (a, b) in cost.iter().zip(&par) {
             assert_eq!(a.plan, b.plan, "executors disagree on the plan");
             assert_eq!(
@@ -204,6 +215,7 @@ pub fn run() -> Vec<ExpTable> {
         wire_payload: None,
         wire_retransmit: None,
         wire_ack: None,
+        trace_events,
     });
 
     let mut t = ExpTable::new(

@@ -129,6 +129,7 @@ pub fn run() -> Vec<ExpTable> {
             wire_payload: Some(b.payload),
             wire_retransmit: Some(b.retransmit),
             wire_ack: Some(b.ack),
+            trace_events: None,
         });
     }
     t.note(

@@ -92,6 +92,7 @@ fn general_table() -> ExpTable {
             wire_payload: None,
             wire_retransmit: None,
             wire_ack: None,
+            trace_events: None,
         });
         let mut row = vec![
             label,

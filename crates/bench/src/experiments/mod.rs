@@ -43,6 +43,7 @@ use crate::table::fmt_f;
 static PARALLEL: AtomicBool = AtomicBool::new(false);
 static NET: AtomicBool = AtomicBool::new(false);
 static NET_UDS: AtomicBool = AtomicBool::new(false);
+static TRACE: AtomicBool = AtomicBool::new(false);
 
 /// One measured cell recorded for the `--json` benchmark trajectory
 /// (`repro --json BENCH_repro.json`): wall clocks, the simulated load, and a
@@ -74,9 +75,13 @@ pub struct BenchRecord {
     pub wire_retransmit: Option<u64>,
     /// Acknowledgement bytes (reliable mode only).
     pub wire_ack: Option<u64>,
+    /// Structured-trace events recorded during the cell (only with
+    /// [`set_trace`]; `repro --trace PATH`).
+    pub trace_events: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+static TRACES: Mutex<Vec<(String, aj_obs::Trace)>> = Mutex::new(Vec::new());
 
 /// Append one cell to the benchmark-trajectory recorder.
 pub fn record(r: BenchRecord) {
@@ -87,6 +92,28 @@ pub fn record(r: BenchRecord) {
 /// calls this after each experiment to group cells per experiment id).
 pub fn take_records() -> Vec<BenchRecord> {
     std::mem::take(&mut *RECORDS.lock().unwrap())
+}
+
+/// Enable/disable structured tracing in every measurement (the `repro
+/// --trace PATH` flag): each traced cell's [`aj_obs::Trace`] is stashed and
+/// the `repro` binary exports the whole run as one Chrome trace-event file.
+pub fn set_trace(enabled: bool) {
+    TRACE.store(enabled, Ordering::Relaxed);
+}
+
+/// Is structured tracing enabled?
+pub fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Stash one labelled trace for the end-of-run Chrome export.
+pub fn stash_trace(label: String, trace: aj_obs::Trace) {
+    TRACES.lock().unwrap().push((label, trace));
+}
+
+/// Drain every trace stashed since the previous call.
+pub fn take_traces() -> Vec<(String, aj_obs::Trace)> {
+    std::mem::take(&mut *TRACES.lock().unwrap())
 }
 
 /// Enable/disable the parallel-executor comparison in every measurement
@@ -184,11 +211,20 @@ pub struct Wall {
     pub net_ms: Option<f64>,
     /// Wire bytes serialized on the network backend (only with [`set_net`]).
     pub wire_bytes: Option<u64>,
+    /// Structured-trace events per exchange round (only with [`set_trace`]).
+    pub ev_per_round: Option<f64>,
 }
 
 impl Wall {
     /// Table headers for the wall-clock columns.
-    pub const HEADER: [&'static str; 5] = ["ms(seq)", "ms(par)", "speedup", "ms(net)", "wire(KiB)"];
+    pub const HEADER: [&'static str; 6] = [
+        "ms(seq)",
+        "ms(par)",
+        "speedup",
+        "ms(net)",
+        "wire(KiB)",
+        "ev/round",
+    ];
 
     /// Render the wall-clock columns of a row.
     pub fn cells(&self) -> Vec<String> {
@@ -204,6 +240,11 @@ impl Wall {
         cells.push(
             self.wire_bytes
                 .map(|b| format!("{:.1}", b as f64 / 1024.0))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        cells.push(
+            self.ev_per_round
+                .map(|e| format!("{e:.2}"))
                 .unwrap_or_else(|| "-".to_string()),
         );
         cells
@@ -236,12 +277,22 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
 ) -> (R, u64, Wall) {
     let t0 = Instant::now();
     let mut cluster = Cluster::new(p);
+    if trace_enabled() {
+        cluster.enable_tracing(aj_obs::ObsConfig::default());
+    }
     let out = {
         let mut net = cluster.net();
         f(&mut net)
     };
     let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
     let load = cluster.stats().max_load;
+    // Harvest the trace before any comparison backend runs: the stashed
+    // trace covers exactly the sequential (reference) run of the cell.
+    let trace_events = cluster.take_trace().map(|t| {
+        let n = t.recorded();
+        stash_trace(format!("measure-p{p}-{n}ev"), t);
+        n
+    });
     let par_ms = if parallel_enabled() {
         let t1 = Instant::now();
         let mut par_cluster = Cluster::new_parallel(p);
@@ -292,6 +343,7 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
     } else {
         (None, None)
     };
+    let ev_per_round = trace_events.map(|n| n as f64 / cluster.stats().exchanges.max(1) as f64);
     record(BenchRecord {
         label: "measure".to_string(),
         p,
@@ -304,6 +356,7 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
         wire_payload: None,
         wire_retransmit: None,
         wire_ack: None,
+        trace_events,
     });
     (
         out,
@@ -313,6 +366,7 @@ pub(crate) fn measure<R: PartialEq + std::fmt::Debug>(
             par_ms,
             net_ms,
             wire_bytes,
+            ev_per_round,
         },
     )
 }

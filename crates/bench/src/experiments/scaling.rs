@@ -45,13 +45,25 @@ fn instance(n: u64) -> Database {
     db
 }
 
-/// Best-of-`iters` wall time of one full join on the given cluster kind.
-fn time_join(db: &Database, p: usize, parallel: bool, iters: usize) -> (usize, u64, f64) {
+/// Best-of-`iters` wall time of one full join on the given cluster kind;
+/// the final element is the structured-trace event count (`--trace`,
+/// sequential runs only — the trace is identical across iterations, so one
+/// copy per `p` is stashed for the Chrome export).
+fn time_join(
+    db: &Database,
+    p: usize,
+    parallel: bool,
+    iters: usize,
+) -> (usize, u64, f64, Option<u64>) {
     let mut best = f64::INFINITY;
     let mut out_len = 0;
     let mut load = 0;
+    let mut trace_events = None;
     for _ in 0..iters {
         let mut cluster = cluster(p, parallel);
+        if !parallel && super::trace_enabled() {
+            cluster.enable_tracing(aj_obs::ObsConfig::default());
+        }
         let t0 = Instant::now();
         let out = {
             let mut net = cluster.net();
@@ -65,8 +77,15 @@ fn time_join(db: &Database, p: usize, parallel: bool, iters: usize) -> (usize, u
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
         out_len = out.total_len();
         load = cluster.stats().max_load;
+        if let Some(t) = cluster.take_trace() {
+            let n = t.recorded();
+            if trace_events.is_none() {
+                super::stash_trace(format!("scaling-binary-join-p{p}"), t);
+            }
+            trace_events = Some(n);
+        }
     }
-    (out_len, load, best)
+    (out_len, load, best, trace_events)
 }
 
 pub fn run() -> Vec<ExpTable> {
@@ -83,8 +102,8 @@ pub fn run() -> Vec<ExpTable> {
     );
     let iters = if cfg!(debug_assertions) { 1 } else { 2 };
     for p in [4usize, 8, 16] {
-        let (out_seq, load_seq, seq_ms) = time_join(&db, p, false, iters);
-        let (out_par, load_par, par_ms) = time_join(&db, p, true, iters);
+        let (out_seq, load_seq, seq_ms, trace_events) = time_join(&db, p, false, iters);
+        let (out_par, load_par, par_ms, _) = time_join(&db, p, true, iters);
         assert_eq!(out_seq, out_par, "executors disagree on the result size");
         assert_eq!(load_seq, load_par, "executors disagree on the load");
         super::record(super::BenchRecord {
@@ -99,6 +118,7 @@ pub fn run() -> Vec<ExpTable> {
             wire_payload: None,
             wire_retransmit: None,
             wire_ack: None,
+            trace_events,
         });
         t.row(vec![
             p.to_string(),

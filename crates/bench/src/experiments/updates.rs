@@ -179,6 +179,7 @@ pub fn run() -> Vec<ExpTable> {
                 wire_payload: None,
                 wire_retransmit: None,
                 wire_ack: None,
+                trace_events: None,
             });
             super::record(super::BenchRecord {
                 label: format!("updates:{label}@{:.1}%-recompute", fraction * 100.0),
@@ -192,6 +193,7 @@ pub fn run() -> Vec<ExpTable> {
                 wire_payload: None,
                 wire_retransmit: None,
                 wire_ack: None,
+                trace_events: None,
             });
             t.row(vec![
                 label.to_string(),

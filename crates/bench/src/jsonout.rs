@@ -3,11 +3,12 @@
 //! build environment; the schema is small and flat, so a direct writer keeps
 //! the output stable and dependency-free.
 //!
-//! Schema (version 1):
+//! Schema (version 2; v2 adds the optional `trace_events` counts from
+//! `repro --trace`):
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "parallel": true,
 //!   "experiments": [
 //!     {
@@ -15,6 +16,7 @@
 //!       "wall_ms": 1234.5,
 //!       "seq_ms": 1000.0, "par_ms": 400.0,
 //!       "net_ms": 1200.0, "wire_bytes": 65536,
+//!       "trace_events": 4096,
 //!       "max_load": 9000, "units": 120000,
 //!       "units_per_sec_seq": 120000.0, "units_per_sec_par": 300000.0,
 //!       "cells": [ {"label": "binary-join", "p": 8, ...}, ... ]
@@ -71,7 +73,7 @@ fn rate(units: u64, ms: f64) -> f64 {
 pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"schema\": 2,\n");
     out.push_str(&format!("  \"parallel\": {parallel},\n"));
     out.push_str(&format!("  \"net\": {net},\n"));
     out.push_str("  \"experiments\": [\n");
@@ -100,6 +102,7 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
         let wire_payload = sum_opt(|c| c.wire_payload);
         let wire_retransmit = sum_opt(|c| c.wire_retransmit);
         let wire_ack = sum_opt(|c| c.wire_ack);
+        let trace_events = sum_opt(|c| c.trace_events);
         let max_load = run.cells.iter().map(|c| c.max_load).max().unwrap_or(0);
         let units: u64 = run.cells.iter().map(|c| c.units).sum();
         out.push_str("    {\n");
@@ -122,6 +125,10 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
             opt_u(wire_retransmit)
         ));
         out.push_str(&format!("      \"wire_ack\": {},\n", opt_u(wire_ack)));
+        out.push_str(&format!(
+            "      \"trace_events\": {},\n",
+            opt_u(trace_events)
+        ));
         out.push_str(&format!("      \"max_load\": {max_load},\n"));
         out.push_str(&format!("      \"units\": {units},\n"));
         out.push_str(&format!(
@@ -135,7 +142,7 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
         out.push_str("      \"cells\": [\n");
         for (j, c) in run.cells.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}, \"net_ms\": {}, \"wire_bytes\": {}, \"wire_payload\": {}, \"wire_retransmit\": {}, \"wire_ack\": {}}}{}\n",
+                "        {{\"label\": \"{}\", \"p\": {}, \"max_load\": {}, \"units\": {}, \"seq_ms\": {}, \"par_ms\": {}, \"net_ms\": {}, \"wire_bytes\": {}, \"wire_payload\": {}, \"wire_retransmit\": {}, \"wire_ack\": {}, \"trace_events\": {}}}{}\n",
                 esc(&c.label),
                 c.p,
                 c.max_load,
@@ -147,6 +154,7 @@ pub fn render(parallel: bool, net: bool, runs: &[ExperimentRun]) -> String {
                 opt_u(c.wire_payload),
                 opt_u(c.wire_retransmit),
                 opt_u(c.wire_ack),
+                opt_u(c.trace_events),
                 if j + 1 == run.cells.len() { "" } else { "," }
             ));
         }
@@ -181,12 +189,15 @@ mod tests {
                 wire_payload: None,
                 wire_retransmit: None,
                 wire_ack: None,
+                trace_events: Some(42),
             }],
         }];
         let s = render(true, false, &runs);
-        assert!(s.contains("\"schema\": 1"));
+        assert!(s.contains("\"schema\": 2"));
         assert!(s.contains("\"id\": \"demo\""));
         assert!(s.contains("\"par_ms\": 2.500"));
+        // Experiment-level sum and the per-cell line both carry the count.
+        assert_eq!(s.matches("\"trace_events\": 42").count(), 2);
         assert!(s.contains("\"units_per_sec_seq\": 20000.000"));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
@@ -210,6 +221,7 @@ mod tests {
                 wire_payload: None,
                 wire_retransmit: None,
                 wire_ack: None,
+                trace_events: None,
             }],
         }];
         let s = render(false, true, &runs);
@@ -241,11 +253,13 @@ mod tests {
                 wire_payload: None,
                 wire_retransmit: None,
                 wire_ack: None,
+                trace_events: None,
             }],
         }];
         let s = render(false, false, &runs);
         assert!(s.contains("\"par_ms\": null"));
         assert!(s.contains("\"units_per_sec_par\": null"));
+        assert!(s.contains("\"trace_events\": null"));
     }
 
     #[test]
@@ -265,6 +279,7 @@ mod tests {
                 wire_payload: Some(500),
                 wire_retransmit: Some(50),
                 wire_ack: Some(150),
+                trace_events: None,
             }],
         }];
         let s = render(false, true, &runs);

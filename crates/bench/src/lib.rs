@@ -16,7 +16,8 @@ pub mod table;
 
 pub use experiments::{
     net_enabled, net_uds_enabled, parallel_enabled, probe_net_transport, set_net, set_net_uds,
-    set_parallel, take_records, try_net_cluster, BenchRecord, Wall,
+    set_parallel, set_trace, take_records, take_traces, trace_enabled, try_net_cluster,
+    BenchRecord, Wall,
 };
 pub use jsonout::ExperimentRun;
 pub use table::ExpTable;

@@ -913,6 +913,15 @@ pub(crate) fn apply_update(
         repl,
         cluster.p(),
     );
+    if cluster.tracing_enabled() {
+        cluster.trace_event(aj_obs::Event::MaintenanceDecision {
+            view: id.0 as u64,
+            chosen: strategy.to_string(),
+            batch: batch_size,
+            maintain_cost: maintain_est,
+            recompute_cost: recompute_est,
+        });
+    }
     cluster.begin_epoch();
     match strategy {
         MaintenanceChoice::Recompute => {

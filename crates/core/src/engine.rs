@@ -42,6 +42,7 @@
 use aj_primitives::FxHashMap;
 
 use aj_mpc::{Cluster, EpochStats, Stats};
+use aj_obs::{Event, ObsConfig, Trace};
 use aj_relation::classify::{classify, AttributeForest, JoinClass};
 use aj_relation::signature::QuerySignature;
 use aj_relation::skew::JoinSkew;
@@ -51,7 +52,9 @@ use crate::aggregate::output_size_with_tree;
 use crate::binary::detect_join_skew;
 use crate::delta::{self, MaterializedView, UpdateOutcome, ViewCheckpoint, ViewId};
 use crate::dist::distribute_db;
-use crate::planner::{choose_plan_skew, execute_plan_skew, Plan};
+use crate::planner::{
+    candidate_costs, choose_plan_skew, cyclic_candidate_costs, execute_plan_skew, Plan,
+};
 use crate::DistRelation;
 use aj_relation::delta::UpdateBatch;
 
@@ -128,6 +131,12 @@ pub struct QueryOutcome {
     pub out_size: Option<u64>,
     /// The cost model's load estimate for the chosen plan, if it ran.
     pub estimated_load: Option<f64>,
+    /// Every candidate the cost model priced, `(plan, estimated load)`, in
+    /// dispatch order — the chosen plan included. Empty when class-only
+    /// dispatch ran (nothing was priced). What a trace's `PlanDecision`
+    /// event and [`QueryEngine::explain`] render as the rejected
+    /// alternatives.
+    pub alternatives: Vec<(Plan, f64)>,
     /// The heavy-hitter profile detected during planning (skew-aware
     /// engines on binary joins only). Charged to the planning epoch.
     pub skew: Option<JoinSkew>,
@@ -245,6 +254,32 @@ impl QueryEngine {
         self.cache.get(&QuerySignature::of(q))
     }
 
+    /// Enable structured tracing on the underlying cluster (see [`aj_obs`]):
+    /// from here on, exchanges, epoch boundaries, plan and maintenance
+    /// decisions, checkpoint/recovery operations and bag materializations
+    /// are recorded into a bounded in-memory [`Trace`]. The logical event
+    /// stream is a pure function of the served requests — bit-identical
+    /// across the sequential, parallel and network backends. Replaces any
+    /// previous trace.
+    pub fn enable_tracing(&mut self, cfg: ObsConfig) {
+        self.cluster.enable_tracing(cfg);
+    }
+
+    /// Is structured tracing active?
+    pub fn tracing_enabled(&self) -> bool {
+        self.cluster.tracing_enabled()
+    }
+
+    /// The trace recorded so far, when tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.cluster.trace()
+    }
+
+    /// Detach and return the trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.cluster.take_trace()
+    }
+
     /// Serve one request.
     ///
     /// Like the whole workspace, the engine assumes **set semantics**:
@@ -287,38 +322,63 @@ impl QueryEngine {
         // profiles binary joins here — detection is planning work, so its
         // gather/broadcast rounds are charged to the planning epoch.
         self.cluster.begin_epoch();
-        let (plan, out_size, est, skew) = if self.config.cost_based && class != JoinClass::Cyclic {
-            let tree = artifacts
-                .join_tree
-                .as_ref()
-                .expect("acyclic shapes have a cached join tree");
-            let mut plan_seed = mix(self.config.seed ^ PLANNING_SALT, fingerprint);
-            let out = {
-                let mut net = self.cluster.net();
-                output_size_with_tree(&mut net, tree, &dist, &mut plan_seed)
-            };
-            let skew = if self.config.skew_aware && hybrid_applicable(q) {
-                let mut net = self.cluster.net();
-                Some(
-                    detect_join_skew(&mut net, &dist[0], &dist[1], self.config.skew_top_k)
-                        .significant(p),
-                )
+        let (plan, out_size, est, skew, alternatives) =
+            if self.config.cost_based && class != JoinClass::Cyclic {
+                let tree = artifacts
+                    .join_tree
+                    .as_ref()
+                    .expect("acyclic shapes have a cached join tree");
+                let mut plan_seed = mix(self.config.seed ^ PLANNING_SALT, fingerprint);
+                let out = {
+                    let mut net = self.cluster.net();
+                    output_size_with_tree(&mut net, tree, &dist, &mut plan_seed)
+                };
+                let skew = if self.config.skew_aware && hybrid_applicable(q) {
+                    let mut net = self.cluster.net();
+                    Some(
+                        detect_join_skew(&mut net, &dist[0], &dist[1], self.config.skew_top_k)
+                            .significant(p),
+                    )
+                } else {
+                    None
+                };
+                let (plan, est) = choose_plan_skew(class, in_size, out, p, skew.as_ref());
+                let mut alternatives = candidate_costs(class, in_size, out, p);
+                if let Some(profile) = &skew {
+                    alternatives.push((
+                        Plan::SkewHybrid,
+                        crate::binary::hybrid_load_estimate(profile, in_size, p),
+                    ));
+                }
+                (plan, Some(out), Some(est), skew, alternatives)
+            } else if self.config.cost_based && class == JoinClass::Cyclic {
+                // Cyclic cost-based planning is communication-free: per-relation
+                // sizes are driver-visible metadata, and both candidate prices
+                // (whole-query HyperCube vs the GHD bag route) are closed forms
+                // over them — the planning epoch stays empty.
+                let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
+                let alternatives = cyclic_candidate_costs(q, &sizes, p);
+                let (plan, est) = crate::planner::choose_plan_cyclic(q, &sizes, p);
+                (plan, None, Some(est), None, alternatives)
             } else {
-                None
+                (Plan::for_class(class), None, None, None, Vec::new())
             };
-            let (plan, est) = choose_plan_skew(class, in_size, out, p, skew.as_ref());
-            (plan, Some(out), Some(est), skew)
-        } else if self.config.cost_based && class == JoinClass::Cyclic {
-            // Cyclic cost-based planning is communication-free: per-relation
-            // sizes are driver-visible metadata, and both candidate prices
-            // (whole-query HyperCube vs the GHD bag route) are closed forms
-            // over them — the planning epoch stays empty.
-            let sizes: Vec<u64> = dist.iter().map(|r| r.total_len() as u64).collect();
-            let (plan, est) = crate::planner::choose_plan_cyclic(q, &sizes, p);
-            (plan, None, Some(est), None)
-        } else {
-            (Plan::for_class(class), None, None, None)
-        };
+        // The decision event precedes the planning-epoch boundary: a trace
+        // reads "counting rounds, decision, epoch close" in program order.
+        if self.cluster.tracing_enabled() {
+            self.cluster.trace_event(Event::PlanDecision {
+                fingerprint,
+                class: format!("{class:?}"),
+                chosen: plan.to_string(),
+                alternatives: alternatives
+                    .iter()
+                    .map(|&(cand, cost)| aj_obs::Alternative {
+                        plan: cand.to_string(),
+                        cost,
+                    })
+                    .collect(),
+            });
+        }
         let planning = self.cluster.epoch();
 
         // Execution phase: a per-shape seed stream independent of the
@@ -341,6 +401,7 @@ impl QueryEngine {
             in_size,
             out_size,
             estimated_load: est,
+            alternatives,
             skew,
             output,
             planning,
@@ -429,8 +490,13 @@ impl QueryEngine {
     ///
     /// # Panics
     /// Panics on an unknown [`ViewId`].
-    pub fn checkpoint(&self, id: ViewId) -> ViewCheckpoint {
-        delta::checkpoint(&self.views[id.0])
+    pub fn checkpoint(&mut self, id: ViewId) -> ViewCheckpoint {
+        let ckpt = delta::checkpoint(&self.views[id.0]);
+        self.cluster.trace_event(Event::Checkpoint {
+            view: id.0 as u64,
+            rows: self.views[id.0].out_size(),
+        });
+        ckpt
     }
 
     /// Restore a registered view from a checkpoint: base mirror, counters,
@@ -444,7 +510,12 @@ impl QueryEngine {
     /// match the view's query.
     pub fn restore(&mut self, id: ViewId, ckpt: &ViewCheckpoint) -> EpochStats {
         let view = self.views.get_mut(id.0).expect("unknown view id");
-        delta::restore(&mut self.cluster, view, ckpt)
+        let epoch = delta::restore(&mut self.cluster, view, ckpt);
+        self.cluster.trace_event(Event::Restore {
+            view: id.0 as u64,
+            rows: self.views[id.0].out_size(),
+        });
+        epoch
     }
 
     /// Crash recovery: fence the aborted exchange (so in-flight frames of
@@ -467,10 +538,14 @@ impl QueryEngine {
     ) -> RecoveryReport {
         self.cluster.fence_round();
         let restore = self.restore(id, ckpt);
-        let replayed = pending
+        let replayed: Vec<UpdateOutcome> = pending
             .iter()
             .map(|batch| self.apply_update(id, batch))
             .collect();
+        self.cluster.trace_event(Event::Recover {
+            view: id.0 as u64,
+            replayed: replayed.len() as u64,
+        });
         RecoveryReport { restore, replayed }
     }
 
@@ -538,6 +613,99 @@ impl QueryEngine {
             applied,
             recoveries,
         }
+    }
+
+    /// Render a human-readable **EXPLAIN** of one served request: the chosen
+    /// plan against every priced alternative (with the closed-form cost the
+    /// planner compared), and the prediction against the measured per-epoch
+    /// loads. A pure function of the outcome — byte-identical across
+    /// backends and repeated runs of the same request.
+    pub fn explain(&self, outcome: &QueryOutcome) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query: class={:?} in={} out={} cache_hit={}",
+            outcome.class,
+            outcome.in_size,
+            outcome
+                .out_size
+                .map_or_else(|| "?".to_string(), |o| o.to_string()),
+            outcome.cache_hit,
+        );
+        if outcome.alternatives.is_empty() {
+            let _ = writeln!(
+                out,
+                "plan: {} (class dispatch, nothing priced)",
+                outcome.plan
+            );
+        } else {
+            let _ = writeln!(out, "plan: {}", outcome.plan);
+            let _ = writeln!(out, "candidates:");
+            for &(cand, cost) in &outcome.alternatives {
+                let marker = if cand == outcome.plan {
+                    "  <- chosen"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<6} est_load {:.3}{}",
+                    cand.to_string(),
+                    cost,
+                    marker
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "planning : rounds={} max_load={} messages={}",
+            outcome.planning.exchanges, outcome.planning.max_load, outcome.planning.total_messages,
+        );
+        let _ = writeln!(
+            out,
+            "execution: rounds={} max_load={} messages={}",
+            outcome.execution.exchanges,
+            outcome.execution.max_load,
+            outcome.execution.total_messages,
+        );
+        if let Some(est) = outcome.estimated_load {
+            let _ = writeln!(
+                out,
+                "predicted vs actual: est {:.3}, measured execution max {}",
+                est, outcome.execution.max_load,
+            );
+        }
+        out
+    }
+
+    /// [`QueryEngine::explain`] for a registered view: the build plan,
+    /// current sizes and churn, and the loads of the most recent full build.
+    ///
+    /// # Panics
+    /// Panics on an unknown [`ViewId`].
+    pub fn explain_view(&self, id: ViewId) -> String {
+        use std::fmt::Write as _;
+        let view = &self.views[id.0];
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "view v{}: class={:?} plan={} out={} cum_delta={} rebuilds={}",
+            id.0,
+            view.class(),
+            view.plan(),
+            view.out_size(),
+            view.cum_delta(),
+            view.rebuilds(),
+        );
+        let _ = writeln!(out, "base: in={}", view.base().input_size());
+        let reg = view.registration();
+        let _ = writeln!(
+            out,
+            "last full build: rounds={} max_load={} messages={}",
+            reg.exchanges, reg.max_load, reg.total_messages,
+        );
+        out
     }
 }
 

@@ -68,8 +68,9 @@ pub fn materialize_bags(
 ) -> DistDatabase {
     ghd.edges_of
         .iter()
-        .map(|es| {
-            if let [e] = es[..] {
+        .enumerate()
+        .map(|(bag, es)| {
+            let rel = if let [e] = es[..] {
                 // A single-edge bag is the relation itself; normalizing the
                 // column order is a free local operation.
                 dist[e].normalized()
@@ -77,7 +78,15 @@ pub fn materialize_bags(
                 let (sub_q, kept) = q.restrict(EdgeSet::from_iter(es.iter().copied()));
                 let sub_dist: DistDatabase = kept.iter().map(|&e| dist[e].clone()).collect();
                 leapfrog_join(net, &sub_q, sub_dist, next_seed(seed))
+            };
+            if net.tracing_enabled() {
+                net.trace_event(aj_obs::Event::BagMaterialized {
+                    bag: bag as u64,
+                    edges: es.len() as u64,
+                    rows: rel.total_len() as u64,
+                });
             }
+            rel
         })
         .collect()
 }

@@ -151,43 +151,55 @@ pub fn choose_plan_skew(
     }
 }
 
+/// The priced candidate set [`choose_plan`] compares for a class: every
+/// applicable closed-form plan paired with its estimated load, in the fixed
+/// dispatch order. Cyclic classes have no `(IN, OUT)` closed form (see
+/// [`cyclic_candidate_costs`]) and return an empty set. This is the list a
+/// trace's `PlanDecision` event records as the rejected alternatives.
+pub fn candidate_costs(
+    class: JoinClass,
+    in_size: u64,
+    out_size: u64,
+    p: usize,
+) -> Vec<(Plan, f64)> {
+    let candidates: &[Plan] = match class {
+        JoinClass::Cyclic => return Vec::new(),
+        JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
+            &[Plan::InstanceOptimal, Plan::OutputOptimal, Plan::Yannakakis]
+        }
+        JoinClass::Acyclic => &[Plan::OutputOptimal, Plan::Yannakakis],
+    };
+    candidates
+        .iter()
+        .map(|&plan| (plan, estimated_load(plan, in_size, out_size, p)))
+        .collect()
+}
+
 /// Cost-based plan choice: given the query's class and the exact `OUT`
 /// (from the Corollary-4 counting pass, load `O(IN/p)`), compare the
 /// closed-form bounds of every *applicable* algorithm and pick the
 /// cheapest. Ties fall back to [`plan_for`]'s class answer — the cost model
 /// refines class dispatch, it never contradicts it without evidence.
 pub fn choose_plan(class: JoinClass, in_size: u64, out_size: u64, p: usize) -> Plan {
-    let candidates: &[Plan] = match class {
-        JoinClass::Cyclic => &[Plan::WorstCase],
-        JoinClass::TallFlat | JoinClass::Hierarchical | JoinClass::RHierarchical => {
-            &[Plan::InstanceOptimal, Plan::OutputOptimal, Plan::Yannakakis]
-        }
-        JoinClass::Acyclic => &[Plan::OutputOptimal, Plan::Yannakakis],
-    };
-    if let [only] = candidates {
-        return *only; // cyclic: no bound comparison to run
+    let priced = candidate_costs(class, in_size, out_size, p);
+    if priced.is_empty() {
+        return Plan::for_class(class); // cyclic: no bound comparison to run
     }
     let class_plan = Plan::for_class(class);
-    let costs: Vec<f64> = candidates
-        .iter()
-        .map(|&plan| estimated_load(plan, in_size, out_size, p))
-        .collect();
-    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let best = priced.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
     // Relative tolerance: bounds computed from the same IN/OUT/p differ only
     // meaningfully; hair-width gaps are ties.
     let tied = |c: f64| c <= best * (1.0 + 1e-9) + 1e-9;
-    if candidates
+    if priced
         .iter()
-        .zip(&costs)
-        .any(|(&plan, &c)| plan == class_plan && tied(c))
+        .any(|&(plan, c)| plan == class_plan && tied(c))
     {
         return class_plan;
     }
-    candidates
+    priced
         .iter()
-        .zip(&costs)
-        .find(|(_, &c)| tied(c))
-        .map(|(&plan, _)| plan)
+        .find(|&&(_, c)| tied(c))
+        .map(|&(plan, _)| plan)
         .expect("nonempty candidate set")
 }
 
@@ -216,18 +228,31 @@ pub fn choose_plan(class: JoinClass, in_size: u64, out_size: u64, p: usize) -> P
 /// assert_eq!(plan, Plan::WorstCase);
 /// ```
 pub fn choose_plan_cyclic(q: &Query, sizes: &[u64], p: usize) -> (Plan, f64) {
-    let wc = bounds::wc_share_cost(q, sizes, p);
-    if let Some(ghd) = aj_relation::Ghd::build(q) {
-        if !ghd.is_trivial() {
-            let gc = bounds::ghd_cost(q, &ghd, sizes, p);
-            // Strict-improvement rule with the same hair-width tolerance as
-            // choose_plan: a tie is not evidence against the class answer.
-            if gc < wc * (1.0 - 1e-9) - 1e-9 {
-                return (Plan::Ghd, gc);
-            }
+    let priced = cyclic_candidate_costs(q, sizes, p);
+    let wc = priced[0].1;
+    for &(plan, c) in &priced[1..] {
+        // Strict-improvement rule with the same hair-width tolerance as
+        // choose_plan: a tie is not evidence against the class answer.
+        if c < wc * (1.0 - 1e-9) - 1e-9 {
+            return (plan, c);
         }
     }
     (Plan::WorstCase, wc)
+}
+
+/// The priced candidate set [`choose_plan_cyclic`] compares: whole-query
+/// HyperCube first (always present — it is the class answer), then the GHD
+/// bag route when the query admits a non-trivial decomposition. The cyclic
+/// counterpart of [`candidate_costs`], recorded by `PlanDecision` trace
+/// events.
+pub fn cyclic_candidate_costs(q: &Query, sizes: &[u64], p: usize) -> Vec<(Plan, f64)> {
+    let mut priced = vec![(Plan::WorstCase, bounds::wc_share_cost(q, sizes, p))];
+    if let Some(ghd) = aj_relation::Ghd::build(q) {
+        if !ghd.is_trivial() {
+            priced.push((Plan::Ghd, bounds::ghd_cost(q, &ghd, sizes, p)));
+        }
+    }
+    priced
 }
 
 /// How a registered view should absorb one update batch — the output of the

@@ -1,6 +1,7 @@
 //! The cluster: server bookkeeping, the communication entry point, and the
 //! round API the executors drive.
 
+use aj_obs::{Event, ObsConfig, RoundKind, Trace};
 use aj_relation::TupleBlock;
 
 use crate::executor::{
@@ -31,6 +32,14 @@ pub struct Cluster {
     p: usize,
     stats: Stats,
     executor: Box<dyn Execute>,
+    /// Structured event trace; `None` (the default) records nothing and
+    /// costs nothing on the round path.
+    trace: Option<Trace>,
+    /// Epoch boundaries seen since creation / [`Cluster::reset_stats`].
+    epoch_index: u64,
+    /// Last physical frame counters folded into the trace, so each round
+    /// barrier records only the delta (network backends only).
+    frames_seen: crate::net_executor::FrameStats,
 }
 
 impl Cluster {
@@ -124,6 +133,9 @@ impl Cluster {
             p,
             stats: Stats::new(p),
             executor,
+            trace: None,
+            epoch_index: 0,
+            frames_seen: crate::net_executor::FrameStats::default(),
         }
     }
 
@@ -154,9 +166,59 @@ impl Cluster {
     }
 
     /// Reset all measurements (the data the caller holds is untouched).
-    /// Also clears the round log and discards the current epoch.
+    /// Also clears the round log, discards the current epoch, and empties
+    /// the event trace (tracing stays enabled if it was).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::new(self.p);
+        self.epoch_index = 0;
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        // Pre-reset transport recovery traffic belongs to no traced round.
+        self.sync_frames_seen();
+    }
+
+    /// Start recording structured events (see [`aj_obs::Trace`]). Replaces
+    /// any previous trace. With tracing off — the default — the round path
+    /// records nothing: zero events, zero allocation, pinned loads
+    /// unchanged.
+    pub fn enable_tracing(&mut self, cfg: ObsConfig) {
+        self.trace = Some(Trace::new(cfg));
+        self.sync_frames_seen();
+    }
+
+    /// Is structured tracing active?
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The recorded trace so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Detach and return the trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Record a driver-side event into the trace (no-op when tracing is
+    /// off). Engine layers use this for plan/maintenance decisions,
+    /// checkpoint transitions, and bag materializations.
+    pub fn trace_event(&mut self, event: Event) {
+        if let Some(t) = &mut self.trace {
+            t.record(event);
+        }
+    }
+
+    /// Align the physical frame-counter snapshot with the executor, so the
+    /// next traced round reports only traffic from here on.
+    fn sync_frames_seen(&mut self) {
+        self.frames_seen = self
+            .executor
+            .as_net()
+            .map(NetExecutor::frame_stats)
+            .unwrap_or_default();
     }
 
     /// Close the current stats **epoch** and open a new one, returning the
@@ -169,13 +231,31 @@ impl Cluster {
     /// phases or queries: the cumulative [`Stats::max_load`] is monotone, so
     /// only an epoch can tell how much a *specific* interval contributed.
     pub fn epoch(&mut self) -> EpochStats {
-        self.stats.roll_epoch()
+        let closed = self.stats.roll_epoch();
+        self.note_epoch(&closed);
+        closed
     }
 
     /// Discard the current epoch accumulators and start a fresh epoch.
     /// Cumulative [`Stats`] are unaffected.
     pub fn begin_epoch(&mut self) {
-        let _ = self.stats.roll_epoch();
+        let closed = self.stats.roll_epoch();
+        self.note_epoch(&closed);
+    }
+
+    /// Trace an epoch boundary. Boundaries are driver-side (the engine
+    /// rolls epochs between rounds), so the event stream is identical on
+    /// every backend.
+    fn note_epoch(&mut self, closed: &EpochStats) {
+        if let Some(t) = &mut self.trace {
+            t.record(Event::EpochBoundary {
+                index: self.epoch_index,
+                exchanges: closed.exchanges,
+                max_load: closed.max_load,
+                total_messages: closed.total_messages,
+            });
+        }
+        self.epoch_index += 1;
     }
 
     /// Discard the per-round log backing [`Stats::delta_since`] up to the
@@ -191,8 +271,44 @@ impl Cluster {
     /// server `lo + s * stride`. Runs on the coordinating thread at the round
     /// barrier; the per-receiver counts themselves are computed (possibly
     /// concurrently) by whichever thread assembled each inbox.
-    fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64]) {
+    ///
+    /// With tracing on, this barrier is also where the round's
+    /// [`Event::Exchange`] is recorded — after every worker closure has
+    /// returned, on the coordinator, so the logical event stream is
+    /// bit-identical across backends — and where the network executor's
+    /// physical frame counters are snapshotted into an [`Event::Transport`]
+    /// delta (kept on the separate physical ring).
+    fn record_round(&mut self, lo: usize, stride: usize, counts: &[u64], kind: RoundKind) {
+        let seq = self.stats.exchanges;
         self.stats.record_round(lo, stride, counts);
+        if self.trace.is_none() {
+            return;
+        }
+        self.trace
+            .as_mut()
+            .expect("checked")
+            .record(Event::Exchange {
+                seq,
+                kind,
+                lo: lo as u64,
+                stride: stride as u64,
+                counts: counts.to_vec(),
+            });
+        if let Some(nx) = self.executor.as_net() {
+            let now = nx.frame_stats();
+            let delta = now.since(&self.frames_seen);
+            if delta != crate::net_executor::FrameStats::default() {
+                self.frames_seen = now;
+                self.trace
+                    .as_mut()
+                    .expect("checked")
+                    .record(Event::Transport {
+                        retransmits: delta.retransmits,
+                        acks: delta.acks,
+                        dups: delta.dups,
+                    });
+            }
+        }
     }
 
     /// Retire the current exchange sequence number after an **aborted**
@@ -205,7 +321,7 @@ impl Cluster {
     /// detected failure before resuming work; on a healthy cluster it is a
     /// harmless no-op round.
     pub fn fence_round(&mut self) {
-        self.record_round(0, 1, &[]);
+        self.record_round(0, 1, &[], RoundKind::Fence);
     }
 }
 
@@ -319,7 +435,8 @@ impl Net<'_> {
         } else {
             self.route_sequential(outbox)
         };
-        self.cluster.record_round(self.lo, self.stride, &counts);
+        self.cluster
+            .record_round(self.lo, self.stride, &counts, RoundKind::Items);
         inbox
     }
 
@@ -479,7 +596,8 @@ impl Net<'_> {
         } else {
             self.route_rows_sequential(arity, outbox)
         };
-        self.cluster.record_round(self.lo, self.stride, &counts);
+        self.cluster
+            .record_round(self.lo, self.stride, &counts, RoundKind::Rows);
         inbox
     }
 
@@ -815,6 +933,17 @@ impl Net<'_> {
     /// Current statistics of the underlying cluster.
     pub fn stats(&self) -> &Stats {
         self.cluster.stats()
+    }
+
+    /// Is structured tracing active on the underlying cluster?
+    pub fn tracing_enabled(&self) -> bool {
+        self.cluster.tracing_enabled()
+    }
+
+    /// Record a driver-side event into the cluster's trace (no-op when
+    /// tracing is off). See [`Cluster::trace_event`].
+    pub fn trace_event(&mut self, event: Event) {
+        self.cluster.trace_event(event);
     }
 }
 

@@ -56,12 +56,13 @@ mod stats;
 pub mod transport;
 pub mod wire;
 
+pub use aj_obs::{Event as TraceEvent, ObsConfig, RoundKind, Trace};
 pub use aj_relation::TupleBlock;
 pub use cluster::{Cluster, Net, ServerId};
 pub use executor::{Execute, ParExecutor, SeqExecutor};
 pub use fault::{CrashPoint, FaultPlan, FaultyTransport, InjectedCrash, LinkPartition};
 pub use hashing::{hash_mix, hash_to_server, HashKey};
-pub use net_executor::{NetExecutor, PeerAbort, WireBytes};
+pub use net_executor::{FrameStats, NetExecutor, PeerAbort, WireBytes};
 pub use partitioned::Partitioned;
 pub use rows::{BlockPartitioned, DeltaBlock, DeltaOutbox, RowOutbox};
 pub use skew::detect_heavy_hitters;

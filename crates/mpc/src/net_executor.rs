@@ -117,6 +117,36 @@ impl WireBytes {
     }
 }
 
+/// Frame **counts** of the reliable protocol's recovery machinery (the
+/// byte-level view is [`WireBytes`]): retransmitted data frames, ack frames
+/// sent, and duplicate or stale frames the dedup filter discarded. All zero
+/// on a raw (non-reliable) executor. Cumulative; the cluster snapshots
+/// deltas at round barriers to emit physical trace events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Data frames re-sent on probe timeout.
+    pub retransmits: u64,
+    /// Ack frames sent.
+    pub acks: u64,
+    /// Duplicate or stale inbound frames discarded.
+    pub dups: u64,
+}
+
+impl FrameStats {
+    /// Component-wise difference against an earlier snapshot.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is not a prefix of `self` (counters are
+    /// monotone).
+    pub fn since(&self, earlier: &FrameStats) -> FrameStats {
+        FrameStats {
+            retransmits: self.retransmits - earlier.retransmits,
+            acks: self.acks - earlier.acks,
+            dups: self.dups - earlier.dups,
+        }
+    }
+}
+
 /// Completion barrier of one reliable exchange, shared by its participants:
 /// a server increments `done` once it has received every inbox frame *and*
 /// seen every frame it sent acked, and exits only when all `participants`
@@ -399,6 +429,9 @@ pub struct NetExecutor {
     payload_bytes: AtomicU64,
     retransmit_bytes: AtomicU64,
     ack_bytes: AtomicU64,
+    retransmit_frames: AtomicU64,
+    ack_frames: AtomicU64,
+    dup_frames: AtomicU64,
 }
 
 impl std::fmt::Debug for NetExecutor {
@@ -456,6 +489,9 @@ impl NetExecutor {
             payload_bytes: AtomicU64::new(0),
             retransmit_bytes: AtomicU64::new(0),
             ack_bytes: AtomicU64::new(0),
+            retransmit_frames: AtomicU64::new(0),
+            ack_frames: AtomicU64::new(0),
+            dup_frames: AtomicU64::new(0),
         }
     }
 
@@ -489,6 +525,16 @@ impl NetExecutor {
             payload: self.payload_bytes.load(Ordering::Relaxed),
             retransmit: self.retransmit_bytes.load(Ordering::Relaxed),
             ack: self.ack_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Frame **counts** of the recovery machinery so far (see
+    /// [`FrameStats`]). On a raw (non-reliable) executor, all zero.
+    pub fn frame_stats(&self) -> FrameStats {
+        FrameStats {
+            retransmits: self.retransmit_frames.load(Ordering::Relaxed),
+            acks: self.ack_frames.load(Ordering::Relaxed),
+            dups: self.dup_frames.load(Ordering::Relaxed),
         }
     }
 
@@ -605,6 +651,7 @@ impl NetExecutor {
                     if frame.seq < seq {
                         // Leftover of an aborted or delayed earlier
                         // exchange (retired via `Cluster::fence_round`).
+                        self.dup_frames.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if frame.kind == FrameKind::Ack {
@@ -620,10 +667,13 @@ impl NetExecutor {
                         let ack = Frame::ack(seq, abs_s as u64);
                         self.ack_bytes
                             .fetch_add(ack.wire_bytes(), Ordering::Relaxed);
+                        self.ack_frames.fetch_add(1, Ordering::Relaxed);
                         transport.send(abs_s, lo + sender * stride, ack);
                         if inbox[sender].is_none() {
                             inbox[sender] = Some(frame);
                             n_got += 1;
+                        } else {
+                            self.dup_frames.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
@@ -634,6 +684,7 @@ impl NetExecutor {
                             if !acked[d] {
                                 self.retransmit_bytes
                                     .fetch_add(frame.wire_bytes(), Ordering::Relaxed);
+                                self.retransmit_frames.fetch_add(1, Ordering::Relaxed);
                                 transport.send(abs_s, lo + d * stride, frame.clone());
                             }
                         }

@@ -1,0 +1,798 @@
+//! Deterministic structured tracing for the acyclic-joins engine.
+//!
+//! A [`Trace`] records the **logical events** of a run — communication
+//! rounds, stats-epoch boundaries, plan and maintenance decisions with
+//! every priced alternative, checkpoint/restore/recovery transitions, and
+//! GHD bag materializations — as a pure function of the run. Like
+//! `aj_mpc::Stats`, the logical event stream is **bit-identical across the
+//! sequential, parallel, and network backends**: every logical event is
+//! recorded driver-side at a round barrier or in driver-only planning code,
+//! never from a worker thread, so neither thread scheduling nor transport
+//! behavior can reorder it. The conformance suite asserts this, which makes
+//! traces a second differential oracle alongside `Stats`.
+//!
+//! **Physical events** ([`Event::Transport`]: retransmitted, acked, and
+//! deduplicated frames of the reliable network protocol) are inherently
+//! timing-dependent, so they live in a *separate* bounded ring: they can
+//! never evict logical events, and [`Trace::logical_events`] never returns
+//! them. Fault-injected runs therefore produce the same logical trace as a
+//! fault-free run, with the recovery traffic visible on the physical side.
+//!
+//! Wall-clock enrichment is **opt-in** ([`ObsConfig::wall_clock`]) and
+//! strictly confined: timestamps ride alongside events in the ring
+//! ([`Entry::ts_us`]) and feed only the exporters — never results, routing,
+//! retries, or the logical comparison, which strips them. The only wall
+//! clock read in the crate lives in [`wall`], the single file the
+//! `aj_analyze` `wall-clock` rule exempts.
+//!
+//! Exporters: [`chrome`] (Chrome trace-event JSON, loadable in Perfetto /
+//! `chrome://tracing`) and [`metrics`] (flat text counters and load/round
+//! histograms). Traces round-trip through a flat-`u64` codec
+//! ([`Trace::encode`] / [`Trace::decode`]) so they can travel through the
+//! same carriers as every other flat buffer in the workspace.
+
+#![deny(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+
+pub mod chrome;
+pub mod metrics;
+pub mod wall;
+
+/// Which exchange shape a communication round carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundKind {
+    /// A per-item exchange (`Net::exchange`).
+    Items,
+    /// A columnar block exchange (`Net::exchange_rows` — delta rounds are
+    /// row rounds at arity + 1).
+    Rows,
+    /// A fence: an empty round retiring an aborted exchange sequence number
+    /// (`Cluster::fence_round`).
+    Fence,
+}
+
+impl RoundKind {
+    /// Stable lowercase name (used by the exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoundKind::Items => "items",
+            RoundKind::Rows => "rows",
+            RoundKind::Fence => "fence",
+        }
+    }
+}
+
+/// One priced plan candidate of a [`Event::PlanDecision`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// Plan name (the planner's `Display` form: `thm3`, `thm7`, `yann`,
+    /// `hcube`, `ghd`, `hybrid`).
+    pub plan: String,
+    /// The closed-form load estimate the planner compared.
+    pub cost: f64,
+}
+
+/// One structured trace event.
+///
+/// All variants except [`Event::Transport`] are **logical**: pure functions
+/// of the run, recorded driver-side, bit-identical across backends.
+/// `Transport` is **physical**: it meters the reliable protocol's recovery
+/// traffic, which depends on transport timing and fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One communication round at the round barrier: `counts[i]` units were
+    /// received by local server `i` of the view `(lo, stride)`.
+    Exchange {
+        /// The cluster-wide exchange sequence number of this round.
+        seq: u64,
+        /// Exchange shape.
+        kind: RoundKind,
+        /// Absolute id of the view's first server.
+        lo: u64,
+        /// Stride between the view's servers.
+        stride: u64,
+        /// Units received per local server.
+        counts: Vec<u64>,
+    },
+    /// A stats epoch closed (`Cluster::epoch` / `Cluster::begin_epoch`),
+    /// carrying the closed interval's measurements.
+    EpochBoundary {
+        /// Zero-based boundary counter since tracing was enabled/reset.
+        index: u64,
+        /// Rounds in the closed epoch.
+        exchanges: u64,
+        /// Max per-server round load of the closed epoch.
+        max_load: u64,
+        /// Total units moved in the closed epoch.
+        total_messages: u64,
+    },
+    /// The cost-based planner chose a plan for one query.
+    PlanDecision {
+        /// The query shape's signature fingerprint (its seed-stream key).
+        fingerprint: u64,
+        /// Table-1 class name of the shape.
+        class: String,
+        /// The chosen plan's name.
+        chosen: String,
+        /// Every candidate the planner priced, chosen included (empty under
+        /// class-only dispatch, which prices nothing).
+        alternatives: Vec<Alternative>,
+    },
+    /// The maintain-vs-recompute decision for one update batch.
+    MaintenanceDecision {
+        /// The registered view's id.
+        view: u64,
+        /// `maintain` or `recompute`.
+        chosen: String,
+        /// Signed rows in the batch.
+        batch: u64,
+        /// Priced cost of the delta pass.
+        maintain_cost: f64,
+        /// Priced cost of a full rebuild.
+        recompute_cost: f64,
+    },
+    /// A crash-consistent view checkpoint was captured.
+    Checkpoint {
+        /// The registered view's id.
+        view: u64,
+        /// Distinct output tuples in the checkpoint snapshot.
+        rows: u64,
+    },
+    /// A view was restored from a checkpoint.
+    Restore {
+        /// The registered view's id.
+        view: u64,
+        /// Distinct output tuples installed from the snapshot.
+        rows: u64,
+    },
+    /// Crash recovery ran: fence, restore, then replay.
+    Recover {
+        /// The registered view's id.
+        view: u64,
+        /// Pending batches replayed after the restore.
+        replayed: u64,
+    },
+    /// One GHD bag was materialized during general (cyclic) evaluation.
+    BagMaterialized {
+        /// Bag index within the decomposition.
+        bag: u64,
+        /// Number of query edges the bag covers.
+        edges: u64,
+        /// Total tuples of the materialized bag relation.
+        rows: u64,
+    },
+    /// Physical recovery traffic of the reliable network protocol since the
+    /// previous round barrier: retransmitted data frames, ack frames sent,
+    /// and duplicate/stale frames discarded by the dedup filter.
+    Transport {
+        /// Data frames retransmitted on probe timeout.
+        retransmits: u64,
+        /// Ack frames sent.
+        acks: u64,
+        /// Duplicate or stale frames discarded.
+        dups: u64,
+    },
+}
+
+impl Event {
+    /// Is this a physical (transport-timing-dependent) event?
+    pub fn is_physical(&self) -> bool {
+        matches!(self, Event::Transport { .. })
+    }
+
+    /// Stable name of the variant (used by the exporters).
+    pub fn name(&self) -> String {
+        match self {
+            Event::Exchange { kind, .. } => format!("exchange:{}", kind.name()),
+            Event::EpochBoundary { .. } => "epoch".to_string(),
+            Event::PlanDecision { chosen, .. } => format!("plan:{chosen}"),
+            Event::MaintenanceDecision { chosen, .. } => format!("maintenance:{chosen}"),
+            Event::Checkpoint { .. } => "checkpoint".to_string(),
+            Event::Restore { .. } => "restore".to_string(),
+            Event::Recover { .. } => "recover".to_string(),
+            Event::BagMaterialized { .. } => "bag".to_string(),
+            Event::Transport { .. } => "transport".to_string(),
+        }
+    }
+}
+
+/// Tracing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Ring capacity, **per ring** (logical and physical each hold up to
+    /// this many entries; older entries are evicted and counted).
+    pub capacity: usize,
+    /// Attach wall-clock timestamps ([`Entry::ts_us`]) to recorded events.
+    /// Timestamps feed exporters only — [`Trace::logical_events`] strips
+    /// them, so determinism checks are unaffected.
+    pub wall_clock: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            capacity: 1 << 16,
+            wall_clock: false,
+        }
+    }
+}
+
+/// One recorded ring entry: the event plus its arrival bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Global arrival index across both rings (0, 1, 2, … in record order),
+    /// giving exporters a total order even without timestamps.
+    pub index: u64,
+    /// The event.
+    pub event: Event,
+    /// Microseconds since tracing was enabled, when wall-clock enrichment
+    /// is on. Never part of the logical comparison.
+    pub ts_us: Option<u64>,
+}
+
+/// A bounded, deterministic event trace: two rings (logical + physical),
+/// each with exact drop accounting.
+///
+/// ```
+/// use aj_obs::{Event, ObsConfig, RoundKind, Trace};
+///
+/// let mut t = Trace::new(ObsConfig::default());
+/// t.record(Event::Exchange {
+///     seq: 0,
+///     kind: RoundKind::Items,
+///     lo: 0,
+///     stride: 1,
+///     counts: vec![3, 1],
+/// });
+/// assert_eq!(t.logical_events().len(), 1);
+/// let decoded = Trace::decode(&t.encode()).unwrap();
+/// assert_eq!(decoded, t);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    capacity: usize,
+    next_index: u64,
+    logical: VecDeque<Entry>,
+    physical: VecDeque<Entry>,
+    dropped_logical: u64,
+    dropped_physical: u64,
+    wall: Option<wall::WallSink>,
+}
+
+impl PartialEq for Trace {
+    /// Equality over recorded content (the wall sink itself is excluded —
+    /// it is a clock, not data; the timestamps it produced are compared).
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.next_index == other.next_index
+            && self.logical == other.logical
+            && self.physical == other.physical
+            && self.dropped_logical == other.dropped_logical
+            && self.dropped_physical == other.dropped_physical
+    }
+}
+
+impl Trace {
+    /// A fresh trace with the given configuration.
+    pub fn new(cfg: ObsConfig) -> Self {
+        Trace {
+            capacity: cfg.capacity.max(1),
+            next_index: 0,
+            logical: VecDeque::new(),
+            physical: VecDeque::new(),
+            dropped_logical: 0,
+            dropped_physical: 0,
+            wall: cfg.wall_clock.then(wall::WallSink::new),
+        }
+    }
+
+    /// Per-ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event: assign the next arrival index, stamp it if
+    /// wall-clock enrichment is on, and push it onto its ring, evicting
+    /// (and counting) the oldest entry of that ring when full.
+    pub fn record(&mut self, event: Event) {
+        let ts_us = self.wall.as_ref().map(wall::WallSink::now_us);
+        let entry = Entry {
+            index: self.next_index,
+            event,
+            ts_us,
+        };
+        self.next_index += 1;
+        let (ring, dropped) = if entry.event.is_physical() {
+            (&mut self.physical, &mut self.dropped_physical)
+        } else {
+            (&mut self.logical, &mut self.dropped_logical)
+        };
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            *dropped += 1;
+        }
+        ring.push_back(entry);
+    }
+
+    /// Total retained entries across both rings.
+    pub fn len(&self) -> usize {
+        self.logical.len() + self.physical.len()
+    }
+
+    /// Are both rings empty?
+    pub fn is_empty(&self) -> bool {
+        self.logical.is_empty() && self.physical.is_empty()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Exact eviction counts: `(logical, physical)` entries dropped.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped_logical, self.dropped_physical)
+    }
+
+    /// The retained **logical** events, oldest first, with arrival indices
+    /// and timestamps stripped — the cross-backend comparison form.
+    pub fn logical_events(&self) -> Vec<Event> {
+        self.logical.iter().map(|e| e.event.clone()).collect()
+    }
+
+    /// The retained **physical** events, oldest first, stripped like
+    /// [`Trace::logical_events`].
+    pub fn physical_events(&self) -> Vec<Event> {
+        self.physical.iter().map(|e| e.event.clone()).collect()
+    }
+
+    /// All retained entries merged into arrival order (exporter view).
+    pub fn entries(&self) -> Vec<&Entry> {
+        let mut all: Vec<&Entry> = self.logical.iter().chain(self.physical.iter()).collect();
+        all.sort_by_key(|e| e.index);
+        all
+    }
+
+    /// Drop all recorded entries and reset the counters; the configuration
+    /// (capacity, wall-clock sink) is kept.
+    pub fn clear(&mut self) {
+        self.logical.clear();
+        self.physical.clear();
+        self.dropped_logical = 0;
+        self.dropped_physical = 0;
+        self.next_index = 0;
+    }
+
+    /// Encode the trace as a flat `u64` buffer (see [`Trace::decode`]).
+    pub fn encode(&self) -> Vec<u64> {
+        let mut out = vec![
+            CODEC_MAGIC,
+            CODEC_VERSION,
+            self.capacity as u64,
+            self.next_index,
+            self.dropped_logical,
+            self.dropped_physical,
+            self.logical.len() as u64,
+            self.physical.len() as u64,
+        ];
+        for entry in self.logical.iter().chain(self.physical.iter()) {
+            encode_entry(entry, &mut out);
+        }
+        out
+    }
+
+    /// Decode a buffer produced by [`Trace::encode`]. Returns `None` on a
+    /// malformed buffer. The decoded trace has no wall sink (decoded
+    /// entries keep their recorded timestamps; new recordings would be
+    /// unstamped).
+    pub fn decode(buf: &[u64]) -> Option<Trace> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.next()? != CODEC_MAGIC || r.next()? != CODEC_VERSION {
+            return None;
+        }
+        let capacity = usize::try_from(r.next()?).ok()?;
+        let next_index = r.next()?;
+        let dropped_logical = r.next()?;
+        let dropped_physical = r.next()?;
+        let n_logical = usize::try_from(r.next()?).ok()?;
+        let n_physical = usize::try_from(r.next()?).ok()?;
+        let mut logical = VecDeque::with_capacity(n_logical);
+        for _ in 0..n_logical {
+            let e = decode_entry(&mut r)?;
+            if e.event.is_physical() {
+                return None;
+            }
+            logical.push_back(e);
+        }
+        let mut physical = VecDeque::with_capacity(n_physical);
+        for _ in 0..n_physical {
+            let e = decode_entry(&mut r)?;
+            if !e.event.is_physical() {
+                return None;
+            }
+            physical.push_back(e);
+        }
+        if r.pos != buf.len() {
+            return None;
+        }
+        Some(Trace {
+            capacity,
+            next_index,
+            logical,
+            physical,
+            dropped_logical,
+            dropped_physical,
+            wall: None,
+        })
+    }
+}
+
+const CODEC_MAGIC: u64 = 0x6f62_735f_7472_6163; // "obs_trac"
+const CODEC_VERSION: u64 = 1;
+
+struct Reader<'a> {
+    buf: &'a [u64],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn next(&mut self) -> Option<u64> {
+        let v = self.buf.get(self.pos).copied();
+        self.pos += v.is_some() as usize;
+        v
+    }
+
+    fn take(&mut self, n: usize) -> Option<&[u64]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u64>) {
+    let bytes = s.as_bytes();
+    out.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        out.push(u64::from_le_bytes(word));
+    }
+}
+
+fn decode_str(r: &mut Reader<'_>) -> Option<String> {
+    let len = usize::try_from(r.next()?).ok()?;
+    let words = r.take(len.div_ceil(8))?;
+    let mut bytes = Vec::with_capacity(len);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes.truncate(len);
+    String::from_utf8(bytes).ok()
+}
+
+fn encode_entry(entry: &Entry, out: &mut Vec<u64>) {
+    out.push(entry.index);
+    match entry.ts_us {
+        Some(ts) => {
+            out.push(1);
+            out.push(ts);
+        }
+        None => out.push(0),
+    }
+    match &entry.event {
+        Event::Exchange {
+            seq,
+            kind,
+            lo,
+            stride,
+            counts,
+        } => {
+            out.push(0);
+            out.push(*seq);
+            out.push(match kind {
+                RoundKind::Items => 0,
+                RoundKind::Rows => 1,
+                RoundKind::Fence => 2,
+            });
+            out.push(*lo);
+            out.push(*stride);
+            out.push(counts.len() as u64);
+            out.extend_from_slice(counts);
+        }
+        Event::EpochBoundary {
+            index,
+            exchanges,
+            max_load,
+            total_messages,
+        } => {
+            out.extend_from_slice(&[1, *index, *exchanges, *max_load, *total_messages]);
+        }
+        Event::PlanDecision {
+            fingerprint,
+            class,
+            chosen,
+            alternatives,
+        } => {
+            out.push(2);
+            out.push(*fingerprint);
+            encode_str(class, out);
+            encode_str(chosen, out);
+            out.push(alternatives.len() as u64);
+            for alt in alternatives {
+                encode_str(&alt.plan, out);
+                out.push(alt.cost.to_bits());
+            }
+        }
+        Event::MaintenanceDecision {
+            view,
+            chosen,
+            batch,
+            maintain_cost,
+            recompute_cost,
+        } => {
+            out.push(3);
+            out.push(*view);
+            encode_str(chosen, out);
+            out.push(*batch);
+            out.push(maintain_cost.to_bits());
+            out.push(recompute_cost.to_bits());
+        }
+        Event::Checkpoint { view, rows } => out.extend_from_slice(&[4, *view, *rows]),
+        Event::Restore { view, rows } => out.extend_from_slice(&[5, *view, *rows]),
+        Event::Recover { view, replayed } => out.extend_from_slice(&[6, *view, *replayed]),
+        Event::BagMaterialized { bag, edges, rows } => {
+            out.extend_from_slice(&[7, *bag, *edges, *rows]);
+        }
+        Event::Transport {
+            retransmits,
+            acks,
+            dups,
+        } => out.extend_from_slice(&[8, *retransmits, *acks, *dups]),
+    }
+}
+
+fn decode_entry(r: &mut Reader<'_>) -> Option<Entry> {
+    let index = r.next()?;
+    let ts_us = match r.next()? {
+        0 => None,
+        1 => Some(r.next()?),
+        _ => return None,
+    };
+    let event = match r.next()? {
+        0 => {
+            let seq = r.next()?;
+            let kind = match r.next()? {
+                0 => RoundKind::Items,
+                1 => RoundKind::Rows,
+                2 => RoundKind::Fence,
+                _ => return None,
+            };
+            let lo = r.next()?;
+            let stride = r.next()?;
+            let n = usize::try_from(r.next()?).ok()?;
+            Event::Exchange {
+                seq,
+                kind,
+                lo,
+                stride,
+                counts: r.take(n)?.to_vec(),
+            }
+        }
+        1 => Event::EpochBoundary {
+            index: r.next()?,
+            exchanges: r.next()?,
+            max_load: r.next()?,
+            total_messages: r.next()?,
+        },
+        2 => {
+            let fingerprint = r.next()?;
+            let class = decode_str(r)?;
+            let chosen = decode_str(r)?;
+            let n = usize::try_from(r.next()?).ok()?;
+            let mut alternatives = Vec::with_capacity(n);
+            for _ in 0..n {
+                let plan = decode_str(r)?;
+                let cost = f64::from_bits(r.next()?);
+                alternatives.push(Alternative { plan, cost });
+            }
+            Event::PlanDecision {
+                fingerprint,
+                class,
+                chosen,
+                alternatives,
+            }
+        }
+        3 => Event::MaintenanceDecision {
+            view: r.next()?,
+            chosen: decode_str(r)?,
+            batch: r.next()?,
+            maintain_cost: f64::from_bits(r.next()?),
+            recompute_cost: f64::from_bits(r.next()?),
+        },
+        4 => Event::Checkpoint {
+            view: r.next()?,
+            rows: r.next()?,
+        },
+        5 => Event::Restore {
+            view: r.next()?,
+            rows: r.next()?,
+        },
+        6 => Event::Recover {
+            view: r.next()?,
+            replayed: r.next()?,
+        },
+        7 => Event::BagMaterialized {
+            bag: r.next()?,
+            edges: r.next()?,
+            rows: r.next()?,
+        },
+        8 => Event::Transport {
+            retransmits: r.next()?,
+            acks: r.next()?,
+            dups: r.next()?,
+        },
+        _ => return None,
+    };
+    Some(Entry {
+        index,
+        event,
+        ts_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Exchange {
+                seq: 0,
+                kind: RoundKind::Items,
+                lo: 0,
+                stride: 1,
+                counts: vec![4, 0, 7],
+            },
+            Event::PlanDecision {
+                fingerprint: 0xdead_beef,
+                class: "Acyclic".into(),
+                chosen: "yann".into(),
+                alternatives: vec![
+                    Alternative {
+                        plan: "thm7".into(),
+                        cost: 123.5,
+                    },
+                    Alternative {
+                        plan: "yann".into(),
+                        cost: 17.25,
+                    },
+                ],
+            },
+            Event::Transport {
+                retransmits: 3,
+                acks: 12,
+                dups: 1,
+            },
+            Event::EpochBoundary {
+                index: 0,
+                exchanges: 1,
+                max_load: 7,
+                total_messages: 11,
+            },
+            Event::MaintenanceDecision {
+                view: 2,
+                chosen: "maintain".into(),
+                batch: 40,
+                maintain_cost: 8.0,
+                recompute_cost: 900.0,
+            },
+            Event::Checkpoint { view: 2, rows: 64 },
+            Event::Restore { view: 2, rows: 64 },
+            Event::Recover {
+                view: 2,
+                replayed: 3,
+            },
+            Event::BagMaterialized {
+                bag: 1,
+                edges: 3,
+                rows: 256,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mut t = Trace::new(ObsConfig::default());
+        for e in sample_events() {
+            t.record(e);
+        }
+        let decoded = Trace::decode(&t.encode()).expect("well-formed");
+        assert_eq!(decoded, t);
+        assert_eq!(decoded.logical_events(), t.logical_events());
+        assert_eq!(decoded.physical_events(), t.physical_events());
+    }
+
+    #[test]
+    fn physical_events_are_segregated() {
+        let mut t = Trace::new(ObsConfig::default());
+        for e in sample_events() {
+            t.record(e);
+        }
+        assert!(t.logical_events().iter().all(|e| !e.is_physical()));
+        assert!(t.physical_events().iter().all(Event::is_physical));
+        assert_eq!(
+            t.logical_events().len() + t.physical_events().len(),
+            t.len()
+        );
+        // Merged entries come back in arrival order.
+        let idx: Vec<u64> = t.entries().iter().map(|e| e.index).collect();
+        assert_eq!(idx, (0..t.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eviction_keeps_newest_with_exact_drop_counts() {
+        let mut t = Trace::new(ObsConfig {
+            capacity: 4,
+            wall_clock: false,
+        });
+        for seq in 0..10u64 {
+            t.record(Event::Exchange {
+                seq,
+                kind: RoundKind::Rows,
+                lo: 0,
+                stride: 1,
+                counts: vec![seq],
+            });
+            // Physical traffic interleaves but must never evict logical.
+            t.record(Event::Transport {
+                retransmits: seq,
+                acks: 0,
+                dups: 0,
+            });
+        }
+        assert_eq!(t.dropped(), (6, 6));
+        let seqs: Vec<u64> = t
+            .logical_events()
+            .iter()
+            .map(|e| match e {
+                Event::Exchange { seq, .. } => *seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(t.recorded(), 20);
+    }
+
+    #[test]
+    fn clear_resets_counters_but_keeps_config() {
+        let mut t = Trace::new(ObsConfig {
+            capacity: 2,
+            wall_clock: true,
+        });
+        for e in sample_events() {
+            t.record(e);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), (0, 0));
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.capacity(), 2);
+        t.record(Event::Checkpoint { view: 0, rows: 1 });
+        assert!(t.entries()[0].ts_us.is_some(), "wall sink survives clear");
+    }
+
+    #[test]
+    fn decode_rejects_malformed_buffers() {
+        assert!(Trace::decode(&[]).is_none());
+        assert!(Trace::decode(&[1, 2, 3]).is_none());
+        let mut t = Trace::new(ObsConfig::default());
+        t.record(Event::Checkpoint { view: 0, rows: 1 });
+        let mut buf = t.encode();
+        buf.push(99); // trailing garbage
+        assert!(Trace::decode(&buf).is_none());
+        let buf = t.encode();
+        assert!(Trace::decode(&buf[..buf.len() - 1]).is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Flat text metrics export: counters and load/round histograms derived
+//! from a [`Trace`]. One `name value` pair per line, names sorted within
+//! each section — deterministic, diff-friendly, trivially greppable.
+
+use std::collections::BTreeMap;
+
+use crate::{Event, RoundKind, Trace};
+
+/// Render the metrics dump of a trace.
+pub fn render(trace: &Trace) -> String {
+    let (dropped_logical, dropped_physical) = trace.dropped();
+    let mut rounds = [0u64; 3]; // items, rows, fence
+    let mut units_total = 0u64;
+    let mut load_hist: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut epochs = 0u64;
+    let mut plans: BTreeMap<String, u64> = BTreeMap::new();
+    let mut maintenance: BTreeMap<String, u64> = BTreeMap::new();
+    let (mut checkpoints, mut restores, mut recoveries, mut bags) = (0u64, 0u64, 0u64, 0u64);
+    let (mut retransmits, mut acks, mut dups) = (0u64, 0u64, 0u64);
+    for event in trace
+        .logical_events()
+        .iter()
+        .chain(trace.physical_events().iter())
+    {
+        match event {
+            Event::Exchange { kind, counts, .. } => {
+                rounds[match kind {
+                    RoundKind::Items => 0,
+                    RoundKind::Rows => 1,
+                    RoundKind::Fence => 2,
+                }] += 1;
+                units_total += counts.iter().sum::<u64>();
+                let max = counts.iter().copied().max().unwrap_or(0);
+                *load_hist.entry(bucket(max)).or_insert(0) += 1;
+            }
+            Event::EpochBoundary { .. } => epochs += 1,
+            Event::PlanDecision { chosen, .. } => {
+                *plans.entry(chosen.clone()).or_insert(0) += 1;
+            }
+            Event::MaintenanceDecision { chosen, .. } => {
+                *maintenance.entry(chosen.clone()).or_insert(0) += 1;
+            }
+            Event::Checkpoint { .. } => checkpoints += 1,
+            Event::Restore { .. } => restores += 1,
+            Event::Recover { .. } => recoveries += 1,
+            Event::BagMaterialized { .. } => bags += 1,
+            Event::Transport {
+                retransmits: r,
+                acks: a,
+                dups: d,
+            } => {
+                retransmits += r;
+                acks += a;
+                dups += d;
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = |name: &str, value: u64| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    };
+    line("events.recorded", trace.recorded());
+    line("events.logical", trace.logical_events().len() as u64);
+    line("events.physical", trace.physical_events().len() as u64);
+    line("events.dropped.logical", dropped_logical);
+    line("events.dropped.physical", dropped_physical);
+    line("rounds.items", rounds[0]);
+    line("rounds.rows", rounds[1]);
+    line("rounds.fence", rounds[2]);
+    line("units.total", units_total);
+    for (b, count) in &load_hist {
+        line(&format!("load.round_max.le_{}", bucket_limit(*b)), *count);
+    }
+    line("epochs", epochs);
+    for (plan, count) in &plans {
+        line(&format!("plans.{plan}"), *count);
+    }
+    for (choice, count) in &maintenance {
+        line(&format!("maintenance.{choice}"), *count);
+    }
+    line("checkpoints", checkpoints);
+    line("restores", restores);
+    line("recoveries", recoveries);
+    line("bags", bags);
+    line("transport.retransmits", retransmits);
+    line("transport.acks", acks);
+    line("transport.dups", dups);
+    out
+}
+
+/// Power-of-two histogram bucket of a per-round max load: bucket `k` is the
+/// bit length of the load, so it holds loads in `[2^(k-1), 2^k - 1]`
+/// (bucket 0 holds exactly the zero-load rounds).
+fn bucket(max: u64) -> u32 {
+    64 - max.leading_zeros()
+}
+
+/// Inclusive upper edge of a bucket (`2^k - 1`).
+fn bucket_limit(b: u32) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsConfig;
+
+    #[test]
+    fn counters_and_histogram_render() {
+        let mut t = Trace::new(ObsConfig::default());
+        for (seq, load) in [(0u64, 1u64), (1, 5), (2, 5), (3, 0)] {
+            t.record(Event::Exchange {
+                seq,
+                kind: RoundKind::Items,
+                lo: 0,
+                stride: 1,
+                counts: vec![load],
+            });
+        }
+        t.record(Event::Transport {
+            retransmits: 2,
+            acks: 8,
+            dups: 1,
+        });
+        let text = render(&t);
+        assert!(text.contains("rounds.items 4\n"));
+        assert!(text.contains("units.total 11\n"));
+        assert!(text.contains("load.round_max.le_0 1\n"));
+        assert!(text.contains("load.round_max.le_1 1\n"));
+        assert!(text.contains("load.round_max.le_7 2\n"));
+        assert!(text.contains("transport.retransmits 2\n"));
+        // Deterministic: same trace, same text.
+        assert_eq!(render(&t), text);
+    }
+
+    #[test]
+    fn buckets_are_bit_lengths() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(5), 3);
+        assert_eq!(bucket(8), 4);
+        assert_eq!(bucket_limit(0), 0);
+        assert_eq!(bucket_limit(3), 7);
+        assert_eq!(bucket_limit(64), u64::MAX);
+    }
+}

@@ -1,0 +1,50 @@
+//! The **only** wall-clock read in the observability layer — and, outside
+//! `aj_bench` and test code, in the workspace.
+//!
+//! Soundness of the exemption: a [`WallSink`] is created only when
+//! [`crate::ObsConfig::wall_clock`] is set, and the sole thing its readings
+//! ever flow into is [`crate::Entry::ts_us`] — exporter decoration that
+//! [`crate::Trace::logical_events`] strips before any comparison. No
+//! routing, retry, planning, or result path reads it, so enabling
+//! timestamps cannot perturb results, `Stats`, or the logical trace. The
+//! `aj_analyze` `wall-clock` rule exempts exactly this file and keeps
+//! flagging `Instant`/`SystemTime` everywhere else.
+
+/// A monotonic microsecond clock anchored at trace creation.
+#[derive(Debug, Clone, Copy)]
+pub struct WallSink {
+    start: std::time::Instant,
+}
+
+impl WallSink {
+    /// A sink anchored at "now".
+    pub fn new() -> Self {
+        WallSink {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the sink was created.
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for WallSink {
+    fn default() -> Self {
+        WallSink::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let sink = WallSink::new();
+        let a = sink.now_us();
+        let b = sink.now_us();
+        assert!(b >= a);
+    }
+}

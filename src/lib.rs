@@ -42,11 +42,15 @@
 //! * [`core`] — the paper's algorithms (Theorems 3, 5, 7, 9; baselines) and
 //!   the [`core::engine::QueryEngine`] serving layer (plan cache,
 //!   cost-based planning, per-query stats epochs);
-//! * [`instancegen`] — the hard instances of Figures 3, 4 and 6.
+//! * [`instancegen`] — the hard instances of Figures 3, 4 and 6;
+//! * [`obs`] — deterministic structured tracing: bounded event traces
+//!   (bit-identical across backends), Chrome trace-event and flat-metrics
+//!   exporters, and the data behind `QueryEngine::explain`.
 
 pub use aj_core as core;
 pub use aj_instancegen as instancegen;
 pub use aj_mpc as mpc;
+pub use aj_obs as obs;
 pub use aj_primitives as primitives;
 pub use aj_relation as relation;
 
@@ -59,6 +63,7 @@ pub mod prelude {
     pub use aj_mpc::{
         BlockPartitioned, Cluster, DeltaBlock, DeltaOutbox, EpochStats, Net, Partitioned, RowOutbox,
     };
+    pub use aj_obs::{ObsConfig, Trace};
     pub use aj_primitives::{FxHashMap, FxHashSet};
     pub use aj_relation::{
         classify::classify, Database, JoinClass, JoinSkew, Query, QueryBuilder, QuerySignature,

@@ -10,6 +10,13 @@
 //! backend's label. Because the wire path serializes every payload through
 //! frames, agreement here also certifies the `Wire` codecs for every type
 //! the algorithms exchange.
+//!
+//! Since the observability layer landed, the **logical trace** is a third
+//! conformance axis next to outputs and `Stats`: every cell runs with
+//! tracing enabled and the logical event streams (exchanges, epoch
+//! boundaries, plan/maintenance decisions — everything except the
+//! timing-dependent `Transport` events) must be bit-identical across
+//! backends, and on lossy backends identical to the fault-free reference.
 
 use std::sync::Arc;
 
@@ -19,6 +26,7 @@ use acyclic_joins::mpc::{
     ChanTransport, Cluster, CrashPoint, FaultPlan, FaultyTransport, LinkPartition, ParExecutor,
     ShuffleTransport, Stats,
 };
+use acyclic_joins::obs::{Event, ObsConfig};
 use acyclic_joins::prelude::*;
 use acyclic_joins::relation::delta::CountedSnapshot;
 use acyclic_joins::relation::ram;
@@ -181,14 +189,25 @@ fn oracle(q: &Query, db: &Database) -> Vec<Tuple> {
     t
 }
 
-/// Run `q` on `db` through a full engine on one backend; return the sorted
-/// output and the cumulative cluster stats.
-fn engine_run(make: &dyn Fn() -> Cluster, q: &Query, db: &Database) -> (Vec<Tuple>, Stats) {
+/// Run `q` on `db` through a full engine on one backend with tracing on;
+/// return the sorted output, the cumulative cluster stats, and the logical
+/// event stream (physical `Transport` events excluded — they depend on
+/// timing and must *not* be part of the differential).
+fn engine_run(
+    make: &dyn Fn() -> Cluster,
+    q: &Query,
+    db: &Database,
+) -> (Vec<Tuple>, Stats, Vec<Event>) {
     let mut engine = QueryEngine::with_cluster(make(), Default::default());
+    engine.enable_tracing(ObsConfig::default());
     let outcome = engine.run(q, db);
     let mut tuples = outcome.output.gather_free().tuples;
     tuples.sort_unstable();
-    (tuples, engine.stats().clone())
+    let events = engine
+        .take_trace()
+        .expect("tracing was enabled")
+        .logical_events();
+    (tuples, engine.stats().clone(), events)
 }
 
 /// The acceptance differential: identical outputs, identical `Stats` (max
@@ -197,17 +216,19 @@ fn engine_run(make: &dyn Fn() -> Cluster, q: &Query, db: &Database) -> (Vec<Tupl
 #[test]
 fn every_shape_is_bit_identical_across_backends() {
     for (label, q, db) in cases() {
-        let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+        let mut reference: Option<(Vec<Tuple>, Stats, Vec<Event>)> = None;
         for (backend, make) in backends() {
-            let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+            let (tuples, stats, events) = engine_run(make.as_ref(), &q, &db);
             match &reference {
                 None => {
                     assert_eq!(tuples, oracle(&q, &db), "{label}/{backend}: wrong answer");
-                    reference = Some((tuples, stats));
+                    assert!(!events.is_empty(), "{label}/{backend}: empty trace");
+                    reference = Some((tuples, stats, events));
                 }
-                Some((ref_tuples, ref_stats)) => {
+                Some((ref_tuples, ref_stats, ref_events)) => {
                     assert_eq!(&tuples, ref_tuples, "{label}/{backend}: outputs differ");
                     assert_eq!(&stats, ref_stats, "{label}/{backend}: stats differ");
+                    assert_eq!(&events, ref_events, "{label}/{backend}: traces differ");
                 }
             }
         }
@@ -232,17 +253,18 @@ fn skewed_workloads_are_bit_identical_across_backends() {
         .map(|i| vec![if i < 42 { 7 } else { i % 9 }, 1000 + i])
         .collect();
     let db = acyclic_joins::relation::database_from_rows(&q, &[r1, r2]);
-    let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+    let mut reference: Option<(Vec<Tuple>, Stats, Vec<Event>)> = None;
     for (backend, make) in backends() {
-        let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+        let (tuples, stats, events) = engine_run(make.as_ref(), &q, &db);
         match &reference {
             None => {
                 assert_eq!(tuples, oracle(&q, &db), "skew/{backend}: wrong answer");
-                reference = Some((tuples, stats));
+                reference = Some((tuples, stats, events));
             }
-            Some((ref_tuples, ref_stats)) => {
+            Some((ref_tuples, ref_stats, ref_events)) => {
                 assert_eq!(&tuples, ref_tuples, "skew/{backend}: outputs differ");
                 assert_eq!(&stats, ref_stats, "skew/{backend}: stats differ");
+                assert_eq!(&events, ref_events, "skew/{backend}: traces differ");
             }
         }
     }
@@ -259,6 +281,7 @@ fn update_streams_are_bit_identical_across_backends() {
         let batches = updates::update_stream(&q, &mirror, 10, 0.05, 0.0, 0xfeed);
         let drive = |make: &dyn Fn() -> Cluster| {
             let mut engine = QueryEngine::with_cluster(make(), Default::default());
+            engine.enable_tracing(ObsConfig::default());
             let view = engine.register_view(&q, &db);
             let mut trace: Vec<(CountedSnapshot, String, u64)> = vec![(
                 engine.view(view).snapshot(),
@@ -273,15 +296,23 @@ fn update_streams_are_bit_identical_across_backends() {
                     outcome.maintenance.max_load,
                 ));
             }
-            trace
+            let events = engine
+                .take_trace()
+                .expect("tracing was enabled")
+                .logical_events();
+            (trace, events)
         };
         let mut reference = None;
         for (backend, make) in backends() {
-            let trace = drive(make.as_ref());
+            let (trace, events) = drive(make.as_ref());
             match &reference {
-                None => reference = Some(trace),
-                Some(ref_trace) => {
+                None => reference = Some((trace, events)),
+                Some((ref_trace, ref_events)) => {
                     assert_eq!(&trace, ref_trace, "{label}/{backend}: update trace differs");
+                    assert_eq!(
+                        &events, ref_events,
+                        "{label}/{backend}: logical event traces differ"
+                    );
                 }
             }
         }
@@ -367,12 +398,12 @@ fn faulty_backends(plan: FaultPlan, uds: bool) -> Vec<Backend> {
 #[test]
 fn every_shape_is_bit_identical_under_faults() {
     for (label, q, db) in cases() {
-        let (ref_tuples, ref_stats) = engine_run(&|| Cluster::new(P), &q, &db);
+        let (ref_tuples, ref_stats, ref_events) = engine_run(&|| Cluster::new(P), &q, &db);
         assert_eq!(ref_tuples, oracle(&q, &db), "{label}/seq: wrong answer");
         for (plan_label, plan) in fault_plans() {
             let uds = matches!(plan_label, "drop10pct" | "combined");
             for (backend, make) in faulty_backends(plan, uds) {
-                let (tuples, stats) = engine_run(make.as_ref(), &q, &db);
+                let (tuples, stats, events) = engine_run(make.as_ref(), &q, &db);
                 assert_eq!(
                     tuples, ref_tuples,
                     "{label}/{backend}/{plan_label}: outputs differ"
@@ -380,6 +411,14 @@ fn every_shape_is_bit_identical_under_faults() {
                 assert_eq!(
                     stats, ref_stats,
                     "{label}/{backend}/{plan_label}: stats differ"
+                );
+                // The logical event stream is post-dedup by construction
+                // (retransmits and duplicate frames surface only as
+                // physical Transport events): a lossy run's logical trace
+                // must match the fault-free reference bit for bit.
+                assert_eq!(
+                    events, ref_events,
+                    "{label}/{backend}/{plan_label}: logical traces differ"
                 );
             }
         }
@@ -397,6 +436,7 @@ fn update_streams_are_bit_identical_under_faults() {
         let batches = updates::update_stream(&q, &mirror, 10, 0.05, 0.0, 0xfeed);
         let drive = |make: &dyn Fn() -> Cluster| {
             let mut engine = QueryEngine::with_cluster(make(), Default::default());
+            engine.enable_tracing(ObsConfig::default());
             let view = engine.register_view(&q, &db);
             let mut trace: Vec<(CountedSnapshot, String, u64)> = vec![(
                 engine.view(view).snapshot(),
@@ -411,15 +451,23 @@ fn update_streams_are_bit_identical_under_faults() {
                     outcome.maintenance.max_load,
                 ));
             }
-            trace
+            let events = engine
+                .take_trace()
+                .expect("tracing was enabled")
+                .logical_events();
+            (trace, events)
         };
         let reference = drive(&|| Cluster::new(P));
         for (plan_label, plan) in fault_plans() {
             for (backend, make) in faulty_backends(plan, false) {
-                let trace = drive(make.as_ref());
+                let (trace, events) = drive(make.as_ref());
                 assert_eq!(
-                    trace, reference,
+                    trace, reference.0,
                     "{label}/{backend}/{plan_label}: update trace differs"
+                );
+                assert_eq!(
+                    events, reference.1,
+                    "{label}/{backend}/{plan_label}: logical event traces differ"
                 );
             }
         }
@@ -535,7 +583,7 @@ fn mid_stream_crash_recovers_from_checkpoint() {
 #[test]
 fn shuffled_delivery_order_never_changes_results() {
     let (label, q, db) = cases().remove(3); // line3, OUT >> IN: heavy traffic
-    let mut reference: Option<(Vec<Tuple>, Stats)> = None;
+    let mut reference: Option<(Vec<Tuple>, Stats, Vec<Event>)> = None;
     for seed in [1u64, 0x5eed, u64::MAX] {
         let make = || {
             Cluster::new_net_with_transport(
@@ -543,7 +591,7 @@ fn shuffled_delivery_order_never_changes_results() {
                 Arc::new(ShuffleTransport::new(ChanTransport::new(P), seed)),
             )
         };
-        let (tuples, stats) = engine_run(&make, &q, &db);
+        let (tuples, stats, events) = engine_run(&make, &q, &db);
         match &reference {
             None => {
                 assert_eq!(
@@ -551,14 +599,15 @@ fn shuffled_delivery_order_never_changes_results() {
                     oracle(&q, &db),
                     "{label}/shuffle-{seed}: wrong answer"
                 );
-                reference = Some((tuples, stats));
+                reference = Some((tuples, stats, events));
             }
-            Some((ref_tuples, ref_stats)) => {
+            Some((ref_tuples, ref_stats, ref_events)) => {
                 assert_eq!(
                     &tuples, ref_tuples,
                     "{label}/shuffle-{seed}: outputs differ"
                 );
                 assert_eq!(&stats, ref_stats, "{label}/shuffle-{seed}: stats differ");
+                assert_eq!(&events, ref_events, "{label}/shuffle-{seed}: traces differ");
             }
         }
     }
